@@ -1,0 +1,44 @@
+// Command pdl2xpdl converts a PEPPHER PDL platform description (the
+// predecessor language reviewed in Section II) into an XPDL system
+// model: the control-relation tree becomes hardware structure with the
+// control roles preserved as secondary role attributes, memory regions
+// and interconnects become their XPDL counterparts, and all free-form
+// properties are carried over into <properties> blocks.
+//
+// Usage:
+//
+//	pdl2xpdl platform.pdl > platform.xpdl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpdl/internal/pdl"
+	"xpdl/internal/xmlout"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pdl2xpdl <platform.pdl>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	platform, err := pdl.Parse(flag.Arg(0), src)
+	if err != nil {
+		fail(err)
+	}
+	if err := xmlout.Write(os.Stdout, platform.ToXPDL()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdl2xpdl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command xpdldiff composes two concrete system models (or the same
+// model against two repositories) and prints the differences — the
+// maintenance view for a distributed descriptor repository: what a
+// manufacturer's descriptor update or a reconfiguration actually
+// changes in the composed platform.
+//
+// Usage:
+//
+//	xpdldiff -models models -old liu_gpu_server -new liu_gpu_server_v2
+//	xpdldiff -models old_repo -models-new new_repo -old XScluster -new XScluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpdl/internal/core"
+	"xpdl/internal/diff"
+	"xpdl/internal/model"
+)
+
+func main() {
+	var (
+		modelsDir = flag.String("models", "models", "model repository for the old system")
+		modelsNew = flag.String("models-new", "", "model repository for the new system (default: same as -models)")
+		oldID     = flag.String("old", "", "old system identifier")
+		newID     = flag.String("new", "", "new system identifier")
+	)
+	flag.Parse()
+	if *oldID == "" || *newID == "" {
+		fmt.Fprintln(os.Stderr, "xpdldiff: -old and -new are required")
+		os.Exit(2)
+	}
+	if *modelsNew == "" {
+		*modelsNew = *modelsDir
+	}
+	oldSys := compose(*modelsDir, *oldID)
+	newSys := compose(*modelsNew, *newID)
+	changes := diff.Diff(oldSys, newSys)
+	if len(changes) == 0 {
+		fmt.Println("models are identical")
+		return
+	}
+	fmt.Println(diff.Render(changes))
+	added, removed, changed := diff.Summary(changes)
+	fmt.Printf("%d added, %d removed, %d attribute change(s)\n", added, removed, changed)
+	os.Exit(1) // diff-style exit code when differences exist
+}
+
+func compose(dir, system string) *model.Component {
+	tc, err := core.New(core.Options{SearchPaths: []string{dir}, KeepUnknown: true})
+	if err != nil {
+		fail(err)
+	}
+	res, err := tc.Process(system)
+	if err != nil {
+		fail(err)
+	}
+	return res.System
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xpdldiff:", err)
+	os.Exit(1)
+}

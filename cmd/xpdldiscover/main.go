@@ -1,0 +1,34 @@
+// Command xpdldiscover inspects the host machine (/proc, /sys) and
+// emits an XPDL system descriptor for it — an hwloc-style bootstrap for
+// the model repository (Section V compares XPDL with hwloc; this tool
+// closes the loop by producing XPDL from the OS's hardware inventory).
+//
+// Usage:
+//
+//	xpdldiscover > host.xpdl
+//	xpdldiscover -root /some/chroot -id build_server > build_server.xpdl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpdl/internal/discover"
+	"xpdl/internal/xmlout"
+)
+
+func main() {
+	root := flag.String("root", "/", "filesystem root holding proc/ and sys/")
+	id := flag.String("id", "", "system identifier (default: discovered_host)")
+	flag.Parse()
+	sys, err := discover.Host(discover.Options{Root: *root, SystemID: *id})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpdldiscover:", err)
+		os.Exit(1)
+	}
+	if err := xmlout.Write(os.Stdout, sys); err != nil {
+		fmt.Fprintln(os.Stderr, "xpdldiscover:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command xpdlgen runs the XPDL generators (Section IV): the C++
+// runtime query API derived from the central schema, the xpdl.xsd
+// schema document itself, and the microbenchmark driver sources for a
+// suite descriptor.
+//
+// Usage:
+//
+//	xpdlgen -cpp out/              # emit xpdl_model.hpp / xpdl_model.cpp
+//	xpdlgen -xsd out/              # emit xpdl.xsd
+//	xpdlgen -drivers mb.xpdl -o out/  # emit C drivers + mbscript.sh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"xpdl/internal/codegen"
+	"xpdl/internal/microbench"
+	"xpdl/internal/parser"
+	"xpdl/internal/schema"
+	"xpdl/internal/umlgen"
+	"xpdl/internal/xsdgen"
+)
+
+func main() {
+	var (
+		cppDir  = flag.String("cpp", "", "emit the generated C++ query API into this directory")
+		xsdDir  = flag.String("xsd", "", "emit xpdl.xsd into this directory")
+		umlDir  = flag.String("uml", "", "emit the metamodel class diagram (PlantUML) into this directory")
+		drivers = flag.String("drivers", "", "microbenchmark suite descriptor (.xpdl) to generate drivers for")
+		out     = flag.String("o", ".", "output directory for -drivers")
+		iters   = flag.Int("iterations", 1_000_000, "loop trip count in generated drivers")
+	)
+	flag.Parse()
+	did := false
+
+	if *umlDir != "" {
+		writeAll(*umlDir, map[string]string{"xpdl_schema.puml": umlgen.SchemaDiagram(schema.Core())})
+		did = true
+	}
+
+	if *cppDir != "" {
+		files, err := codegen.GenerateCPP(schema.Core())
+		if err != nil {
+			fail(err)
+		}
+		writeAll(*cppDir, files)
+		did = true
+	}
+	if *xsdDir != "" {
+		writeAll(*xsdDir, map[string]string{"xpdl.xsd": xsdgen.Generate(schema.Core())})
+		did = true
+	}
+	if *drivers != "" {
+		src, err := os.ReadFile(*drivers)
+		if err != nil {
+			fail(err)
+		}
+		p := parser.New()
+		c, _, err := p.ParseFile(*drivers, src)
+		if err != nil {
+			fail(err)
+		}
+		suite, err := microbench.SuiteFromComponent(c)
+		if err != nil {
+			fail(err)
+		}
+		writeAll(*out, microbench.GenerateDrivers(suite, *iters))
+		did = true
+	}
+	if !did {
+		fmt.Fprintln(os.Stderr, "xpdlgen: nothing to do (use -cpp, -xsd, -uml or -drivers)")
+		os.Exit(2)
+	}
+}
+
+func writeAll(dir string, files map[string]string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(files[name]))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xpdlgen:", err)
+	os.Exit(1)
+}

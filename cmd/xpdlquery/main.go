@@ -1,0 +1,115 @@
+// Command xpdlquery loads a runtime model file written by xpdltool and
+// answers introspection queries — the command-line face of the runtime
+// query API (Section IV).
+//
+// Usage:
+//
+//	xpdlquery -rt liu.xrt tree                # print the model tree
+//	xpdlquery -rt liu.xrt cores               # derived core count
+//	xpdlquery -rt liu.xrt cuda-devices        # CUDA device count
+//	xpdlquery -rt liu.xrt static-power        # total static power (W)
+//	xpdlquery -rt liu.xrt installed           # installed software list
+//	xpdlquery -rt liu.xrt get gpu1 compute_capability
+//	xpdlquery -rt liu.xrt eval "installed('CUBLAS') && num_cores() >= 4"
+//	xpdlquery -rt liu.xrt select "//cache[name=L3]"
+//	xpdlquery -rt liu.xrt json                # export the model as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xpdl/internal/expr"
+	"xpdl/internal/query"
+)
+
+func main() {
+	rt := flag.String("rt", "", "runtime model file (.xrt)")
+	flag.Parse()
+	if *rt == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
+		os.Exit(2)
+	}
+	s, err := query.Init(*rt)
+	if err != nil {
+		fail(err)
+	}
+	switch cmd := flag.Arg(0); cmd {
+	case "tree":
+		printTree(s.Root(), 0)
+	case "cores":
+		fmt.Println(s.Root().NumCores())
+	case "cuda-devices":
+		fmt.Println(s.Root().NumCUDADevices())
+	case "static-power":
+		fmt.Println(s.Root().TotalStaticPower())
+	case "installed":
+		for _, pkg := range s.InstalledList() {
+			fmt.Println(pkg)
+		}
+	case "get":
+		if flag.NArg() != 3 {
+			fail(fmt.Errorf("get needs <ident> <attr>"))
+		}
+		e, ok := s.Find(flag.Arg(1))
+		if !ok {
+			fail(fmt.Errorf("element %q not found", flag.Arg(1)))
+		}
+		if q, ok := e.GetQuantity(flag.Arg(2)); ok {
+			fmt.Println(q)
+			return
+		}
+		if v, ok := e.GetString(flag.Arg(2)); ok {
+			fmt.Println(v)
+			return
+		}
+		fail(fmt.Errorf("element %q has no attribute %q", flag.Arg(1), flag.Arg(2)))
+	case "json":
+		if err := s.Model().WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "select":
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("select needs one selector argument"))
+		}
+		elems, err := s.Select(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		for _, e := range elems {
+			fmt.Printf("%s\t%s\n", e.Kind(), e.Path())
+		}
+	case "eval":
+		v, err := expr.Eval(strings.Join(flag.Args()[1:], " "), s.Env(nil))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(v.GoString())
+	default:
+		fail(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func printTree(e query.Elem, depth int) {
+	if !e.Valid() {
+		return
+	}
+	line := strings.Repeat("  ", depth) + e.Kind()
+	if id := e.Ident(); id != "" {
+		line += " " + id
+	}
+	if t := e.TypeName(); t != "" {
+		line += " : " + t
+	}
+	fmt.Println(line)
+	for _, c := range e.Children() {
+		printTree(c, depth+1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xpdlquery:", err)
+	os.Exit(1)
+}

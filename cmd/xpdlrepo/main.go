@@ -1,0 +1,95 @@
+// Command xpdlrepo serves a directory of XPDL descriptors over HTTP —
+// the "manufacturer web site" half of the distributed model repository
+// (Section III): remote model libraries from which xpdltool fetches
+// submodels it cannot find on the local search path.
+//
+// Descriptors are served as /<ident>.xpdl where ident is the name/id of
+// the descriptor's root element (not the file name), matching the
+// repository's fetch convention. /index lists all identifiers.
+//
+// Usage:
+//
+//	xpdlrepo -dir models -addr :8344
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"xpdl/internal/ast"
+)
+
+func main() {
+	dir := flag.String("dir", "models", "directory of .xpdl descriptors to serve")
+	addr := flag.String("addr", ":8344", "listen address")
+	flag.Parse()
+
+	idx, err := index(*dir)
+	if err != nil {
+		log.Fatal("xpdlrepo: ", err)
+	}
+	log.Printf("xpdlrepo: serving %d descriptors from %s on %s", len(idx.byIdent), *dir, *addr)
+	log.Fatal(http.ListenAndServe(*addr, idx))
+}
+
+// repoIndex maps descriptor identifiers to files, serving them over
+// HTTP.
+type repoIndex struct {
+	mu      sync.RWMutex
+	byIdent map[string]string
+}
+
+func index(dir string) (*repoIndex, error) {
+	idx := &repoIndex{byIdent: map[string]string{}}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".xpdl") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		root, err := ast.Parse(path, src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ident := root.AttrDefault("id", root.AttrDefault("name", ""))
+		if ident == "" {
+			return fmt.Errorf("%s: root element has neither name= nor id=", path)
+		}
+		if prev, dup := idx.byIdent[ident]; dup {
+			return fmt.Errorf("identifier %q in both %s and %s", ident, prev, path)
+		}
+		idx.byIdent[ident] = path
+		return nil
+	})
+	return idx, err
+}
+
+func (idx *repoIndex) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	if r.URL.Path == "/index" || r.URL.Path == "/" {
+		for ident := range idx.byIdent {
+			fmt.Fprintln(w, ident)
+		}
+		return
+	}
+	ident := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/"), ".xpdl")
+	path, ok := idx.byIdent[ident]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	http.ServeFile(w, r, path)
+}

@@ -1,0 +1,144 @@
+// Command xpdltool is the XPDL processing tool (Section IV): it browses
+// the model repository for every descriptor a concrete system model
+// references, composes and statically analyzes the model, optionally
+// runs deployment-time microbenchmarks against the simulated hardware
+// substrate to derive "?" attributes, and writes the light-weight
+// runtime model file that applications load through the query API.
+//
+// Usage:
+//
+//	xpdltool -models models -system liu_gpu_server -o liu.xrt [-bench] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"xpdl/internal/config"
+	"xpdl/internal/core"
+	"xpdl/internal/report"
+	"xpdl/internal/umlgen"
+	"xpdl/internal/xmlout"
+)
+
+func main() {
+	var (
+		modelsDir  = flag.String("models", "models", "model repository search path (comma-free; repeatable via -models2)")
+		extraDir   = flag.String("models2", "", "additional search path")
+		remote     = flag.String("remote", "", "remote model library base URL")
+		system     = flag.String("system", "", "identifier of the concrete system model to process")
+		out        = flag.String("o", "", "output runtime model file (.xrt); empty = no file")
+		bench      = flag.Bool("bench", false, "run deployment-time microbenchmarks for ? attributes")
+		force      = flag.Bool("force-bench", false, "re-benchmark even instructions with given energies")
+		keep       = flag.Bool("keep-unknown", false, "retain ? attributes in the runtime model")
+		seed       = flag.Int64("seed", 42, "seed for the simulated hardware substrate")
+		verbose    = flag.Bool("v", false, "print the composed model tree")
+		emitXPDL   = flag.String("emit-xpdl", "", "write the composed model back as normalized .xpdl to this file")
+		configFile = flag.String("config", "", "tool configuration file (filter/elicitation rules)")
+		emitUML    = flag.String("emit-uml", "", "write a PlantUML object diagram of the composed model to this file")
+		emitReport = flag.String("report", "", "write a Markdown platform report to this file")
+	)
+	flag.Parse()
+	if *system == "" {
+		fmt.Fprintln(os.Stderr, "xpdltool: -system is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := core.Options{
+		SearchPaths:        []string{*modelsDir},
+		RunMicrobenchmarks: *bench,
+		ForceMicrobench:    *force,
+		KeepUnknown:        *keep,
+		Seed:               *seed,
+	}
+	if *extraDir != "" {
+		opts.SearchPaths = append(opts.SearchPaths, *extraDir)
+	}
+	if *remote != "" {
+		opts.Remotes = append(opts.Remotes, *remote)
+	}
+	if *configFile != "" {
+		src, err := os.ReadFile(*configFile)
+		if err != nil {
+			fail(err)
+		}
+		cfg, err := config.Parse(*configFile, src)
+		if err != nil {
+			fail(err)
+		}
+		opts.Config = &cfg
+	}
+	tc, err := core.New(opts)
+	if err != nil {
+		fail(err)
+	}
+	res, err := tc.Process(*system)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("composed %s: %d components, %d attributes\n",
+		*system, res.Stats.Components, res.Stats.Attributes)
+	kinds := make([]string, 0, len(res.Stats.ByKind))
+	for k := range res.Stats.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-22s %6d\n", k, res.Stats.ByKind[k])
+	}
+	fmt.Printf("synthesized attributes: %d; filtered: %d\n", res.Synthesized, res.Filtered)
+	for _, d := range res.Downgrades {
+		fmt.Println("downgrade:", d)
+	}
+	if res.Microbench != nil {
+		fmt.Print(res.Microbench)
+	}
+	if *verbose {
+		fmt.Print(res.System.Tree())
+	}
+	if *emitXPDL != "" {
+		f, err := os.Create(*emitXPDL)
+		if err != nil {
+			fail(err)
+		}
+		if err := xmlout.Write(f, res.System); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("normalized XPDL written to %s\n", *emitXPDL)
+	}
+	if *emitReport != "" {
+		if err := os.WriteFile(*emitReport, []byte(report.Markdown(res.System)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("platform report written to %s\n", *emitReport)
+	}
+	if *emitUML != "" {
+		uml := umlgen.ModelDiagram(res.System, umlgen.ModelDiagramOptions{})
+		if err := os.WriteFile(*emitUML, []byte(uml), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("UML object diagram written to %s\n", *emitUML)
+	}
+	if *out != "" {
+		if err := tc.EmitRuntime(res, *out); err != nil {
+			fail(err)
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("runtime model written to %s (%d bytes, %d nodes)\n",
+			*out, info.Size(), res.Runtime.Len())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xpdltool:", err)
+	os.Exit(1)
+}

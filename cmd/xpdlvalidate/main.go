@@ -1,0 +1,78 @@
+// Command xpdlvalidate checks XPDL descriptor files against the core
+// metamodel and reports diagnostics with source positions. It exits
+// nonzero if any file has errors.
+//
+// Usage:
+//
+//	xpdlvalidate file.xpdl [file2.xpdl ...]
+//	xpdlvalidate -dir models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/schema"
+)
+
+func main() {
+	dir := flag.String("dir", "", "validate every .xpdl file under this directory")
+	quiet := flag.Bool("q", false, "suppress per-file OK lines")
+	flag.Parse()
+
+	var files []string
+	if *dir != "" {
+		err := filepath.Walk(*dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() && strings.HasSuffix(path, ".xpdl") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpdlvalidate:", err)
+			os.Exit(1)
+		}
+	}
+	files = append(files, flag.Args()...)
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "xpdlvalidate: no input files (use -dir or list files)")
+		os.Exit(2)
+	}
+
+	s := schema.Core()
+	bad := 0
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpdlvalidate:", err)
+			bad++
+			continue
+		}
+		root, err := ast.Parse(f, src)
+		if err != nil {
+			fmt.Println(err)
+			bad++
+			continue
+		}
+		diags := s.Validate(root)
+		for _, d := range diags {
+			fmt.Println(d.Error())
+		}
+		if diags.HasErrors() {
+			bad++
+		} else if !*quiet {
+			fmt.Printf("%s: OK (%d elements)\n", f, root.CountElements())
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "xpdlvalidate: %d of %d file(s) failed\n", bad, len(files))
+		os.Exit(1)
+	}
+}

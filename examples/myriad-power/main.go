@@ -1,0 +1,104 @@
+// Myriad power management: compose the Myriad server model (Listings
+// 4–6), drive the Myriad1 power domains through a legal switch-off
+// sequence (Listing 12: CMX may only power down after all SHAVE islands
+// are off), and use the power state machine (Listing 13 style) to pick
+// the energy-optimal DVFS schedule for a deadline-constrained workload,
+// comparing against race-to-idle and always-max baselines.
+//
+// Run from the repository root:
+//
+//	go run ./examples/myriad-power
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"xpdl"
+	"xpdl/internal/model"
+	"xpdl/internal/power"
+)
+
+func main() {
+	models := flag.String("models", "models", "model repository directory")
+	flag.Parse()
+
+	tc, err := xpdl.NewToolchain(xpdl.Options{SearchPaths: []string{*models}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tc.Process("myriad_server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := res.System
+
+	// Locate the Myriad1's power domains and PSM in the composed tree.
+	var pdComp, psmComp *model.Component
+	sys.Walk(func(c *model.Component) bool {
+		switch c.Kind {
+		case "power_domains":
+			pdComp = c
+		case "power_state_machine":
+			psmComp = c
+		}
+		return true
+	})
+	if pdComp == nil || psmComp == nil {
+		log.Fatal("power model not found in composed tree")
+	}
+
+	ds, err := power.DomainsFromComponent(pdComp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Myriad1 power domains: %d (group Shave_pds has %d members)\n",
+		len(ds.Domains), len(ds.Groups["Shave_pds"]))
+
+	st := power.NewDomainState(ds)
+	if err := st.SwitchOff("CMX_pd"); err != nil {
+		fmt.Println("as specified, CMX refuses to power down first:", err)
+	}
+	for _, name := range ds.Groups["Shave_pds"] {
+		if err := st.SwitchOff(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := st.SwitchOff("CMX_pd"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after shutting down SHAVEs then CMX, %d domain(s) remain on: %v\n",
+		st.OnCount(), st.OnDomains())
+
+	// DVFS optimization on the SHAVE power state machine.
+	sm, err := power.StateMachineFromComponent(psmComp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPSM %s for domain %s: %d states, %d transitions\n",
+		sm.Name, sm.Domain, len(sm.States), len(sm.Transitions()))
+
+	w := power.Workload{Cycles: 45e6, DeadlineS: 0.5}
+	from := sm.States[0].Name
+	for _, plan := range plans(sm, from, w) {
+		fmt.Println(" ", plan)
+	}
+}
+
+func plans(sm *power.StateMachine, from string, w power.Workload) []power.Plan {
+	var out []power.Plan
+	if p, err := sm.Optimize(from, w); err == nil {
+		out = append(out, p)
+	}
+	if p, err := sm.RaceToIdle(from, w); err == nil {
+		out = append(out, p)
+	}
+	if p, err := sm.AlwaysMax(from, w); err == nil {
+		out = append(out, p)
+	}
+	return out
+}

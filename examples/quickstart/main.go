@@ -1,0 +1,77 @@
+// Quickstart: compose the paper's LiU GPU server model (Listings 7–10),
+// run the deployment-time microbenchmarks, emit the runtime model file
+// and introspect it through the query API — the full Section IV
+// pipeline in one program.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"xpdl"
+)
+
+func main() {
+	models := flag.String("models", "models", "model repository directory")
+	flag.Parse()
+
+	// 1. Process the concrete system model: browse the repository,
+	//    resolve inheritance/params/groups, check constraints, run the
+	//    microbenchmarks, analyze, and build the runtime structure.
+	tc, err := xpdl.NewToolchain(xpdl.Options{
+		SearchPaths:        []string{*models},
+		RunMicrobenchmarks: true,
+		Seed:               42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tc.Process("liu_gpu_server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composed liu_gpu_server: %d components\n", res.Stats.Components)
+	if res.Microbench != nil {
+		fmt.Print(res.Microbench)
+	}
+
+	// 2. Emit the light-weight runtime model file.
+	dir, err := os.MkdirTemp("", "xpdl-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rtFile := filepath.Join(dir, "liu_gpu_server.xrt")
+	if err := tc.EmitRuntime(res, rtFile); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(rtFile)
+	fmt.Printf("runtime model: %s (%d bytes)\n", rtFile, info.Size())
+
+	// 3. Application startup: load the runtime model and introspect the
+	//    platform (the xpdl_init / query API path).
+	s, err := xpdl.OpenRuntime(rtFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := s.Root()
+	fmt.Printf("cores:            %d\n", root.NumCores())
+	fmt.Printf("CUDA devices:     %d\n", root.NumCUDADevices())
+	fmt.Printf("static power:     %s\n", root.TotalStaticPower())
+	fmt.Printf("installed:        %v\n", s.InstalledList())
+	if gpu, ok := s.Find("gpu1"); ok {
+		cc, _ := gpu.GetFloat("compute_capability")
+		fmt.Printf("gpu1 compute capability: %.1f (type %s)\n", cc, gpu.TypeName())
+	}
+	if l3, ok := s.Find("L3"); ok {
+		size, _ := l3.GetQuantity("size")
+		fmt.Printf("L3 cache:         %s\n", size)
+	}
+}

@@ -1,0 +1,48 @@
+// xpdl_model.cpp — XPDL runtime query API factory.
+// GENERATED from the central XPDL schema; do not edit.
+#include "xpdl_model.hpp"
+
+namespace xpdl {
+
+XpdlElement* xpdl_new_element(const std::string& kind) {
+  if (kind == "cache") return new XpdlCache();
+  if (kind == "channel") return new XpdlChannel();
+  if (kind == "cluster") return new XpdlCluster();
+  if (kind == "const") return new XpdlConst();
+  if (kind == "constraint") return new XpdlConstraint();
+  if (kind == "constraints") return new XpdlConstraints();
+  if (kind == "core") return new XpdlCore();
+  if (kind == "cpu") return new XpdlCpu();
+  if (kind == "data") return new XpdlData();
+  if (kind == "device") return new XpdlDevice();
+  if (kind == "gpu") return new XpdlGpu();
+  if (kind == "group") return new XpdlGroup();
+  if (kind == "hostOS") return new XpdlHostOS();
+  if (kind == "inst") return new XpdlInst();
+  if (kind == "installed") return new XpdlInstalled();
+  if (kind == "instructions") return new XpdlInstructions();
+  if (kind == "interconnect") return new XpdlInterconnect();
+  if (kind == "interconnects") return new XpdlInterconnects();
+  if (kind == "memory") return new XpdlMemory();
+  if (kind == "microbenchmark") return new XpdlMicrobenchmark();
+  if (kind == "microbenchmarks") return new XpdlMicrobenchmarks();
+  if (kind == "node") return new XpdlNode();
+  if (kind == "param") return new XpdlParam();
+  if (kind == "power_domain") return new XpdlPowerDomain();
+  if (kind == "power_domains") return new XpdlPowerDomains();
+  if (kind == "power_model") return new XpdlPowerModel();
+  if (kind == "power_state") return new XpdlPowerState();
+  if (kind == "power_state_machine") return new XpdlPowerStateMachine();
+  if (kind == "power_states") return new XpdlPowerStates();
+  if (kind == "programming_model") return new XpdlProgrammingModel();
+  if (kind == "properties") return new XpdlProperties();
+  if (kind == "property") return new XpdlProperty();
+  if (kind == "socket") return new XpdlSocket();
+  if (kind == "software") return new XpdlSoftware();
+  if (kind == "system") return new XpdlSystem();
+  if (kind == "transition") return new XpdlTransition();
+  if (kind == "transitions") return new XpdlTransitions();
+  return nullptr;
+}
+
+}  // namespace xpdl

@@ -1,0 +1,711 @@
+// xpdl_model.hpp — XPDL runtime query API.
+// GENERATED from the central XPDL schema; do not edit.
+//
+// One class per XPDL model element type, with getters and setters for
+// every declared attribute (quantity attributes are normalized to SI
+// base units) and navigation over the model object tree. Derived
+// model-analysis functions (core counts, power rollups, ...) are added
+// by inheriting from XpdlElement — they are intentionally not generated.
+#ifndef XPDL_MODEL_HPP
+#define XPDL_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+namespace xpdl {
+
+class XpdlElement {
+ public:
+  virtual ~XpdlElement() = default;
+
+  const std::string& get_kind() const { return kind_; }
+  const std::string& get_id() const { return id_; }
+  const std::string& get_name() const { return name_; }
+  const std::string& get_type() const { return type_; }
+  void set_id(const std::string& v) { id_ = v; }
+  void set_name(const std::string& v) { name_ = v; }
+  void set_type(const std::string& v) { type_ = v; }
+
+  XpdlElement* get_parent() const { return parent_; }
+  const std::vector<XpdlElement*>& get_children() const { return children_; }
+  void add_child(XpdlElement* c) { children_.push_back(c); c->parent_ = this; }
+
+  // Hook for hand-written derived-attribute analyses (Section IV.4).
+  virtual double synthesize(const std::string& attr) const { (void)attr; return 0.0; }
+
+ protected:
+  explicit XpdlElement(std::string kind) : kind_(std::move(kind)) {}
+
+ private:
+  std::string kind_, id_, name_, type_;
+  XpdlElement* parent_ = nullptr;
+  std::vector<XpdlElement*> children_;
+};
+
+// cache memory; sharing is implied by its scope in the model tree
+class XpdlCache : public XpdlElement {
+ public:
+  XpdlCache() : XpdlElement("cache") {}
+  // cache level (1, 2, 3, ...)
+  long get_level() const { return level_; }
+  void set_level(const long& v) { level_ = v; }
+  // associativity sets
+  long get_sets() const { return sets_; }
+  void set_sets(const long& v) { sets_ = v; }
+  // cache line size in bytes
+  long get_line_size() const { return line_size_; }
+  void set_line_size(const long& v) { line_size_ = v; }
+  // replacement policy, e.g. LRU
+  std::string get_replacement() const { return replacement_; }
+  void set_replacement(const std::string& v) { replacement_ = v; }
+  // writethrough or copyback
+  std::string get_write_policy() const { return write_policy_; }
+  void set_write_policy(const std::string& v) { write_policy_ = v; }
+  // capacity (normalized to B)
+  double get_size() const { return size_; }
+  void set_size(const double& v) { size_ = v; }
+  // unit for size
+  std::string get_unit() const { return unit_; }
+  void set_unit(const std::string& v) { unit_ = v; }
+
+ private:
+  long level_{};
+  long sets_{};
+  long line_size_{};
+  std::string replacement_{};
+  std::string write_policy_{};
+  double size_{};
+  std::string unit_{};
+};
+
+// one directed channel of an interconnect (e.g. PCIe up_link/down_link)
+class XpdlChannel : public XpdlElement {
+ public:
+  XpdlChannel() : XpdlElement("channel") {}
+  // peak channel bandwidth (normalized to B/s)
+  double get_max_bandwidth() const { return max_bandwidth_; }
+  void set_max_bandwidth(const double& v) { max_bandwidth_ = v; }
+  // unit for max_bandwidth
+  std::string get_max_bandwidth_unit() const { return max_bandwidth_unit_; }
+  void set_max_bandwidth_unit(const std::string& v) { max_bandwidth_unit_ = v; }
+  // per-message time offset (normalized to s)
+  double get_time_offset_per_message() const { return time_offset_per_message_; }
+  void set_time_offset_per_message(const double& v) { time_offset_per_message_ = v; }
+  // unit for time_offset_per_message
+  std::string get_time_offset_per_message_unit() const { return time_offset_per_message_unit_; }
+  void set_time_offset_per_message_unit(const std::string& v) { time_offset_per_message_unit_ = v; }
+  // transfer energy per byte (normalized to J)
+  double get_energy_per_byte() const { return energy_per_byte_; }
+  void set_energy_per_byte(const double& v) { energy_per_byte_ = v; }
+  // unit for energy_per_byte
+  std::string get_energy_per_byte_unit() const { return energy_per_byte_unit_; }
+  void set_energy_per_byte_unit(const std::string& v) { energy_per_byte_unit_ = v; }
+  // per-message energy offset (normalized to J)
+  double get_energy_offset_per_message() const { return energy_offset_per_message_; }
+  void set_energy_offset_per_message(const double& v) { energy_offset_per_message_ = v; }
+  // unit for energy_offset_per_message
+  std::string get_energy_offset_per_message_unit() const { return energy_offset_per_message_unit_; }
+  void set_energy_offset_per_message_unit(const std::string& v) { energy_offset_per_message_unit_ = v; }
+
+ private:
+  double max_bandwidth_{};
+  std::string max_bandwidth_unit_{};
+  double time_offset_per_message_{};
+  std::string time_offset_per_message_unit_{};
+  double energy_per_byte_{};
+  std::string energy_per_byte_unit_{};
+  double energy_offset_per_message_{};
+  std::string energy_offset_per_message_unit_{};
+};
+
+// multi-node aggregate connected by an inter-node network
+class XpdlCluster : public XpdlElement {
+ public:
+  XpdlCluster() : XpdlElement("cluster") {}
+};
+
+// named constant of a meta-model
+class XpdlConst : public XpdlElement {
+ public:
+  XpdlConst() : XpdlElement("const") {}
+  // constant value when not carried by a metric attribute
+  std::string get_value() const { return value_; }
+  void set_value(const std::string& v) { value_ = v; }
+  // size-typed constant value (normalized to B)
+  double get_size() const { return size_; }
+  void set_size(const double& v) { size_ = v; }
+  // unit for size
+  std::string get_unit() const { return unit_; }
+  void set_unit(const std::string& v) { unit_ = v; }
+  // frequency-typed constant value (normalized to Hz)
+  double get_frequency() const { return frequency_; }
+  void set_frequency(const double& v) { frequency_ = v; }
+  // unit for frequency
+  std::string get_frequency_unit() const { return frequency_unit_; }
+  void set_frequency_unit(const std::string& v) { frequency_unit_ = v; }
+
+ private:
+  std::string value_{};
+  double size_{};
+  std::string unit_{};
+  double frequency_{};
+  std::string frequency_unit_{};
+};
+
+// a boolean expression that must hold for every concrete configuration
+class XpdlConstraint : public XpdlElement {
+ public:
+  XpdlConstraint() : XpdlElement("constraint") {}
+  // constraint expression
+  std::string get_expr() const { return expr_; }
+  void set_expr(const std::string& v) { expr_ = v; }
+
+ private:
+  std::string expr_{};
+};
+
+// container for constraints over params/consts
+class XpdlConstraints : public XpdlElement {
+ public:
+  XpdlConstraints() : XpdlElement("constraints") {}
+};
+
+// one hardware core
+class XpdlCore : public XpdlElement {
+ public:
+  XpdlCore() : XpdlElement("core") {}
+  // byte order: LE or BE
+  std::string get_endian() const { return endian_; }
+  void set_endian(const std::string& v) { endian_ = v; }
+  // optional control role
+  std::string get_role() const { return role_; }
+  void set_role(const std::string& v) { role_ = v; }
+  // ISA family, e.g. sparc_v8, shave_vliw
+  std::string get_architecture() const { return architecture_; }
+  void set_architecture(const std::string& v) { architecture_ = v; }
+  // core clock frequency (normalized to Hz)
+  double get_frequency() const { return frequency_; }
+  void set_frequency(const double& v) { frequency_ = v; }
+  // unit for frequency
+  std::string get_frequency_unit() const { return frequency_unit_; }
+  void set_frequency_unit(const std::string& v) { frequency_unit_ = v; }
+
+ private:
+  std::string endian_{};
+  std::string role_{};
+  std::string architecture_{};
+  double frequency_{};
+  std::string frequency_unit_{};
+};
+
+// CPU package: cores, caches and an optional power model
+class XpdlCpu : public XpdlElement {
+ public:
+  XpdlCpu() : XpdlElement("cpu") {}
+  // optional control role (master/worker/hybrid), kept from PDL as a secondary aspect
+  std::string get_role() const { return role_; }
+  void set_role(const std::string& v) { role_ = v; }
+  // manufacturer
+  std::string get_vendor() const { return vendor_; }
+  void set_vendor(const std::string& v) { vendor_ = v; }
+  // ISA family, e.g. x86_64, sparc_v8
+  std::string get_architecture() const { return architecture_; }
+  void set_architecture(const std::string& v) { architecture_ = v; }
+  // nominal clock frequency (normalized to Hz)
+  double get_frequency() const { return frequency_; }
+  void set_frequency(const double& v) { frequency_ = v; }
+  // unit for frequency
+  std::string get_frequency_unit() const { return frequency_unit_; }
+  void set_frequency_unit(const std::string& v) { frequency_unit_ = v; }
+  // idle package power (normalized to W)
+  double get_static_power() const { return static_power_; }
+  void set_static_power(const double& v) { static_power_ = v; }
+  // unit for static_power
+  std::string get_static_power_unit() const { return static_power_unit_; }
+  void set_static_power_unit(const std::string& v) { static_power_unit_ = v; }
+
+ private:
+  std::string role_{};
+  std::string vendor_{};
+  std::string architecture_{};
+  double frequency_{};
+  std::string frequency_unit_{};
+  double static_power_{};
+  std::string static_power_unit_{};
+};
+
+// one (frequency, energy) sample of an instruction's energy function
+class XpdlData : public XpdlElement {
+ public:
+  XpdlData() : XpdlElement("data") {}
+  // sample frequency (normalized to Hz)
+  double get_frequency() const { return frequency_; }
+  void set_frequency(const double& v) { frequency_ = v; }
+  // unit for frequency
+  std::string get_frequency_unit() const { return frequency_unit_; }
+  void set_frequency_unit(const std::string& v) { frequency_unit_ = v; }
+  // sample energy (normalized to J)
+  double get_energy() const { return energy_; }
+  void set_energy(const double& v) { energy_ = v; }
+  // unit for energy
+  std::string get_energy_unit() const { return energy_unit_; }
+  void set_energy_unit(const std::string& v) { energy_unit_ = v; }
+
+ private:
+  double frequency_{};
+  std::string frequency_unit_{};
+  double energy_{};
+  std::string energy_unit_{};
+};
+
+// accelerator device (GPU, DSP board, ...) with own memory
+class XpdlDevice : public XpdlElement {
+ public:
+  XpdlDevice() : XpdlElement("device") {}
+  // optional control role
+  std::string get_role() const { return role_; }
+  void set_role(const std::string& v) { role_ = v; }
+  // CUDA compute capability for Nvidia devices
+  double get_compute_capability() const { return compute_capability_; }
+  void set_compute_capability(const double& v) { compute_capability_ = v; }
+  // idle device power (normalized to W)
+  double get_static_power() const { return static_power_; }
+  void set_static_power(const double& v) { static_power_ = v; }
+  // unit for static_power
+  std::string get_static_power_unit() const { return static_power_unit_; }
+  void set_static_power_unit(const std::string& v) { static_power_unit_ = v; }
+
+ private:
+  std::string role_{};
+  double compute_capability_{};
+  double static_power_{};
+  std::string static_power_unit_{};
+};
+
+// GPU device; alias kind for device with GPU-specific conventions
+class XpdlGpu : public XpdlElement {
+ public:
+  XpdlGpu() : XpdlElement("gpu") {}
+  // optional control role
+  std::string get_role() const { return role_; }
+  void set_role(const std::string& v) { role_ = v; }
+  // CUDA compute capability for Nvidia devices
+  double get_compute_capability() const { return compute_capability_; }
+  void set_compute_capability(const double& v) { compute_capability_ = v; }
+  // idle device power (normalized to W)
+  double get_static_power() const { return static_power_; }
+  void set_static_power(const double& v) { static_power_ = v; }
+  // unit for static_power
+  std::string get_static_power_unit() const { return static_power_unit_; }
+  void set_static_power_unit(const std::string& v) { static_power_unit_ = v; }
+
+ private:
+  std::string role_{};
+  double compute_capability_{};
+  double static_power_{};
+  std::string static_power_unit_{};
+};
+
+// grouping construct; with quantity it denotes a homogeneous replicated group
+class XpdlGroup : public XpdlElement {
+ public:
+  XpdlGroup() : XpdlElement("group") {}
+  // identifier prefix for auto-named members (prefix0..prefixN-1)
+  std::string get_prefix() const { return prefix_; }
+  void set_prefix(const std::string& v) { prefix_ = v; }
+  // member count; may reference params (e.g. num_SM)
+  std::string get_quantity() const { return quantity_; }
+  void set_quantity(const std::string& v) { quantity_ = v; }
+
+ private:
+  std::string prefix_{};
+  std::string quantity_{};
+};
+
+// host operating system
+class XpdlHostOS : public XpdlElement {
+ public:
+  XpdlHostOS() : XpdlElement("hostOS") {}
+  // kernel version
+  std::string get_kernel() const { return kernel_; }
+  void set_kernel(const std::string& v) { kernel_ = v; }
+
+ private:
+  std::string kernel_{};
+};
+
+// one instruction; energy '?' means 'derive by microbenchmarking at deployment'
+class XpdlInst : public XpdlElement {
+ public:
+  XpdlInst() : XpdlElement("inst") {}
+  // microbenchmark deriving this instruction's energy
+  std::string get_mb() const { return mb_; }
+  void set_mb(const std::string& v) { mb_ = v; }
+  // dynamic energy per executed instruction; '?' if unknown (normalized to J)
+  double get_energy() const { return energy_; }
+  void set_energy(const double& v) { energy_ = v; }
+  // unit for energy
+  std::string get_energy_unit() const { return energy_unit_; }
+  void set_energy_unit(const std::string& v) { energy_unit_ = v; }
+
+ private:
+  std::string mb_{};
+  double energy_{};
+  std::string energy_unit_{};
+};
+
+// an installed software package (library, runtime, compiler)
+class XpdlInstalled : public XpdlElement {
+ public:
+  XpdlInstalled() : XpdlElement("installed") {}
+  // installation path
+  std::string get_path() const { return path_; }
+  void set_path(const std::string& v) { path_ = v; }
+  // package version
+  std::string get_version() const { return version_; }
+  void set_version(const std::string& v) { version_ = v; }
+
+ private:
+  std::string path_{};
+  std::string version_{};
+};
+
+// instruction set with per-instruction dynamic energy cost
+class XpdlInstructions : public XpdlElement {
+ public:
+  XpdlInstructions() : XpdlElement("instructions") {}
+  // default microbenchmark suite for this ISA
+  std::string get_mb() const { return mb_; }
+  void set_mb(const std::string& v) { mb_ = v; }
+
+ private:
+  std::string mb_{};
+};
+
+// an interconnect technology (meta) or a concrete link (instance with head/tail)
+class XpdlInterconnect : public XpdlElement {
+ public:
+  XpdlInterconnect() : XpdlElement("interconnect") {}
+  // source endpoint id for a directed link
+  std::string get_head() const { return head_; }
+  void set_head(const std::string& v) { head_ = v; }
+  // target endpoint id for a directed link
+  std::string get_tail() const { return tail_; }
+  void set_tail(const std::string& v) { tail_ = v; }
+  // peak bandwidth when not modeled per channel (normalized to B/s)
+  double get_max_bandwidth() const { return max_bandwidth_; }
+  void set_max_bandwidth(const double& v) { max_bandwidth_ = v; }
+  // unit for max_bandwidth
+  std::string get_max_bandwidth_unit() const { return max_bandwidth_unit_; }
+  void set_max_bandwidth_unit(const std::string& v) { max_bandwidth_unit_ = v; }
+  // per-message latency when not modeled per channel (normalized to s)
+  double get_latency() const { return latency_; }
+  void set_latency(const double& v) { latency_ = v; }
+  // unit for latency
+  std::string get_latency_unit() const { return latency_unit_; }
+  void set_latency_unit(const std::string& v) { latency_unit_ = v; }
+
+ private:
+  std::string head_{};
+  std::string tail_{};
+  double max_bandwidth_{};
+  std::string max_bandwidth_unit_{};
+  double latency_{};
+  std::string latency_unit_{};
+};
+
+// container for interconnect instances of the enclosing scope
+class XpdlInterconnects : public XpdlElement {
+ public:
+  XpdlInterconnects() : XpdlElement("interconnects") {}
+};
+
+// memory module or explicitly addressed memory space
+class XpdlMemory : public XpdlElement {
+ public:
+  XpdlMemory() : XpdlElement("memory") {}
+  // number of independently accessible slices (e.g. Myriad CMX)
+  long get_slices() const { return slices_; }
+  void set_slices(const long& v) { slices_ = v; }
+  // byte order: LE or BE
+  std::string get_endian() const { return endian_; }
+  void set_endian(const std::string& v) { endian_ = v; }
+  // capacity (normalized to B)
+  double get_size() const { return size_; }
+  void set_size(const double& v) { size_ = v; }
+  // unit for size
+  std::string get_unit() const { return unit_; }
+  void set_unit(const std::string& v) { unit_ = v; }
+  // idle power (normalized to W)
+  double get_static_power() const { return static_power_; }
+  void set_static_power(const double& v) { static_power_ = v; }
+  // unit for static_power
+  std::string get_static_power_unit() const { return static_power_unit_; }
+  void set_static_power_unit(const std::string& v) { static_power_unit_ = v; }
+  // peak bandwidth (normalized to B/s)
+  double get_max_bandwidth() const { return max_bandwidth_; }
+  void set_max_bandwidth(const double& v) { max_bandwidth_ = v; }
+  // unit for max_bandwidth
+  std::string get_max_bandwidth_unit() const { return max_bandwidth_unit_; }
+  void set_max_bandwidth_unit(const std::string& v) { max_bandwidth_unit_ = v; }
+
+ private:
+  long slices_{};
+  std::string endian_{};
+  double size_{};
+  std::string unit_{};
+  double static_power_{};
+  std::string static_power_unit_{};
+  double max_bandwidth_{};
+  std::string max_bandwidth_unit_{};
+};
+
+// one microbenchmark: source file and build flags
+class XpdlMicrobenchmark : public XpdlElement {
+ public:
+  XpdlMicrobenchmark() : XpdlElement("microbenchmark") {}
+  // source file
+  std::string get_file() const { return file_; }
+  void set_file(const std::string& v) { file_ = v; }
+  // compiler flags
+  std::string get_cflags() const { return cflags_; }
+  void set_cflags(const std::string& v) { cflags_ = v; }
+  // linker flags
+  std::string get_lflags() const { return lflags_; }
+  void set_lflags(const std::string& v) { lflags_ = v; }
+
+ private:
+  std::string file_{};
+  std::string cflags_{};
+  std::string lflags_{};
+};
+
+// microbenchmark suite with deployment information
+class XpdlMicrobenchmarks : public XpdlElement {
+ public:
+  XpdlMicrobenchmarks() : XpdlElement("microbenchmarks") {}
+  // the ISA this suite calibrates
+  std::string get_instruction_set() const { return instruction_set_; }
+  void set_instruction_set(const std::string& v) { instruction_set_ = v; }
+  // directory holding the benchmark sources
+  std::string get_path() const { return path_; }
+  void set_path(const std::string& v) { path_ = v; }
+  // script that builds and runs the suite
+  std::string get_command() const { return command_; }
+  void set_command(const std::string& v) { command_ = v; }
+
+ private:
+  std::string instruction_set_{};
+  std::string path_{};
+  std::string command_{};
+};
+
+// one compute node: sockets, memory, devices and intra-node interconnects
+class XpdlNode : public XpdlElement {
+ public:
+  XpdlNode() : XpdlElement("node") {}
+  // baseline node power including motherboard residual (normalized to W)
+  double get_static_power() const { return static_power_; }
+  void set_static_power(const double& v) { static_power_ = v; }
+  // unit for static_power
+  std::string get_static_power_unit() const { return static_power_unit_; }
+  void set_static_power_unit(const std::string& v) { static_power_unit_ = v; }
+
+ private:
+  double static_power_{};
+  std::string static_power_unit_{};
+};
+
+// formal parameter of a meta-model, possibly user-configurable
+class XpdlParam : public XpdlElement {
+ public:
+  XpdlParam() : XpdlElement("param") {}
+  // whether software may reconfigure the parameter
+  bool get_configurable() const { return configurable_; }
+  void set_configurable(const bool& v) { configurable_ = v; }
+  // comma-separated legal values
+  std::string get_range() const { return range_; }
+  void set_range(const std::string& v) { range_ = v; }
+  // bound value (instances and subtype bindings)
+  std::string get_value() const { return value_; }
+  void set_value(const std::string& v) { value_ = v; }
+  // size-typed binding (normalized to B)
+  double get_size() const { return size_; }
+  void set_size(const double& v) { size_ = v; }
+  // unit for size
+  std::string get_unit() const { return unit_; }
+  void set_unit(const std::string& v) { unit_ = v; }
+  // frequency-typed binding (normalized to Hz)
+  double get_frequency() const { return frequency_; }
+  void set_frequency(const double& v) { frequency_ = v; }
+  // unit for frequency
+  std::string get_frequency_unit() const { return frequency_unit_; }
+  void set_frequency_unit(const std::string& v) { frequency_unit_ = v; }
+
+ private:
+  bool configurable_{};
+  std::string range_{};
+  std::string value_{};
+  double size_{};
+  std::string unit_{};
+  double frequency_{};
+  std::string frequency_unit_{};
+};
+
+// group of components switched together in power state transitions
+class XpdlPowerDomain : public XpdlElement {
+ public:
+  XpdlPowerDomain() : XpdlElement("power_domain") {}
+  // false marks the main domain that cannot be switched off
+  bool get_enableSwitchOff() const { return enableSwitchOff_; }
+  void set_enableSwitchOff(const bool& v) { enableSwitchOff_ = v; }
+  // condition of the form '<group> off' gating switch-off
+  std::string get_switchoffCondition() const { return switchoffCondition_; }
+  void set_switchoffCondition(const std::string& v) { switchoffCondition_ = v; }
+
+ private:
+  bool enableSwitchOff_{};
+  std::string switchoffCondition_{};
+};
+
+// set of power domains (power islands) of a component
+class XpdlPowerDomains : public XpdlElement {
+ public:
+  XpdlPowerDomains() : XpdlElement("power_domains") {}
+};
+
+// power model reference: domains, state machines and microbenchmarks
+class XpdlPowerModel : public XpdlElement {
+ public:
+  XpdlPowerModel() : XpdlElement("power_model") {}
+};
+
+// one P/C state with its frequency and static power level
+class XpdlPowerState : public XpdlElement {
+ public:
+  XpdlPowerState() : XpdlElement("power_state") {}
+  // operating frequency in this state (normalized to Hz)
+  double get_frequency() const { return frequency_; }
+  void set_frequency(const double& v) { frequency_ = v; }
+  // unit for frequency
+  std::string get_frequency_unit() const { return frequency_unit_; }
+  void set_frequency_unit(const std::string& v) { frequency_unit_ = v; }
+  // static power drawn in this state (normalized to W)
+  double get_power() const { return power_; }
+  void set_power(const double& v) { power_ = v; }
+  // unit for power
+  std::string get_power_unit() const { return power_unit_; }
+  void set_power_unit(const std::string& v) { power_unit_ = v; }
+
+ private:
+  double frequency_{};
+  std::string frequency_unit_{};
+  double power_{};
+  std::string power_unit_{};
+};
+
+// finite state machine over DVFS/sleep states of a power domain
+class XpdlPowerStateMachine : public XpdlElement {
+ public:
+  XpdlPowerStateMachine() : XpdlElement("power_state_machine") {}
+  // the domain this PSM controls
+  std::string get_power_domain() const { return power_domain_; }
+  void set_power_domain(const std::string& v) { power_domain_ = v; }
+
+ private:
+  std::string power_domain_{};
+};
+
+// container for the PSM's states
+class XpdlPowerStates : public XpdlElement {
+ public:
+  XpdlPowerStates() : XpdlElement("power_states") {}
+};
+
+// programming models supported by the enclosing device
+class XpdlProgrammingModel : public XpdlElement {
+ public:
+  XpdlProgrammingModel() : XpdlElement("programming_model") {}
+};
+
+// ad-hoc key-value property container (the PDL-inherited escape mechanism)
+class XpdlProperties : public XpdlElement {
+ public:
+  XpdlProperties() : XpdlElement("properties") {}
+};
+
+// one free-form property; name is required, all other attributes are free-form
+class XpdlProperty : public XpdlElement {
+ public:
+  XpdlProperty() : XpdlElement("property") {}
+  // property value
+  std::string get_value() const { return value_; }
+  void set_value(const std::string& v) { value_ = v; }
+
+ private:
+  std::string value_{};
+};
+
+// physical processor socket
+class XpdlSocket : public XpdlElement {
+ public:
+  XpdlSocket() : XpdlElement("socket") {}
+};
+
+// installed system software of the enclosing system/node
+class XpdlSoftware : public XpdlElement {
+ public:
+  XpdlSoftware() : XpdlElement("software") {}
+};
+
+// top-level model of a complete single- or multi-node computer system
+class XpdlSystem : public XpdlElement {
+ public:
+  XpdlSystem() : XpdlElement("system") {}
+};
+
+// a programmer-initiated state switch with its overhead costs
+class XpdlTransition : public XpdlElement {
+ public:
+  XpdlTransition() : XpdlElement("transition") {}
+  // source state
+  std::string get_head() const { return head_; }
+  void set_head(const std::string& v) { head_ = v; }
+  // target state
+  std::string get_tail() const { return tail_; }
+  void set_tail(const std::string& v) { tail_ = v; }
+  // switching time overhead (normalized to s)
+  double get_time() const { return time_; }
+  void set_time(const double& v) { time_ = v; }
+  // unit for time
+  std::string get_time_unit() const { return time_unit_; }
+  void set_time_unit(const std::string& v) { time_unit_ = v; }
+  // switching energy overhead (normalized to J)
+  double get_energy() const { return energy_; }
+  void set_energy(const double& v) { energy_ = v; }
+  // unit for energy
+  std::string get_energy_unit() const { return energy_unit_; }
+  void set_energy_unit(const std::string& v) { energy_unit_ = v; }
+
+ private:
+  std::string head_{};
+  std::string tail_{};
+  double time_{};
+  std::string time_unit_{};
+  double energy_{};
+  std::string energy_unit_{};
+};
+
+// container for the PSM's transitions
+class XpdlTransitions : public XpdlElement {
+ public:
+  XpdlTransitions() : XpdlElement("transitions") {}
+};
+
+// Factory: instantiate the class for an element kind; returns nullptr
+// for unknown kinds (extensions fall back to a generic element).
+XpdlElement* xpdl_new_element(const std::string& kind);
+
+}  // namespace xpdl
+
+#endif  // XPDL_MODEL_HPP

@@ -1,0 +1,37 @@
+package xpdl_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xpdl"
+	"xpdl/internal/schema"
+	"xpdl/internal/umlgen"
+	"xpdl/internal/xsdgen"
+)
+
+// TestGeneratedArtifactsInSync pins the committed gen/ directory to the
+// current schema: if the metamodel changes, regeneration
+// (go run ./cmd/xpdlgen -cpp gen -xsd gen -uml gen) must be re-run.
+func TestGeneratedArtifactsInSync(t *testing.T) {
+	files, err := xpdl.GenerateCPPAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"xpdl_model.hpp":   files["xpdl_model.hpp"],
+		"xpdl_model.cpp":   files["xpdl_model.cpp"],
+		"xpdl.xsd":         xsdgen.Generate(schema.Core()),
+		"xpdl_schema.puml": umlgen.SchemaDiagram(schema.Core()),
+	}
+	for name, expected := range want {
+		got, err := os.ReadFile(filepath.Join("gen", name))
+		if err != nil {
+			t.Fatalf("gen/%s: %v (regenerate with: go run ./cmd/xpdlgen -cpp gen -xsd gen -uml gen)", name, err)
+		}
+		if string(got) != expected {
+			t.Errorf("gen/%s is stale; regenerate with: go run ./cmd/xpdlgen -cpp gen -xsd gen -uml gen", name)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+// buildServer builds a small composed model by hand: a node with one CPU
+// (2 cores), one memory module and one CUDA GPU connected via PCIe.
+func buildServer() *model.Component {
+	sys := model.New("system")
+	sys.ID = "srv"
+
+	node := model.New("node")
+	node.ID = "n0"
+	node.SetQuantity("static_power", units.MustParse("30", "W"))
+
+	cpu := model.New("cpu")
+	cpu.ID = "cpu0"
+	cpu.SetQuantity("static_power", units.MustParse("15", "W"))
+	for i := 0; i < 2; i++ {
+		core := model.New("core")
+		cpu.Children = append(cpu.Children, core)
+	}
+	node.Children = append(node.Children, cpu)
+
+	mem := model.New("memory")
+	mem.ID = "mem0"
+	mem.SetQuantity("static_power", units.MustParse("4", "W"))
+	mem.SetQuantity("max_bandwidth", units.MustParse("3", "GiB/s"))
+	node.Children = append(node.Children, mem)
+
+	gpu := model.New("device")
+	gpu.ID = "gpu1"
+	gpu.SetQuantity("static_power", units.MustParse("25", "W"))
+	for i := 0; i < 4; i++ {
+		gpu.Children = append(gpu.Children, model.New("core"))
+	}
+	pm := model.New("programming_model")
+	pm.SetAttr("type", model.Attr{Raw: "cuda6.0, opencl"})
+	gpu.Children = append(gpu.Children, pm)
+	node.Children = append(node.Children, gpu)
+
+	ics := model.New("interconnects")
+	ic := model.New("interconnect")
+	ic.ID = "conn1"
+	ic.SetAttr("head", model.Attr{Raw: "mem0"})
+	ic.SetAttr("tail", model.Attr{Raw: "gpu1"})
+	up := model.New("channel")
+	up.Name = "up_link"
+	up.SetQuantity("max_bandwidth", units.MustParse("6", "GiB/s"))
+	down := model.New("channel")
+	down.Name = "down_link"
+	down.SetQuantity("max_bandwidth", units.MustParse("2", "GiB/s"))
+	ic.Children = append(ic.Children, up, down)
+	ics.Children = append(ics.Children, ic)
+	node.Children = append(node.Children, ics)
+
+	sys.Children = append(sys.Children, node)
+	return sys
+}
+
+func TestTotalStaticPower(t *testing.T) {
+	sys := buildServer()
+	got := TotalStaticPower(sys)
+	if got.Dim != units.Power || got.Value != 30+15+4+25 {
+		t.Fatalf("total static power = %+v", got)
+	}
+}
+
+func TestAnnotateDefaultRules(t *testing.T) {
+	sys := buildServer()
+	n := Annotate(sys, DefaultRules())
+	if n == 0 {
+		t.Fatal("no attributes synthesized")
+	}
+	q, ok := sys.QuantityAttr("static_power_total")
+	if !ok || q.Value != 74 || q.Dim != units.Power {
+		t.Fatalf("system static_power_total = %+v (ok=%v)", q, ok)
+	}
+	node := sys.FindByID("n0")
+	nq, _ := node.QuantityAttr("static_power_total")
+	if nq.Value != 74 {
+		t.Fatalf("node total = %v", nq.Value)
+	}
+	cpu := sys.FindByID("cpu0")
+	cq, _ := cpu.QuantityAttr("static_power_total")
+	if cq.Value != 15 {
+		t.Fatalf("cpu total = %v", cq.Value)
+	}
+	cores, _ := sys.QuantityAttr("num_cores")
+	if cores.Value != 6 {
+		t.Fatalf("num_cores = %v", cores.Value)
+	}
+	devs, _ := sys.QuantityAttr("num_devices")
+	if devs.Value != 1 {
+		t.Fatalf("num_devices = %v", devs.Value)
+	}
+}
+
+func TestAnnotateMinMax(t *testing.T) {
+	sys := buildServer()
+	Annotate(sys, []SynthRule{
+		{Target: "min_bw", Source: "max_bandwidth", Agg: Min, Dim: units.Bandwidth},
+		{Target: "max_power", Source: "static_power", Agg: Max, Dim: units.Power},
+	})
+	q, ok := sys.QuantityAttr("min_bw")
+	if !ok || q.Value != 2*(1<<30) {
+		t.Fatalf("min_bw = %+v", q)
+	}
+	p, _ := sys.QuantityAttr("max_power")
+	if p.Value != 30 {
+		t.Fatalf("max_power = %v", p.Value)
+	}
+}
+
+func TestCountHelpers(t *testing.T) {
+	sys := buildServer()
+	if CountCores(sys) != 6 {
+		t.Fatalf("cores = %d", CountCores(sys))
+	}
+	if CountCUDADevices(sys) != 1 {
+		t.Fatalf("cuda devices = %d", CountCUDADevices(sys))
+	}
+	// A device without a cuda programming model does not count.
+	noCuda := model.New("device")
+	noCuda.ID = "fpga"
+	sys.Children = append(sys.Children, noCuda)
+	if CountCUDADevices(sys) != 1 {
+		t.Fatal("non-CUDA device counted")
+	}
+}
+
+func TestDowngradeBandwidth(t *testing.T) {
+	sys := buildServer()
+	reports := DowngradeBandwidth(sys)
+	// up_link (6 GiB/s) is limited by mem0's 3 GiB/s; down_link (2 GiB/s)
+	// is already below the limit.
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	r := reports[0]
+	if r.LimitedBy != "mem0" || r.Channel != "up_link" {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Effective.Value != 3*(1<<30) {
+		t.Fatalf("effective = %v", r.Effective)
+	}
+	if !strings.Contains(r.String(), "limited by mem0") {
+		t.Fatalf("report string = %q", r.String())
+	}
+	// Attributes written on the channels.
+	ic := sys.FindByID("conn1")
+	up := ic.Children[0]
+	q, ok := up.QuantityAttr("effective_bandwidth")
+	if !ok || q.Value != 3*(1<<30) {
+		t.Fatalf("up effective = %+v", q)
+	}
+	down := ic.Children[1]
+	q, ok = down.QuantityAttr("effective_bandwidth")
+	if !ok || q.Value != 2*(1<<30) {
+		t.Fatalf("down effective = %+v", q)
+	}
+}
+
+func TestDowngradeLinkWithoutChannels(t *testing.T) {
+	sys := model.New("system")
+	sys.ID = "s"
+	a := model.New("memory")
+	a.ID = "a"
+	a.SetQuantity("max_bandwidth", units.MustParse("1", "GiB/s"))
+	b := model.New("device")
+	b.ID = "b"
+	ic := model.New("interconnect")
+	ic.ID = "link"
+	ic.SetAttr("head", model.Attr{Raw: "a"})
+	ic.SetAttr("tail", model.Attr{Raw: "b"})
+	ic.SetQuantity("max_bandwidth", units.MustParse("4", "GiB/s"))
+	sys.Children = append(sys.Children, a, b, ic)
+	reports := DowngradeBandwidth(sys)
+	if len(reports) != 1 || reports[0].Effective.Value != 1<<30 {
+		t.Fatalf("reports = %v", reports)
+	}
+	// Meta interconnects (no endpoints) are untouched.
+	meta := model.New("interconnect")
+	meta.Name = "pcie3"
+	meta.SetQuantity("max_bandwidth", units.MustParse("4", "GiB/s"))
+	sys.Children = append(sys.Children, meta)
+	if n := len(DowngradeBandwidth(sys)); n != 1 {
+		t.Fatalf("meta interconnect downgraded: %d", n)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	sys := buildServer()
+	gpu := sys.FindByID("gpu1")
+	gpu.SetAttr("energy_offset", model.Attr{Raw: "?", Unknown: true})
+	gpu.SetAttr("debug_note", model.Attr{Raw: "x"})
+	removed := Filter(sys, DropUnknown, DropAttrs("debug_note"))
+	if removed != 2 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if _, ok := gpu.Attr("energy_offset"); ok {
+		t.Fatal("unknown attr kept")
+	}
+	if _, ok := gpu.Attr("debug_note"); ok {
+		t.Fatal("listed attr kept")
+	}
+	if _, ok := gpu.QuantityAttr("static_power"); !ok {
+		t.Fatal("good attr dropped")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sys := buildServer()
+	s := Summarize(sys)
+	if s.Components != 16 {
+		t.Fatalf("components = %d", s.Components)
+	}
+	if s.ByKind["core"] != 6 || s.ByKind["channel"] != 2 {
+		t.Fatalf("by kind = %v", s.ByKind)
+	}
+	if s.Attributes == 0 {
+		t.Fatal("no attributes counted")
+	}
+}

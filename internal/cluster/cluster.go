@@ -1,0 +1,315 @@
+// Package cluster simulates system-wide execution of phased workloads
+// on a composed XPDL cluster model — the EXCESS project's headline goal
+// ("a generic framework for system-wide energy optimization", Section I)
+// expressed over this reproduction's substrate: per-node compute phases
+// priced by the nodes' power state machines, inter-node communication
+// priced by the interconnect transfer costs, and idle residency priced
+// by the static power attributes, all pulled from the platform model.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"xpdl/internal/energy"
+	"xpdl/internal/model"
+	"xpdl/internal/power"
+	"xpdl/internal/resolve"
+)
+
+// Phase is one step of a bulk-synchronous workload: every node computes
+// Cycles, then exchanges Bytes with its ring neighbor, then all nodes
+// synchronize.
+type Phase struct {
+	Name   string
+	Cycles float64
+	Bytes  int64
+	// Messages the exchange is split into (default 1).
+	Messages int64
+	// PerNodeCycles overrides Cycles per node (indexed in node order)
+	// for load-imbalanced phases; imbalance creates the slack that
+	// energy-optimal DVFS exploits on the lighter nodes.
+	PerNodeCycles []float64
+}
+
+// cycles returns the work of node i in this phase.
+func (p Phase) cycles(i int) float64 {
+	if i < len(p.PerNodeCycles) {
+		return p.PerNodeCycles[i]
+	}
+	return p.Cycles
+}
+
+// NodeModel is the per-node execution model extracted from the cluster.
+type NodeModel struct {
+	ID string
+	// PSM prices compute at each DVFS level; nil means a fixed
+	// frequency/power model from the node attributes.
+	PSM *power.StateMachine
+	// StaticW is the node's baseline power (incl. residual share).
+	StaticW float64
+	// FreqHz/ActiveW are used when no PSM is available.
+	FreqHz  float64
+	ActiveW float64
+	// Link prices the exchange to the ring neighbor.
+	Link energy.TransferCost
+}
+
+// Cluster is the extracted simulation model.
+type Cluster struct {
+	Nodes []NodeModel
+}
+
+// FromModel extracts the simulation model from a composed system tree:
+// nodes in document order, each with its static power rollup, its first
+// CPU frequency, its PSM if one is modeled, and the outgoing inter-node
+// interconnect channel costs.
+func FromModel(sys *model.Component) (*Cluster, error) {
+	var nodes []*model.Component
+	sys.Walk(func(c *model.Component) bool {
+		if c.Kind == "node" {
+			nodes = append(nodes, c)
+			return false
+		}
+		return true
+	})
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: model %s has no nodes", sys.Ident())
+	}
+
+	// Ring links: interconnect instances whose head is a node container
+	// id (nodes are wrapped in replica groups named n0, n1, ...).
+	links := map[string]energy.TransferCost{}
+	sys.Walk(func(c *model.Component) bool {
+		if c.Kind != "interconnect" || c.AttrRaw("head") == "" {
+			return true
+		}
+		src := c.AttrRaw("head")
+		pick := c
+		if ch := c.FirstChildKind("channel"); ch != nil {
+			pick = ch
+		}
+		links[src] = energy.ChannelCost(pick)
+		return true
+	})
+
+	cl := &Cluster{}
+	for i, n := range nodes {
+		nm := NodeModel{ID: nodeIdent(sys, n, i), FreqHz: 2e9, ActiveW: 80}
+		nm.StaticW = energy.StaticBreakdown(n).TotalW
+		if q, ok := n.QuantityAttr("residual_static_power"); ok {
+			nm.StaticW += q.Value
+		}
+		// First CPU (or CPU-core) frequency in the node; GPUs are not
+		// the node's control processors, so device subtrees are skipped.
+		foundFreq := false
+		n.Walk(func(c *model.Component) bool {
+			if foundFreq || c.Kind == "device" || c.Kind == "gpu" {
+				return false
+			}
+			if c.Kind == "cpu" || c.Kind == "core" {
+				if q, ok := c.QuantityAttr("frequency"); ok && q.Value > 0 {
+					nm.FreqHz = q.Value
+					foundFreq = true
+					return false
+				}
+			}
+			return true
+		})
+		// PSM, if modeled under the node.
+		n.Walk(func(c *model.Component) bool {
+			if c.Kind == "power_state_machine" && nm.PSM == nil {
+				if sm, err := power.StateMachineFromComponent(c); err == nil {
+					nm.PSM = sm
+				}
+			}
+			return true
+		})
+		nm.Link = links[nm.ID]
+		cl.Nodes = append(cl.Nodes, nm)
+	}
+	return cl, nil
+}
+
+// nodeIdent finds the replica-group identifier that wraps a node (the
+// n0..nN-1 ids of Listing 11), falling back to the node's own id or a
+// positional name.
+func nodeIdent(sys, node *model.Component, idx int) string {
+	if node.ID != "" {
+		return node.ID
+	}
+	id := ""
+	var rec func(c *model.Component, wrapper string) bool
+	rec = func(c *model.Component, wrapper string) bool {
+		if c == node {
+			id = wrapper
+			return true
+		}
+		w := wrapper
+		if c.Kind == "group" && c.ID != "" {
+			w = c.ID
+		}
+		for _, ch := range c.Children {
+			if rec(ch, w) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(sys, "")
+	if id == "" {
+		id = fmt.Sprintf("node%d", idx)
+	}
+	return id
+}
+
+// Policy selects how compute phases are priced on a node.
+type Policy int
+
+// Policies.
+const (
+	// MaxFrequency runs every phase at the fastest available state.
+	MaxFrequency Policy = iota
+	// EnergyOptimal picks the PSM state minimizing phase energy under
+	// the phase deadline implied by the slowest node (set per Run call).
+	EnergyOptimal
+)
+
+// Report is the outcome of simulating a workload.
+type Report struct {
+	Policy     Policy
+	TimeS      float64
+	ComputeJ   float64
+	CommJ      float64
+	StaticJ    float64
+	PerPhase   []PhaseReport
+	TotalJ     float64
+	perNodeIDs []string
+}
+
+// PhaseReport records one phase's timing and energy.
+type PhaseReport struct {
+	Name    string
+	TimeS   float64
+	EnergyJ float64
+}
+
+// NodeIDs returns the simulated node identifiers.
+func (r *Report) NodeIDs() []string { return r.perNodeIDs }
+
+// Run simulates the phases under the given policy. Bulk-synchronous
+// semantics: each phase ends when the slowest node finishes compute and
+// the ring exchange completes; nodes idling within a phase draw their
+// static power for the full phase duration.
+func (cl *Cluster) Run(phases []Phase, policy Policy) (*Report, error) {
+	if len(cl.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes to simulate")
+	}
+	rep := &Report{Policy: policy}
+	for _, n := range cl.Nodes {
+		rep.perNodeIDs = append(rep.perNodeIDs, n.ID)
+	}
+	sort.Strings(rep.perNodeIDs)
+
+	for _, ph := range phases {
+		msgs := ph.Messages
+		if msgs <= 0 {
+			msgs = 1
+		}
+		// First pass: per-node compute times at max frequency define the
+		// phase deadline.
+		maxT := 0.0
+		compT := make([]float64, len(cl.Nodes))
+		for i, n := range cl.Nodes {
+			f := n.FreqHz
+			switchT := 0.0
+			if n.PSM != nil {
+				fastest := n.PSM.States[0]
+				for _, s := range n.PSM.States {
+					if s.FreqHz > fastest.FreqHz {
+						fastest = s
+					}
+				}
+				if fastest.FreqHz > 0 {
+					f = fastest.FreqHz
+				}
+				// Switching into the fastest state is part of the
+				// node's phase time.
+				if tt, _, ok := n.PSM.PathCost(n.PSM.States[0].Name, fastest.Name); ok {
+					switchT = tt
+				}
+			}
+			if f <= 0 {
+				return nil, fmt.Errorf("cluster: node %s has no usable frequency", n.ID)
+			}
+			compT[i] = switchT + ph.cycles(i)/f
+			if compT[i] > maxT {
+				maxT = compT[i]
+			}
+		}
+		phaseRep := PhaseReport{Name: ph.Name}
+		commMax := 0.0
+		for i, n := range cl.Nodes {
+			var eCompute float64
+			var tCompute float64
+			switch {
+			case policy == EnergyOptimal && n.PSM != nil:
+				from := n.PSM.States[0].Name
+				plan, err := n.PSM.Optimize(from, power.Workload{
+					Cycles: ph.cycles(i), DeadlineS: maxT,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("cluster: node %s phase %s: %w", n.ID, ph.Name, err)
+				}
+				eCompute, tCompute = plan.EnergyJ, plan.TimeS
+			case n.PSM != nil:
+				from := n.PSM.States[0].Name
+				plan, err := n.PSM.AlwaysMax(from, power.Workload{
+					Cycles: ph.cycles(i), DeadlineS: maxT,
+				})
+				if err != nil {
+					return nil, err
+				}
+				eCompute, tCompute = plan.EnergyJ, plan.TimeS
+			default:
+				tCompute = compT[i]
+				eCompute = n.ActiveW * tCompute
+			}
+			rep.ComputeJ += eCompute
+			if tCompute > phaseRep.TimeS {
+				phaseRep.TimeS = tCompute
+			}
+			// Ring exchange.
+			if ph.Bytes > 0 {
+				ct, ce := n.Link.Cost(ph.Bytes, msgs)
+				rep.CommJ += ce
+				if ct > commMax {
+					commMax = ct
+				}
+			}
+		}
+		if phaseRep.TimeS < maxT {
+			phaseRep.TimeS = maxT
+		}
+		phaseRep.TimeS += commMax
+		// Static residency of every node over the whole phase.
+		for _, n := range cl.Nodes {
+			rep.StaticJ += n.StaticW * phaseRep.TimeS
+		}
+		phaseRep.EnergyJ = rep.ComputeJ + rep.CommJ + rep.StaticJ - rep.TotalJ
+		rep.TimeS += phaseRep.TimeS
+		rep.TotalJ = rep.ComputeJ + rep.CommJ + rep.StaticJ
+		rep.PerPhase = append(rep.PerPhase, phaseRep)
+	}
+	return rep, nil
+}
+
+// FromSystemID composes the named system via the resolver and extracts
+// the simulation model — a convenience for tools.
+func FromSystemID(r *resolve.Resolver, systemID string) (*Cluster, error) {
+	sys, err := r.ResolveSystem(systemID)
+	if err != nil {
+		return nil, err
+	}
+	return FromModel(sys)
+}

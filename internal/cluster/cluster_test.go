@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/repo"
+	"xpdl/internal/resolve"
+)
+
+func xsCluster(t *testing.T) *Cluster {
+	t.Helper()
+	_, file, _, _ := runtime.Caller(0)
+	models := filepath.Join(filepath.Dir(file), "..", "..", "models")
+	rp, err := repo.New(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := FromSystemID(resolve.New(rp), "XScluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestFromXSClusterModel(t *testing.T) {
+	cl := xsCluster(t)
+	if len(cl.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(cl.Nodes))
+	}
+	for _, n := range cl.Nodes {
+		// Node static power: 2 CPUs (15 W) + 4 DIMMs (1.5 W) + 22 + 25 W GPUs.
+		if n.StaticW != 83 {
+			t.Errorf("node %s static = %g", n.ID, n.StaticW)
+		}
+		if n.PSM == nil {
+			t.Errorf("node %s has no PSM (E5_psm expected)", n.ID)
+		}
+		if n.FreqHz != 2e9 {
+			t.Errorf("node %s freq = %g", n.ID, n.FreqHz)
+		}
+	}
+	// The replica-group identifiers are the node names.
+	ids := map[string]bool{}
+	for _, n := range cl.Nodes {
+		ids[n.ID] = true
+	}
+	for _, want := range []string{"n0", "n1", "n2", "n3"} {
+		if !ids[want] {
+			t.Errorf("node id %s missing (have %v)", want, cl.Nodes)
+		}
+	}
+	// Ring links attached from the InfiniBand interconnects.
+	linked := 0
+	for _, n := range cl.Nodes {
+		if n.Link.BandwidthBps > 0 {
+			linked++
+		}
+	}
+	if linked != 4 {
+		t.Fatalf("linked nodes = %d", linked)
+	}
+}
+
+func TestRunBalancedPhases(t *testing.T) {
+	cl := xsCluster(t)
+	phases := []Phase{
+		{Name: "compute", Cycles: 2e9, Bytes: 64 << 20, Messages: 64},
+		{Name: "reduce", Cycles: 5e8, Bytes: 1 << 20},
+	}
+	maxRep, err := cl.Run(phases, MaxFrequency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRep.TimeS <= 0 || maxRep.TotalJ <= 0 {
+		t.Fatalf("degenerate report: %+v", maxRep)
+	}
+	if len(maxRep.PerPhase) != 2 {
+		t.Fatalf("phases = %d", len(maxRep.PerPhase))
+	}
+	// Totals decompose.
+	sum := maxRep.ComputeJ + maxRep.CommJ + maxRep.StaticJ
+	if sum != maxRep.TotalJ {
+		t.Fatalf("decomposition broken: %g vs %g", sum, maxRep.TotalJ)
+	}
+	// Communication both costs time and energy.
+	if maxRep.CommJ <= 0 {
+		t.Fatal("no communication energy")
+	}
+	// Balanced load leaves no slack: energy-optimal equals max-frequency
+	// compute time and cannot do better than marginally.
+	optRep, err := cl.Run(phases, EnergyOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRep.TimeS > maxRep.TimeS*1.0001 {
+		t.Fatalf("optimal slower: %g vs %g", optRep.TimeS, maxRep.TimeS)
+	}
+	if optRep.TotalJ > maxRep.TotalJ*1.0001 {
+		t.Fatalf("optimal uses more energy: %g vs %g", optRep.TotalJ, maxRep.TotalJ)
+	}
+	if ids := maxRep.NodeIDs(); len(ids) != 4 {
+		t.Fatalf("node ids = %v", ids)
+	}
+}
+
+func TestImbalanceCreatesDVFSSavings(t *testing.T) {
+	cl := xsCluster(t)
+	// Node 0 carries 2x the work of the others: the light nodes have
+	// slack that energy-optimal DVFS converts into savings.
+	phases := []Phase{{
+		Name:          "imbalanced",
+		PerNodeCycles: []float64{4e9, 2e9, 2e9, 2e9},
+		Bytes:         1 << 20,
+	}}
+	maxRep, err := cl.Run(phases, MaxFrequency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRep, err := cl.Run(phases, EnergyOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRep.ComputeJ >= maxRep.ComputeJ {
+		t.Fatalf("no compute savings: %g vs %g", optRep.ComputeJ, maxRep.ComputeJ)
+	}
+	// The phase still finishes with the slowest node.
+	if optRep.TimeS > maxRep.TimeS*1.0001 {
+		t.Fatalf("deadline busted: %g vs %g", optRep.TimeS, maxRep.TimeS)
+	}
+	saved := (maxRep.TotalJ - optRep.TotalJ) / maxRep.TotalJ
+	if saved <= 0.005 {
+		t.Fatalf("savings too small: %.2f%%", saved*100)
+	}
+}
+
+func TestFromModelErrors(t *testing.T) {
+	if _, err := FromModel(model.New("system")); err == nil {
+		t.Fatal("nodeless system accepted")
+	}
+	empty := &Cluster{}
+	if _, err := empty.Run([]Phase{{Cycles: 1}}, MaxFrequency); err == nil {
+		t.Fatal("empty cluster simulated")
+	}
+}
+
+func TestNodeIdentFallbacks(t *testing.T) {
+	sys := model.New("system")
+	sys.ID = "s"
+	n1 := model.New("node")
+	n1.ID = "explicit"
+	n2 := model.New("node")
+	sys.Children = append(sys.Children, n1, n2)
+	cl, err := FromModel(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Nodes[0].ID != "explicit" {
+		t.Fatalf("explicit id lost: %v", cl.Nodes[0].ID)
+	}
+	if cl.Nodes[1].ID != "node1" {
+		t.Fatalf("fallback id = %v", cl.Nodes[1].ID)
+	}
+}

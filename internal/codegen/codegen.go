@@ -1,0 +1,245 @@
+// Package codegen implements the generator half of the XPDL toolchain
+// (Section IV): it derives the C++ runtime query API — one class per
+// model element type, with getters and setters for every declared
+// attribute and navigation over the model object tree — from the
+// central schema, exactly as the paper describes generating the API
+// from xpdl.xsd. Model analysis functions for derived attributes are
+// not generated; the emitted base class leaves virtual hooks for them,
+// matching the paper's "included by inheritance" design.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/template"
+
+	"xpdl/internal/schema"
+)
+
+// ClassName converts an element kind to its C++ class name:
+// power_state_machine → XpdlPowerStateMachine.
+func ClassName(kind string) string {
+	parts := strings.Split(kind, "_")
+	var b strings.Builder
+	b.WriteString("Xpdl")
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+// cppType maps schema attribute types to C++ member types.
+func cppType(t schema.AttrType) string {
+	switch t {
+	case schema.TInt:
+		return "long"
+	case schema.TFloat, schema.TQuantity:
+		return "double"
+	case schema.TBool:
+		return "bool"
+	default:
+		return "std::string"
+	}
+}
+
+// cppIdent sanitizes an attribute name into a C++ identifier.
+func cppIdent(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+type attrView struct {
+	Member string // C++ member name
+	Getter string
+	Setter string
+	Type   string
+	Doc    string
+}
+
+type classView struct {
+	Kind     string
+	Class    string
+	Doc      string
+	Attrs    []attrView
+	Children []string // allowed child class names
+}
+
+type headerView struct {
+	Classes []classView
+	Kinds   []string
+}
+
+var headerTmpl = template.Must(template.New("hpp").Parse(`// xpdl_model.hpp — XPDL runtime query API.
+// GENERATED from the central XPDL schema; do not edit.
+//
+// One class per XPDL model element type, with getters and setters for
+// every declared attribute (quantity attributes are normalized to SI
+// base units) and navigation over the model object tree. Derived
+// model-analysis functions (core counts, power rollups, ...) are added
+// by inheriting from XpdlElement — they are intentionally not generated.
+#ifndef XPDL_MODEL_HPP
+#define XPDL_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+namespace xpdl {
+
+class XpdlElement {
+ public:
+  virtual ~XpdlElement() = default;
+
+  const std::string& get_kind() const { return kind_; }
+  const std::string& get_id() const { return id_; }
+  const std::string& get_name() const { return name_; }
+  const std::string& get_type() const { return type_; }
+  void set_id(const std::string& v) { id_ = v; }
+  void set_name(const std::string& v) { name_ = v; }
+  void set_type(const std::string& v) { type_ = v; }
+
+  XpdlElement* get_parent() const { return parent_; }
+  const std::vector<XpdlElement*>& get_children() const { return children_; }
+  void add_child(XpdlElement* c) { children_.push_back(c); c->parent_ = this; }
+
+  // Hook for hand-written derived-attribute analyses (Section IV.4).
+  virtual double synthesize(const std::string& attr) const { (void)attr; return 0.0; }
+
+ protected:
+  explicit XpdlElement(std::string kind) : kind_(std::move(kind)) {}
+
+ private:
+  std::string kind_, id_, name_, type_;
+  XpdlElement* parent_ = nullptr;
+  std::vector<XpdlElement*> children_;
+};
+{{range .Classes}}
+// {{.Doc}}
+class {{.Class}} : public XpdlElement {
+ public:
+  {{.Class}}() : XpdlElement("{{.Kind}}") {}
+{{- range .Attrs}}
+  // {{.Doc}}
+  {{.Type}} {{.Getter}}() const { return {{.Member}}; }
+  void {{.Setter}}(const {{.Type}}& v) { {{.Member}} = v; }
+{{- end}}
+{{- if .Attrs}}
+
+ private:
+{{- range .Attrs}}
+  {{.Type}} {{.Member}}{};
+{{- end}}
+{{- end}}
+};
+{{end}}
+// Factory: instantiate the class for an element kind; returns nullptr
+// for unknown kinds (extensions fall back to a generic element).
+XpdlElement* xpdl_new_element(const std::string& kind);
+
+}  // namespace xpdl
+
+#endif  // XPDL_MODEL_HPP
+`))
+
+var factoryTmpl = template.Must(template.New("cpp").Parse(`// xpdl_model.cpp — XPDL runtime query API factory.
+// GENERATED from the central XPDL schema; do not edit.
+#include "xpdl_model.hpp"
+
+namespace xpdl {
+
+XpdlElement* xpdl_new_element(const std::string& kind) {
+{{- range .Classes}}
+  if (kind == "{{.Kind}}") return new {{.Class}}();
+{{- end}}
+  return nullptr;
+}
+
+}  // namespace xpdl
+`))
+
+func buildView(s *schema.Schema) headerView {
+	var hv headerView
+	for _, k := range s.Kinds() {
+		cv := classView{Kind: k.Name, Class: ClassName(k.Name), Doc: k.Doc}
+		if cv.Doc == "" {
+			cv.Doc = "XPDL element <" + k.Name + ">"
+		}
+		for _, a := range k.Attrs {
+			switch a.Name {
+			case "name", "id", "type", "extends":
+				continue // on the base class
+			}
+			ident := cppIdent(a.Name)
+			cv.Attrs = append(cv.Attrs, attrView{
+				Member: ident + "_",
+				Getter: "get_" + ident,
+				Setter: "set_" + ident,
+				Type:   cppType(a.Type),
+				Doc:    attrDoc(a),
+			})
+		}
+		children := append([]string(nil), k.Children...)
+		sort.Strings(children)
+		for _, c := range children {
+			cv.Children = append(cv.Children, ClassName(c))
+		}
+		hv.Classes = append(hv.Classes, cv)
+		hv.Kinds = append(hv.Kinds, k.Name)
+	}
+	return hv
+}
+
+func attrDoc(a schema.AttrSpec) string {
+	doc := a.Doc
+	if doc == "" {
+		doc = a.Name
+	}
+	if a.Type == schema.TQuantity {
+		doc += " (normalized to " + a.Dim.BaseUnit() + ")"
+	}
+	return doc
+}
+
+// GenerateCPP emits the C++ query API from the schema: the header with
+// one class per element kind and the factory translation unit. The
+// returned map is filename → contents.
+func GenerateCPP(s *schema.Schema) (map[string]string, error) {
+	hv := buildView(s)
+	var hpp, cpp strings.Builder
+	if err := headerTmpl.Execute(&hpp, hv); err != nil {
+		return nil, fmt.Errorf("codegen: header: %w", err)
+	}
+	if err := factoryTmpl.Execute(&cpp, hv); err != nil {
+		return nil, fmt.Errorf("codegen: factory: %w", err)
+	}
+	return map[string]string{
+		"xpdl_model.hpp": hpp.String(),
+		"xpdl_model.cpp": cpp.String(),
+	}, nil
+}
+
+// CountGetters returns how many getter functions the generator emits —
+// the API-surface metric used by EXPERIMENTS.md E10.
+func CountGetters(s *schema.Schema) int {
+	n := 0
+	for _, cv := range buildView(s).Classes {
+		n += len(cv.Attrs)
+		n += 4 // kind/id/name/type on the base, counted once per class view
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/schema"
+)
+
+func TestClassName(t *testing.T) {
+	cases := map[string]string{
+		"cpu":                 "XpdlCpu",
+		"power_state_machine": "XpdlPowerStateMachine",
+		"hostOS":              "XpdlHostOS",
+		"gpu":                 "XpdlGpu",
+	}
+	for kind, want := range cases {
+		if got := ClassName(kind); got != want {
+			t.Errorf("ClassName(%q) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestGenerateCPP(t *testing.T) {
+	files, err := GenerateCPP(schema.Core())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpp, ok := files["xpdl_model.hpp"]
+	if !ok {
+		t.Fatal("header missing")
+	}
+	cpp, ok := files["xpdl_model.cpp"]
+	if !ok {
+		t.Fatal("factory missing")
+	}
+	// Every schema kind yields a class and a factory case.
+	for _, kind := range schema.Core().KindNames() {
+		cls := ClassName(kind)
+		if !strings.Contains(hpp, "class "+cls+" : public XpdlElement") {
+			t.Errorf("header missing class %s", cls)
+		}
+		if !strings.Contains(cpp, `if (kind == "`+kind+`") return new `+cls) {
+			t.Errorf("factory missing case for %s", kind)
+		}
+	}
+	// Getter/setter naming follows the paper (m.get_id()).
+	for _, want := range []string{
+		"get_id()", "get_frequency()", "set_frequency(",
+		"get_static_power()", "get_compute_capability()",
+		"get_enableSwitchOff()", "add_child(",
+		"virtual double synthesize(",
+	} {
+		if !strings.Contains(hpp, want) {
+			t.Errorf("header missing %q", want)
+		}
+	}
+	// Quantity attributes map to double, bools to bool.
+	if !strings.Contains(hpp, "double get_frequency()") {
+		t.Error("frequency should be double")
+	}
+	if !strings.Contains(hpp, "bool get_enableSwitchOff()") {
+		t.Error("enableSwitchOff should be bool")
+	}
+	// Identity attributes live on the base class only: no duplicate
+	// get_name in a subclass body (the base defines it once).
+	if strings.Count(hpp, "get_name()") != 1 {
+		t.Errorf("get_name defined %d times", strings.Count(hpp, "get_name()"))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateCPP(schema.Core())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCPP(schema.Core())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a["xpdl_model.hpp"] != b["xpdl_model.hpp"] || a["xpdl_model.cpp"] != b["xpdl_model.cpp"] {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestCountGetters(t *testing.T) {
+	n := CountGetters(schema.Core())
+	// 37 kinds x 4 base getters plus the per-attribute getters: the
+	// exact number is large; assert a sane lower bound and stability.
+	if n < 150 {
+		t.Fatalf("getter count = %d, suspiciously low", n)
+	}
+	if n != CountGetters(schema.Core()) {
+		t.Fatal("unstable getter count")
+	}
+}
+
+func TestCppIdentSanitization(t *testing.T) {
+	if got := cppIdent("max_bandwidth"); got != "max_bandwidth" {
+		t.Errorf("ident = %q", got)
+	}
+	if got := cppIdent("weird-name.1"); got != "weird_name_1" {
+		t.Errorf("ident = %q", got)
+	}
+}

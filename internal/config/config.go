@@ -1,0 +1,161 @@
+// Package config implements the XPDL processing tool's configuration:
+// Section IV requires the tool to be configurable so that "the filtering
+// rules for uninteresting values and static analysis / model
+// elicitation rules can be tailored". A config file is itself a small
+// XML document:
+//
+//	<xpdltool>
+//	  <filter drop_unknown="true">
+//	    <drop attr="debug_note"/>
+//	    <drop attr="vendor" kind="cpu"/>
+//	  </filter>
+//	  <synthesize target="static_power_total" source="static_power"
+//	              agg="sum" kinds="system, node" unit_dim="power"/>
+//	  <analysis downgrade_bandwidth="true"/>
+//	</xpdltool>
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/analysis"
+	"xpdl/internal/ast"
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+// Config is the parsed tool configuration.
+type Config struct {
+	// DropUnknown removes "?" attributes before emission (default true).
+	DropUnknown bool
+	// Drops are attribute-removal rules: attr name, optionally
+	// restricted to one element kind.
+	Drops []DropRule
+	// Rules are the synthesized-attribute rules; empty selects
+	// analysis.DefaultRules().
+	Rules []analysis.SynthRule
+	// DowngradeBandwidth toggles the interconnect analysis (default
+	// true).
+	DowngradeBandwidth bool
+}
+
+// DropRule removes one attribute, optionally only on one kind.
+type DropRule struct {
+	Attr string
+	Kind string // empty = every kind
+}
+
+// Default returns the configuration the tool uses without a config
+// file.
+func Default() Config {
+	return Config{DropUnknown: true, DowngradeBandwidth: true}
+}
+
+// Parse reads a tool configuration document.
+func Parse(filename string, src []byte) (Config, error) {
+	root, err := ast.Parse(filename, src)
+	if err != nil {
+		return Config{}, err
+	}
+	if root.Name != "xpdltool" {
+		return Config{}, fmt.Errorf("config: root element is <%s>, want <xpdltool>", root.Name)
+	}
+	cfg := Default()
+	for _, ch := range root.Children {
+		switch ch.Name {
+		case "filter":
+			if v, ok := ch.Attr("drop_unknown"); ok {
+				cfg.DropUnknown = strings.EqualFold(v, "true")
+			}
+			for _, d := range ch.ChildrenNamed("drop") {
+				attr := d.AttrDefault("attr", "")
+				if attr == "" {
+					return Config{}, fmt.Errorf("config: %s: <drop> without attr", d.Pos)
+				}
+				cfg.Drops = append(cfg.Drops, DropRule{
+					Attr: attr,
+					Kind: d.AttrDefault("kind", ""),
+				})
+			}
+		case "synthesize":
+			rule, err := parseSynth(ch)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.Rules = append(cfg.Rules, rule)
+		case "analysis":
+			if v, ok := ch.Attr("downgrade_bandwidth"); ok {
+				cfg.DowngradeBandwidth = strings.EqualFold(v, "true")
+			}
+		default:
+			return Config{}, fmt.Errorf("config: %s: unknown element <%s>", ch.Pos, ch.Name)
+		}
+	}
+	return cfg, nil
+}
+
+func parseSynth(e *ast.Element) (analysis.SynthRule, error) {
+	rule := analysis.SynthRule{
+		Target: e.AttrDefault("target", ""),
+		Source: e.AttrDefault("source", ""),
+	}
+	if rule.Target == "" || rule.Source == "" {
+		return rule, fmt.Errorf("config: %s: <synthesize> needs target and source", e.Pos)
+	}
+	switch agg := strings.ToLower(e.AttrDefault("agg", "sum")); agg {
+	case "sum":
+		rule.Agg = analysis.Sum
+	case "min":
+		rule.Agg = analysis.Min
+	case "max":
+		rule.Agg = analysis.Max
+	case "count":
+		rule.Agg = analysis.Count
+	default:
+		return rule, fmt.Errorf("config: %s: unknown agg %q", e.Pos, agg)
+	}
+	if kinds, ok := e.Attr("kinds"); ok {
+		for _, k := range strings.Split(kinds, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				rule.Kinds = append(rule.Kinds, k)
+			}
+		}
+	}
+	switch dim := strings.ToLower(e.AttrDefault("unit_dim", "")); dim {
+	case "", "none":
+	case "power":
+		rule.Dim = units.Power
+	case "energy":
+		rule.Dim = units.Energy
+	case "size":
+		rule.Dim = units.Size
+	case "frequency":
+		rule.Dim = units.Frequency
+	case "time":
+		rule.Dim = units.Time
+	case "bandwidth":
+		rule.Dim = units.Bandwidth
+	default:
+		return rule, fmt.Errorf("config: %s: unknown unit_dim %q", e.Pos, dim)
+	}
+	return rule, nil
+}
+
+// FilterRules converts the configuration into analysis filter rules.
+func (c Config) FilterRules() []analysis.FilterRule {
+	var rules []analysis.FilterRule
+	if c.DropUnknown {
+		rules = append(rules, analysis.DropUnknown)
+	}
+	for _, d := range c.Drops {
+		d := d
+		rules = append(rules, func(kind, attr string, _ model.Attr) bool {
+			if d.Kind != "" && d.Kind != kind {
+				return true
+			}
+			return attr != d.Attr
+		})
+	}
+	return rules
+}

@@ -1,0 +1,139 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/analysis"
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+const sample = `
+<xpdltool>
+  <filter drop_unknown="false">
+    <drop attr="debug_note"/>
+    <drop attr="vendor" kind="cpu"/>
+  </filter>
+  <synthesize target="static_power_total" source="static_power" agg="sum"
+              kinds="system, node" unit_dim="power"/>
+  <synthesize target="num_cores" source="core" agg="count" kinds="system"/>
+  <analysis downgrade_bandwidth="false"/>
+</xpdltool>`
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("tool.xml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DropUnknown {
+		t.Error("drop_unknown not honored")
+	}
+	if cfg.DowngradeBandwidth {
+		t.Error("downgrade_bandwidth not honored")
+	}
+	if len(cfg.Drops) != 2 || cfg.Drops[1].Kind != "cpu" {
+		t.Fatalf("drops = %+v", cfg.Drops)
+	}
+	if len(cfg.Rules) != 2 {
+		t.Fatalf("rules = %+v", cfg.Rules)
+	}
+	r := cfg.Rules[0]
+	if r.Target != "static_power_total" || r.Agg != analysis.Sum ||
+		len(r.Kinds) != 2 || r.Dim != units.Power {
+		t.Fatalf("rule = %+v", r)
+	}
+	if cfg.Rules[1].Agg != analysis.Count {
+		t.Fatalf("count rule = %+v", cfg.Rules[1])
+	}
+}
+
+func TestDefault(t *testing.T) {
+	cfg := Default()
+	if !cfg.DropUnknown || !cfg.DowngradeBandwidth || len(cfg.Rules) != 0 {
+		t.Fatalf("default = %+v", cfg)
+	}
+	rules := cfg.FilterRules()
+	if len(rules) != 1 {
+		t.Fatalf("default filter rules = %d", len(rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<wrong/>`,
+		`<xpdltool><bogus/></xpdltool>`,
+		`<xpdltool><filter><drop/></filter></xpdltool>`,
+		`<xpdltool><synthesize target="t"/></xpdltool>`,
+		`<xpdltool><synthesize target="t" source="s" agg="median"/></xpdltool>`,
+		`<xpdltool><synthesize target="t" source="s" unit_dim="parsecs"/></xpdltool>`,
+		`<xpdltool`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.xml", []byte(src)); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestFilterRulesApply(t *testing.T) {
+	cfg, err := Parse("tool.xml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := model.New("system")
+	sys.ID = "s"
+	cpu := model.New("cpu")
+	cpu.ID = "c"
+	cpu.SetAttr("vendor", model.Attr{Raw: "Intel"})
+	cpu.SetAttr("debug_note", model.Attr{Raw: "x"})
+	cpu.SetAttr("pending", model.Attr{Raw: "?", Unknown: true})
+	mem := model.New("memory")
+	mem.ID = "m"
+	mem.SetAttr("vendor", model.Attr{Raw: "Micron"}) // kind-restricted drop spares it
+	sys.Children = append(sys.Children, cpu, mem)
+
+	removed := analysis.Filter(sys, cfg.FilterRules()...)
+	if removed != 2 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if _, ok := cpu.Attr("vendor"); ok {
+		t.Error("cpu vendor kept")
+	}
+	if _, ok := cpu.Attr("debug_note"); ok {
+		t.Error("debug_note kept")
+	}
+	if _, ok := cpu.Attr("pending"); !ok {
+		t.Error("? dropped despite drop_unknown=false")
+	}
+	if _, ok := mem.Attr("vendor"); !ok {
+		t.Error("memory vendor dropped despite kind restriction")
+	}
+}
+
+func TestSynthRulesApply(t *testing.T) {
+	cfg, err := Parse("tool.xml", []byte(strings.Replace(sample,
+		`kinds="system, node"`, `kinds="system"`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := model.New("system")
+	sys.ID = "s"
+	n := model.New("node")
+	n.SetQuantity("static_power", units.MustParse("30", "W"))
+	n.Children = append(n.Children, model.New("core"), model.New("core"))
+	sys.Children = append(sys.Children, n)
+	analysis.Annotate(sys, cfg.Rules)
+	q, ok := sys.QuantityAttr("static_power_total")
+	if !ok || q.Value != 30 || q.Dim != units.Power {
+		t.Fatalf("synthesized = %+v", q)
+	}
+	c, ok := sys.QuantityAttr("num_cores")
+	if !ok || c.Value != 2 {
+		t.Fatalf("num_cores = %+v", c)
+	}
+	// The node kind is not in the rule's kinds list now.
+	if _, ok := n.QuantityAttr("static_power_total"); ok {
+		t.Error("rule applied to excluded kind")
+	}
+}

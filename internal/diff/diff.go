@@ -1,0 +1,182 @@
+// Package diff compares two composed XPDL models — the maintenance
+// companion of a distributed descriptor repository: when a manufacturer
+// publishes an updated descriptor or a system is reconfigured, the diff
+// shows which components appeared, disappeared, or changed attributes,
+// so repository maintainers and optimization layers can see exactly
+// what a platform update means.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/model"
+)
+
+// ChangeKind classifies one difference.
+type ChangeKind int
+
+// Change kinds.
+const (
+	Added ChangeKind = iota
+	Removed
+	AttrChanged
+)
+
+// Change is one difference between the two models.
+type Change struct {
+	Kind ChangeKind
+	// Path identifies the component (slash-joined idents/kinds).
+	Path string
+	// Attr / Old / New describe attribute-level changes.
+	Attr string
+	Old  string
+	New  string
+}
+
+// String renders the change in a diff-like form.
+func (c Change) String() string {
+	switch c.Kind {
+	case Added:
+		return "+ " + c.Path
+	case Removed:
+		return "- " + c.Path
+	default:
+		return fmt.Sprintf("~ %s %s: %q -> %q", c.Path, c.Attr, c.Old, c.New)
+	}
+}
+
+// Diff compares two component trees. Components are identified by their
+// path of idents (falling back to kind plus sibling ordinal), so
+// homogeneous group members align positionally.
+func Diff(oldRoot, newRoot *model.Component) []Change {
+	oldIdx := index(oldRoot)
+	newIdx := index(newRoot)
+
+	var changes []Change
+	paths := make([]string, 0, len(oldIdx)+len(newIdx))
+	seen := map[string]bool{}
+	for p := range oldIdx {
+		paths = append(paths, p)
+		seen[p] = true
+	}
+	for p := range newIdx {
+		if !seen[p] {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	for _, p := range paths {
+		oc, inOld := oldIdx[p]
+		nc, inNew := newIdx[p]
+		switch {
+		case inOld && !inNew:
+			changes = append(changes, Change{Kind: Removed, Path: p})
+		case !inOld && inNew:
+			changes = append(changes, Change{Kind: Added, Path: p})
+		default:
+			changes = append(changes, diffAttrs(p, oc, nc)...)
+		}
+	}
+	return changes
+}
+
+func diffAttrs(path string, oc, nc *model.Component) []Change {
+	var out []Change
+	names := map[string]bool{}
+	for k := range oc.Attrs {
+		names[k] = true
+	}
+	for k := range nc.Attrs {
+		names[k] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		ov, inOld := oc.Attrs[k]
+		nv, inNew := nc.Attrs[k]
+		oldS, newS := renderAttr(ov, inOld), renderAttr(nv, inNew)
+		if oldS != newS {
+			out = append(out, Change{
+				Kind: AttrChanged, Path: path, Attr: k, Old: oldS, New: newS,
+			})
+		}
+	}
+	if oc.Type != nc.Type {
+		out = append(out, Change{
+			Kind: AttrChanged, Path: path, Attr: "type", Old: oc.Type, New: nc.Type,
+		})
+	}
+	return out
+}
+
+func renderAttr(a model.Attr, present bool) string {
+	if !present {
+		return "<absent>"
+	}
+	if a.Unknown {
+		return "?"
+	}
+	if a.HasQuantity {
+		return a.Quantity.String()
+	}
+	return a.Raw
+}
+
+// index flattens a tree into path → component.
+func index(root *model.Component) map[string]*model.Component {
+	out := map[string]*model.Component{}
+	var rec func(c *model.Component, prefix string)
+	rec = func(c *model.Component, prefix string) {
+		seg := c.Ident()
+		if seg == "" {
+			seg = c.Kind
+		}
+		path := prefix + "/" + seg
+		// Disambiguate same-named siblings with ordinals.
+		if _, dup := out[path]; dup {
+			for i := 2; ; i++ {
+				cand := fmt.Sprintf("%s#%d", path, i)
+				if _, d := out[cand]; !d {
+					path = cand
+					break
+				}
+			}
+		}
+		out[path] = c
+		for _, ch := range c.Children {
+			rec(ch, path)
+		}
+	}
+	rec(root, "")
+	return out
+}
+
+// Summary counts changes per kind.
+func Summary(changes []Change) (added, removed, changed int) {
+	for _, c := range changes {
+		switch c.Kind {
+		case Added:
+			added++
+		case Removed:
+			removed++
+		default:
+			changed++
+		}
+	}
+	return
+}
+
+// Render joins all changes, one per line.
+func Render(changes []Change) string {
+	lines := make([]string, len(changes))
+	for i, c := range changes {
+		lines[i] = c.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,92 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+func server(gpuPower string, withMem bool) *model.Component {
+	sys := model.New("system")
+	sys.ID = "srv"
+	cpu := model.New("cpu")
+	cpu.ID = "cpu0"
+	cpu.Type = "Xeon"
+	cpu.SetQuantity("frequency", units.MustParse("2", "GHz"))
+	sys.Children = append(sys.Children, cpu)
+	gpu := model.New("device")
+	gpu.ID = "gpu1"
+	gpu.SetQuantity("static_power", units.MustParse(gpuPower, "W"))
+	sys.Children = append(sys.Children, gpu)
+	if withMem {
+		mem := model.New("memory")
+		mem.ID = "mem0"
+		sys.Children = append(sys.Children, mem)
+	}
+	return sys
+}
+
+func TestNoChanges(t *testing.T) {
+	changes := Diff(server("25", true), server("25", true))
+	if len(changes) != 0 {
+		t.Fatalf("changes = %v", changes)
+	}
+}
+
+func TestAddRemoveChange(t *testing.T) {
+	oldM := server("25", true)
+	newM := server("30", false) // power changed, memory removed
+	extra := model.New("device")
+	extra.ID = "gpu2"
+	newM.Children = append(newM.Children, extra)
+
+	changes := Diff(oldM, newM)
+	added, removed, changed := Summary(changes)
+	if added != 1 || removed != 1 || changed != 1 {
+		t.Fatalf("summary = %d/%d/%d: %v", added, removed, changed, changes)
+	}
+	text := Render(changes)
+	for _, want := range []string{
+		"+ /srv/gpu2",
+		"- /srv/mem0",
+		`~ /srv/gpu1 static_power: "25 W" -> "30 W"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diff missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTypeChangeAndUnknown(t *testing.T) {
+	oldM := server("25", false)
+	newM := server("25", false)
+	newM.FindByID("cpu0").Type = "Xeon_v2"
+	newM.FindByID("gpu1").SetAttr("energy_offset", model.Attr{Raw: "?", Unknown: true})
+
+	changes := Diff(oldM, newM)
+	text := Render(changes)
+	if !strings.Contains(text, `type: "Xeon" -> "Xeon_v2"`) {
+		t.Errorf("type change missing:\n%s", text)
+	}
+	if !strings.Contains(text, `energy_offset: "<absent>" -> "?"`) {
+		t.Errorf("unknown attr change missing:\n%s", text)
+	}
+}
+
+func TestAnonymousSiblingsAlign(t *testing.T) {
+	mk := func(n int) *model.Component {
+		sys := model.New("system")
+		sys.ID = "s"
+		for i := 0; i < n; i++ {
+			sys.Children = append(sys.Children, model.New("core"))
+		}
+		return sys
+	}
+	changes := Diff(mk(2), mk(3))
+	added, removed, changed := Summary(changes)
+	if added != 1 || removed != 0 || changed != 0 {
+		t.Fatalf("summary = %d/%d/%d: %v", added, removed, changed, changes)
+	}
+}

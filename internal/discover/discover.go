@@ -1,0 +1,360 @@
+// Package discover generates an XPDL model of the host machine by
+// reading the operating system's hardware inventory (/proc and /sys on
+// Linux) — the capability the paper credits to hwloc (Section V:
+// "detects and represents the hardware resources visible to the
+// machine's operating system") turned into an XPDL descriptor producer,
+// so that locally discovered platforms can bootstrap a model repository
+// without hand-written data sheets.
+//
+// The filesystem root is injectable, which keeps the package fully
+// testable with fixture trees and usable on systems where /proc is
+// mounted elsewhere.
+package discover
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+// Options configure discovery.
+type Options struct {
+	// Root is the filesystem root holding proc/ and sys/ (default "/").
+	Root string
+	// SystemID overrides the generated system identifier.
+	SystemID string
+}
+
+// CPUInfo is one logical processor parsed from /proc/cpuinfo.
+type CPUInfo struct {
+	Processor  int
+	PhysicalID int
+	CoreID     int
+	ModelName  string
+	MHz        float64
+}
+
+// Cache is one cache level parsed from sysfs.
+type Cache struct {
+	Level      int
+	SizeBytes  float64
+	Type       string // Data, Instruction, Unified
+	SharedCPUs []int
+}
+
+// Host inspects the machine and returns an XPDL <system> component with
+// sockets, CPUs, cores, caches and main memory.
+func Host(opts Options) (*model.Component, error) {
+	root := opts.Root
+	if root == "" {
+		root = "/"
+	}
+	cpus, err := parseCPUInfo(filepath.Join(root, "proc", "cpuinfo"))
+	if err != nil {
+		return nil, err
+	}
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("discover: no processors found")
+	}
+	caches := parseCaches(filepath.Join(root, "sys", "devices", "system", "cpu"))
+	memBytes := parseMemTotal(filepath.Join(root, "proc", "meminfo"))
+
+	sys := model.New("system")
+	sys.ID = opts.SystemID
+	if sys.ID == "" {
+		sys.ID = "discovered_host"
+	}
+
+	// Group logical processors by socket.
+	bySocket := map[int][]CPUInfo{}
+	for _, c := range cpus {
+		bySocket[c.PhysicalID] = append(bySocket[c.PhysicalID], c)
+	}
+	socketIDs := make([]int, 0, len(bySocket))
+	for id := range bySocket {
+		socketIDs = append(socketIDs, id)
+	}
+	sort.Ints(socketIDs)
+
+	for _, sid := range socketIDs {
+		procs := bySocket[sid]
+		sock := model.New("socket")
+		sock.ID = fmt.Sprintf("socket%d", sid)
+		cpu := model.New("cpu")
+		cpu.ID = fmt.Sprintf("cpu%d", sid)
+		if procs[0].ModelName != "" {
+			cpu.SetAttr("vendor", model.Attr{Raw: vendorOf(procs[0].ModelName)})
+			cpu.Type = sanitizeName(procs[0].ModelName)
+		}
+		if procs[0].MHz > 0 {
+			cpu.SetQuantity("frequency", units.Quantity{Value: procs[0].MHz * 1e6, Dim: units.Frequency})
+		}
+		// Distinct hardware cores (hyperthreads collapse onto core ids).
+		coreIDs := map[int][]int{}
+		for _, p := range procs {
+			coreIDs[p.CoreID] = append(coreIDs[p.CoreID], p.Processor)
+		}
+		ids := make([]int, 0, len(coreIDs))
+		for id := range coreIDs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, cid := range ids {
+			core := model.New("core")
+			core.ID = fmt.Sprintf("s%dcore%d", sid, cid)
+			if procs[0].MHz > 0 {
+				core.SetQuantity("frequency", units.Quantity{Value: procs[0].MHz * 1e6, Dim: units.Frequency})
+			}
+			// Private caches of the core's first logical processor.
+			for _, ca := range caches {
+				if ca.Level >= 3 || !containsInt(ca.SharedCPUs, coreIDs[cid][0]) {
+					continue
+				}
+				if len(ca.SharedCPUs) > 2 {
+					continue // shared beyond the core's threads
+				}
+				cc := model.New("cache")
+				cc.Name = fmt.Sprintf("s%dc%dL%d%s", sid, cid, ca.Level, shortType(ca.Type))
+				cc.SetQuantity("size", units.Quantity{Value: ca.SizeBytes, Dim: units.Size})
+				cc.SetAttr("level", model.Attr{Raw: strconv.Itoa(ca.Level)})
+				core.Children = append(core.Children, cc)
+			}
+			cpu.Children = append(cpu.Children, core)
+		}
+		// Shared last-level cache at CPU scope.
+		for _, ca := range caches {
+			if ca.Level < 3 {
+				continue
+			}
+			cc := model.New("cache")
+			cc.Name = fmt.Sprintf("s%dL%d", sid, ca.Level)
+			cc.SetQuantity("size", units.Quantity{Value: ca.SizeBytes, Dim: units.Size})
+			cc.SetAttr("level", model.Attr{Raw: strconv.Itoa(ca.Level)})
+			cpu.Children = append(cpu.Children, cc)
+			break // one LLC entry suffices per socket in this model
+		}
+		sock.Children = append(sock.Children, cpu)
+		sys.Children = append(sys.Children, sock)
+	}
+
+	if memBytes > 0 {
+		mem := model.New("memory")
+		mem.ID = "main_memory"
+		mem.Type = "DRAM"
+		mem.SetQuantity("size", units.Quantity{Value: memBytes, Dim: units.Size})
+		sys.Children = append(sys.Children, mem)
+	}
+	return sys, nil
+}
+
+func vendorOf(modelName string) string {
+	l := strings.ToLower(modelName)
+	switch {
+	case strings.Contains(l, "intel"):
+		return "Intel"
+	case strings.Contains(l, "amd"):
+		return "AMD"
+	case strings.Contains(l, "arm"):
+		return "ARM"
+	default:
+		return "unknown"
+	}
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '(' || r == ')' || r == '@' || r == '.':
+			if b.Len() > 0 && !strings.HasSuffix(b.String(), "_") {
+				b.WriteByte('_')
+			}
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
+func shortType(t string) string {
+	switch strings.ToLower(t) {
+	case "data":
+		return "d"
+	case "instruction":
+		return "i"
+	default:
+		return ""
+	}
+}
+
+func parseCPUInfo(path string) ([]CPUInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("discover: %w", err)
+	}
+	var out []CPUInfo
+	cur := CPUInfo{Processor: -1, PhysicalID: 0, CoreID: -1}
+	flush := func() {
+		if cur.Processor >= 0 {
+			if cur.CoreID < 0 {
+				cur.CoreID = cur.Processor
+			}
+			out = append(out, cur)
+		}
+		cur = CPUInfo{Processor: -1, PhysicalID: 0, CoreID: -1}
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			if strings.TrimSpace(line) == "" {
+				flush()
+			}
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "processor":
+			if n, err := strconv.Atoi(val); err == nil {
+				cur.Processor = n
+			}
+		case "physical id":
+			if n, err := strconv.Atoi(val); err == nil {
+				cur.PhysicalID = n
+			}
+		case "core id":
+			if n, err := strconv.Atoi(val); err == nil {
+				cur.CoreID = n
+			}
+		case "model name":
+			cur.ModelName = val
+		case "cpu MHz":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				cur.MHz = f
+			}
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// parseCaches reads cpu0's cache hierarchy; missing sysfs degrades to
+// no cache information.
+func parseCaches(cpuDir string) []Cache {
+	indexDir := filepath.Join(cpuDir, "cpu0", "cache")
+	entries, err := os.ReadDir(indexDir)
+	if err != nil {
+		return nil
+	}
+	var out []Cache
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		dir := filepath.Join(indexDir, e.Name())
+		c := Cache{}
+		if lvl, err := readTrim(filepath.Join(dir, "level")); err == nil {
+			c.Level, _ = strconv.Atoi(lvl)
+		}
+		if sz, err := readTrim(filepath.Join(dir, "size")); err == nil {
+			c.SizeBytes = parseSize(sz)
+		}
+		if typ, err := readTrim(filepath.Join(dir, "type")); err == nil {
+			c.Type = typ
+		}
+		if shared, err := readTrim(filepath.Join(dir, "shared_cpu_list")); err == nil {
+			c.SharedCPUs = parseCPUList(shared)
+		}
+		if c.Level > 0 && c.SizeBytes > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level < out[j].Level })
+	return out
+}
+
+func readTrim(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(raw)), nil
+}
+
+// parseSize parses sysfs cache sizes like "32K", "15360K", "12M".
+func parseSize(s string) float64 {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1024, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v * mult
+}
+
+// parseCPUList parses "0-3,8,10-11" into processor numbers.
+func parseCPUList(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 == nil && err2 == nil {
+				for i := a; i <= b; i++ {
+					out = append(out, i)
+				}
+			}
+			continue
+		}
+		if n, err := strconv.Atoi(part); err == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func parseMemTotal(path string) float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "MemTotal:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if kb, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return kb * 1024
+			}
+		}
+	}
+	return 0
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package discover
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpdl/internal/parser"
+	"xpdl/internal/units"
+	"xpdl/internal/xmlout"
+)
+
+// fixture builds a fake /proc + /sys tree for a dual-socket, 2-cores-
+// per-socket machine with hyperthreading and a 3-level cache hierarchy.
+func fixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	cpuinfo := strings.Builder{}
+	proc := 0
+	for sock := 0; sock < 2; sock++ {
+		for core := 0; core < 2; core++ {
+			for ht := 0; ht < 2; ht++ {
+				cpuinfo.WriteString("processor\t: " + itoa(proc) + "\n")
+				cpuinfo.WriteString("model name\t: Intel(R) Xeon(R) CPU E5-2630L v2 @ 2.40GHz\n")
+				cpuinfo.WriteString("cpu MHz\t\t: 2400.000\n")
+				cpuinfo.WriteString("physical id\t: " + itoa(sock) + "\n")
+				cpuinfo.WriteString("core id\t\t: " + itoa(core) + "\n")
+				cpuinfo.WriteString("\n")
+				proc++
+			}
+		}
+	}
+	mustWrite(t, filepath.Join(root, "proc", "cpuinfo"), cpuinfo.String())
+	mustWrite(t, filepath.Join(root, "proc", "meminfo"),
+		"MemTotal:       16384000 kB\nMemFree:        1000000 kB\n")
+
+	cache := func(index, level, size, typ, shared string) {
+		dir := filepath.Join(root, "sys", "devices", "system", "cpu", "cpu0", "cache", "index"+index)
+		mustWrite(t, filepath.Join(dir, "level"), level+"\n")
+		mustWrite(t, filepath.Join(dir, "size"), size+"\n")
+		mustWrite(t, filepath.Join(dir, "type"), typ+"\n")
+		mustWrite(t, filepath.Join(dir, "shared_cpu_list"), shared+"\n")
+	}
+	cache("0", "1", "32K", "Data", "0-1")
+	cache("1", "1", "32K", "Instruction", "0-1")
+	cache("2", "2", "256K", "Unified", "0-1")
+	cache("3", "3", "15M", "Unified", "0-7")
+	return root
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostDiscovery(t *testing.T) {
+	root := fixture(t)
+	sys, err := Host(Options{Root: root, SystemID: "testhost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ID != "testhost" || sys.Kind != "system" {
+		t.Fatalf("system = %s", sys)
+	}
+	// Two sockets, two hardware cores each (hyperthreads collapsed).
+	if got := sys.CountKind("socket"); got != 2 {
+		t.Fatalf("sockets = %d", got)
+	}
+	if got := sys.CountKind("core"); got != 4 {
+		t.Fatalf("cores = %d", got)
+	}
+	cpu0 := sys.FindByID("cpu0")
+	if cpu0 == nil {
+		t.Fatal("cpu0 missing")
+	}
+	if cpu0.AttrRaw("vendor") != "Intel" {
+		t.Fatalf("vendor = %q", cpu0.AttrRaw("vendor"))
+	}
+	if !strings.Contains(cpu0.Type, "Xeon") {
+		t.Fatalf("model type = %q", cpu0.Type)
+	}
+	f, ok := cpu0.QuantityAttr("frequency")
+	if !ok || f.Value != 2.4e9 {
+		t.Fatalf("frequency = %+v", f)
+	}
+	// Private caches on cores: L1d, L1i, L2 (shared_cpu_list 0-1 = one
+	// core's two threads).
+	core := sys.FindByID("s0core0")
+	if core == nil {
+		t.Fatal("s0core0 missing")
+	}
+	if got := len(core.ChildrenKind("cache")); got != 3 {
+		t.Fatalf("core caches = %d", got)
+	}
+	// Shared L3 at CPU scope.
+	foundL3 := false
+	for _, c := range cpu0.ChildrenKind("cache") {
+		if c.AttrRaw("level") == "3" {
+			foundL3 = true
+			q, _ := c.QuantityAttr("size")
+			if q.Value != 15*(1<<20) {
+				t.Fatalf("L3 size = %v", q.Value)
+			}
+		}
+	}
+	if !foundL3 {
+		t.Fatal("L3 missing")
+	}
+	// Main memory.
+	mem := sys.FindByID("main_memory")
+	if mem == nil {
+		t.Fatal("memory missing")
+	}
+	q, _ := mem.QuantityAttr("size")
+	if q.Value != 16384000*1024 || q.Dim != units.Size {
+		t.Fatalf("mem size = %+v", q)
+	}
+}
+
+func TestDiscoveredModelValidates(t *testing.T) {
+	root := fixture(t)
+	sys, err := Host(Options{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated model must be valid XPDL: render and reparse
+	// strictly.
+	out := xmlout.String(sys)
+	p := parser.New()
+	if _, _, err := p.ParseFile("discovered.xpdl", []byte(out)); err != nil {
+		t.Fatalf("discovered model invalid: %v\n%s", err, out)
+	}
+}
+
+func TestDiscoveryDegradesWithoutSysfs(t *testing.T) {
+	root := t.TempDir()
+	mustWrite(t, filepath.Join(root, "proc", "cpuinfo"),
+		"processor\t: 0\nmodel name\t: AMD EPYC 7xx2\ncpu MHz\t: 2000.0\n\n")
+	sys, err := Host(Options{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.CountKind("core") != 1 || sys.CountKind("cache") != 0 {
+		t.Fatalf("degraded discovery wrong: %s", sys.Tree())
+	}
+	if sys.FindByID("cpu0").AttrRaw("vendor") != "AMD" {
+		t.Fatal("vendor detection failed")
+	}
+	// No meminfo: no memory element.
+	if sys.FindByID("main_memory") != nil {
+		t.Fatal("phantom memory")
+	}
+}
+
+func TestDiscoveryErrors(t *testing.T) {
+	if _, err := Host(Options{Root: t.TempDir()}); err == nil {
+		t.Fatal("missing cpuinfo accepted")
+	}
+	root := t.TempDir()
+	mustWrite(t, filepath.Join(root, "proc", "cpuinfo"), "garbage without processors\n")
+	if _, err := Host(Options{Root: root}); err == nil {
+		t.Fatal("empty cpuinfo accepted")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if got := parseSize("32K"); got != 32*1024 {
+		t.Errorf("32K = %v", got)
+	}
+	if got := parseSize("12M"); got != 12*(1<<20) {
+		t.Errorf("12M = %v", got)
+	}
+	if got := parseSize("1G"); got != 1<<30 {
+		t.Errorf("1G = %v", got)
+	}
+	if got := parseSize("bogus"); got != 0 {
+		t.Errorf("bogus = %v", got)
+	}
+	list := parseCPUList("0-2,5, 7-8")
+	want := []int{0, 1, 2, 5, 7, 8}
+	if len(list) != len(want) {
+		t.Fatalf("cpu list = %v", list)
+	}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Fatalf("cpu list = %v", list)
+		}
+	}
+	if got := sanitizeName("Intel(R) Xeon(R) CPU E5 @ 2.40GHz"); strings.Contains(got, "(") || got == "" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if vendorOf("ARM Cortex-A72") != "ARM" || vendorOf("Mystery Chip") != "unknown" {
+		t.Error("vendorOf wrong")
+	}
+}
+
+// TestRealHostIfAvailable exercises discovery against the actual /proc
+// of the test machine when present (Linux-only smoke test).
+func TestRealHostIfAvailable(t *testing.T) {
+	if _, err := os.Stat("/proc/cpuinfo"); err != nil {
+		t.Skip("no /proc/cpuinfo")
+	}
+	sys, err := Host(Options{})
+	if err != nil {
+		t.Skipf("discovery on this host: %v", err)
+	}
+	if sys.CountKind("core") < 1 {
+		t.Fatal("no cores discovered on real host")
+	}
+}

@@ -1,0 +1,282 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xpdl/internal/model"
+	"xpdl/internal/parser"
+	"xpdl/internal/units"
+)
+
+// listing14 reproduces the paper's instruction energy example.
+const listing14 = `
+<instructions name="x86_base_isa" mb="mb_x86_base_1">
+  <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+  <inst name="fadd" energy="?" energy_unit="pJ" mb="fa1"/>
+  <inst name="mov" energy="310" energy_unit="pJ" mb="mo1"/>
+  <inst name="divsd">
+    <data frequency="2.8" frequency_unit="GHz" energy="18.625" energy_unit="nJ"/>
+    <data frequency="2.9" frequency_unit="GHz" energy="19.573" energy_unit="nJ"/>
+    <data frequency="3.4" frequency_unit="GHz" energy="21.023" energy_unit="nJ"/>
+  </inst>
+</instructions>`
+
+func parseTable(t *testing.T) (*Table, *model.Component) {
+	t.Helper()
+	p := parser.New()
+	c, _, err := p.ParseFile("isa.xpdl", []byte(listing14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := TableFromComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, c
+}
+
+func TestTableFromListing14(t *testing.T) {
+	tab, _ := parseTable(t)
+	if tab.Name != "x86_base_isa" || tab.DefaultMB != "mb_x86_base_1" {
+		t.Fatalf("identity = %q %q", tab.Name, tab.DefaultMB)
+	}
+	names := tab.Names()
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	unknowns := tab.Unknowns()
+	if len(unknowns) != 2 || unknowns[0] != "fadd" || unknowns[1] != "fmul" {
+		t.Fatalf("unknowns = %v", unknowns)
+	}
+	fm, ok := tab.Inst("fmul")
+	if !ok || fm.MB != "fm1" || !fm.Unknown {
+		t.Fatalf("fmul = %+v", fm)
+	}
+	// Known constant value.
+	e, ok := tab.EnergyAt("mov", 3.0)
+	if !ok || math.Abs(e-310e-12) > 1e-18 {
+		t.Fatalf("mov = %g %v", e, ok)
+	}
+	// Frequency table with interpolation and clamping.
+	e, _ = tab.EnergyAt("divsd", 2.8)
+	if math.Abs(e-18.625e-9) > 1e-15 {
+		t.Fatalf("divsd@2.8 = %g", e)
+	}
+	e, _ = tab.EnergyAt("divsd", 2.85)
+	want := (18.625e-9 + 19.573e-9) / 2
+	if math.Abs(e-want) > 1e-14 {
+		t.Fatalf("divsd@2.85 = %g, want %g", e, want)
+	}
+	e, _ = tab.EnergyAt("divsd", 5.0)
+	if math.Abs(e-21.023e-9) > 1e-15 {
+		t.Fatalf("divsd clamp = %g", e)
+	}
+	// Unknown instruction has no model yet.
+	if _, ok := tab.EnergyAt("fmul", 3.0); ok {
+		t.Fatal("unknown fmul returned a value")
+	}
+	if _, ok := tab.EnergyAt("nope", 3.0); ok {
+		t.Fatal("missing instruction returned a value")
+	}
+}
+
+func TestSetSamplesAndWriteBack(t *testing.T) {
+	tab, c := parseTable(t)
+	samples := []Sample{{3.4, 1.6e-9}, {2.8, 1.2e-9}, {3.0, 1.3e-9}} // unsorted on purpose
+	if err := tab.SetSamples("fmul", samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetSamples("ghost", samples); err == nil {
+		t.Fatal("ghost instruction accepted")
+	}
+	if len(tab.Unknowns()) != 1 {
+		t.Fatalf("unknowns after set = %v", tab.Unknowns())
+	}
+	e, ok := tab.EnergyAt("fmul", 2.9)
+	if !ok || math.Abs(e-1.25e-9) > 1e-15 {
+		t.Fatalf("fmul@2.9 = %g %v", e, ok)
+	}
+	// Write the derived values back into the model component.
+	if err := tab.WriteBack(c); err != nil {
+		t.Fatal(err)
+	}
+	var fmul *model.Component
+	for _, in := range c.ChildrenKind("inst") {
+		if in.Name == "fmul" {
+			fmul = in
+		}
+	}
+	if fmul == nil {
+		t.Fatal("fmul element missing")
+	}
+	if len(fmul.ChildrenKind("data")) != 3 {
+		t.Fatalf("fmul data children = %d", len(fmul.ChildrenKind("data")))
+	}
+	if a, _ := fmul.Attr("energy"); a.Unknown || !a.HasQuantity {
+		t.Fatalf("fmul energy attr = %+v", a)
+	}
+	// Reparse the written-back table: it must round-trip.
+	tab2, err := TableFromComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, ok := tab2.EnergyAt("fmul", 2.9)
+	if !ok || math.Abs(e2-e) > 1e-15 {
+		t.Fatalf("round trip fmul = %g", e2)
+	}
+	if err := tab.WriteBack(model.New("cpu")); err == nil {
+		t.Fatal("WriteBack on wrong kind accepted")
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	p := parser.New()
+	bad := []string{
+		`<cpu name="x"/>`,
+		`<instructions name="e"/>`,
+		`<instructions name="d"><inst name="a"/><inst name="a"/></instructions>`,
+		`<instructions name="s"><inst name="a"><data frequency="2" frequency_unit="GHz"/></inst></instructions>`,
+	}
+	for _, src := range bad {
+		c, _, err := p.ParseFile("b.xpdl", []byte(src))
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := TableFromComponent(c); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestChannelCostListing3(t *testing.T) {
+	p := parser.New()
+	src := `
+<interconnect name="pcie3">
+  <channel name="up_link"
+    max_bandwidth="6" max_bandwidth_unit="GiB/s"
+    time_offset_per_message="500" time_offset_per_message_unit="ns"
+    energy_per_byte="8" energy_per_byte_unit="pJ"
+    energy_offset_per_message="100" energy_offset_per_message_unit="pJ" />
+</interconnect>`
+	c, _, err := p.ParseFile("pcie.xpdl", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := c.FirstChildKind("channel")
+	tc := ChannelCost(ch)
+	if tc.BandwidthBps != 6*(1<<30) {
+		t.Fatalf("bw = %g", tc.BandwidthBps)
+	}
+	timeS, energyJ := tc.Cost(1<<20, 2)
+	wantT := float64(1<<20)/(6*(1<<30)) + 2*500e-9
+	wantE := float64(1<<20)*8e-12 + 2*100e-12
+	if math.Abs(timeS-wantT) > 1e-12 || math.Abs(energyJ-wantE) > 1e-15 {
+		t.Fatalf("cost = %g %g, want %g %g", timeS, energyJ, wantT, wantE)
+	}
+	// effective_bandwidth takes precedence.
+	ch.SetQuantity("effective_bandwidth", units.MustParse("3", "GiB/s"))
+	tc2 := ChannelCost(ch)
+	if tc2.BandwidthBps != 3*(1<<30) {
+		t.Fatalf("effective bw = %g", tc2.BandwidthBps)
+	}
+	// Unknown bandwidth -> zero transfer time component.
+	empty := TransferCost{}
+	ts, es := empty.Cost(100, 1)
+	if ts != 0 || es != 0 {
+		t.Fatalf("empty cost = %g %g", ts, es)
+	}
+}
+
+func TestStaticBreakdownAndResidual(t *testing.T) {
+	node := model.New("node")
+	node.ID = "n0"
+	cpu := model.New("cpu")
+	cpu.ID = "cpu0"
+	cpu.SetQuantity("static_power", units.MustParse("15", "W"))
+	mem := model.New("memory")
+	mem.ID = "mem0"
+	mem.SetQuantity("static_power", units.MustParse("4", "W"))
+	gpu := model.New("device")
+	gpu.ID = "gpu1"
+	gpu.SetQuantity("static_power", units.MustParse("25", "W"))
+	node.Children = append(node.Children, cpu, mem, gpu)
+
+	b := StaticBreakdown(node)
+	if b.TotalW != 44 || b.OwnW != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if got := b.Find("cpu0"); got == nil || got.TotalW != 15 {
+		t.Fatalf("cpu breakdown = %+v", got)
+	}
+	if b.Find("ghost") != nil {
+		t.Fatal("ghost found")
+	}
+	if !strings.Contains(b.String(), "cpu0: own=15W") {
+		t.Fatalf("string = %s", b)
+	}
+	// Measured 52 W at the wall: residual 8 W goes to the node
+	// (motherboard share, Section III-A).
+	res := AttributeResidual(node, 52)
+	if res != 8 {
+		t.Fatalf("residual = %g", res)
+	}
+	q, ok := node.QuantityAttr("residual_static_power")
+	if !ok || q.Value != 8 || q.Dim != units.Power {
+		t.Fatalf("residual attr = %+v", q)
+	}
+	// Measured below modeled: residual clamps to zero.
+	if res := AttributeResidual(node, 10); res != 0 {
+		t.Fatalf("negative residual = %g", res)
+	}
+}
+
+func TestTaskEnergy(t *testing.T) {
+	tab, _ := parseTable(t)
+	if err := tab.SetSamples("fmul", []Sample{{2.8, 1.2e-9}, {3.4, 1.6e-9}}); err != nil {
+		t.Fatal(err)
+	}
+	tc := TransferCost{BandwidthBps: 1 << 30, EnergyPerB: 8e-12, EnergyOffJ: 1e-10, TimeOffsetS: 1e-6}
+	spec := TaskSpec{
+		InstCounts:    map[string]int64{"fmul": 1000, "mov": 500},
+		FreqGHz:       3.0,
+		CyclesPerInst: map[string]float64{"fmul": 1.5},
+		StaticPowerW:  20,
+		Transfer:      &tc,
+		TransferBytes: 1 << 20,
+		Messages:      1,
+	}
+	e, ts, err := tab.TaskEnergy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmulE, _ := tab.EnergyAt("fmul", 3.0)
+	computeT := 1000*1.5/3e9 + 500*1.0/3e9
+	transT, transE := tc.Cost(1<<20, 1)
+	wantE := 1000*fmulE + 500*310e-12 + 20*computeT + transE
+	wantT := computeT + transT
+	if math.Abs(e-wantE)/wantE > 1e-9 || math.Abs(ts-wantT)/wantT > 1e-9 {
+		t.Fatalf("task = %g %g, want %g %g", e, ts, wantE, wantT)
+	}
+	// A task touching a still-unknown instruction fails loudly.
+	if _, _, err := tab.TaskEnergy(TaskSpec{InstCounts: map[string]int64{"fadd": 1}, FreqGHz: 3}); err == nil {
+		t.Fatal("unknown instruction energy accepted")
+	}
+}
+
+// Property: transfer cost is additive — cost(a+b bytes, m+n msgs) equals
+// cost(a,m) + cost(b,n) for the affine channel model.
+func TestQuickTransferAdditivity(t *testing.T) {
+	tc := TransferCost{BandwidthBps: 1 << 30, TimeOffsetS: 1e-6, EnergyPerB: 8e-12, EnergyOffJ: 1e-10}
+	f := func(a, b uint16, m, n uint8) bool {
+		t1, e1 := tc.Cost(int64(a), int64(m))
+		t2, e2 := tc.Cost(int64(b), int64(n))
+		tSum, eSum := tc.Cost(int64(a)+int64(b), int64(m)+int64(n))
+		return math.Abs(tSum-(t1+t2)) < 1e-15 && math.Abs(eSum-(e1+e2)) < 1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

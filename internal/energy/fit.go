@@ -1,0 +1,125 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is a least-squares fit of an instruction's energy as a
+// function of frequency: E(f) = Intercept + Slope*f (f in GHz, E in J).
+// The paper's Listing 14 shows divsd's energy as a per-frequency value
+// table; a fitted model lets the toolchain extrapolate to DVFS levels
+// that were not measured and quantify how linear the dependency is.
+type LinearModel struct {
+	Intercept float64
+	Slope     float64
+	// R2 is the coefficient of determination of the fit (1 = perfectly
+	// linear).
+	R2 float64
+}
+
+// At evaluates the model at frequency f (GHz).
+func (m LinearModel) At(fGHz float64) float64 {
+	return m.Intercept + m.Slope*fGHz
+}
+
+// String renders the model for reports.
+func (m LinearModel) String() string {
+	return fmt.Sprintf("E(f) = %.4g + %.4g*f J (R²=%.4f)", m.Intercept, m.Slope, m.R2)
+}
+
+// FitLinear least-squares fits a line through the samples. At least two
+// samples with distinct frequencies are required.
+func FitLinear(samples []Sample) (LinearModel, error) {
+	if len(samples) < 2 {
+		return LinearModel{}, fmt.Errorf("energy: linear fit needs at least 2 samples, have %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(samples))
+	for _, s := range samples {
+		sx += s.GHz
+		sy += s.J
+		sxx += s.GHz * s.GHz
+		sxy += s.GHz * s.J
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearModel{}, fmt.Errorf("energy: linear fit is degenerate (all samples at the same frequency)")
+	}
+	m := LinearModel{}
+	m.Slope = (n*sxy - sx*sy) / den
+	m.Intercept = (sy - m.Slope*sx) / n
+
+	// R².
+	mean := sy / n
+	var ssTot, ssRes float64
+	for _, s := range samples {
+		ssTot += (s.J - mean) * (s.J - mean)
+		r := s.J - m.At(s.GHz)
+		ssRes += r * r
+	}
+	if ssTot == 0 {
+		// Constant energy: a flat line fits perfectly.
+		m.R2 = 1
+	} else {
+		m.R2 = 1 - ssRes/ssTot
+	}
+	return m, nil
+}
+
+// FitInst fits the named instruction's sample table.
+func (t *Table) FitInst(name string) (LinearModel, error) {
+	ie, ok := t.insts[name]
+	if !ok {
+		return LinearModel{}, fmt.Errorf("energy: unknown instruction %q", name)
+	}
+	if len(ie.Samples) == 0 {
+		return LinearModel{}, fmt.Errorf("energy: instruction %q has no samples to fit", name)
+	}
+	return FitLinear(ie.Samples)
+}
+
+// ExtrapolateAt returns the instruction's energy at frequency f,
+// preferring interpolation within the sample range and falling back to
+// the fitted linear model outside it. It reports which path was taken.
+func (t *Table) ExtrapolateAt(name string, fGHz float64) (valueJ float64, extrapolated bool, err error) {
+	ie, ok := t.insts[name]
+	if !ok {
+		return 0, false, fmt.Errorf("energy: unknown instruction %q", name)
+	}
+	if len(ie.Samples) >= 2 {
+		lo, hi := ie.Samples[0].GHz, ie.Samples[len(ie.Samples)-1].GHz
+		if fGHz < lo || fGHz > hi {
+			m, err := FitLinear(ie.Samples)
+			if err != nil {
+				return 0, false, err
+			}
+			v := m.At(fGHz)
+			if v < 0 {
+				v = 0
+			}
+			return v, true, nil
+		}
+	}
+	v, ok := ie.EnergyAt(fGHz)
+	if !ok {
+		return 0, false, fmt.Errorf("energy: instruction %q has no energy model", name)
+	}
+	return v, false, nil
+}
+
+// Residuals returns the per-sample absolute relative deviations of the
+// fitted model — the paper's "experimentally confirmed" check on
+// function tables like divsd's.
+func Residuals(samples []Sample, m LinearModel) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		pred := m.At(s.GHz)
+		if s.J != 0 {
+			out[i] = math.Abs(pred-s.J) / math.Abs(s.J)
+		} else {
+			out[i] = math.Abs(pred)
+		}
+	}
+	return out
+}

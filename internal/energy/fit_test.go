@@ -1,0 +1,141 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// Points on E = 2 + 3f.
+	samples := []Sample{{1, 5}, {2, 8}, {3, 11}, {4, 14}}
+	m, err := FitLinear(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-2) > 1e-12 || math.Abs(m.Slope-3) > 1e-12 {
+		t.Fatalf("fit = %+v", m)
+	}
+	if m.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", m.R2)
+	}
+	if got := m.At(5); math.Abs(got-17) > 1e-12 {
+		t.Fatalf("At(5) = %v", got)
+	}
+	if !strings.Contains(m.String(), "R²") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]Sample{{1, 1}}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := FitLinear([]Sample{{2, 1}, {2, 3}}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestFitLinearConstant(t *testing.T) {
+	m, err := FitLinear([]Sample{{1, 7}, {2, 7}, {3, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Slope) > 1e-12 || m.R2 != 1 {
+		t.Fatalf("constant fit = %+v", m)
+	}
+}
+
+func TestDivsdTableIsNearlyLinear(t *testing.T) {
+	// The paper prints divsd's energy as a frequency table; the fitted
+	// line should explain almost all variance (the published values are
+	// smooth but not exactly linear).
+	samples := []Sample{
+		{2.8, 18.625e-9}, {2.9, 19.573e-9}, {3.0, 19.934e-9},
+		{3.1, 20.265e-9}, {3.2, 20.571e-9}, {3.3, 20.803e-9}, {3.4, 21.023e-9},
+	}
+	m, err := FitLinear(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.90 {
+		t.Fatalf("divsd fit R2 = %v", m.R2)
+	}
+	if m.Slope <= 0 {
+		t.Fatalf("divsd slope = %v, want positive (energy grows with f)", m.Slope)
+	}
+	res := Residuals(samples, m)
+	for i, r := range res {
+		if r > 0.05 {
+			t.Errorf("sample %d residual %.3f", i, r)
+		}
+	}
+}
+
+func TestFitInstAndExtrapolate(t *testing.T) {
+	tab, _ := parseTable(t)
+	if _, err := tab.FitInst("divsd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.FitInst("ghost"); err == nil {
+		t.Fatal("ghost instruction accepted")
+	}
+	if _, err := tab.FitInst("mov"); err == nil {
+		t.Fatal("sampleless instruction accepted")
+	}
+	// Inside the sample range: interpolation, not extrapolation.
+	v, ex, err := tab.ExtrapolateAt("divsd", 2.9)
+	if err != nil || ex {
+		t.Fatalf("inside range: %v %v %v", v, ex, err)
+	}
+	if math.Abs(v-19.573e-9) > 1e-14 {
+		t.Fatalf("interp = %g", v)
+	}
+	// Outside: the fitted line extends the trend rather than clamping.
+	hi, ex, err := tab.ExtrapolateAt("divsd", 3.8)
+	if err != nil || !ex {
+		t.Fatalf("outside range: %v %v %v", hi, ex, err)
+	}
+	if hi <= 21.023e-9 {
+		t.Fatalf("extrapolation did not extend trend: %g", hi)
+	}
+	if _, _, err := tab.ExtrapolateAt("ghost", 3.0); err == nil {
+		t.Fatal("ghost extrapolation accepted")
+	}
+	// Fixed-value instructions fall through to EnergyAt.
+	v, ex, err = tab.ExtrapolateAt("mov", 9.9)
+	if err != nil || ex || v != 310e-12 {
+		t.Fatalf("fixed-value path: %v %v %v", v, ex, err)
+	}
+}
+
+// Property: the least-squares line recovers slope/intercept of exactly
+// linear data regardless of sampling positions.
+func TestQuickFitRecoversLine(t *testing.T) {
+	f := func(a, b int8, offs [5]uint8) bool {
+		slope := float64(a) / 16
+		intercept := float64(b) / 4
+		var samples []Sample
+		seen := map[float64]bool{}
+		for i, o := range offs {
+			x := 1 + float64(i) + float64(o%16)/16
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			samples = append(samples, Sample{GHz: x, J: intercept + slope*x})
+		}
+		if len(samples) < 2 {
+			return true
+		}
+		m, err := FitLinear(samples)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Slope-slope) < 1e-9 && math.Abs(m.Intercept-intercept) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,650 @@
+// Package expr implements the small expression language used throughout
+// XPDL: in <constraint expr="..."> elements (Listing 8:
+// "L1size + shmsize == shmtotalsize"), in selectability constraints of
+// conditional composition (Section II), and in the rules that compute
+// synthesized attributes (Section III-D).
+//
+// The language supports numeric and boolean arithmetic, comparisons,
+// string equality, identifiers resolved against an Env, and function
+// calls (also resolved against the Env). Numbers are float64; values of
+// model attributes that carry units are expected to be pre-normalized to
+// base units (see internal/units) before entering an Env, so constraints
+// like the Kepler shared-memory partitioning compare like with like.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates runtime values.
+type Kind int
+
+// Value kinds.
+const (
+	KindNumber Kind = iota
+	KindBool
+	KindString
+)
+
+// Value is the runtime value of an expression: a number, boolean or
+// string.
+type Value struct {
+	Kind Kind
+	Num  float64
+	Bool bool
+	Str  string
+}
+
+// Number wraps a float64 as a Value.
+func Number(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// Bool wraps a bool as a Value.
+func Bool(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// String wraps a string as a Value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Truthy converts the value to a boolean: booleans as-is, numbers are
+// true when nonzero, strings when nonempty.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool
+	case KindNumber:
+		return v.Num != 0
+	default:
+		return v.Str != ""
+	}
+}
+
+// GoString renders the value for diagnostics.
+func (v Value) GoString() string {
+	switch v.Kind {
+	case KindNumber:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	default:
+		return strconv.Quote(v.Str)
+	}
+}
+
+// Equal compares two values; numbers compare numerically, bools and
+// strings structurally. Cross-kind comparisons are false except
+// number-vs-numeric-string, which PDL-style property maps produce.
+func (v Value) Equal(o Value) bool {
+	if v.Kind == o.Kind {
+		switch v.Kind {
+		case KindNumber:
+			return v.Num == o.Num
+		case KindBool:
+			return v.Bool == o.Bool
+		default:
+			return v.Str == o.Str
+		}
+	}
+	// Allow "2" == 2 style comparisons arising from string property maps.
+	if v.Kind == KindString && o.Kind == KindNumber {
+		if f, err := strconv.ParseFloat(v.Str, 64); err == nil {
+			return f == o.Num
+		}
+	}
+	if v.Kind == KindNumber && o.Kind == KindString {
+		return o.Equal(v)
+	}
+	return false
+}
+
+// Env resolves identifiers and function calls during evaluation.
+type Env interface {
+	// Lookup resolves a bare identifier. ok=false triggers an
+	// "undefined identifier" evaluation error.
+	Lookup(name string) (Value, bool)
+	// Call invokes a named function.
+	Call(name string, args []Value) (Value, error)
+}
+
+// MapEnv is a simple Env backed by maps; nil function map means no
+// functions beyond the builtins.
+type MapEnv struct {
+	Vars  map[string]Value
+	Funcs map[string]func(args []Value) (Value, error)
+}
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m.Vars[name]
+	return v, ok
+}
+
+// Call implements Env, consulting m.Funcs and then the builtins.
+func (m MapEnv) Call(name string, args []Value) (Value, error) {
+	if m.Funcs != nil {
+		if f, ok := m.Funcs[name]; ok {
+			return f(args)
+		}
+	}
+	return CallBuiltin(name, args)
+}
+
+// CallBuiltin evaluates the built-in functions available in every
+// environment: min, max, abs, floor, ceil, log2, pow.
+func CallBuiltin(name string, args []Value) (Value, error) {
+	nums := func() ([]float64, error) {
+		out := make([]float64, len(args))
+		for i, a := range args {
+			if a.Kind != KindNumber {
+				return nil, fmt.Errorf("expr: %s: argument %d is not a number", name, i+1)
+			}
+			out[i] = a.Num
+		}
+		return out, nil
+	}
+	switch name {
+	case "min", "max":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) == 0 {
+			return Value{}, fmt.Errorf("expr: %s needs at least one argument", name)
+		}
+		best := ns[0]
+		for _, n := range ns[1:] {
+			if (name == "min" && n < best) || (name == "max" && n > best) {
+				best = n
+			}
+		}
+		return Number(best), nil
+	case "abs", "floor", "ceil", "log2", "sqrt":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) != 1 {
+			return Value{}, fmt.Errorf("expr: %s needs exactly one argument", name)
+		}
+		switch name {
+		case "abs":
+			return Number(math.Abs(ns[0])), nil
+		case "floor":
+			return Number(math.Floor(ns[0])), nil
+		case "ceil":
+			return Number(math.Ceil(ns[0])), nil
+		case "log2":
+			return Number(math.Log2(ns[0])), nil
+		default:
+			return Number(math.Sqrt(ns[0])), nil
+		}
+	case "pow":
+		ns, err := nums()
+		if err != nil {
+			return Value{}, err
+		}
+		if len(ns) != 2 {
+			return Value{}, fmt.Errorf("expr: pow needs exactly two arguments")
+		}
+		return Number(math.Pow(ns[0], ns[1])), nil
+	}
+	return Value{}, fmt.Errorf("expr: unknown function %q", name)
+}
+
+// ---- Lexer ----
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokIdent
+	tokString
+	tokOp // operator or punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			start := l.pos
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+				l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c == '\'' || c == '"':
+			quote := c
+			start := l.pos
+			l.pos++
+			var b strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != quote {
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("expr: unterminated string at offset %d", start)
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tokString, b.String(), start})
+		default:
+			start := l.pos
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				l.toks = append(l.toks, token{tokOp, two, start})
+				l.pos += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '!', '(', ')', ',':
+				l.toks = append(l.toks, token{tokOp, string(c), start})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("expr: unexpected character %q at offset %d", string(c), l.pos)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(l.src)})
+	return l.toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentCont(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '.' }
+
+// ---- Parser (Pratt / precedence climbing) ----
+
+// Node is an expression tree node.
+type Node interface {
+	eval(env Env) (Value, error)
+	// String renders the node back to source-equivalent text.
+	String() string
+}
+
+type numNode struct{ v float64 }
+type strNode struct{ s string }
+type identNode struct{ name string }
+type unaryNode struct {
+	op string
+	x  Node
+}
+type binNode struct {
+	op   string
+	l, r Node
+}
+type callNode struct {
+	name string
+	args []Node
+}
+
+func (n numNode) String() string   { return strconv.FormatFloat(n.v, 'g', -1, 64) }
+func (n strNode) String() string   { return strconv.Quote(n.s) }
+func (n identNode) String() string { return n.name }
+func (n unaryNode) String() string { return n.op + n.x.String() }
+func (n binNode) String() string   { return "(" + n.l.String() + " " + n.op + " " + n.r.String() + ")" }
+func (n callNode) String() string {
+	parts := make([]string, len(n.args))
+	for i, a := range n.args {
+		parts[i] = a.String()
+	}
+	return n.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.kind != tokOp || t.text != text {
+		return fmt.Errorf("expr: expected %q at offset %d in %q", text, t.pos, p.src)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr(minPrec int) (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			break
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		p.next()
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: t.text, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.text == "-" || t.text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: t.text, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at offset %d", t.text, t.pos)
+		}
+		return numNode{v: f}, nil
+	case tokString:
+		return strNode{s: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return numBool(true), nil
+		case "false":
+			return numBool(false), nil
+		}
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			p.next() // consume (
+			var args []Node
+			if !(p.peek().kind == tokOp && p.peek().text == ")") {
+				for {
+					a, err := p.parseExpr(1)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tokOp && p.peek().text == "," {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return callNode{name: t.text, args: args}, nil
+		}
+		return identNode{name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			inner, err := p.parseExpr(1)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q at offset %d in %q", t.text, t.pos, p.src)
+}
+
+type boolNode struct{ b bool }
+
+func (n boolNode) String() string { return strconv.FormatBool(n.b) }
+func (n boolNode) eval(Env) (Value, error) {
+	return Bool(n.b), nil
+}
+
+func numBool(b bool) Node { return boolNode{b: b} }
+
+// Compile parses the expression source into a reusable Node.
+func Compile(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	n, err := p.parseExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("expr: trailing input %q at offset %d in %q", t.text, t.pos, src)
+	}
+	return n, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(src string) Node {
+	n, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Eval compiles and evaluates src against env in one step.
+func Eval(src string, env Env) (Value, error) {
+	n, err := Compile(src)
+	if err != nil {
+		return Value{}, err
+	}
+	return n.eval(env)
+}
+
+// EvalNode evaluates a compiled expression against env.
+func EvalNode(n Node, env Env) (Value, error) { return n.eval(env) }
+
+// EvalBool evaluates src and coerces the result to a boolean via Truthy.
+func EvalBool(src string, env Env) (bool, error) {
+	v, err := Eval(src, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// ---- Evaluation ----
+
+func (n numNode) eval(Env) (Value, error) { return Number(n.v), nil }
+func (n strNode) eval(Env) (Value, error) { return String(n.s), nil }
+
+func (n identNode) eval(env Env) (Value, error) {
+	if env == nil {
+		return Value{}, fmt.Errorf("expr: undefined identifier %q (no environment)", n.name)
+	}
+	v, ok := env.Lookup(n.name)
+	if !ok {
+		return Value{}, fmt.Errorf("expr: undefined identifier %q", n.name)
+	}
+	return v, nil
+}
+
+func (n unaryNode) eval(env Env) (Value, error) {
+	v, err := n.x.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "-":
+		if v.Kind != KindNumber {
+			return Value{}, fmt.Errorf("expr: unary - on non-number")
+		}
+		return Number(-v.Num), nil
+	case "!":
+		return Bool(!v.Truthy()), nil
+	}
+	return Value{}, fmt.Errorf("expr: unknown unary operator %q", n.op)
+}
+
+func (n callNode) eval(env Env) (Value, error) {
+	args := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	if env == nil {
+		return CallBuiltin(n.name, args)
+	}
+	return env.Call(n.name, args)
+}
+
+func (n binNode) eval(env Env) (Value, error) {
+	// Short-circuit logicals.
+	if n.op == "&&" || n.op == "||" {
+		l, err := n.l.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.op == "&&" && !l.Truthy() {
+			return Bool(false), nil
+		}
+		if n.op == "||" && l.Truthy() {
+			return Bool(true), nil
+		}
+		r, err := n.r.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.Truthy()), nil
+	}
+	l, err := n.l.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := n.r.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	}
+	// Remaining operators are numeric (with + also concatenating strings).
+	if n.op == "+" && l.Kind == KindString && r.Kind == KindString {
+		return String(l.Str + r.Str), nil
+	}
+	if l.Kind != KindNumber || r.Kind != KindNumber {
+		return Value{}, fmt.Errorf("expr: operator %q needs numeric operands, got %s and %s", n.op, l.GoString(), r.GoString())
+	}
+	a, b := l.Num, r.Num
+	switch n.op {
+	case "+":
+		return Number(a + b), nil
+	case "-":
+		return Number(a - b), nil
+	case "*":
+		return Number(a * b), nil
+	case "/":
+		if b == 0 {
+			return Value{}, fmt.Errorf("expr: division by zero")
+		}
+		return Number(a / b), nil
+	case "%":
+		if b == 0 {
+			return Value{}, fmt.Errorf("expr: modulo by zero")
+		}
+		return Number(math.Mod(a, b)), nil
+	case "<":
+		return Bool(a < b), nil
+	case "<=":
+		return Bool(a <= b), nil
+	case ">":
+		return Bool(a > b), nil
+	case ">=":
+		return Bool(a >= b), nil
+	}
+	return Value{}, fmt.Errorf("expr: unknown operator %q", n.op)
+}
+
+// Idents returns the set of free identifiers referenced by the
+// expression (function names excluded). Useful for dependency analysis
+// of synthesized-attribute rules and for param binding checks.
+func Idents(n Node) []string {
+	seen := map[string]bool{}
+	var visit func(Node)
+	visit = func(n Node) {
+		switch x := n.(type) {
+		case identNode:
+			seen[x.name] = true
+		case unaryNode:
+			visit(x.x)
+		case binNode:
+			visit(x.l)
+			visit(x.r)
+		case callNode:
+			for _, a := range x.args {
+				visit(a)
+			}
+		}
+	}
+	visit(n)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalNum(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	v, err := Eval(src, env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	if v.Kind != KindNumber {
+		t.Fatalf("Eval(%q) kind = %v, want number", src, v.Kind)
+	}
+	return v.Num
+}
+
+func evalB(t *testing.T, src string, env Env) bool {
+	t.Helper()
+	b, err := EvalBool(src, env)
+	if err != nil {
+		t.Fatalf("EvalBool(%q): %v", src, err)
+	}
+	return b
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1+2":              3,
+		"2*3+4":            10,
+		"2+3*4":            14,
+		"(2+3)*4":          20,
+		"10/4":             2.5,
+		"7%3":              1,
+		"-5+2":             -3,
+		"--5":              5,
+		"2*-3":             -6,
+		"1e3+1":            1001,
+		"0.5*4":            2,
+		"min(3,1,2)":       1,
+		"max(3,1,2)":       3,
+		"abs(-4)":          4,
+		"floor(2.7)":       2,
+		"ceil(2.1)":        3,
+		"log2(8)":          3,
+		"sqrt(16)":         4,
+		"pow(2,10)":        1024,
+		"min(max(1,5), 3)": 3,
+	}
+	for src, want := range cases {
+		if got := evalNum(t, src, nil); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cases := map[string]bool{
+		"1 < 2":             true,
+		"2 <= 2":            true,
+		"3 > 4":             false,
+		"4 >= 4":            true,
+		"1 == 1":            true,
+		"1 != 1":            false,
+		"true && false":     false,
+		"true || false":     true,
+		"!false":            true,
+		"1 < 2 && 2 < 3":    true,
+		"1 > 2 || 3 > 2":    true,
+		"'gpu' == 'gpu'":    true,
+		"'gpu' == 'cpu'":    false,
+		"'a' + 'b' == 'ab'": true,
+	}
+	for src, want := range cases {
+		if got := evalB(t, src, nil); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestKeplerConstraint(t *testing.T) {
+	// The constraint from Listing 8, with sizes in KB.
+	env := MapEnv{Vars: map[string]Value{
+		"L1size":       Number(16),
+		"shmsize":      Number(48),
+		"shmtotalsize": Number(64),
+	}}
+	if !evalB(t, "L1size + shmsize == shmtotalsize", env) {
+		t.Fatal("legal Kepler config rejected")
+	}
+	env.Vars["L1size"] = Number(32)
+	if evalB(t, "L1size + shmsize == shmtotalsize", env) {
+		t.Fatal("illegal Kepler config accepted")
+	}
+}
+
+func TestEnvLookupAndCall(t *testing.T) {
+	env := MapEnv{
+		Vars: map[string]Value{"x": Number(7), "name": String("K20c"), "flag": Bool(true)},
+		Funcs: map[string]func([]Value) (Value, error){
+			"double": func(args []Value) (Value, error) { return Number(args[0].Num * 2), nil },
+		},
+	}
+	if got := evalNum(t, "double(x) + 1", env); got != 15 {
+		t.Fatalf("double(x)+1 = %v", got)
+	}
+	if !evalB(t, "name == 'K20c' && flag", env) {
+		t.Fatal("string/bool env failed")
+	}
+	// Custom env still reaches builtins.
+	if got := evalNum(t, "min(x, 3)", env); got != 3 {
+		t.Fatalf("min via custom env = %v", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand would error (undefined), but short-circuiting
+	// must prevent its evaluation.
+	env := MapEnv{Vars: map[string]Value{}}
+	if evalB(t, "false && undefined_var", env) {
+		t.Fatal("want false")
+	}
+	if !evalB(t, "true || undefined_var", env) {
+		t.Fatal("want true")
+	}
+	if _, err := Eval("true && undefined_var", env); err == nil {
+		t.Fatal("non-short-circuited undefined should error")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "1)", "foo(", "1 $ 2", "'unterminated",
+		"min()", "abs(1,2)", "pow(1)", "unknownfn(1)",
+	}
+	for _, src := range bad {
+		if _, err := Eval(src, nil); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", src)
+		}
+	}
+	if _, err := Eval("1/0", nil); err == nil || !strings.Contains(err.Error(), "division") {
+		t.Errorf("1/0 err = %v", err)
+	}
+	if _, err := Eval("1%0", nil); err == nil {
+		t.Error("1%0 should error")
+	}
+	if _, err := Eval("'a' * 2", nil); err == nil {
+		t.Error("string multiply should error")
+	}
+	if _, err := Eval("-'a'", nil); err == nil {
+		t.Error("unary minus on string should error")
+	}
+	if _, err := Eval("x", nil); err == nil {
+		t.Error("identifier with nil env should error")
+	}
+	if _, err := Eval("x", MapEnv{}); err == nil {
+		t.Error("undefined identifier should error")
+	}
+}
+
+func TestValueEqualCoercion(t *testing.T) {
+	if !String("2").Equal(Number(2)) {
+		t.Error(`"2" == 2 should hold (PDL property coercion)`)
+	}
+	if !Number(2).Equal(String("2")) {
+		t.Error(`2 == "2" should hold`)
+	}
+	if String("abc").Equal(Number(2)) {
+		t.Error(`"abc" == 2 should not hold`)
+	}
+	if Bool(true).Equal(Number(1)) {
+		t.Error("bool/number cross-kind equality should not hold")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if !Number(1).Truthy() || Number(0).Truthy() {
+		t.Error("number truthiness wrong")
+	}
+	if !String("x").Truthy() || String("").Truthy() {
+		t.Error("string truthiness wrong")
+	}
+	if !Bool(true).Truthy() || Bool(false).Truthy() {
+		t.Error("bool truthiness wrong")
+	}
+}
+
+func TestIdents(t *testing.T) {
+	n := MustCompile("L1size + shmsize == shmtotalsize && min(a, b) > 0 && 'str' == s")
+	got := Idents(n)
+	want := []string{"L1size", "a", "b", "s", "shmsize", "shmtotalsize"}
+	if len(got) != len(want) {
+		t.Fatalf("Idents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Idents = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := MustCompile("min(a, 2) + 3 * b == c || !d")
+	s := n.String()
+	// The rendered form must re-compile to an equivalent tree.
+	n2, err := Compile(s)
+	if err != nil {
+		t.Fatalf("recompile %q: %v", s, err)
+	}
+	env := MapEnv{Vars: map[string]Value{"a": Number(1), "b": Number(2), "c": Number(7), "d": Bool(false)}}
+	v1, err1 := EvalNode(n, env)
+	v2, err2 := EvalNode(n2, env)
+	if err1 != nil || err2 != nil || v1.Truthy() != v2.Truthy() {
+		t.Fatalf("rendered form diverges: %v %v %v %v", v1, err1, v2, err2)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic on bad input")
+		}
+	}()
+	MustCompile("1 +")
+}
+
+func TestIdentWithDots(t *testing.T) {
+	env := MapEnv{Vars: map[string]Value{"cpu0.frequency": Number(2e9)}}
+	if got := evalNum(t, "cpu0.frequency / 1000000000", env); got != 2 {
+		t.Fatalf("dotted ident = %v", got)
+	}
+}
+
+// Property: for any pair of small integers, the parser+evaluator agrees
+// with Go arithmetic for a fixed expression shape.
+func TestQuickArithAgreesWithGo(t *testing.T) {
+	f := func(a, b int16) bool {
+		env := MapEnv{Vars: map[string]Value{"a": Number(float64(a)), "b": Number(float64(b))}}
+		v, err := Eval("a*b + a - b", env)
+		if err != nil {
+			return false
+		}
+		return v.Num == float64(a)*float64(b)+float64(a)-float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparison trichotomy — exactly one of <, ==, > holds.
+func TestQuickTrichotomy(t *testing.T) {
+	f := func(a, b int32) bool {
+		env := MapEnv{Vars: map[string]Value{"a": Number(float64(a)), "b": Number(float64(b))}}
+		lt := mustB(env, "a < b")
+		eq := mustB(env, "a == b")
+		gt := mustB(env, "a > b")
+		n := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustB(env Env, src string) bool {
+	b, err := EvalBool(src, env)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Property: compile(String(compile(e))) evaluates identically for a
+// family of generated expressions.
+func TestQuickStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"a + b * 2", "min(a, b)", "a == b || a > b", "!(a < b)", "abs(a - b)",
+		"(a + b) % 7", "a / 3 + b", "max(a, 1) * min(b, 1)",
+	}
+	f := func(a, b int16, idx uint8) bool {
+		src := exprs[int(idx)%len(exprs)]
+		env := MapEnv{Vars: map[string]Value{"a": Number(float64(a)), "b": Number(float64(b))}}
+		n1, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		n2, err := Compile(n1.String())
+		if err != nil {
+			return false
+		}
+		v1, e1 := EvalNode(n1, env)
+		v2, e2 := EvalNode(n2, env)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return true // both error (e.g. division by zero)
+		}
+		return v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package mapping implements an energy-aware task mapper on top of the
+// XPDL runtime query API — an instance of the "upper optimization
+// layers" of the EXCESS framework that Section IV says the query API
+// must serve: deciding task placement onto CPUs and accelerators using
+// the platform model's frequencies, core counts, power figures and
+// interconnect transfer costs.
+//
+// Two policies are provided: a performance-greedy mapper (earliest
+// completion time) and an energy-greedy mapper that minimizes energy
+// subject to a makespan deadline. Comparing them quantifies the value
+// of having energy attributes in the platform description at all —
+// XPDL's reason to exist.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xpdl/internal/energy"
+	"xpdl/internal/query"
+)
+
+// Task is one schedulable unit of work.
+type Task struct {
+	Name string
+	// Cycles of compute on a single reference core.
+	Cycles float64
+	// Bytes moved to/from an accelerator if placed off-host.
+	Bytes int64
+	// Parallelizable tasks use all cores of a CPU target; otherwise one.
+	Parallelizable bool
+	// Speedup is the accelerator throughput multiplier relative to one
+	// reference core (how much faster a GPU streams this kernel).
+	Speedup float64
+}
+
+// Target is an execution resource extracted from the platform model.
+type Target struct {
+	ID     string
+	Kind   string // "cpu" or "device"
+	FreqHz float64
+	Cores  int
+	// PowerW is the active power drawn while executing.
+	PowerW float64
+	// Transfer is the host<->target channel cost; zero-valued for CPUs.
+	Transfer energy.TransferCost
+}
+
+// TargetsFromSession extracts the execution targets from a loaded
+// platform model: every CPU and every CUDA device, with frequencies,
+// core counts, power figures, and the PCIe channel costs of the
+// interconnect that reaches the device.
+func TargetsFromSession(s *query.Session) []Target {
+	var out []Target
+	root := s.Root()
+	if !root.Valid() {
+		return nil
+	}
+	// Map device id -> channel cost from interconnect instances.
+	chanCost := map[string]energy.TransferCost{}
+	for _, ic := range root.Descendants("interconnect") {
+		tail, _ := ic.GetString("tail")
+		if tail == "" {
+			continue
+		}
+		chans := ic.ChildrenOfKind("channel")
+		pick := ic
+		if len(chans) > 0 {
+			pick = chans[0]
+		}
+		tc := transferFromElem(pick)
+		if tc.BandwidthBps > 0 || tc.EnergyPerB > 0 {
+			chanCost[tail] = tc
+		}
+	}
+	for _, cpu := range root.Descendants("cpu") {
+		t := Target{ID: cpu.Ident(), Kind: "cpu", FreqHz: 2e9, Cores: 1, PowerW: 40}
+		if f, ok := cpu.GetFloat("frequency"); ok && f > 0 {
+			t.FreqHz = f
+		} else if cores := cpu.Descendants("core"); len(cores) > 0 {
+			if f, ok := cores[0].GetFloat("frequency"); ok && f > 0 {
+				t.FreqHz = f
+			}
+		}
+		if n := cpu.NumCores(); n > 0 {
+			t.Cores = n
+		}
+		if p, ok := cpu.GetFloat("static_power"); ok && p > 0 {
+			// Rough active power: 2.5x idle package power.
+			t.PowerW = 2.5 * p
+		}
+		out = append(out, t)
+	}
+	for _, dev := range root.Descendants("device") {
+		pm, ok := dev.FirstChild("programming_model")
+		if !ok {
+			continue
+		}
+		if typ, ok := pm.GetString("type"); !ok || !containsCUDA(typ) {
+			continue
+		}
+		t := Target{ID: dev.Ident(), Kind: "device", FreqHz: 700e6, Cores: 1, PowerW: 120}
+		if cores := dev.Descendants("core"); len(cores) > 0 {
+			t.Cores = len(cores)
+			if f, ok := cores[0].GetFloat("frequency"); ok && f > 0 {
+				t.FreqHz = f
+			}
+		}
+		if p, ok := dev.GetFloat("static_power"); ok && p > 0 {
+			t.PowerW = 5 * p
+		}
+		t.Transfer = chanCost[t.ID]
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func transferFromElem(e query.Elem) energy.TransferCost {
+	var tc energy.TransferCost
+	if v, ok := e.GetFloat("effective_bandwidth"); ok && v > 0 {
+		tc.BandwidthBps = v
+	} else if v, ok := e.GetFloat("max_bandwidth"); ok && v > 0 {
+		tc.BandwidthBps = v
+	}
+	if v, ok := e.GetFloat("time_offset_per_message"); ok {
+		tc.TimeOffsetS = v
+	}
+	if v, ok := e.GetFloat("energy_per_byte"); ok {
+		tc.EnergyPerB = v
+	}
+	if v, ok := e.GetFloat("energy_offset_per_message"); ok {
+		tc.EnergyOffJ = v
+	}
+	return tc
+}
+
+func containsCUDA(s string) bool {
+	for i := 0; i+3 < len(s); i++ {
+		if (s[i] == 'c' || s[i] == 'C') && (s[i+1] == 'u' || s[i+1] == 'U') &&
+			(s[i+2] == 'd' || s[i+2] == 'D') && (s[i+3] == 'a' || s[i+3] == 'A') {
+			return true
+		}
+	}
+	return false
+}
+
+// Estimate predicts the (time, energy) of running the task on the
+// target, including transfer costs for off-host placement.
+func Estimate(t Task, g Target) (timeS, energyJ float64) {
+	eff := g.FreqHz
+	switch g.Kind {
+	case "cpu":
+		if t.Parallelizable && g.Cores > 1 {
+			// Sublinear scaling: 80% parallel efficiency.
+			eff *= 1 + 0.8*float64(g.Cores-1)
+		}
+	case "device":
+		sp := t.Speedup
+		if sp <= 0 {
+			sp = 8
+		}
+		eff *= sp
+	}
+	timeS = t.Cycles / eff
+	energyJ = g.PowerW * timeS
+	if g.Kind == "device" && t.Bytes > 0 {
+		tt, te := g.Transfer.Cost(t.Bytes, 1)
+		timeS += tt
+		energyJ += te
+	}
+	return timeS, energyJ
+}
+
+// Assignment is the result of a mapping policy.
+type Assignment struct {
+	Policy string
+	// Placement maps task name to target id.
+	Placement map[string]string
+	// MakespanS is the latest target completion time.
+	MakespanS float64
+	// EnergyJ is the total execution energy.
+	EnergyJ float64
+	// Loads is the per-target busy time.
+	Loads map[string]float64
+}
+
+// MapGreedyTime assigns each task (in order) to the target with the
+// earliest completion time — the performance-only baseline.
+func MapGreedyTime(tasks []Task, targets []Target) (Assignment, error) {
+	return mapGreedy("greedy-time", tasks, targets, 0, false)
+}
+
+// MapGreedyEnergy assigns each task to the target minimizing its energy
+// among placements that keep the projected makespan within the deadline
+// (0 = no deadline). Infeasible tasks fall back to the fastest
+// placement.
+func MapGreedyEnergy(tasks []Task, targets []Target, deadlineS float64) (Assignment, error) {
+	return mapGreedy("greedy-energy", tasks, targets, deadlineS, true)
+}
+
+func mapGreedy(policy string, tasks []Task, targets []Target, deadlineS float64, energyFirst bool) (Assignment, error) {
+	if len(targets) == 0 {
+		return Assignment{}, fmt.Errorf("mapping: no execution targets")
+	}
+	a := Assignment{
+		Policy:    policy,
+		Placement: map[string]string{},
+		Loads:     map[string]float64{},
+	}
+	for _, t := range tasks {
+		bestIdx := -1
+		bestKey := math.MaxFloat64
+		fastIdx, fastDone := -1, math.MaxFloat64
+		for i, g := range targets {
+			dt, de := Estimate(t, g)
+			done := a.Loads[g.ID] + dt
+			if done < fastDone {
+				fastIdx, fastDone = i, done
+			}
+			var key float64
+			if energyFirst {
+				if deadlineS > 0 && done > deadlineS {
+					continue // would bust the deadline
+				}
+				key = de
+			} else {
+				key = done
+			}
+			if key < bestKey {
+				bestIdx, bestKey = i, key
+			}
+		}
+		if bestIdx < 0 {
+			bestIdx = fastIdx // no deadline-respecting choice; go fast
+		}
+		g := targets[bestIdx]
+		dt, de := Estimate(t, g)
+		a.Placement[t.Name] = g.ID
+		a.Loads[g.ID] += dt
+		a.EnergyJ += de
+		if a.Loads[g.ID] > a.MakespanS {
+			a.MakespanS = a.Loads[g.ID]
+		}
+	}
+	return a, nil
+}
+
+// String renders the assignment for tool output.
+func (a Assignment) String() string {
+	return fmt.Sprintf("[%s] makespan=%.4gs energy=%.4gJ over %d target(s)",
+		a.Policy, a.MakespanS, a.EnergyJ, len(a.Loads))
+}

@@ -1,0 +1,202 @@
+package mapping
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"xpdl/internal/core"
+	"xpdl/internal/energy"
+	"xpdl/internal/query"
+)
+
+func liuSession(t *testing.T) *query.Session {
+	t.Helper()
+	_, file, _, _ := runtime.Caller(0)
+	models := filepath.Join(filepath.Dir(file), "..", "..", "models")
+	tc, err := core.New(core.Options{SearchPaths: []string{models}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.Process("liu_gpu_server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.NewSession(res.Runtime)
+}
+
+func TestTargetsFromLiuServer(t *testing.T) {
+	s := liuSession(t)
+	targets := TargetsFromSession(s)
+	if len(targets) != 2 {
+		t.Fatalf("targets = %+v", targets)
+	}
+	var cpu, gpu *Target
+	for i := range targets {
+		switch targets[i].Kind {
+		case "cpu":
+			cpu = &targets[i]
+		case "device":
+			gpu = &targets[i]
+		}
+	}
+	if cpu == nil || gpu == nil {
+		t.Fatalf("missing target kinds: %+v", targets)
+	}
+	if cpu.ID != "gpu_host" || cpu.Cores != 4 || cpu.FreqHz != 2e9 {
+		t.Fatalf("cpu target = %+v", cpu)
+	}
+	if gpu.ID != "gpu1" || gpu.Cores != 13*192 {
+		t.Fatalf("gpu target = %+v", gpu)
+	}
+	// PCIe channel costs were attached from the interconnect.
+	if gpu.Transfer.BandwidthBps == 0 || gpu.Transfer.EnergyPerB == 0 {
+		t.Fatalf("gpu transfer cost missing: %+v", gpu.Transfer)
+	}
+}
+
+func syntheticTargets() []Target {
+	return []Target{
+		{ID: "cpu0", Kind: "cpu", FreqHz: 2e9, Cores: 4, PowerW: 40},
+		{ID: "gpu0", Kind: "device", FreqHz: 0.7e9, Cores: 2496, PowerW: 150,
+			Transfer: energy.TransferCost{BandwidthBps: 6 * (1 << 30), EnergyPerB: 8e-12, TimeOffsetS: 30e-6}},
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	targets := syntheticTargets()
+	small := Task{Name: "small", Cycles: 2e5, Bytes: 1 << 20, Speedup: 20}
+	big := Task{Name: "big", Cycles: 5e10, Bytes: 1 << 20, Speedup: 20, Parallelizable: true}
+
+	cpuT, cpuE := Estimate(small, targets[0])
+	gpuT, gpuE := Estimate(small, targets[1])
+	// A tiny task is faster on the CPU: the GPU pays the transfer.
+	if cpuT >= gpuT {
+		t.Fatalf("small task: cpu %g vs gpu %g", cpuT, gpuT)
+	}
+	if cpuE <= 0 || gpuE <= 0 {
+		t.Fatal("degenerate energies")
+	}
+	// A large parallel task is faster on the GPU.
+	cpuT, _ = Estimate(big, targets[0])
+	gpuT, _ = Estimate(big, targets[1])
+	if gpuT >= cpuT {
+		t.Fatalf("big task: gpu %g vs cpu %g", gpuT, cpuT)
+	}
+	// Parallelizable tasks speed up on multi-core CPUs.
+	serial := Task{Name: "s", Cycles: 1e9}
+	par := Task{Name: "p", Cycles: 1e9, Parallelizable: true}
+	st, _ := Estimate(serial, targets[0])
+	pt, _ := Estimate(par, targets[0])
+	if pt >= st {
+		t.Fatalf("parallel not faster: %g vs %g", pt, st)
+	}
+	// Default speedup applies when unset.
+	d := Task{Name: "d", Cycles: 1e9}
+	dt, _ := Estimate(d, targets[1])
+	if dt <= 0 {
+		t.Fatal("default speedup broken")
+	}
+}
+
+func mixedTasks() []Task {
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks,
+			Task{Name: "small" + itoa(i), Cycles: 5e7, Bytes: 1 << 18, Speedup: 20},
+			Task{Name: "big" + itoa(i), Cycles: 2e10, Bytes: 1 << 22, Speedup: 20, Parallelizable: true},
+		)
+	}
+	return tasks
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestGreedyTimeSplitsWork(t *testing.T) {
+	tasks := mixedTasks()
+	a, err := MapGreedyTime(tasks, syntheticTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Placement) != len(tasks) {
+		t.Fatalf("placement incomplete: %v", a.Placement)
+	}
+	// Big tasks land on the GPU; work is split across both targets.
+	if a.Placement["big0"] != "gpu0" {
+		t.Fatalf("big0 on %s", a.Placement["big0"])
+	}
+	if len(a.Loads) != 2 {
+		t.Fatalf("loads = %v", a.Loads)
+	}
+	if a.MakespanS <= 0 || a.EnergyJ <= 0 {
+		t.Fatalf("degenerate assignment: %s", a)
+	}
+	if !strings.Contains(a.String(), "greedy-time") {
+		t.Fatalf("String = %s", a)
+	}
+}
+
+func TestGreedyEnergySavesEnergyUnderSlackDeadline(t *testing.T) {
+	tasks := mixedTasks()
+	targets := syntheticTargets()
+	perf, err := MapGreedyTime(tasks, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous deadline: the energy mapper may pick slower-but-cheaper
+	// placements.
+	eco, err := MapGreedyEnergy(tasks, targets, perf.MakespanS*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eco.EnergyJ > perf.EnergyJ {
+		t.Fatalf("energy mapping worse: %g vs %g", eco.EnergyJ, perf.EnergyJ)
+	}
+	if eco.MakespanS > perf.MakespanS*4+1e-9 {
+		t.Fatalf("deadline busted: %g", eco.MakespanS)
+	}
+	// Tight deadline: falls back toward the perf mapping but stays
+	// feasible when possible.
+	tight, err := MapGreedyEnergy(tasks, targets, perf.MakespanS*1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.EnergyJ > perf.EnergyJ*1.5 {
+		t.Fatalf("tight mapping energy exploded: %g vs %g", tight.EnergyJ, perf.EnergyJ)
+	}
+}
+
+func TestGreedyEnergyNoDeadline(t *testing.T) {
+	tasks := mixedTasks()
+	a, err := MapGreedyEnergy(tasks, syntheticTargets(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Placement) != len(tasks) {
+		t.Fatal("placement incomplete")
+	}
+}
+
+func TestMappingErrors(t *testing.T) {
+	if _, err := MapGreedyTime([]Task{{Name: "t", Cycles: 1}}, nil); err == nil {
+		t.Fatal("no targets accepted")
+	}
+}
+
+func TestEndToEndOnPlatformModel(t *testing.T) {
+	s := liuSession(t)
+	targets := TargetsFromSession(s)
+	tasks := mixedTasks()
+	perf, err := MapGreedyTime(tasks, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, err := MapGreedyEnergy(tasks, targets, perf.MakespanS*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eco.EnergyJ > perf.EnergyJ {
+		t.Fatalf("platform-model energy mapping worse: %g vs %g", eco.EnergyJ, perf.EnergyJ)
+	}
+}

@@ -1,0 +1,130 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+
+	"xpdl/internal/parser"
+	"xpdl/internal/simhw"
+)
+
+func TestCalibratePCIeUpLink(t *testing.T) {
+	link := simhw.NewPCIe3UpLink(42)
+	r := NewChannelRunner()
+	res, err := r.Calibrate(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want, tol float64) {
+		t.Helper()
+		if want == 0 {
+			if math.Abs(got) > tol {
+				t.Errorf("%s = %g, want ~0", name, got)
+			}
+			return
+		}
+		if rel := math.Abs(got-want) / want; rel > tol {
+			t.Errorf("%s = %g, want %g (rel %.2f%%)", name, got, want, rel*100)
+		}
+	}
+	check("bandwidth", res.BandwidthBps, 6*(1<<30), 0.02)
+	check("time offset", res.TimeOffsetS, 500e-9, 0.05)
+	check("energy/byte", res.EnergyPerB, 8e-12, 0.05)
+	check("energy offset", res.EnergyOffJ, 120e-12, 0.20)
+}
+
+func TestCalibrateCustomLink(t *testing.T) {
+	link := simhw.NewLink(7, 2*(1<<30), 1e-6, 4e-12, 500e-12)
+	r := NewChannelRunner()
+	res, err := r.Calibrate(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TimeOffsetS-1e-6)/1e-6 > 0.05 {
+		t.Errorf("toff = %g", res.TimeOffsetS)
+	}
+	if math.Abs(res.EnergyOffJ-500e-12)/500e-12 > 0.10 {
+		t.Errorf("eoff = %g", res.EnergyOffJ)
+	}
+}
+
+func TestCalibrateBadConfig(t *testing.T) {
+	link := simhw.NewPCIe3UpLink(1)
+	bad := []*ChannelRunner{
+		{SmallMessages: 0, LargeMessages: 1, SmallBytes: 1, LargeBytes: 2, Repeats: 1},
+		{SmallMessages: 10, LargeMessages: 10, SmallBytes: 5, LargeBytes: 5, Repeats: 1},
+		{SmallMessages: 10, LargeMessages: 10, SmallBytes: 1, LargeBytes: 2, Repeats: 0},
+	}
+	for _, r := range bad {
+		if _, err := r.Calibrate(link); err == nil {
+			t.Errorf("bad config accepted: %+v", r)
+		}
+	}
+}
+
+func TestLinkTransferErrors(t *testing.T) {
+	link := simhw.NewPCIe3UpLink(1)
+	if err := link.Transfer(-1, 1); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+	link.Reset()
+	link.Idle(-1)
+	if link.Clock() != 0 {
+		t.Fatal("negative idle advanced clock")
+	}
+	if err := link.Transfer(1024, 1); err != nil {
+		t.Fatal(err)
+	}
+	if link.TrueEnergy() <= 0 || link.Clock() <= 0 {
+		t.Fatal("transfer accounting missing")
+	}
+}
+
+const pcieChannelSrc = `
+<interconnect name="pcie3_test">
+  <channel name="up_link"
+           max_bandwidth="6" max_bandwidth_unit="GiB/s"
+           time_offset_per_message="?" time_offset_per_message_unit="ns"
+           energy_per_byte="8" energy_per_byte_unit="pJ"
+           energy_offset_per_message="?" energy_offset_per_message_unit="pJ" />
+</interconnect>`
+
+func TestFillChannelFromCalibration(t *testing.T) {
+	p := parser.New()
+	ic, _, err := p.ParseFile("pcie.xpdl", []byte(pcieChannelSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ic.FirstChildKind("channel")
+	if !UnknownChannelAttrs(ch) {
+		t.Fatal("expected unknown attrs before calibration")
+	}
+	link := LinkFromChannel(ch, 3)
+	// Known attributes seeded the link truth.
+	if link.BandwidthBps != 6*(1<<30) || link.EnergyPerB != 8e-12 {
+		t.Fatalf("link seeding wrong: %+v", link)
+	}
+	res, err := NewChannelRunner().Calibrate(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FillChannel(ch, res, false)
+	if UnknownChannelAttrs(ch) {
+		t.Fatal("unknown attrs remain after fill")
+	}
+	toff, ok := ch.QuantityAttr("time_offset_per_message")
+	if !ok || math.Abs(toff.Value-link.TimeOffsetS)/link.TimeOffsetS > 0.05 {
+		t.Fatalf("toff = %+v (truth %g)", toff, link.TimeOffsetS)
+	}
+	// The given energy_per_byte stays untouched without force.
+	epb, _ := ch.QuantityAttr("energy_per_byte")
+	if epb.Value != 8e-12 {
+		t.Fatalf("given epb overridden: %g", epb.Value)
+	}
+	// With force, measured values override the given ones.
+	FillChannel(ch, ChannelResult{EnergyPerB: 9e-12, BandwidthBps: 1, TimeOffsetS: 1, EnergyOffJ: 1}, true)
+	epb, _ = ch.QuantityAttr("energy_per_byte")
+	if epb.Value != 9e-12 {
+		t.Fatalf("force did not override: %g", epb.Value)
+	}
+}

@@ -1,0 +1,261 @@
+package microbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xpdl/internal/energy"
+	"xpdl/internal/parser"
+	"xpdl/internal/simhw"
+)
+
+// listing15 reproduces the paper's microbenchmark suite example,
+// extended with entries for every unknown instruction of Listing 14.
+const listing15 = `
+<microbenchmarks id="mb_x86_base_1" instruction_set="x86_base_isa" path="/usr/local/micr/src" command="mbscript.sh">
+  <microbenchmark id="fa1" type="fadd" file="fadd.c" cflags="-O0" lflags="-lm" />
+  <microbenchmark id="fm1" type="fmul" file="fmul.c" cflags="-O0" lflags="-lm" />
+  <microbenchmark id="mo1" type="mov" file="mov.c" cflags="-O0" lflags="-lm" />
+  <microbenchmark id="dv1" type="divsd" file="divsd.c" cflags="-O0" lflags="-lm" />
+</microbenchmarks>`
+
+const isaSrc = `
+<instructions name="x86_base_isa" mb="mb_x86_base_1">
+  <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+  <inst name="fadd" energy="?" energy_unit="pJ" mb="fa1"/>
+  <inst name="mov" energy="310" energy_unit="pJ" mb="mo1"/>
+  <inst name="divsd" energy="?" energy_unit="nJ" mb="dv1"/>
+</instructions>`
+
+func parseSuite(t *testing.T) *Suite {
+	t.Helper()
+	p := parser.New()
+	c, _, err := p.ParseFile("mb.xpdl", []byte(listing15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SuiteFromComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func parseISA(t *testing.T) *energy.Table {
+	t.Helper()
+	p := parser.New()
+	c, _, err := p.ParseFile("isa.xpdl", []byte(isaSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := energy.TableFromComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSuiteFromListing15(t *testing.T) {
+	s := parseSuite(t)
+	if s.ID != "mb_x86_base_1" || s.InstructionSet != "x86_base_isa" ||
+		s.Path != "/usr/local/micr/src" || s.Command != "mbscript.sh" {
+		t.Fatalf("suite = %+v", s)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d", len(s.Benchmarks))
+	}
+	if b, ok := s.ByID("fa1"); !ok || b.Type != "fadd" || b.File != "fadd.c" || b.CFlags != "-O0" {
+		t.Fatalf("fa1 = %+v %v", b, ok)
+	}
+	if _, ok := s.ByID("zz"); ok {
+		t.Fatal("missing id found")
+	}
+	if b, ok := s.ForInstruction("divsd"); !ok || b.ID != "dv1" {
+		t.Fatalf("divsd benchmark = %+v %v", b, ok)
+	}
+	if _, ok := s.ForInstruction("nop"); ok {
+		t.Fatal("missing instruction benchmark found")
+	}
+}
+
+func TestSuiteErrors(t *testing.T) {
+	p := parser.New()
+	bad := []string{
+		`<cpu name="x"/>`,
+		`<microbenchmarks id="s"><microbenchmark id="a" type="x"/><microbenchmark id="a" type="y"/></microbenchmarks>`,
+	}
+	for _, src := range bad {
+		c, _, err := p.ParseFile("b.xpdl", []byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := SuiteFromComponent(c); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestGenerateDrivers(t *testing.T) {
+	s := parseSuite(t)
+	files := GenerateDrivers(s, 500_000)
+	// One C file per benchmark plus the script.
+	if len(files) != 5 {
+		t.Fatalf("files = %d: %v", len(files), keys(files))
+	}
+	fadd, ok := files["fadd.c"]
+	if !ok {
+		t.Fatal("fadd.c missing")
+	}
+	for _, want := range []string{"#define N 500000", `__asm__ volatile("fadd")`, "xpdl_meter_read", "xpdl_idle_energy"} {
+		if !strings.Contains(fadd, want) {
+			t.Errorf("fadd.c missing %q:\n%s", want, fadd)
+		}
+	}
+	script, ok := files["mbscript.sh"]
+	if !ok {
+		t.Fatal("mbscript.sh missing")
+	}
+	for _, want := range []string{"#!/bin/sh", "cc -O0", "fadd.c", "divsd.c", "./fadd"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q:\n%s", want, script)
+		}
+	}
+	// Default iteration count and default file naming.
+	s2 := &Suite{ID: "s2", Benchmarks: []Benchmark{{ID: "b1", Type: "mov"}}}
+	files2 := GenerateDrivers(s2, 0)
+	if _, ok := files2["b1.c"]; !ok {
+		t.Fatalf("default filename missing: %v", keys(files2))
+	}
+	if !strings.Contains(files2["b1.c"], "#define N 1000000") {
+		t.Fatal("default iterations missing")
+	}
+	if _, ok := files2["mbscript.sh"]; !ok {
+		t.Fatal("default script name missing")
+	}
+}
+
+func keys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestCalibrateInstAccuracy(t *testing.T) {
+	m := simhw.NewX86(42)
+	r := NewRunner(m)
+	samples, err := r.CalibrateInst("divsd", m.Frequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 7 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for _, s := range samples {
+		truth, _ := m.TrueEnergyPerInst("divsd", s.GHz)
+		rel := math.Abs(s.J-truth) / truth
+		if rel > 0.10 {
+			t.Errorf("divsd@%.1f: derived %.4g vs truth %.4g (rel %.2f%%)",
+				s.GHz, s.J, truth, rel*100)
+		}
+	}
+	if _, err := r.CalibrateInst("bogus", m.Frequencies()); err == nil {
+		t.Fatal("unknown instruction accepted")
+	}
+	if _, err := r.CalibrateInst("fadd", []float64{9.9}); err == nil {
+		t.Fatal("off-level frequency accepted")
+	}
+	r.Iterations = 0
+	if _, err := r.CalibrateInst("fadd", nil); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestBootstrapFillsUnknowns(t *testing.T) {
+	m := simhw.NewX86(7)
+	r := NewRunner(m)
+	tab := parseISA(t)
+	suite := parseSuite(t)
+	if len(tab.Unknowns()) != 3 {
+		t.Fatalf("unknowns before = %v", tab.Unknowns())
+	}
+	rep, err := r.Bootstrap(tab, suite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Unknowns()) != 0 {
+		t.Fatalf("unknowns after = %v", tab.Unknowns())
+	}
+	if len(rep.PerInst) != 3 {
+		t.Fatalf("report entries = %d", len(rep.PerInst))
+	}
+	// The divsd table must now reproduce the paper's values within the
+	// meter-noise tolerance.
+	e, ok := tab.EnergyAt("divsd", 2.8)
+	if !ok {
+		t.Fatal("divsd still unknown")
+	}
+	if math.Abs(e-18.625e-9)/18.625e-9 > 0.10 {
+		t.Fatalf("divsd@2.8 = %g, want ~18.625nJ", e)
+	}
+	// Fidelity: all instructions within 10% of ground truth.
+	if rep.MaxRelErr() > 0.10 {
+		t.Fatalf("max rel err = %.2f%%", rep.MaxRelErr()*100)
+	}
+	if !strings.Contains(rep.String(), "fmul") {
+		t.Fatalf("report: %s", rep)
+	}
+	// mov keeps its given value (not re-benchmarked without force).
+	e, _ = tab.EnergyAt("mov", 3.0)
+	if math.Abs(e-310e-12) > 1e-18 {
+		t.Fatalf("mov overridden without force: %g", e)
+	}
+}
+
+func TestBootstrapForceOverrides(t *testing.T) {
+	m := simhw.NewX86(9)
+	r := NewRunner(m)
+	tab := parseISA(t)
+	suite := parseSuite(t)
+	rep, err := r.Bootstrap(tab, suite, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerInst) != 4 {
+		t.Fatalf("force should calibrate all 4, got %d", len(rep.PerInst))
+	}
+	// mov is now measured: close to the substrate truth (0.31 nJ at
+	// 3 GHz), overriding the specified 310 pJ (which equals it — the
+	// model file was written from the same ground truth).
+	e, _ := tab.EnergyAt("mov", 3.0)
+	truth, _ := m.TrueEnergyPerInst("mov", 3.0)
+	if math.Abs(e-truth)/truth > 0.10 {
+		t.Fatalf("mov measured = %g, truth %g", e, truth)
+	}
+}
+
+func TestBootstrapMissingBenchmark(t *testing.T) {
+	m := simhw.NewX86(3)
+	r := NewRunner(m)
+	tab := parseISA(t)
+	// A suite without a divsd benchmark cannot calibrate it.
+	p := parser.New()
+	c, _, err := p.ParseFile("mb.xpdl", []byte(`
+<microbenchmarks id="partial" instruction_set="x86_base_isa" path="/x" command="run.sh">
+  <microbenchmark id="fa1" type="fadd" file="fadd.c"/>
+  <microbenchmark id="fm1" type="fmul" file="fmul.c"/>
+</microbenchmarks>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := SuiteFromComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Bootstrap(tab, suite, false); err == nil ||
+		!strings.Contains(err.Error(), "divsd") {
+		t.Fatalf("missing benchmark not reported: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+
+	"xpdl/internal/energy"
+	"xpdl/internal/simhw"
+)
+
+// TestEnergyModelPredictsSubstrate validates the whole energy-modeling
+// chain end to end: bootstrap an instruction table from the simulated
+// hardware, predict a workload's energy with energy.TaskEnergy, then run
+// the same workload on the substrate and compare against its exact
+// ground-truth accounting.
+func TestEnergyModelPredictsSubstrate(t *testing.T) {
+	m := simhw.NewX86(123)
+	runner := NewRunner(m)
+	tab := parseISA(t)
+	suite := parseSuite(t)
+	if _, err := runner.Bootstrap(tab, suite, true); err != nil {
+		t.Fatal(err)
+	}
+
+	const fGHz = 3.0
+	workload := map[string]int64{
+		"fadd":  5_000_000,
+		"fmul":  3_000_000,
+		"mov":   8_000_000,
+		"divsd": 500_000,
+	}
+	cpi := map[string]float64{"fadd": 1, "fmul": 1.5, "mov": 0.5, "divsd": 20}
+
+	// Model prediction: dynamic energy + static residency.
+	predE, predT, err := tab.TaskEnergy(energy.TaskSpec{
+		InstCounts:    workload,
+		FreqGHz:       fGHz,
+		CyclesPerInst: cpi,
+		StaticPowerW:  m.StaticAt(fGHz),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: execute on the substrate.
+	if err := m.SetFrequency(fGHz); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	for inst, n := range workload {
+		if err := m.Execute(inst, int(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trueE, trueT := m.TrueEnergy(), m.Clock()
+
+	if rel := math.Abs(predT-trueT) / trueT; rel > 0.001 {
+		t.Fatalf("time prediction off by %.3f%%: pred %g vs true %g", rel*100, predT, trueT)
+	}
+	if rel := math.Abs(predE-trueE) / trueE; rel > 0.03 {
+		t.Fatalf("energy prediction off by %.2f%%: pred %g vs true %g", rel*100, predE, trueE)
+	}
+}
+
+// TestBootstrapSeedStability: different seeds give slightly different
+// measurements (meter noise) but all stay within the fidelity bound.
+func TestBootstrapSeedStability(t *testing.T) {
+	suite := parseSuite(t)
+	for seed := int64(0); seed < 5; seed++ {
+		tab := parseISA(t)
+		runner := NewRunner(simhw.NewX86(seed))
+		rep, err := runner.Bootstrap(tab, suite, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MaxRelErr() > 0.10 {
+			t.Errorf("seed %d: max rel err %.2f%%", seed, rep.MaxRelErr()*100)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xpdl/internal/units"
+)
+
+func build() *Component {
+	sys := New("system")
+	sys.ID = "sys1"
+	node := New("node")
+	node.ID = "n0"
+	cpu := New("cpu")
+	cpu.ID = "cpu0"
+	cpu.Type = "Xeon"
+	cache := New("cache")
+	cache.Name = "L3"
+	cache.SetQuantity("size", units.MustParse("15", "MiB"))
+	cpu.Children = append(cpu.Children, cache)
+	node.Children = append(node.Children, cpu)
+	gpu := New("device")
+	gpu.ID = "gpu1"
+	node.Children = append(node.Children, gpu)
+	sys.Children = append(sys.Children, node)
+	return sys
+}
+
+func TestIdentAndMeta(t *testing.T) {
+	c := New("cpu")
+	c.Name = "Xeon"
+	if !c.IsMeta() || c.Ident() != "Xeon" {
+		t.Fatal("meta identity wrong")
+	}
+	c.ID = "cpu0"
+	if c.IsMeta() || c.Ident() != "cpu0" {
+		t.Fatal("instance identity wrong")
+	}
+}
+
+func TestFindByID(t *testing.T) {
+	sys := build()
+	if sys.FindByID("gpu1") == nil {
+		t.Fatal("gpu1 not found")
+	}
+	if sys.FindByID("L3") == nil {
+		t.Fatal("meta name lookup failed")
+	}
+	if sys.FindByID("missing") != nil {
+		t.Fatal("missing should be nil")
+	}
+}
+
+func TestCountKindAndChildren(t *testing.T) {
+	sys := build()
+	if got := sys.CountKind("cpu"); got != 1 {
+		t.Fatalf("cpu count = %d", got)
+	}
+	if got := sys.CountKind("system"); got != 1 {
+		t.Fatalf("self count = %d", got)
+	}
+	node := sys.FirstChildKind("node")
+	if node == nil || len(node.ChildrenKind("device")) != 1 {
+		t.Fatal("children helpers wrong")
+	}
+	if sys.FirstChildKind("gpu") != nil {
+		t.Fatal("FirstChildKind should be nil for missing kind")
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	c := New("memory")
+	c.SetAttr("endian", Attr{Raw: "LE"})
+	if c.AttrRaw("endian") != "LE" {
+		t.Fatal("raw attr")
+	}
+	if _, ok := c.Attr("nope"); ok {
+		t.Fatal("missing attr found")
+	}
+	c.SetQuantity("static_power", units.MustParse("4", "W"))
+	q, ok := c.QuantityAttr("static_power")
+	if !ok || q.Value != 4 || q.Dim != units.Power {
+		t.Fatalf("quantity = %+v", q)
+	}
+	if _, ok := c.QuantityAttr("endian"); ok {
+		t.Fatal("endian is not a quantity")
+	}
+	a := Attr{Raw: "5", Quantity: units.Quantity{Value: 5}, HasQuantity: true}
+	if f, ok := a.Float(); !ok || f != 5 {
+		t.Fatal("Float helper wrong")
+	}
+	if _, ok := (Attr{Raw: "x"}).Float(); ok {
+		t.Fatal("non-quantity Float should fail")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	sys := build()
+	var visited []string
+	sys.Walk(func(c *Component) bool {
+		visited = append(visited, c.Kind)
+		return c.Kind != "cpu" // prune below cpu
+	})
+	joined := strings.Join(visited, ",")
+	if strings.Contains(joined, "cache") {
+		t.Fatalf("prune failed: %s", joined)
+	}
+}
+
+func TestStringAndTree(t *testing.T) {
+	sys := build()
+	s := sys.String()
+	if !strings.Contains(s, `id="sys1"`) {
+		t.Fatalf("String = %s", s)
+	}
+	tree := sys.Tree()
+	for _, want := range []string{"system sys1", "cpu cpu0 : Xeon", "cache L3"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestParamConstPropertyLookups(t *testing.T) {
+	c := New("device")
+	c.Params = append(c.Params, &Param{Name: "num_SM", Value: "13"})
+	c.Consts = append(c.Consts, &Const{Name: "shmtotalsize", Value: "64", Unit: "KB"})
+	c.Properties = append(c.Properties, Property{Name: "k", Attrs: map[string]string{"value": "v"}})
+	if c.Param("num_SM") == nil || c.Param("zz") != nil {
+		t.Fatal("param lookup")
+	}
+	if !c.Param("num_SM").Bound() {
+		t.Fatal("bound")
+	}
+	if c.Const("shmtotalsize") == nil || c.Const("zz") != nil {
+		t.Fatal("const lookup")
+	}
+	if c.Property("k").Value() != "v" {
+		t.Fatal("property lookup")
+	}
+}
+
+// Property: Clone yields a structurally equal but fully independent tree.
+func TestQuickCloneEqualIndependent(t *testing.T) {
+	f := func(depth uint8, fan uint8) bool {
+		d := int(depth%3) + 1
+		w := int(fan%3) + 1
+		var mk func(level int) *Component
+		mk = func(level int) *Component {
+			c := New("group")
+			c.ID = strings.Repeat("g", level+1)
+			c.SetAttr("k", Attr{Raw: "v"})
+			if level < d {
+				for i := 0; i < w; i++ {
+					c.Children = append(c.Children, mk(level+1))
+				}
+			}
+			return c
+		}
+		orig := mk(0)
+		cp := orig.Clone()
+		if orig.Tree() != cp.Tree() {
+			return false
+		}
+		// Mutating the copy must not affect the original.
+		cp.Walk(func(c *Component) bool {
+			c.ID = "mutated"
+			c.SetAttr("k", Attr{Raw: "changed"})
+			return true
+		})
+		ok := true
+		orig.Walk(func(c *Component) bool {
+			if c.ID == "mutated" || c.AttrRaw("k") != "v" {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package parser converts validated XPDL syntax trees (internal/ast)
+// into the typed object model (internal/model), using the metamodel
+// (internal/schema) to type attribute values and normalize quantities.
+//
+// This is the front half of the paper's XPDL processing tool: it turns
+// one .xpdl descriptor file into one model.Component tree. Reference
+// resolution across files (type=, extends=, group expansion) happens in
+// internal/resolve on top of a repository of parsed descriptors.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/model"
+	"xpdl/internal/schema"
+	"xpdl/internal/units"
+)
+
+// Parser converts AST elements to model components under a metamodel.
+type Parser struct {
+	Schema *schema.Schema
+	// Strict makes validation errors fatal; otherwise only syntax-level
+	// failures abort and diagnostics are returned alongside the model.
+	Strict bool
+}
+
+// New returns a parser over the core XPDL metamodel.
+func New() *Parser {
+	return &Parser{Schema: schema.Core(), Strict: true}
+}
+
+// ParseFile parses one descriptor source into a component tree.
+// The returned diagnostics include validation findings; when
+// p.Strict is set, any Error-severity finding fails the parse.
+func (p *Parser) ParseFile(filename string, src []byte) (*model.Component, schema.Diagnostics, error) {
+	root, err := ast.Parse(filename, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags := p.Schema.Validate(root)
+	if p.Strict && diags.HasErrors() {
+		return nil, diags, fmt.Errorf("parser: %s has %d validation error(s):\n%s",
+			filename, len(diags.Errors()), diags.Errors())
+	}
+	c, err := p.Convert(root)
+	if err != nil {
+		return nil, diags, err
+	}
+	return c, diags, nil
+}
+
+// Convert transforms one AST element (and its subtree) into a model
+// component. The element is assumed to have passed validation; unknown
+// elements are converted generically.
+func (p *Parser) Convert(e *ast.Element) (*model.Component, error) {
+	c := model.New(e.Name)
+	c.Pos = e.Pos
+
+	kind, _ := p.Schema.Kind(e.Name)
+
+	for _, a := range e.Attrs {
+		switch a.Name {
+		case "name":
+			c.Name = a.Value
+			continue
+		case "id":
+			c.ID = a.Value
+			continue
+		case "type":
+			// For component kinds, type= is a meta-model reference; for
+			// leaf kinds like <property> it is data. <memory type="DDR3">
+			// is a reference to a (possibly absent) meta-model.
+			if kind != nil && kind.IsComponent {
+				c.Type = a.Value
+				continue
+			}
+		case "extends":
+			c.Extends = splitList(a.Value)
+			continue
+		case "prefix":
+			if e.Name == "group" {
+				c.Prefix = a.Value
+				continue
+			}
+		case "quantity":
+			if e.Name == "group" {
+				c.Quantity = a.Value
+				continue
+			}
+		}
+		attr, err := p.typedAttr(e, kind, a.Name, a.Value)
+		if err != nil {
+			return nil, err
+		}
+		c.SetAttr(a.Name, attr)
+	}
+
+	for _, ch := range e.Children {
+		switch ch.Name {
+		case "param":
+			prm, err := parseParam(ch)
+			if err != nil {
+				return nil, err
+			}
+			c.Params = append(c.Params, prm)
+		case "const":
+			cst, err := parseConst(ch)
+			if err != nil {
+				return nil, err
+			}
+			c.Consts = append(c.Consts, cst)
+		case "constraints":
+			for _, cc := range ch.ChildrenNamed("constraint") {
+				c.Constraints = append(c.Constraints, model.Constraint{
+					Expr: cc.AttrDefault("expr", ""),
+					Pos:  cc.Pos,
+				})
+			}
+		case "properties":
+			for _, pe := range ch.ChildrenNamed("property") {
+				prop := model.Property{Name: pe.AttrDefault("name", ""), Attrs: map[string]string{}, Pos: pe.Pos}
+				for _, a := range pe.Attrs {
+					if a.Name != "name" {
+						prop.Attrs[a.Name] = a.Value
+					}
+				}
+				c.Properties = append(c.Properties, prop)
+			}
+		default:
+			child, err := p.Convert(ch)
+			if err != nil {
+				return nil, err
+			}
+			c.Children = append(c.Children, child)
+		}
+	}
+	return c, nil
+}
+
+// typedAttr produces a typed model.Attr for one XML attribute. Quantity
+// attributes are normalized using their companion unit attribute; the
+// "?" placeholder is preserved as Unknown.
+func (p *Parser) typedAttr(e *ast.Element, kind *schema.ElementKind, name, value string) (model.Attr, error) {
+	attr := model.Attr{Raw: value}
+	if value == schema.Unknown {
+		attr.Unknown = true
+		if kind != nil {
+			if spec, ok := kind.Attr(name); ok && spec.Type == schema.TQuantity {
+				attr.Unit = e.AttrDefault(units.UnitAttrFor(name), "")
+			}
+		}
+		return attr, nil
+	}
+	var spec schema.AttrSpec
+	var declared bool
+	if kind != nil {
+		spec, declared = kind.Attr(name)
+	}
+	if declared && spec.Type == schema.TQuantity {
+		unitAttr := units.UnitAttrFor(name)
+		unitVal := e.AttrDefault(unitAttr, "")
+		attr.Unit = unitVal
+		if _, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
+			q, err := units.Parse(value, unitVal)
+			if err != nil {
+				return attr, fmt.Errorf("%s: attribute %s: %v", e.Pos, name, err)
+			}
+			// A declared dimension wins over an ambiguous unit symbol.
+			if unitVal == "" && spec.Dim != units.Dimensionless {
+				q.Dim = spec.Dim
+			}
+			attr.Quantity = q
+			attr.HasQuantity = true
+		}
+		// Non-numeric values are parameter references, kept raw.
+		return attr, nil
+	}
+	// Untyped or non-quantity: parse numbers opportunistically so the
+	// query API can expose them as numeric values.
+	if f, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil {
+		attr.Quantity = units.Quantity{Value: f, Dim: units.Dimensionless}
+		attr.HasQuantity = true
+	}
+	return attr, nil
+}
+
+func parseParam(e *ast.Element) (*model.Param, error) {
+	p := &model.Param{
+		Name: e.AttrDefault("name", ""),
+		Type: e.AttrDefault("type", ""),
+		Pos:  e.Pos,
+	}
+	if v, ok := e.Attr("configurable"); ok {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: param %s: bad configurable=%q", e.Pos, p.Name, v)
+		}
+		p.Configurable = b
+	}
+	if v, ok := e.Attr("range"); ok {
+		p.Range = splitList(v)
+	}
+	// The bound value may be carried by value=, or by a metric attribute
+	// matching the param type (Listing 9 uses size= / frequency=).
+	switch {
+	case e.HasAttr("value"):
+		p.Value = e.AttrDefault("value", "")
+		p.Unit = firstUnit(e)
+	case e.HasAttr("size"):
+		p.Value = e.AttrDefault("size", "")
+		p.Unit = e.AttrDefault("unit", "")
+	case e.HasAttr("frequency"):
+		p.Value = e.AttrDefault("frequency", "")
+		p.Unit = e.AttrDefault("frequency_unit", e.AttrDefault("unit", ""))
+	}
+	return p, nil
+}
+
+func firstUnit(e *ast.Element) string {
+	if u, ok := e.Attr("unit"); ok {
+		return u
+	}
+	for _, a := range e.Attrs {
+		if strings.HasSuffix(a.Name, "_unit") {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func parseConst(e *ast.Element) (*model.Const, error) {
+	c := &model.Const{
+		Name: e.AttrDefault("name", ""),
+		Type: e.AttrDefault("type", ""),
+		Pos:  e.Pos,
+	}
+	switch {
+	case e.HasAttr("value"):
+		c.Value = e.AttrDefault("value", "")
+		c.Unit = firstUnit(e)
+	case e.HasAttr("size"):
+		c.Value = e.AttrDefault("size", "")
+		c.Unit = e.AttrDefault("unit", "")
+	case e.HasAttr("frequency"):
+		c.Value = e.AttrDefault("frequency", "")
+		c.Unit = e.AttrDefault("frequency_unit", e.AttrDefault("unit", ""))
+	}
+	return c, nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

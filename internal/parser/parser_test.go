@@ -1,0 +1,288 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/units"
+)
+
+const listing1 = `
+<cpu name="Intel_Xeon_E5_2630L">
+  <group prefix="core_group" quantity="2">
+    <group prefix="core" quantity="2">
+      <core frequency="2" frequency_unit="GHz" />
+      <cache name="L1" size="32" unit="KiB" />
+    </group>
+    <cache name="L2" size="256" unit="KiB" />
+  </group>
+  <cache name="L3" size="15" unit="MiB" />
+  <power_model type="power_model_E5_2630L" />
+</cpu>`
+
+const listing8 = `
+<device name="Nvidia_Kepler" extends="Nvidia_GPU" role="worker" compute_capability="3.0">
+  <const name="shmtotalsize" type="msize" size="64" unit="KB"/>
+  <param name="L1size" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+  <param name="shmsize" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+  <param name="num_SM" type="integer"/>
+  <param name="coresperSM" type="integer"/>
+  <param name="cfrq" type="frequency" />
+  <param name="gmsz" type="msize" />
+  <constraints>
+    <constraint expr="L1size + shmsize == shmtotalsize" />
+  </constraints>
+  <group name="SMs" quantity="num_SM">
+    <group name="SM">
+      <group quantity="coresperSM">
+        <core type="Kepler_core" frequency="cfrq" frequency_unit="MHz" />
+      </group>
+      <cache name="L1" size="L1size" unit="KB" />
+      <memory name="shm" size="shmsize" unit="KB" />
+    </group>
+  </group>
+  <memory name="globalmem" type="global" size="gmsz" unit="GB" />
+  <programming_model type="cuda6.0, opencl"/>
+</device>`
+
+func TestParseListing1(t *testing.T) {
+	p := New()
+	c, diags, err := p.ParseFile("xeon.xpdl", []byte(listing1))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diags: %s", diags)
+	}
+	if c.Kind != "cpu" || c.Name != "Intel_Xeon_E5_2630L" || !c.IsMeta() {
+		t.Fatalf("root = %s", c)
+	}
+	groups := c.ChildrenKind("group")
+	if len(groups) != 1 || groups[0].Prefix != "core_group" || groups[0].Quantity != "2" {
+		t.Fatalf("outer group wrong: %+v", groups)
+	}
+	l3 := c.FirstChildKind("cache")
+	if l3 == nil {
+		t.Fatal("L3 missing")
+	}
+	q, ok := l3.QuantityAttr("size")
+	if !ok || q.Dim != units.Size || q.Value != 15*1024*1024 {
+		t.Fatalf("L3 size = %+v, %v", q, ok)
+	}
+	pm := c.FirstChildKind("power_model")
+	if pm == nil || pm.Type != "power_model_E5_2630L" {
+		t.Fatalf("power_model = %v", pm)
+	}
+	core := c.FindByID("") // no ids in a pure meta-model
+	_ = core
+	if got := c.CountKind("cache"); got != 3 {
+		t.Fatalf("cache count = %d", got)
+	}
+}
+
+func TestParseListing8KeplerMeta(t *testing.T) {
+	p := New()
+	c, _, err := p.ParseFile("kepler.xpdl", []byte(listing8))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.Name != "Nvidia_Kepler" || len(c.Extends) != 1 || c.Extends[0] != "Nvidia_GPU" {
+		t.Fatalf("identity wrong: %s extends=%v", c, c.Extends)
+	}
+	if c.AttrRaw("role") != "worker" {
+		t.Fatal("role lost")
+	}
+	cc, ok := c.Attr("compute_capability")
+	if !ok || !cc.HasQuantity || cc.Quantity.Value != 3.0 {
+		t.Fatalf("compute_capability = %+v", cc)
+	}
+	if len(c.Params) != 6 {
+		t.Fatalf("params = %d", len(c.Params))
+	}
+	l1 := c.Param("L1size")
+	if l1 == nil || !l1.Configurable || len(l1.Range) != 3 || l1.Range[1] != "32" {
+		t.Fatalf("L1size param = %+v", l1)
+	}
+	if l1.Bound() {
+		t.Fatal("L1size should be unbound in the meta-model")
+	}
+	k := c.Const("shmtotalsize")
+	if k == nil || k.Value != "64" || k.Unit != "KB" {
+		t.Fatalf("const = %+v", k)
+	}
+	if len(c.Constraints) != 1 || !strings.Contains(c.Constraints[0].Expr, "shmtotalsize") {
+		t.Fatalf("constraints = %+v", c.Constraints)
+	}
+	// The SMs group uses a param as quantity.
+	sms := c.ChildrenKind("group")[0]
+	if sms.Quantity != "num_SM" {
+		t.Fatalf("SMs quantity = %q", sms.Quantity)
+	}
+	// Param-referencing sizes stay raw (no quantity).
+	smL1 := sms.Children[0].FirstChildKind("cache")
+	if smL1 == nil {
+		t.Fatal("SM L1 missing")
+	}
+	if a, _ := smL1.Attr("size"); a.HasQuantity || a.Raw != "L1size" {
+		t.Fatalf("SM L1 size = %+v", a)
+	}
+	pmodel := c.FirstChildKind("programming_model")
+	if pmodel == nil || pmodel.AttrRaw("type") != "cuda6.0, opencl" {
+		t.Fatalf("programming_model = %v", pmodel)
+	}
+}
+
+func TestParamBindingForms(t *testing.T) {
+	p := New()
+	src := `
+<device name="Nvidia_K20c" extends="Nvidia_Kepler" compute_capability="3.5">
+  <param name="num_SM" value="13" />
+  <param name="coresperSM" value="192" />
+  <param name="cfrq" frequency="706" frequency_unit="MHz"/>
+  <param name="gmsz" size="5" unit="GB" />
+</device>`
+	c, _, err := p.ParseFile("k20c.xpdl", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cases := map[string]struct{ val, unit string }{
+		"num_SM":     {"13", ""},
+		"coresperSM": {"192", ""},
+		"cfrq":       {"706", "MHz"},
+		"gmsz":       {"5", "GB"},
+	}
+	for name, want := range cases {
+		prm := c.Param(name)
+		if prm == nil || !prm.Bound() {
+			t.Fatalf("param %s missing/unbound", name)
+		}
+		if prm.Value != want.val || prm.Unit != want.unit {
+			t.Errorf("param %s = %q %q, want %q %q", name, prm.Value, prm.Unit, want.val, want.unit)
+		}
+	}
+}
+
+func TestPropertiesEscapeHatch(t *testing.T) {
+	p := New()
+	src := `
+<system id="s">
+  <properties>
+    <property name="ExternalPowerMeter" type="script" command="myscript.sh" />
+    <property name="note" value="hello" />
+  </properties>
+</system>`
+	c, _, err := p.ParseFile("s.xpdl", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(c.Properties) != 2 {
+		t.Fatalf("properties = %d", len(c.Properties))
+	}
+	meter := c.Property("ExternalPowerMeter")
+	if meter == nil || meter.Attrs["command"] != "myscript.sh" {
+		t.Fatalf("meter = %+v", meter)
+	}
+	if c.Property("note").Value() != "hello" {
+		t.Fatal("value property wrong")
+	}
+	if c.Property("nope") != nil {
+		t.Fatal("missing property should be nil")
+	}
+}
+
+func TestUnknownPlaceholder(t *testing.T) {
+	p := New()
+	src := `
+<interconnect name="pcie3">
+  <channel name="up_link"
+    max_bandwidth="6" max_bandwidth_unit="GiB/s"
+    time_offset_per_message="?" time_offset_per_message_unit="ns"
+    energy_per_byte="8" energy_per_byte_unit="pJ"
+    energy_offset_per_message="?" energy_offset_per_message_unit="pJ" />
+</interconnect>`
+	c, _, err := p.ParseFile("pcie3.xpdl", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ch := c.FirstChildKind("channel")
+	if ch == nil {
+		t.Fatal("channel missing")
+	}
+	bw, ok := ch.QuantityAttr("max_bandwidth")
+	if !ok || bw.Dim != units.Bandwidth || bw.Value != 6*(1<<30) {
+		t.Fatalf("bw = %+v", bw)
+	}
+	toff, _ := ch.Attr("time_offset_per_message")
+	if !toff.Unknown || toff.Unit != "ns" {
+		t.Fatalf("toff = %+v", toff)
+	}
+	epb, ok := ch.QuantityAttr("energy_per_byte")
+	if !ok || epb.Dim != units.Energy {
+		t.Fatalf("epb = %+v", epb)
+	}
+}
+
+func TestStrictModeRejectsInvalid(t *testing.T) {
+	p := New()
+	if _, _, err := p.ParseFile("bad.xpdl", []byte(`<cache name="c" sets="two"/>`)); err == nil {
+		t.Fatal("strict parse should fail on validation error")
+	}
+	p.Strict = false
+	c, diags, err := p.ParseFile("bad.xpdl", []byte(`<cache name="c" sets="two"/>`))
+	if err != nil || c == nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if !diags.HasErrors() {
+		t.Fatal("diags should carry the error")
+	}
+}
+
+func TestSyntaxErrorPropagates(t *testing.T) {
+	p := New()
+	if _, _, err := p.ParseFile("bad.xpdl", []byte(`<a><b></a>`)); err == nil {
+		t.Fatal("syntax error not propagated")
+	}
+}
+
+func TestInstanceVsMeta(t *testing.T) {
+	p := New()
+	c, _, err := p.ParseFile("inst.xpdl", []byte(`<device id="gpu1" type="Nvidia_K20c"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsMeta() || c.Ident() != "gpu1" || c.Type != "Nvidia_K20c" {
+		t.Fatalf("instance identity wrong: %s", c)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New()
+	c, _, err := p.ParseFile("kepler.xpdl", []byte(listing8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := c.Clone()
+	cp.Param("num_SM").Value = "13"
+	cp.Children[0].Kind = "changed"
+	cp.SetAttr("role", cp.Attrs["role"])
+	if c.Param("num_SM").Bound() {
+		t.Fatal("clone aliases params")
+	}
+	if c.Children[0].Kind == "changed" {
+		t.Fatal("clone aliases children")
+	}
+}
+
+func TestTreeDump(t *testing.T) {
+	p := New()
+	c, _, err := p.ParseFile("xeon.xpdl", []byte(listing1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := c.Tree()
+	for _, want := range []string{"cpu Intel_Xeon_E5_2630L", "cache L3", "power_model"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package patterns implements abstract platform patterns — reusable
+// templates for platform organization that PDL introduced and that
+// Section II says XPDL should "still allow ... but rather as a
+// secondary aspect to a more architecture oriented structural
+// specification": a pattern describes a generic control hierarchy
+// (master / workers / hybrids) with structural requirements, and is
+// matched against a composed XPDL model to find the hardware entities
+// that can play each role.
+package patterns
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/expr"
+	"xpdl/internal/query"
+)
+
+// RoleSpec describes one role slot of a pattern.
+type RoleSpec struct {
+	// Role is the slot name, e.g. "master", "worker".
+	Role string
+	// Kinds lists the element kinds that can fill the slot (e.g. cpu for
+	// masters, device/gpu for workers).
+	Kinds []string
+	// Min/Max bound how many entities must/can fill the slot; Max 0
+	// means unbounded.
+	Min, Max int
+	// Where is an optional constraint evaluated per candidate with the
+	// platform env plus the candidate's attributes bound as variables
+	// (plus `kind`, `id`, `type`).
+	Where string
+}
+
+// Pattern is an abstract platform pattern.
+type Pattern struct {
+	Name  string
+	Roles []RoleSpec
+}
+
+// MasterWorker returns the classic PDL pattern: one general-purpose
+// master CPU and at least minWorkers accelerator workers.
+func MasterWorker(minWorkers int) Pattern {
+	return Pattern{
+		Name: "master-worker",
+		Roles: []RoleSpec{
+			{Role: "master", Kinds: []string{"cpu"}, Min: 1, Max: 1},
+			{Role: "worker", Kinds: []string{"device", "gpu"}, Min: minWorkers},
+		},
+	}
+}
+
+// Binding is one successful pattern match: role → element identifiers.
+type Binding struct {
+	Pattern string
+	Slots   map[string][]string
+}
+
+// Slot returns the identifiers bound to a role.
+func (b Binding) Slot(role string) []string { return b.Slots[role] }
+
+// String renders the binding for tool output.
+func (b Binding) String() string {
+	roles := make([]string, 0, len(b.Slots))
+	for r := range b.Slots {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	parts := make([]string, len(roles))
+	for i, r := range roles {
+		parts[i] = fmt.Sprintf("%s=%v", r, b.Slots[r])
+	}
+	return fmt.Sprintf("%s{%s}", b.Pattern, strings.Join(parts, " "))
+}
+
+// Match instantiates the pattern against a loaded platform model. It
+// returns an error naming the first role whose Min cannot be met.
+// Candidates with an explicit role attribute must agree with the slot
+// (the PDL-inherited role attributes act as hints, Section II-A).
+func Match(p Pattern, s *query.Session) (Binding, error) {
+	b := Binding{Pattern: p.Name, Slots: map[string][]string{}}
+	root := s.Root()
+	if !root.Valid() {
+		return b, fmt.Errorf("patterns: empty platform model")
+	}
+	for _, role := range p.Roles {
+		var ids []string
+		for _, kind := range role.Kinds {
+			for _, e := range root.Descendants(kind) {
+				// Skip nested matches (e.g. a cpu inside a device slot
+				// candidate) only when the same element already fills a
+				// slot.
+				id := e.Ident()
+				if id == "" {
+					continue
+				}
+				if taken(b, id) {
+					continue
+				}
+				if hint, ok := e.GetString("role"); ok && hint != "" &&
+					!strings.EqualFold(hint, role.Role) && !strings.EqualFold(hint, "hybrid") {
+					continue
+				}
+				if role.Where != "" {
+					okc, err := candidateOK(role.Where, s, e)
+					if err != nil {
+						return b, fmt.Errorf("patterns: role %s: %w", role.Role, err)
+					}
+					if !okc {
+						continue
+					}
+				}
+				ids = append(ids, id)
+				if role.Max > 0 && len(ids) == role.Max {
+					break
+				}
+			}
+			if role.Max > 0 && len(ids) == role.Max {
+				break
+			}
+		}
+		if len(ids) < role.Min {
+			return b, fmt.Errorf("patterns: %s: role %q needs %d candidate(s), found %d",
+				p.Name, role.Role, role.Min, len(ids))
+		}
+		sort.Strings(ids)
+		b.Slots[role.Role] = ids
+	}
+	return b, nil
+}
+
+func taken(b Binding, id string) bool {
+	for _, ids := range b.Slots {
+		for _, x := range ids {
+			if x == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// candidateOK evaluates the Where constraint for one candidate element.
+func candidateOK(where string, s *query.Session, e query.Elem) (bool, error) {
+	vars := map[string]expr.Value{
+		"kind": expr.String(e.Kind()),
+		"id":   expr.String(e.Ident()),
+		"type": expr.String(e.TypeName()),
+	}
+	node := e
+	// Bind the candidate's numeric and string attributes.
+	for _, attrName := range []string{
+		"frequency", "static_power", "compute_capability", "num_cores", "size",
+	} {
+		if f, ok := node.GetFloat(attrName); ok {
+			vars[attrName] = expr.Number(f)
+		} else if str, ok := node.GetString(attrName); ok {
+			vars[attrName] = expr.String(str)
+		}
+	}
+	vars["cores"] = expr.Number(float64(e.NumCores()))
+	return expr.EvalBool(where, s.Env(vars))
+}

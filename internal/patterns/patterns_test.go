@@ -1,0 +1,181 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/query"
+	"xpdl/internal/rtmodel"
+	"xpdl/internal/units"
+)
+
+// session builds a host+2 GPUs platform, optionally tagging roles.
+func session(withRoles bool, gpus int) *query.Session {
+	sys := model.New("system")
+	sys.ID = "s"
+	cpu := model.New("cpu")
+	cpu.ID = "host"
+	cpu.SetQuantity("frequency", units.MustParse("2", "GHz"))
+	for i := 0; i < 4; i++ {
+		cpu.Children = append(cpu.Children, model.New("core"))
+	}
+	if withRoles {
+		cpu.SetAttr("role", model.Attr{Raw: "master"})
+	}
+	sys.Children = append(sys.Children, cpu)
+	for i := 0; i < gpus; i++ {
+		d := model.New("device")
+		d.ID = "gpu" + string(rune('0'+i))
+		d.SetAttr("compute_capability", model.Attr{Raw: "3.5",
+			Quantity: units.Quantity{Value: 3.5}, HasQuantity: true})
+		if withRoles {
+			d.SetAttr("role", model.Attr{Raw: "worker"})
+		}
+		sys.Children = append(sys.Children, d)
+	}
+	return query.NewSession(rtmodel.Build(sys))
+}
+
+func TestMasterWorkerMatch(t *testing.T) {
+	s := session(true, 2)
+	b, err := Match(MasterWorker(1), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Slot("master"); len(got) != 1 || got[0] != "host" {
+		t.Fatalf("master = %v", got)
+	}
+	if got := b.Slot("worker"); len(got) != 2 {
+		t.Fatalf("workers = %v", got)
+	}
+	if !strings.Contains(b.String(), "master=[host]") {
+		t.Fatalf("binding string = %s", b)
+	}
+}
+
+func TestMatchWithoutRoleHints(t *testing.T) {
+	// Roles are usually implied by the hardware blocks (Section II-A):
+	// matching works with no role attributes at all.
+	s := session(false, 1)
+	b, err := Match(MasterWorker(1), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Slot("worker")) != 1 {
+		t.Fatalf("workers = %v", b.Slot("worker"))
+	}
+}
+
+func TestRoleHintsExclude(t *testing.T) {
+	// A cpu explicitly tagged worker cannot fill the master slot.
+	sys := model.New("system")
+	sys.ID = "s"
+	cpu := model.New("cpu")
+	cpu.ID = "slave_cpu"
+	cpu.SetAttr("role", model.Attr{Raw: "worker"})
+	sys.Children = append(sys.Children, cpu)
+	s := query.NewSession(rtmodel.Build(sys))
+	if _, err := Match(MasterWorker(0), s); err == nil ||
+		!strings.Contains(err.Error(), `role "master"`) {
+		t.Fatalf("role hint not honored: %v", err)
+	}
+	// Hybrid hints can fill any slot.
+	cpu.SetAttr("role", model.Attr{Raw: "Hybrid"})
+	s2 := query.NewSession(rtmodel.Build(sys))
+	if _, err := Match(MasterWorker(0), s2); err != nil {
+		t.Fatalf("hybrid rejected: %v", err)
+	}
+}
+
+func TestUnderfilledRole(t *testing.T) {
+	s := session(true, 1)
+	if _, err := Match(MasterWorker(2), s); err == nil ||
+		!strings.Contains(err.Error(), "needs 2 candidate(s), found 1") {
+		t.Fatalf("underfill not reported: %v", err)
+	}
+}
+
+func TestWhereConstraint(t *testing.T) {
+	s := session(true, 2)
+	p := Pattern{
+		Name: "capable-worker",
+		Roles: []RoleSpec{
+			{Role: "worker", Kinds: []string{"device"}, Min: 1,
+				Where: "compute_capability >= 3.5"},
+		},
+	}
+	b, err := Match(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Slot("worker")) != 2 {
+		t.Fatalf("workers = %v", b.Slot("worker"))
+	}
+	p.Roles[0].Where = "compute_capability >= 5"
+	if _, err := Match(p, s); err == nil {
+		t.Fatal("unsatisfiable Where matched")
+	}
+	p.Roles[0].Where = "1 +"
+	if _, err := Match(p, s); err == nil {
+		t.Fatal("bad Where expression accepted")
+	}
+}
+
+func TestWherePlatformFunctions(t *testing.T) {
+	s := session(true, 1)
+	p := Pattern{
+		Name: "big-host",
+		Roles: []RoleSpec{
+			{Role: "master", Kinds: []string{"cpu"}, Min: 1,
+				Where: "cores >= 4 && frequency >= 1e9 && kind == 'cpu'"},
+		},
+	}
+	if _, err := Match(p, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxBound(t *testing.T) {
+	s := session(true, 2)
+	p := Pattern{
+		Name: "one-worker",
+		Roles: []RoleSpec{
+			{Role: "worker", Kinds: []string{"device"}, Min: 1, Max: 1},
+		},
+	}
+	b, err := Match(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Slot("worker")) != 1 {
+		t.Fatalf("workers = %v", b.Slot("worker"))
+	}
+}
+
+func TestNoDoubleBooking(t *testing.T) {
+	// The same element cannot fill two slots.
+	sys := model.New("system")
+	sys.ID = "s"
+	cpu := model.New("cpu")
+	cpu.ID = "only"
+	sys.Children = append(sys.Children, cpu)
+	s := query.NewSession(rtmodel.Build(sys))
+	p := Pattern{
+		Name: "double",
+		Roles: []RoleSpec{
+			{Role: "a", Kinds: []string{"cpu"}, Min: 1},
+			{Role: "b", Kinds: []string{"cpu"}, Min: 1},
+		},
+	}
+	if _, err := Match(p, s); err == nil {
+		t.Fatal("element double-booked")
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	s := query.NewSession(&rtmodel.Model{})
+	if _, err := Match(MasterWorker(1), s); err == nil {
+		t.Fatal("empty model matched")
+	}
+}

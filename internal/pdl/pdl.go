@@ -1,0 +1,368 @@
+// Package pdl implements the PEPPHER Platform Description Language that
+// Section II of the XPDL paper reviews — the baseline XPDL was designed
+// to replace. PDL organizes a single-node heterogeneous system as a
+// control-relation tree of Master/Hybrid/Worker processing units, plus
+// memory regions and interconnects, with all other information (e.g.
+// installed software) carried by free-form string key-value properties,
+// and a basic query language to look properties up.
+//
+// The package provides the PDL parser/validator, the property query
+// language, a PDL→XPDL converter, and a monolithic-cluster synthesizer
+// used by the modularity comparison experiment (EXPERIMENTS.md E7):
+// PDL has no cross-file reuse mechanism, so multi-node systems replicate
+// their per-node descriptions inline.
+package pdl
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/model"
+)
+
+// Role is the control role of a processing unit (Section II-A).
+type Role string
+
+// The three PDL control roles.
+const (
+	Master Role = "Master"
+	Hybrid Role = "Hybrid"
+	Worker Role = "Worker"
+)
+
+// PU is one processing unit in the control hierarchy.
+type PU struct {
+	ID       string
+	Role     Role
+	Props    map[string]string
+	Children []*PU
+}
+
+// MemoryRegion is a PDL data storage facility.
+type MemoryRegion struct {
+	ID    string
+	Scope string // e.g. global, device
+	Props map[string]string
+}
+
+// Interconnect is a PDL communication facility between two or more PUs.
+type Interconnect struct {
+	ID        string
+	Endpoints []string
+	Props     map[string]string
+}
+
+// Platform is a complete PDL platform description.
+type Platform struct {
+	Name          string
+	Root          *PU // the Master PU
+	Memories      []MemoryRegion
+	Interconnects []Interconnect
+	Props         map[string]string // platform-level properties
+}
+
+// Parse reads a PDL document. It enforces the paper's control-relation
+// rules: exactly one Master at the root of the PU tree, Worker PUs as
+// leaves, Hybrid PUs as inner nodes.
+func Parse(filename string, src []byte) (*Platform, error) {
+	root, err := ast.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	if root.Name != "platform" {
+		return nil, fmt.Errorf("pdl: root element is <%s>, want <platform>", root.Name)
+	}
+	p := &Platform{
+		Name:  root.AttrDefault("name", ""),
+		Props: map[string]string{},
+	}
+	for _, ch := range root.Children {
+		switch ch.Name {
+		case "processingunit":
+			pu, err := parsePU(ch)
+			if err != nil {
+				return nil, err
+			}
+			if p.Root != nil {
+				return nil, fmt.Errorf("pdl: %s: multiple top-level processing units", ch.Pos)
+			}
+			p.Root = pu
+		case "memoryregion":
+			p.Memories = append(p.Memories, MemoryRegion{
+				ID:    ch.AttrDefault("id", ""),
+				Scope: ch.AttrDefault("scope", ""),
+				Props: parseProps(ch),
+			})
+		case "interconnect":
+			p.Interconnects = append(p.Interconnects, Interconnect{
+				ID:        ch.AttrDefault("id", ""),
+				Endpoints: strings.Fields(ch.AttrDefault("endpoints", "")),
+				Props:     parseProps(ch),
+			})
+		case "property":
+			p.Props[ch.AttrDefault("name", "")] = ch.AttrDefault("value", "")
+		default:
+			return nil, fmt.Errorf("pdl: %s: unknown element <%s>", ch.Pos, ch.Name)
+		}
+	}
+	if p.Root == nil {
+		return nil, fmt.Errorf("pdl: %s has no processing unit tree", filename)
+	}
+	if p.Root.Role != Master {
+		return nil, fmt.Errorf("pdl: root PU %q has role %s, want Master", p.Root.ID, p.Root.Role)
+	}
+	if err := validatePU(p.Root, true); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parsePU(e *ast.Element) (*PU, error) {
+	roleStr := e.AttrDefault("role", "")
+	role := Role(roleStr)
+	switch role {
+	case Master, Hybrid, Worker:
+	default:
+		return nil, fmt.Errorf("pdl: %s: PU %q has invalid role %q", e.Pos, e.AttrDefault("id", ""), roleStr)
+	}
+	pu := &PU{
+		ID:    e.AttrDefault("id", ""),
+		Role:  role,
+		Props: parseProps(e),
+	}
+	if pu.ID == "" {
+		return nil, fmt.Errorf("pdl: %s: PU without id", e.Pos)
+	}
+	for _, ch := range e.ChildrenNamed("processingunit") {
+		sub, err := parsePU(ch)
+		if err != nil {
+			return nil, err
+		}
+		pu.Children = append(pu.Children, sub)
+	}
+	return pu, nil
+}
+
+func parseProps(e *ast.Element) map[string]string {
+	props := map[string]string{}
+	for _, pe := range e.ChildrenNamed("property") {
+		props[pe.AttrDefault("name", "")] = pe.AttrDefault("value", "")
+	}
+	return props
+}
+
+func validatePU(pu *PU, isRoot bool) error {
+	switch pu.Role {
+	case Master:
+		if !isRoot {
+			return fmt.Errorf("pdl: Master PU %q below the root", pu.ID)
+		}
+	case Worker:
+		if len(pu.Children) > 0 {
+			return fmt.Errorf("pdl: Worker PU %q has nested PUs (workers cannot launch computations)", pu.ID)
+		}
+	}
+	for _, c := range pu.Children {
+		if err := validatePU(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- The basic property query language ----
+
+// Query evaluates one PDL property query of the forms
+//
+//	exists(<scope>.<NAME>)   — property existence
+//	<scope>.<NAME>           — property value lookup
+//
+// where <scope> is "platform", a PU id, a memory region id or an
+// interconnect id. It returns the result value ("true"/"false" for
+// exists) and whether evaluation succeeded.
+func (p *Platform) Query(q string) (string, bool) {
+	q = strings.TrimSpace(q)
+	if inner, ok := strings.CutPrefix(q, "exists("); ok {
+		inner = strings.TrimSuffix(inner, ")")
+		_, found := p.lookup(inner)
+		if found {
+			return "true", true
+		}
+		return "false", true
+	}
+	return p.lookup(q)
+}
+
+func (p *Platform) lookup(path string) (string, bool) {
+	scope, name, ok := strings.Cut(strings.TrimSpace(path), ".")
+	if !ok {
+		return "", false
+	}
+	if scope == "platform" {
+		v, ok := p.Props[name]
+		return v, ok
+	}
+	if pu := p.FindPU(scope); pu != nil {
+		v, ok := pu.Props[name]
+		return v, ok
+	}
+	for _, m := range p.Memories {
+		if m.ID == scope {
+			v, ok := m.Props[name]
+			return v, ok
+		}
+	}
+	for _, ic := range p.Interconnects {
+		if ic.ID == scope {
+			v, ok := ic.Props[name]
+			return v, ok
+		}
+	}
+	return "", false
+}
+
+// FindPU locates a processing unit by id.
+func (p *Platform) FindPU(id string) *PU {
+	var rec func(pu *PU) *PU
+	rec = func(pu *PU) *PU {
+		if pu.ID == id {
+			return pu
+		}
+		for _, c := range pu.Children {
+			if got := rec(c); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	if p.Root == nil {
+		return nil
+	}
+	return rec(p.Root)
+}
+
+// CountPUs returns the number of processing units.
+func (p *Platform) CountPUs() int {
+	n := 0
+	var rec func(pu *PU)
+	rec = func(pu *PU) {
+		n++
+		for _, c := range pu.Children {
+			rec(c)
+		}
+	}
+	if p.Root != nil {
+		rec(p.Root)
+	}
+	return n
+}
+
+// ---- PDL → XPDL conversion ----
+
+// ToXPDL converts the platform into an XPDL component tree: the control
+// tree becomes hardware structure (Master/Hybrid → cpu, Worker → device
+// with role attributes preserved as the paper's "secondary aspect"),
+// memory regions become <memory>, interconnects become <interconnect>
+// instances, and all properties become <properties> entries.
+func (p *Platform) ToXPDL() *model.Component {
+	sys := model.New("system")
+	sys.ID = p.Name
+	if sys.ID == "" {
+		sys.ID = "pdl_platform"
+	}
+	var convertPU func(pu *PU) *model.Component
+	convertPU = func(pu *PU) *model.Component {
+		var c *model.Component
+		if pu.Role == Worker {
+			c = model.New("device")
+		} else {
+			c = model.New("cpu")
+		}
+		c.ID = pu.ID
+		c.SetAttr("role", model.Attr{Raw: strings.ToLower(string(pu.Role))})
+		addProps(c, pu.Props)
+		for _, sub := range pu.Children {
+			c.Children = append(c.Children, convertPU(sub))
+		}
+		return c
+	}
+	if p.Root != nil {
+		sys.Children = append(sys.Children, convertPU(p.Root))
+	}
+	for _, m := range p.Memories {
+		mc := model.New("memory")
+		mc.ID = m.ID
+		if m.Scope != "" {
+			mc.Type = m.Scope
+		}
+		addProps(mc, m.Props)
+		sys.Children = append(sys.Children, mc)
+	}
+	if len(p.Interconnects) > 0 {
+		ics := model.New("interconnects")
+		for _, ic := range p.Interconnects {
+			icc := model.New("interconnect")
+			icc.ID = ic.ID
+			if len(ic.Endpoints) >= 2 {
+				icc.SetAttr("head", model.Attr{Raw: ic.Endpoints[0]})
+				icc.SetAttr("tail", model.Attr{Raw: ic.Endpoints[1]})
+			}
+			addProps(icc, ic.Props)
+			ics.Children = append(ics.Children, icc)
+		}
+		sys.Children = append(sys.Children, ics)
+	}
+	addProps(sys, p.Props)
+	return sys
+}
+
+func addProps(c *model.Component, props map[string]string) {
+	for k, v := range props {
+		c.Properties = append(c.Properties, model.Property{
+			Name:  k,
+			Attrs: map[string]string{"value": v},
+		})
+	}
+}
+
+// ---- Monolithic cluster synthesis (modularity experiment) ----
+
+// SynthesizeCluster emits a monolithic PDL document for a cluster of
+// identical GPU nodes. PDL offers no submodel reuse, so every node's
+// CPU, GPU and properties are replicated inline — the duplication XPDL's
+// modular repository avoids (Section II-D). The node template carries
+// propsPerUnit free-form properties per unit to make the replication
+// cost realistic.
+func SynthesizeCluster(nodes, propsPerUnit int) string {
+	var b strings.Builder
+	b.WriteString(`<platform name="synthetic_cluster">` + "\n")
+	b.WriteString(`  <processingunit id="front" role="Master">` + "\n")
+	writeProps(&b, "    ", "FRONT", propsPerUnit)
+	for n := 0; n < nodes; n++ {
+		fmt.Fprintf(&b, `    <processingunit id="node%d_cpu" role="Hybrid">`+"\n", n)
+		writeProps(&b, "      ", fmt.Sprintf("N%d_CPU", n), propsPerUnit)
+		fmt.Fprintf(&b, `      <processingunit id="node%d_gpu0" role="Worker">`+"\n", n)
+		writeProps(&b, "        ", fmt.Sprintf("N%d_GPU0", n), propsPerUnit)
+		b.WriteString("      </processingunit>\n")
+		fmt.Fprintf(&b, `      <processingunit id="node%d_gpu1" role="Worker">`+"\n", n)
+		writeProps(&b, "        ", fmt.Sprintf("N%d_GPU1", n), propsPerUnit)
+		b.WriteString("      </processingunit>\n")
+		b.WriteString("    </processingunit>\n")
+	}
+	b.WriteString("  </processingunit>\n")
+	for n := 0; n < nodes; n++ {
+		fmt.Fprintf(&b, `  <memoryregion id="node%d_mem" scope="global">`+"\n", n)
+		writeProps(&b, "    ", fmt.Sprintf("N%d_MEM", n), propsPerUnit)
+		b.WriteString("  </memoryregion>\n")
+		fmt.Fprintf(&b, `  <interconnect id="node%d_pcie" endpoints="node%d_cpu node%d_gpu0"/>`+"\n", n, n, n)
+	}
+	b.WriteString("</platform>\n")
+	return b.String()
+}
+
+func writeProps(b *strings.Builder, indent, prefix string, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(b, `%s<property name="%s_PROP_%d" value="v%d"/>`+"\n", indent, prefix, i, i)
+	}
+}

@@ -1,0 +1,188 @@
+package pdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const gpuServer = `
+<platform name="gpu_server">
+  <processingunit id="cpu0" role="Master">
+    <property name="x86_MAX_CLOCK_FREQUENCY" value="2300000"/>
+    <processingunit id="gpu0" role="Worker">
+      <property name="CUDA_CAPABILITY" value="3.5"/>
+    </processingunit>
+  </processingunit>
+  <memoryregion id="main" scope="global">
+    <property name="SIZE_MB" value="16384"/>
+  </memoryregion>
+  <interconnect id="pcie" endpoints="cpu0 gpu0">
+    <property name="BANDWIDTH_GBPS" value="6"/>
+  </interconnect>
+  <property name="INSTALLED_CUBLAS" value="/usr/lib"/>
+</platform>`
+
+func parse(t *testing.T, src string) *Platform {
+	t.Helper()
+	p, err := Parse("test.pdl", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseGPUServer(t *testing.T) {
+	p := parse(t, gpuServer)
+	if p.Name != "gpu_server" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if p.Root.ID != "cpu0" || p.Root.Role != Master {
+		t.Fatalf("root = %+v", p.Root)
+	}
+	if p.CountPUs() != 2 {
+		t.Fatalf("PUs = %d", p.CountPUs())
+	}
+	gpu := p.FindPU("gpu0")
+	if gpu == nil || gpu.Role != Worker || gpu.Props["CUDA_CAPABILITY"] != "3.5" {
+		t.Fatalf("gpu0 = %+v", gpu)
+	}
+	if p.FindPU("nope") != nil {
+		t.Fatal("missing PU found")
+	}
+	if len(p.Memories) != 1 || p.Memories[0].Scope != "global" {
+		t.Fatalf("memories = %+v", p.Memories)
+	}
+	if len(p.Interconnects) != 1 || len(p.Interconnects[0].Endpoints) != 2 {
+		t.Fatalf("interconnects = %+v", p.Interconnects)
+	}
+	if p.Props["INSTALLED_CUBLAS"] != "/usr/lib" {
+		t.Fatal("platform property lost")
+	}
+}
+
+func TestControlRelationRules(t *testing.T) {
+	bad := []struct{ label, src string }{
+		{"no PU", `<platform name="x"><property name="a" value="b"/></platform>`},
+		{"root not master", `<platform><processingunit id="w" role="Worker"/></platform>`},
+		{"worker with children", `
+<platform><processingunit id="m" role="Master">
+  <processingunit id="w" role="Worker">
+    <processingunit id="w2" role="Worker"/>
+  </processingunit>
+</processingunit></platform>`},
+		{"nested master", `
+<platform><processingunit id="m" role="Master">
+  <processingunit id="m2" role="Master"/>
+</processingunit></platform>`},
+		{"bad role", `<platform><processingunit id="m" role="Chief"/></platform>`},
+		{"missing id", `<platform><processingunit role="Master"/></platform>`},
+		{"two roots", `
+<platform><processingunit id="m" role="Master"/><processingunit id="m2" role="Master"/></platform>`},
+		{"unknown element", `<platform><bogus/></platform>`},
+		{"wrong root", `<notplatform/>`},
+	}
+	for _, c := range bad {
+		if _, err := Parse("bad.pdl", []byte(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.label)
+		}
+	}
+	// Hybrid inner nodes are fine.
+	good := `
+<platform name="h"><processingunit id="m" role="Master">
+  <processingunit id="h1" role="Hybrid">
+    <processingunit id="w1" role="Worker"/>
+  </processingunit>
+</processingunit></platform>`
+	if _, err := Parse("good.pdl", []byte(good)); err != nil {
+		t.Fatalf("hybrid tree rejected: %v", err)
+	}
+}
+
+func TestQueryLanguage(t *testing.T) {
+	p := parse(t, gpuServer)
+	cases := []struct {
+		q    string
+		want string
+		ok   bool
+	}{
+		{"cpu0.x86_MAX_CLOCK_FREQUENCY", "2300000", true},
+		{"gpu0.CUDA_CAPABILITY", "3.5", true},
+		{"platform.INSTALLED_CUBLAS", "/usr/lib", true},
+		{"main.SIZE_MB", "16384", true},
+		{"pcie.BANDWIDTH_GBPS", "6", true},
+		{"exists(gpu0.CUDA_CAPABILITY)", "true", true},
+		{"exists(gpu0.MISSING)", "false", true},
+		{"exists(platform.INSTALLED_MKL)", "false", true},
+		{"gpu0.MISSING", "", false},
+		{"noscope", "", false},
+		{"ghost.PROP", "", false},
+	}
+	for _, c := range cases {
+		got, ok := p.Query(c.q)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Query(%q) = %q,%v want %q,%v", c.q, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestToXPDL(t *testing.T) {
+	p := parse(t, gpuServer)
+	sys := p.ToXPDL()
+	if sys.Kind != "system" || sys.ID != "gpu_server" {
+		t.Fatalf("system = %s", sys)
+	}
+	cpu := sys.FindByID("cpu0")
+	if cpu == nil || cpu.Kind != "cpu" || cpu.AttrRaw("role") != "master" {
+		t.Fatalf("cpu0 = %v", cpu)
+	}
+	gpu := sys.FindByID("gpu0")
+	if gpu == nil || gpu.Kind != "device" || gpu.AttrRaw("role") != "worker" {
+		t.Fatalf("gpu0 = %v", gpu)
+	}
+	if gpu.Property("CUDA_CAPABILITY") == nil {
+		t.Fatal("PU property lost")
+	}
+	mem := sys.FindByID("main")
+	if mem == nil || mem.Kind != "memory" || mem.Type != "global" {
+		t.Fatalf("memory = %v", mem)
+	}
+	ic := sys.FindByID("pcie")
+	if ic == nil || ic.AttrRaw("head") != "cpu0" || ic.AttrRaw("tail") != "gpu0" {
+		t.Fatalf("interconnect = %v", ic)
+	}
+	if sys.Property("INSTALLED_CUBLAS") == nil {
+		t.Fatal("platform property lost")
+	}
+	// Anonymous platform gets a default id.
+	p2 := parse(t, `<platform><processingunit id="m" role="Master"/></platform>`)
+	if p2.ToXPDL().ID != "pdl_platform" {
+		t.Fatal("default id missing")
+	}
+}
+
+func TestSynthesizeClusterGrowsLinearly(t *testing.T) {
+	one := SynthesizeCluster(1, 4)
+	four := SynthesizeCluster(4, 4)
+	p1, err := Parse("c1.pdl", []byte(one))
+	if err != nil {
+		t.Fatalf("1-node cluster invalid: %v", err)
+	}
+	p4, err := Parse("c4.pdl", []byte(four))
+	if err != nil {
+		t.Fatalf("4-node cluster invalid: %v", err)
+	}
+	// front + 3 PUs per node.
+	if p1.CountPUs() != 4 || p4.CountPUs() != 13 {
+		t.Fatalf("PUs = %d, %d", p1.CountPUs(), p4.CountPUs())
+	}
+	// Monolithic replication: the document grows nearly linearly in the
+	// node count (this is the duplication XPDL's modularity removes).
+	if len(four) < 3*len(one) {
+		t.Fatalf("expected ~4x growth: 1 node = %dB, 4 nodes = %dB", len(one), len(four))
+	}
+	// Per-unit properties are replicated per node.
+	if strings.Count(four, "_PROP_0") != strings.Count(one, "_PROP_0")*13/4 {
+		// Rough sanity only; exact bookkeeping checked via sizes above.
+		t.Logf("prop counts: %d vs %d", strings.Count(four, "_PROP_0"), strings.Count(one, "_PROP_0"))
+	}
+}

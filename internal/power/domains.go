@@ -1,0 +1,204 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/model"
+)
+
+// MemberRef references a hardware entity belonging to a power domain
+// (Listing 12: <core type="Leon"/>).
+type MemberRef struct {
+	Kind string
+	Type string
+	ID   string
+}
+
+// Domain is one power island: a set of components switched together.
+type Domain struct {
+	Name string
+	// CanSwitchOff is false for the main domain (enableSwitchOff="false").
+	CanSwitchOff bool
+	// SwitchOffCondition, when non-empty, is of the form "<group> off":
+	// the named domain group must be fully off before this domain may be
+	// switched off.
+	SwitchOffCondition string
+	Members            []MemberRef
+}
+
+// DomainSet is the parsed power-domain specification of one component.
+type DomainSet struct {
+	Name    string
+	Domains []Domain
+	// Groups maps a group name to the member domain names; both the
+	// enclosing named group and each expanded replica id form groups.
+	Groups map[string][]string
+}
+
+// Domain returns the named domain, or nil.
+func (ds *DomainSet) Domain(name string) *Domain {
+	for i := range ds.Domains {
+		if ds.Domains[i].Name == name {
+			return &ds.Domains[i]
+		}
+	}
+	return nil
+}
+
+// DomainsFromComponent parses a resolved <power_domains> component
+// (Listing 12). Replicated domains from expanded groups get unique
+// names by suffixing their replica index when needed.
+func DomainsFromComponent(c *model.Component) (*DomainSet, error) {
+	if c.Kind != "power_domains" {
+		return nil, fmt.Errorf("power: component %s is not power_domains", c)
+	}
+	ds := &DomainSet{Name: c.Ident(), Groups: map[string][]string{}}
+	used := map[string]bool{}
+
+	var rec func(x *model.Component, groups []string) error
+	rec = func(x *model.Component, groups []string) error {
+		for _, ch := range x.Children {
+			switch ch.Kind {
+			case "power_domain":
+				d := Domain{
+					Name:               ch.Name,
+					CanSwitchOff:       true,
+					SwitchOffCondition: ch.AttrRaw("switchoffCondition"),
+				}
+				if raw := ch.AttrRaw("enableSwitchOff"); strings.EqualFold(raw, "false") {
+					d.CanSwitchOff = false
+				}
+				for _, m := range ch.Children {
+					d.Members = append(d.Members, MemberRef{Kind: m.Kind, Type: m.Type, ID: m.ID})
+				}
+				if d.Name == "" {
+					d.Name = "domain"
+				}
+				if used[d.Name] {
+					for i := 0; ; i++ {
+						cand := fmt.Sprintf("%s%d", d.Name, i)
+						if !used[cand] {
+							d.Name = cand
+							break
+						}
+					}
+				}
+				used[d.Name] = true
+				ds.Domains = append(ds.Domains, d)
+				for _, g := range groups {
+					ds.Groups[g] = append(ds.Groups[g], d.Name)
+				}
+			case "group":
+				gs := groups
+				if n := ch.Ident(); n != "" {
+					gs = append(append([]string(nil), groups...), n)
+				}
+				if err := rec(ch, gs); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(c, nil); err != nil {
+		return nil, err
+	}
+	if len(ds.Domains) == 0 {
+		return nil, fmt.Errorf("power: %s declares no power domains", ds.Name)
+	}
+	return ds, nil
+}
+
+// DomainState tracks which domains are currently powered, enforcing the
+// switch-off rules of the specification.
+type DomainState struct {
+	set *DomainSet
+	on  map[string]bool
+}
+
+// NewDomainState returns the all-on initial state.
+func NewDomainState(set *DomainSet) *DomainState {
+	st := &DomainState{set: set, on: map[string]bool{}}
+	for _, d := range set.Domains {
+		st.on[d.Name] = true
+	}
+	return st
+}
+
+// On reports whether the domain is powered.
+func (s *DomainState) On(name string) bool { return s.on[name] }
+
+// OnCount returns the number of powered domains.
+func (s *DomainState) OnCount() int {
+	n := 0
+	for _, v := range s.on {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// groupOff reports whether every domain of the named group is off.
+func (s *DomainState) groupOff(group string) bool {
+	members, ok := s.set.Groups[group]
+	if !ok {
+		return false
+	}
+	for _, m := range members {
+		if s.on[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// SwitchOff powers a domain down, enforcing enableSwitchOff and the
+// switchoffCondition ("<group> off").
+func (s *DomainState) SwitchOff(name string) error {
+	d := s.set.Domain(name)
+	if d == nil {
+		return fmt.Errorf("power: unknown domain %q", name)
+	}
+	if !d.CanSwitchOff {
+		return fmt.Errorf("power: domain %q is the main domain and cannot be switched off", name)
+	}
+	if cond := strings.TrimSpace(d.SwitchOffCondition); cond != "" {
+		fields := strings.Fields(cond)
+		if len(fields) != 2 || fields[1] != "off" {
+			return fmt.Errorf("power: domain %q has unsupported switchoffCondition %q", name, cond)
+		}
+		if !s.groupOff(fields[0]) {
+			return fmt.Errorf("power: domain %q requires group %q to be off first", name, fields[0])
+		}
+	}
+	if !s.on[name] {
+		return nil // idempotent
+	}
+	s.on[name] = false
+	return nil
+}
+
+// SwitchOn powers a domain up. A domain that other on-domains depend on
+// can always be re-enabled.
+func (s *DomainState) SwitchOn(name string) error {
+	if s.set.Domain(name) == nil {
+		return fmt.Errorf("power: unknown domain %q", name)
+	}
+	s.on[name] = true
+	return nil
+}
+
+// OnDomains returns the names of all powered domains, sorted.
+func (s *DomainState) OnDomains() []string {
+	var out []string
+	for name, on := range s.on {
+		if on {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

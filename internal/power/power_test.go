@@ -1,0 +1,358 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xpdl/internal/parser"
+	"xpdl/internal/repo"
+	"xpdl/internal/resolve"
+)
+
+// listing13 reproduces the paper's PSM example with concrete values.
+const listing13 = `
+<power_state_machine name="power_state_machine1" power_domain="xyCPU_core_pd">
+  <power_states>
+    <power_state name="P1" frequency="1.2" frequency_unit="GHz" power="20" power_unit="W" />
+    <power_state name="P2" frequency="1.6" frequency_unit="GHz" power="27" power_unit="W" />
+    <power_state name="P3" frequency="2.0" frequency_unit="GHz" power="38" power_unit="W" />
+  </power_states>
+  <transitions>
+    <transition head="P2" tail="P1" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+    <transition head="P3" tail="P2" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+    <transition head="P1" tail="P3" time="2" time_unit="us" energy="5" energy_unit="nJ"/>
+  </transitions>
+</power_state_machine>`
+
+func parsePSM(t *testing.T) *StateMachine {
+	t.Helper()
+	p := parser.New()
+	c, _, err := p.ParseFile("psm.xpdl", []byte(listing13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := StateMachineFromComponent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func TestPSMFromComponent(t *testing.T) {
+	sm := parsePSM(t)
+	if sm.Name != "power_state_machine1" || sm.Domain != "xyCPU_core_pd" {
+		t.Fatalf("identity: %q %q", sm.Name, sm.Domain)
+	}
+	if len(sm.States) != 3 {
+		t.Fatalf("states = %d", len(sm.States))
+	}
+	p1, ok := sm.State("P1")
+	if !ok || p1.FreqHz != 1.2e9 || p1.PowerW != 20 {
+		t.Fatalf("P1 = %+v", p1)
+	}
+	tr, ok := sm.Transition("P2", "P1")
+	if !ok || tr.TimeS != 1e-6 || tr.EnergyJ != 2e-9 {
+		t.Fatalf("P2->P1 = %+v", tr)
+	}
+	if _, ok := sm.Transition("P1", "P2"); ok {
+		t.Fatal("reverse transition should not exist directly")
+	}
+	if got := len(sm.Transitions()); got != 3 {
+		t.Fatalf("transitions = %d", got)
+	}
+}
+
+func TestPSMValidateCycle(t *testing.T) {
+	sm := parsePSM(t)
+	// Listing 13 forms a cycle P1->P3->P2->P1: fully reachable.
+	if err := sm.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Remove a transition: unreachable states must be reported.
+	bad, err := NewStateMachine("bad", "d",
+		[]State{{Name: "A", FreqHz: 1e9, PowerW: 10}, {Name: "B", FreqHz: 2e9, PowerW: 20}},
+		[]Transition{{Head: "A", Tail: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable not reported: %v", err)
+	}
+}
+
+func TestNewStateMachineErrors(t *testing.T) {
+	if _, err := NewStateMachine("x", "d",
+		[]State{{Name: "A"}, {Name: "A"}}, nil); err == nil {
+		t.Fatal("duplicate state accepted")
+	}
+	if _, err := NewStateMachine("x", "d",
+		[]State{{Name: "A"}}, []Transition{{Head: "A", Tail: "Z"}}); err == nil {
+		t.Fatal("dangling transition accepted")
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	sm := parsePSM(t)
+	// Direct: P3 -> P2.
+	tt, te, ok := sm.PathCost("P3", "P2")
+	if !ok || tt != 1e-6 || te != 2e-9 {
+		t.Fatalf("P3->P2 = %g %g %v", tt, te, ok)
+	}
+	// Multi-hop: P2 -> P3 must go P2->P1->P3.
+	tt, te, ok = sm.PathCost("P2", "P3")
+	if !ok || math.Abs(tt-3e-6) > 1e-15 || math.Abs(te-7e-9) > 1e-18 {
+		t.Fatalf("P2->P3 = %g %g %v", tt, te, ok)
+	}
+	if _, _, ok := sm.PathCost("P1", "P1"); !ok {
+		t.Fatal("self path should exist")
+	}
+}
+
+func TestSimulateSchedule(t *testing.T) {
+	sm := parsePSM(t)
+	timeS, energyJ, err := sm.Simulate("P3", []Step{
+		{State: "P3", Duration: 1.0},
+		{State: "P2", Duration: 2.0},
+		{State: "P1", Duration: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := 1.0 + 1e-6 + 2.0 + 1e-6 + 1.0
+	wantE := 38*1.0 + 2e-9 + 27*2.0 + 2e-9 + 20*1.0
+	if math.Abs(timeS-wantT) > 1e-9 || math.Abs(energyJ-wantE) > 1e-6 {
+		t.Fatalf("simulate = %g %g, want %g %g", timeS, energyJ, wantT, wantE)
+	}
+	if _, _, err := sm.Simulate("ZZ", nil); err == nil {
+		t.Fatal("unknown start accepted")
+	}
+	if _, _, err := sm.Simulate("P1", []Step{{State: "ZZ"}}); err == nil {
+		t.Fatal("unknown step state accepted")
+	}
+}
+
+func TestOptimizeVsBaselines(t *testing.T) {
+	sm := parsePSM(t)
+	// 3e9 cycles with a 2.0s deadline: P3 finishes in 1.5s, P2 in 1.875s,
+	// P1 misses (2.5s). Energies (static residency only):
+	//   P3: 1.5*38 = 57 J + slack rest in P1: ~0.5*20 = 10 J => ~67 J
+	//   P2: 1.875*27 = 50.6 J + ~0.125*20 = 2.5 J        => ~53 J
+	// Optimal is P2; race-to-idle uses P3.
+	w := Workload{Cycles: 3e9, DeadlineS: 2.0}
+	opt, err := sm.Optimize("P3", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Steps[0].State != "P2" {
+		t.Fatalf("optimal state = %s (%s)", opt.Steps[0].State, opt)
+	}
+	race, err := sm.RaceToIdle("P3", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if race.Steps[0].State != "P3" {
+		t.Fatalf("race state = %s", race.Steps[0].State)
+	}
+	alwaysMax, err := sm.AlwaysMax("P3", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(opt.EnergyJ <= race.EnergyJ && race.EnergyJ <= alwaysMax.EnergyJ) {
+		t.Fatalf("energy ordering violated: opt=%g race=%g max=%g",
+			opt.EnergyJ, race.EnergyJ, alwaysMax.EnergyJ)
+	}
+	// All plans meet the deadline.
+	for _, p := range []Plan{opt, race, alwaysMax} {
+		if p.TimeS > w.DeadlineS+1e-9 {
+			t.Fatalf("%s misses deadline: %g", p.Policy, p.TimeS)
+		}
+	}
+	if !strings.Contains(opt.String(), "optimal") {
+		t.Fatalf("plan string = %s", opt)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	sm := parsePSM(t)
+	// 10e9 cycles in 1s is impossible even at 2 GHz.
+	if _, err := sm.Optimize("P3", Workload{Cycles: 10e9, DeadlineS: 1.0}); err == nil {
+		t.Fatal("infeasible workload accepted")
+	}
+}
+
+func TestOptimizeNoDeadlinePicksLowestEnergy(t *testing.T) {
+	sm := parsePSM(t)
+	// Without a deadline the slowest state has the best energy per cycle
+	// here (20W/1.2GHz < 27/1.6 < 38/2.0).
+	p, err := sm.Optimize("P1", Workload{Cycles: 1.2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].State != "P1" {
+		t.Fatalf("no-deadline choice = %s", p.Steps[0].State)
+	}
+	if math.Abs(p.EnergyJ-20.0) > 1e-9 {
+		t.Fatalf("energy = %g", p.EnergyJ)
+	}
+}
+
+// listing12 reproduces the Myriad1 power domain specification.
+const listing12 = `
+<power_domains name="Myriad1_power_domains">
+  <power_domain name="main_pd" enableSwitchOff="false">
+    <core type="Leon" />
+  </power_domain>
+  <group name="Shave_pds" quantity="8">
+    <power_domain name="Shave_pd">
+      <core type="Myriad1_Shave" />
+    </power_domain>
+  </group>
+  <power_domain name="CMX_pd" switchoffCondition="Shave_pds off">
+    <memory type="CMX" />
+  </power_domain>
+</power_domains>`
+
+func parseDomains(t *testing.T) *DomainSet {
+	t.Helper()
+	p := parser.New()
+	c, _, err := p.ParseFile("pd.xpdl", []byte(listing12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := repo.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	res := resolve.New(rp)
+	expanded, err := res.ResolveSystem("Myriad1_power_domains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := DomainsFromComponent(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDomainsFromListing12(t *testing.T) {
+	ds := parseDomains(t)
+	if len(ds.Domains) != 10 {
+		t.Fatalf("domains = %d, want 10", len(ds.Domains))
+	}
+	main := ds.Domain("main_pd")
+	if main == nil || main.CanSwitchOff {
+		t.Fatalf("main_pd = %+v", main)
+	}
+	if len(main.Members) != 1 || main.Members[0].Type != "Leon" {
+		t.Fatalf("main members = %+v", main.Members)
+	}
+	cmx := ds.Domain("CMX_pd")
+	if cmx == nil || cmx.SwitchOffCondition != "Shave_pds off" {
+		t.Fatalf("cmx = %+v", cmx)
+	}
+	group := ds.Groups["Shave_pds"]
+	if len(group) != 8 {
+		t.Fatalf("Shave_pds group = %v", group)
+	}
+	if ds.Domain("missing") != nil {
+		t.Fatal("missing domain should be nil")
+	}
+}
+
+func TestDomainStateRules(t *testing.T) {
+	ds := parseDomains(t)
+	st := NewDomainState(ds)
+	if st.OnCount() != 10 {
+		t.Fatalf("initial on = %d", st.OnCount())
+	}
+	// Main domain cannot be switched off.
+	if err := st.SwitchOff("main_pd"); err == nil {
+		t.Fatal("main_pd switched off")
+	}
+	// CMX cannot go down while Shaves are on.
+	if err := st.SwitchOff("CMX_pd"); err == nil ||
+		!strings.Contains(err.Error(), "Shave_pds") {
+		t.Fatalf("CMX condition not enforced: %v", err)
+	}
+	// Switch all Shaves off, then CMX.
+	for _, name := range ds.Groups["Shave_pds"] {
+		if err := st.SwitchOff(name); err != nil {
+			t.Fatalf("switch off %s: %v", name, err)
+		}
+	}
+	if err := st.SwitchOff("CMX_pd"); err != nil {
+		t.Fatalf("CMX off after Shaves: %v", err)
+	}
+	if st.On("CMX_pd") {
+		t.Fatal("CMX still on")
+	}
+	if st.OnCount() != 1 {
+		t.Fatalf("on count = %d", st.OnCount())
+	}
+	if got := st.OnDomains(); len(got) != 1 || got[0] != "main_pd" {
+		t.Fatalf("on domains = %v", got)
+	}
+	// Re-enable a Shave; CMX can come back too.
+	if err := st.SwitchOn(ds.Groups["Shave_pds"][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SwitchOn("CMX_pd"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown domains error.
+	if err := st.SwitchOff("nope"); err == nil {
+		t.Fatal("unknown switch off accepted")
+	}
+	if err := st.SwitchOn("nope"); err == nil {
+		t.Fatal("unknown switch on accepted")
+	}
+	// Idempotent off.
+	sh := ds.Groups["Shave_pds"][1]
+	if err := st.SwitchOff(sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SwitchOff(sh); err != nil {
+		t.Fatal("second switch off should be idempotent")
+	}
+}
+
+func TestDomainsErrors(t *testing.T) {
+	p := parser.New()
+	c, _, err := p.ParseFile("x.xpdl", []byte(`<power_domains name="empty"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DomainsFromComponent(c); err == nil {
+		t.Fatal("empty domain set accepted")
+	}
+	c2, _, err := p.ParseFile("y.xpdl", []byte(`<cpu name="c"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DomainsFromComponent(c2); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestStateMachineFromWrongKind(t *testing.T) {
+	p := parser.New()
+	c, _, err := p.ParseFile("z.xpdl", []byte(`<cpu name="c"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StateMachineFromComponent(c); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	c2, _, err := p.ParseFile("w.xpdl", []byte(`<power_state_machine name="e"><power_states/></power_state_machine>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StateMachineFromComponent(c2); err == nil {
+		t.Fatal("empty PSM accepted")
+	}
+}

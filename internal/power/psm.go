@@ -1,0 +1,426 @@
+// Package power implements XPDL power modeling (Section III-C): power
+// domains (power islands) with switch-off rules, power state machines
+// abstracting the DVFS P-states and sleep C-states of a domain, and an
+// energy optimizer that selects power states for a phased workload —
+// the kind of platform-aware optimization the EXCESS framework layers on
+// top of XPDL models.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"xpdl/internal/model"
+)
+
+// State is one power state of a PSM: a (frequency, static power) level.
+type State struct {
+	Name   string
+	FreqHz float64 // 0 for sleep/off states
+	PowerW float64
+}
+
+// Transition is one programmer-initiated state switch with its overhead
+// costs (Listing 13).
+type Transition struct {
+	Head, Tail string
+	TimeS      float64
+	EnergyJ    float64
+}
+
+// StateMachine is the power state machine of one power domain.
+type StateMachine struct {
+	Name   string
+	Domain string
+	States []State
+
+	byName map[string]int
+	trans  map[[2]string]Transition
+}
+
+// NewStateMachine builds a PSM from explicit states and transitions.
+func NewStateMachine(name, domain string, states []State, transitions []Transition) (*StateMachine, error) {
+	sm := &StateMachine{
+		Name: name, Domain: domain,
+		States: append([]State(nil), states...),
+		byName: map[string]int{},
+		trans:  map[[2]string]Transition{},
+	}
+	for i, s := range sm.States {
+		if _, dup := sm.byName[s.Name]; dup {
+			return nil, fmt.Errorf("power: duplicate state %q in %s", s.Name, name)
+		}
+		sm.byName[s.Name] = i
+	}
+	for _, t := range transitions {
+		if _, ok := sm.byName[t.Head]; !ok {
+			return nil, fmt.Errorf("power: transition references unknown state %q", t.Head)
+		}
+		if _, ok := sm.byName[t.Tail]; !ok {
+			return nil, fmt.Errorf("power: transition references unknown state %q", t.Tail)
+		}
+		sm.trans[[2]string{t.Head, t.Tail}] = t
+	}
+	return sm, nil
+}
+
+// StateMachineFromComponent parses a resolved <power_state_machine>
+// component (Listing 13).
+func StateMachineFromComponent(c *model.Component) (*StateMachine, error) {
+	if c.Kind != "power_state_machine" {
+		return nil, fmt.Errorf("power: component %s is not a power_state_machine", c)
+	}
+	var states []State
+	var transitions []Transition
+	if ps := c.FirstChildKind("power_states"); ps != nil {
+		for _, s := range ps.ChildrenKind("power_state") {
+			st := State{Name: s.Name}
+			if q, ok := s.QuantityAttr("frequency"); ok {
+				st.FreqHz = q.Value
+			}
+			if q, ok := s.QuantityAttr("power"); ok {
+				st.PowerW = q.Value
+			}
+			states = append(states, st)
+		}
+	}
+	if ts := c.FirstChildKind("transitions"); ts != nil {
+		for _, tr := range ts.ChildrenKind("transition") {
+			t := Transition{Head: tr.AttrRaw("head"), Tail: tr.AttrRaw("tail")}
+			if q, ok := tr.QuantityAttr("time"); ok {
+				t.TimeS = q.Value
+			}
+			if q, ok := tr.QuantityAttr("energy"); ok {
+				t.EnergyJ = q.Value
+			}
+			transitions = append(transitions, t)
+		}
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("power: %s has no power states", c.Ident())
+	}
+	return NewStateMachine(c.Ident(), c.AttrRaw("power_domain"), states, transitions)
+}
+
+// State returns the named state.
+func (sm *StateMachine) State(name string) (State, bool) {
+	i, ok := sm.byName[name]
+	if !ok {
+		return State{}, false
+	}
+	return sm.States[i], true
+}
+
+// Transition returns the direct transition from one state to another.
+func (sm *StateMachine) Transition(from, to string) (Transition, bool) {
+	t, ok := sm.trans[[2]string{from, to}]
+	return t, ok
+}
+
+// Transitions returns all transitions sorted by (head, tail).
+func (sm *StateMachine) Transitions() []Transition {
+	out := make([]Transition, 0, len(sm.trans))
+	for _, t := range sm.trans {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Head != out[j].Head {
+			return out[i].Head < out[j].Head
+		}
+		return out[i].Tail < out[j].Tail
+	})
+	return out
+}
+
+// Validate checks PSM well-formedness: the paper requires the machine to
+// model all switchings the programmer can initiate, so every state must
+// be reachable from every other state through the transition graph.
+func (sm *StateMachine) Validate() error {
+	if len(sm.States) == 0 {
+		return fmt.Errorf("power: %s: no states", sm.Name)
+	}
+	// Reachability via BFS from each state.
+	adj := map[string][]string{}
+	for key := range sm.trans {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, src := range sm.States {
+		seen := map[string]bool{src.Name: true}
+		queue := []string{src.Name}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nxt := range adj[cur] {
+				if !seen[nxt] {
+					seen[nxt] = true
+					queue = append(queue, nxt)
+				}
+			}
+		}
+		if len(seen) != len(sm.States) {
+			var missing []string
+			for _, s := range sm.States {
+				if !seen[s.Name] {
+					missing = append(missing, s.Name)
+				}
+			}
+			sort.Strings(missing)
+			return fmt.Errorf("power: %s: states %v unreachable from %s",
+				sm.Name, missing, src.Name)
+		}
+	}
+	return nil
+}
+
+// PathCost computes the total (time, energy) overhead of switching from
+// one state to another along the cheapest-energy path of explicit
+// transitions (Dijkstra over transition energy; the PSM graph is tiny).
+func (sm *StateMachine) PathCost(from, to string) (timeS, energyJ float64, ok bool) {
+	if from == to {
+		return 0, 0, true
+	}
+	const inf = math.MaxFloat64
+	distE := map[string]float64{}
+	distT := map[string]float64{}
+	for _, s := range sm.States {
+		distE[s.Name] = inf
+	}
+	distE[from] = 0
+	visited := map[string]bool{}
+	for {
+		cur, best := "", inf
+		for name, d := range distE {
+			if !visited[name] && d < best {
+				cur, best = name, d
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == to {
+			return distT[cur], distE[cur], true
+		}
+		visited[cur] = true
+		for key, t := range sm.trans {
+			if key[0] != cur {
+				continue
+			}
+			if nd := distE[cur] + t.EnergyJ; nd < distE[key[1]] {
+				distE[key[1]] = nd
+				distT[key[1]] = distT[cur] + t.TimeS
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// ---- Schedules and simulation ----
+
+// Step is one segment of a power schedule: stay in State for Duration
+// seconds (transition overheads are added automatically between steps).
+type Step struct {
+	State    string
+	Duration float64
+}
+
+// Simulate computes the total time and energy of executing a schedule
+// starting in `from`, including transition overheads (which consume
+// both time and energy on top of the residency costs).
+func (sm *StateMachine) Simulate(from string, steps []Step) (timeS, energyJ float64, err error) {
+	cur := from
+	if _, ok := sm.byName[cur]; !ok {
+		return 0, 0, fmt.Errorf("power: unknown start state %q", from)
+	}
+	for _, st := range steps {
+		s, ok := sm.State(st.State)
+		if !ok {
+			return 0, 0, fmt.Errorf("power: unknown state %q in schedule", st.State)
+		}
+		if st.State != cur {
+			tt, te, ok := sm.PathCost(cur, st.State)
+			if !ok {
+				return 0, 0, fmt.Errorf("power: no transition path %s -> %s", cur, st.State)
+			}
+			timeS += tt
+			energyJ += te
+			cur = st.State
+		}
+		timeS += st.Duration
+		energyJ += s.PowerW * st.Duration
+	}
+	return timeS, energyJ, nil
+}
+
+// ---- DVFS energy optimization ----
+
+// Plan is the result of an optimization: the chosen schedule with its
+// predicted cost.
+type Plan struct {
+	Steps   []Step
+	TimeS   float64
+	EnergyJ float64
+	Policy  string
+}
+
+// Workload describes one computation phase: Cycles of work that must
+// finish within Deadline seconds (0 = no deadline). EnergyPerCycleJ
+// adds frequency-independent dynamic energy per cycle on top of the
+// state's static power.
+type Workload struct {
+	Cycles          float64
+	DeadlineS       float64
+	EnergyPerCycleJ float64
+}
+
+// planFor computes the cost of running the full workload in a single
+// state, including the switch from `from`.
+func (sm *StateMachine) planFor(from string, s State, w Workload) (Plan, bool) {
+	if s.FreqHz <= 0 {
+		return Plan{}, false // sleep states cannot execute work
+	}
+	tt, te, ok := sm.PathCost(from, s.Name)
+	if !ok {
+		return Plan{}, false
+	}
+	runT := w.Cycles / s.FreqHz
+	total := tt + runT
+	if w.DeadlineS > 0 && total > w.DeadlineS+1e-12 {
+		return Plan{}, false
+	}
+	energy := te + s.PowerW*runT + w.EnergyPerCycleJ*w.Cycles
+	return Plan{
+		Steps:   []Step{{State: s.Name, Duration: runT}},
+		TimeS:   total,
+		EnergyJ: energy,
+	}, true
+}
+
+// Optimize picks the single execution state minimizing energy for the
+// workload under its deadline, starting from state `from`. If a
+// deadline exists and slack remains, remaining time until the deadline
+// is spent in the lowest-power state reachable from the execution state
+// (race-to-sleep for the residual).
+func (sm *StateMachine) Optimize(from string, w Workload) (Plan, error) {
+	best := Plan{EnergyJ: math.MaxFloat64}
+	found := false
+	for _, s := range sm.States {
+		p, ok := sm.planFor(from, s, w)
+		if !ok {
+			continue
+		}
+		// Fill deadline slack in the cheapest reachable state.
+		if w.DeadlineS > 0 && p.TimeS < w.DeadlineS {
+			slack := w.DeadlineS - p.TimeS
+			rest, extraT, extraE := sm.cheapestRest(s.Name, slack)
+			if rest != "" {
+				p.Steps = append(p.Steps, Step{State: rest, Duration: slack - extraT})
+				p.EnergyJ += extraE
+				p.TimeS = w.DeadlineS
+			} else {
+				// Stay put through the slack.
+				p.Steps = append(p.Steps, Step{State: s.Name, Duration: slack})
+				p.EnergyJ += s.PowerW * slack
+				p.TimeS = w.DeadlineS
+			}
+		}
+		if p.EnergyJ < best.EnergyJ {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("power: %s: no state meets deadline %.3gs for %.3g cycles",
+			sm.Name, w.DeadlineS, w.Cycles)
+	}
+	best.Policy = "optimal"
+	return best, nil
+}
+
+// cheapestRest finds the state with the lowest resting energy over the
+// slack interval, accounting for the switch cost to reach it.
+func (sm *StateMachine) cheapestRest(from string, slack float64) (name string, switchT, totalE float64) {
+	bestE := math.MaxFloat64
+	for _, s := range sm.States {
+		tt, te, ok := sm.PathCost(from, s.Name)
+		if !ok || tt > slack {
+			continue
+		}
+		e := te + s.PowerW*(slack-tt)
+		if e < bestE {
+			bestE = e
+			name, switchT, totalE = s.Name, tt, e
+		}
+	}
+	if name == "" {
+		return "", 0, 0
+	}
+	return name, switchT, totalE
+}
+
+// RaceToIdle runs the workload in the fastest state, then rests in the
+// cheapest reachable state until the deadline — the classic baseline
+// policy the optimizer is compared against.
+func (sm *StateMachine) RaceToIdle(from string, w Workload) (Plan, error) {
+	var fastest State
+	for _, s := range sm.States {
+		if s.FreqHz > fastest.FreqHz {
+			fastest = s
+		}
+	}
+	if fastest.FreqHz <= 0 {
+		return Plan{}, fmt.Errorf("power: %s has no executable state", sm.Name)
+	}
+	p, ok := sm.planFor(from, fastest, w)
+	if !ok {
+		return Plan{}, fmt.Errorf("power: fastest state %s misses deadline", fastest.Name)
+	}
+	if w.DeadlineS > 0 && p.TimeS < w.DeadlineS {
+		slack := w.DeadlineS - p.TimeS
+		rest, switchT, extraE := sm.cheapestRest(fastest.Name, slack)
+		if rest != "" {
+			p.Steps = append(p.Steps, Step{State: rest, Duration: slack - switchT})
+			p.EnergyJ += extraE
+			p.TimeS = w.DeadlineS
+		}
+	}
+	p.Policy = "race-to-idle"
+	return p, nil
+}
+
+// AlwaysMax runs the workload in the fastest state and stays there for
+// any deadline slack — the no-power-management baseline.
+func (sm *StateMachine) AlwaysMax(from string, w Workload) (Plan, error) {
+	var fastest State
+	for _, s := range sm.States {
+		if s.FreqHz > fastest.FreqHz {
+			fastest = s
+		}
+	}
+	if fastest.FreqHz <= 0 {
+		return Plan{}, fmt.Errorf("power: %s has no executable state", sm.Name)
+	}
+	p, ok := sm.planFor(from, fastest, w)
+	if !ok {
+		return Plan{}, fmt.Errorf("power: fastest state %s misses deadline", fastest.Name)
+	}
+	if w.DeadlineS > 0 && p.TimeS < w.DeadlineS {
+		slack := w.DeadlineS - p.TimeS
+		p.Steps = append(p.Steps, Step{State: fastest.Name, Duration: slack})
+		p.EnergyJ += fastest.PowerW * slack
+		p.TimeS = w.DeadlineS
+	}
+	p.Policy = "always-max"
+	return p, nil
+}
+
+// String renders the plan for tool output.
+func (p Plan) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = fmt.Sprintf("%s:%.3gs", s.State, s.Duration)
+	}
+	return fmt.Sprintf("[%s] %s time=%.4gs energy=%.4gJ",
+		p.Policy, strings.Join(parts, " "), p.TimeS, p.EnergyJ)
+}

@@ -1,0 +1,282 @@
+package query
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"xpdl/internal/expr"
+	"xpdl/internal/model"
+	"xpdl/internal/rtmodel"
+	"xpdl/internal/units"
+)
+
+// buildModel assembles a GPU-server runtime model resembling the paper's
+// liu_gpu_server (Listing 7) after composition.
+func buildModel() *rtmodel.Model {
+	sys := model.New("system")
+	sys.ID = "liu_gpu_server"
+
+	sock := model.New("socket")
+	cpu := model.New("cpu")
+	cpu.ID = "gpu_host"
+	cpu.Type = "Intel_Xeon_E5_2630L"
+	cpu.SetQuantity("static_power", units.MustParse("15", "W"))
+	cpu.SetQuantity("frequency", units.MustParse("2", "GHz"))
+	for i := 0; i < 4; i++ {
+		core := model.New("core")
+		core.SetQuantity("frequency", units.MustParse("2", "GHz"))
+		cpu.Children = append(cpu.Children, core)
+	}
+	l3 := model.New("cache")
+	l3.Name = "L3"
+	l3.SetQuantity("size", units.MustParse("15", "MiB"))
+	cpu.Children = append(cpu.Children, l3)
+	sock.Children = append(sock.Children, cpu)
+	sys.Children = append(sys.Children, sock)
+
+	gpu := model.New("device")
+	gpu.ID = "gpu1"
+	gpu.Type = "Nvidia_K20c"
+	gpu.SetQuantity("static_power", units.MustParse("25", "W"))
+	gpu.SetAttr("compute_capability", model.Attr{Raw: "3.5",
+		Quantity: units.Quantity{Value: 3.5}, HasQuantity: true})
+	for i := 0; i < 8; i++ {
+		gpu.Children = append(gpu.Children, model.New("core"))
+	}
+	pm := model.New("programming_model")
+	pm.SetAttr("type", model.Attr{Raw: "cuda6.0, opencl"})
+	gpu.Children = append(gpu.Children, pm)
+	sys.Children = append(sys.Children, gpu)
+
+	sw := model.New("software")
+	for _, pkg := range []string{"CUDA_6.0", "CUBLAS_6.0", "StarPU_1.0"} {
+		inst := model.New("installed")
+		inst.Type = pkg
+		inst.SetAttr("path", model.Attr{Raw: "/opt/" + pkg})
+		sw.Children = append(sw.Children, inst)
+	}
+	os := model.New("hostOS")
+	os.ID = "linux1"
+	os.Type = "Linux_3.10"
+	sw.Children = append(sw.Children, os)
+	sys.Children = append(sys.Children, sw)
+
+	return rtmodel.Build(sys)
+}
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	m := buildModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := InitReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInitFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.xrt")
+	if err := buildModel().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Init(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root().ID() != "liu_gpu_server" {
+		t.Fatalf("root id = %q", s.Root().ID())
+	}
+	if _, err := Init(filepath.Join(t.TempDir(), "nope.xrt")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if s.Model() == nil {
+		t.Fatal("Model accessor nil")
+	}
+}
+
+func TestBrowsing(t *testing.T) {
+	s := newSession(t)
+	root := s.Root()
+	if !root.Valid() || root.Kind() != "system" {
+		t.Fatalf("root = %v %q", root.Valid(), root.Kind())
+	}
+	kids := root.Children()
+	if len(kids) != 3 {
+		t.Fatalf("children = %d", len(kids))
+	}
+	socks := root.ChildrenOfKind("socket")
+	if len(socks) != 1 {
+		t.Fatalf("sockets = %d", len(socks))
+	}
+	cpu, ok := s.Find("gpu_host")
+	if !ok || cpu.TypeName() != "Intel_Xeon_E5_2630L" {
+		t.Fatalf("find cpu: %v", ok)
+	}
+	parent, ok := cpu.Parent()
+	if !ok || parent.Kind() != "socket" {
+		t.Fatal("parent browsing failed")
+	}
+	if _, ok := root.Parent(); ok {
+		t.Fatal("root should have no parent")
+	}
+	cores := cpu.Descendants("core")
+	if len(cores) != 4 {
+		t.Fatalf("cpu cores = %d", len(cores))
+	}
+	if _, ok := cpu.FirstChild("cache"); !ok {
+		t.Fatal("FirstChild cache failed")
+	}
+	if _, ok := cpu.FirstChild("gpu"); ok {
+		t.Fatal("FirstChild should miss")
+	}
+	if _, ok := s.Find("ghost"); ok {
+		t.Fatal("ghost found")
+	}
+	// Path of a core under the cpu.
+	if got := cpu.Path(); got != "liu_gpu_server/gpu_host" {
+		t.Fatalf("path = %q", got)
+	}
+}
+
+func TestGetters(t *testing.T) {
+	s := newSession(t)
+	cpu, _ := s.Find("gpu_host")
+	if v, ok := cpu.GetString("static_power"); !ok || v == "" {
+		t.Fatalf("GetString = %q %v", v, ok)
+	}
+	if f, ok := cpu.GetFloat("frequency"); !ok || f != 2e9 {
+		t.Fatalf("GetFloat = %v %v", f, ok)
+	}
+	q, ok := cpu.GetQuantity("static_power")
+	if !ok || q.Dim != units.Power || q.Value != 15 {
+		t.Fatalf("GetQuantity = %+v", q)
+	}
+	gpu, _ := s.Find("gpu1")
+	if n, ok := gpu.GetInt("compute_capability"); !ok || n != 3 {
+		t.Fatalf("GetInt = %d %v", n, ok)
+	}
+	if _, ok := gpu.GetFloat("nonexistent"); ok {
+		t.Fatal("missing attr returned")
+	}
+	if _, ok := gpu.GetBool("compute_capability"); ok {
+		t.Fatal("non-bool parsed as bool")
+	}
+	pd := model.New("power_domain")
+	pd.SetAttr("enableSwitchOff", model.Attr{Raw: "false"})
+	m := rtmodel.Build(pd)
+	s2 := NewSession(m)
+	if b, ok := s2.Root().GetBool("enableSwitchOff"); !ok || b {
+		t.Fatalf("GetBool = %v %v", b, ok)
+	}
+}
+
+func TestDerivedAnalysis(t *testing.T) {
+	s := newSession(t)
+	root := s.Root()
+	if n := root.NumCores(); n != 12 {
+		t.Fatalf("NumCores = %d", n)
+	}
+	if n := root.NumCUDADevices(); n != 1 {
+		t.Fatalf("NumCUDADevices = %d", n)
+	}
+	p := root.TotalStaticPower()
+	if p.Value != 40 || p.Dim != units.Power {
+		t.Fatalf("TotalStaticPower = %+v", p)
+	}
+	if v := root.SumAttr("frequency"); v != 2e9*5 {
+		t.Fatalf("SumAttr(frequency) = %v", v)
+	}
+	if mn, ok := root.MinAttr("static_power"); !ok || mn != 15 {
+		t.Fatalf("MinAttr = %v %v", mn, ok)
+	}
+	if _, ok := root.MinAttr("zz"); ok {
+		t.Fatal("MinAttr on absent attr")
+	}
+}
+
+func TestSoftwareIntrospection(t *testing.T) {
+	s := newSession(t)
+	if !s.Installed("CUBLAS") || !s.Installed("CUDA") || !s.Installed("StarPU") {
+		t.Fatal("installed software not found")
+	}
+	if s.Installed("MKL") {
+		t.Fatal("MKL should not be installed")
+	}
+	if !s.Installed("linux1") {
+		t.Fatal("hostOS lookup by id failed")
+	}
+	list := s.InstalledList()
+	if len(list) != 4 {
+		t.Fatalf("installed list = %v", list)
+	}
+	if !s.HasKind("device") || s.HasKind("cluster") {
+		t.Fatal("HasKind wrong")
+	}
+}
+
+func TestEnvConstraints(t *testing.T) {
+	s := newSession(t)
+	env := s.Env(map[string]expr.Value{"density": expr.Number(0.02)})
+	cases := map[string]bool{
+		`installed('CUBLAS') && num_cuda_devices() > 0`: true,
+		`installed('MKL')`:                          false,
+		`num_cores() >= 4`:                          true,
+		`has_kind('device') && density > 0.01`:      true,
+		`density > 0.5`:                             false,
+		`total_static_power() == 40`:                true,
+		`attr('gpu1', 'compute_capability') >= 3.5`: true,
+		`attr('gpu1', 'compute_capability') > 5`:    false,
+		`attr('ghost', 'x') == 0`:                   true,
+		`attr('gpu_host', 'nonexistent') == 0`:      true,
+		`min(num_cores(), 3) == 3`:                  true,
+	}
+	for src, want := range cases {
+		got, err := expr.EvalBool(src, env)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	s := newSession(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if s.Root().NumCores() != 12 {
+					t.Error("NumCores changed")
+					return
+				}
+				if _, ok := s.Find("gpu1"); !ok {
+					t.Error("Find failed")
+					return
+				}
+				s.Installed("CUBLAS")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEmptyModel(t *testing.T) {
+	s := NewSession(&rtmodel.Model{})
+	if s.Root().Valid() {
+		t.Fatal("empty model root should be invalid")
+	}
+	if s.HasKind("cpu") || s.Installed("x") || s.InstalledList() != nil {
+		t.Fatal("empty model introspection should be empty")
+	}
+}

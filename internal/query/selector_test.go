@@ -1,0 +1,171 @@
+package query
+
+import (
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/rtmodel"
+	"xpdl/internal/units"
+)
+
+// selectorModel builds a two-node mini cluster for selector tests.
+func selectorSession() *Session {
+	sys := model.New("system")
+	sys.ID = "cl"
+	for i, freq := range []string{"2", "3"} {
+		node := model.New("node")
+		node.ID = "n" + string(rune('0'+i))
+		cpu := model.New("cpu")
+		cpu.ID = "cpu" + string(rune('0'+i))
+		cpu.Type = "Xeon"
+		cpu.SetQuantity("frequency", units.MustParse(freq, "GHz"))
+		l3 := model.New("cache")
+		l3.Name = "L3"
+		l3.SetQuantity("size", units.MustParse("15", "MiB"))
+		cpu.Children = append(cpu.Children, l3)
+		for j := 0; j < 2; j++ {
+			cpu.Children = append(cpu.Children, model.New("core"))
+		}
+		node.Children = append(node.Children, cpu)
+		gpu := model.New("device")
+		gpu.ID = "gpu" + string(rune('0'+i))
+		gpu.Type = "Nvidia_K20c"
+		gpu.SetAttr("role", model.Attr{Raw: "worker"})
+		node.Children = append(node.Children, gpu)
+		sys.Children = append(sys.Children, node)
+	}
+	pd := model.New("power_domain")
+	pd.Name = "main_pd"
+	pd.SetAttr("enableSwitchOff", model.Attr{Raw: "false"})
+	sys.Children = append(sys.Children, pd)
+	return NewSession(rtmodel.Build(sys))
+}
+
+func sel(t *testing.T, s *Session, selector string) []Elem {
+	t.Helper()
+	got, err := s.Select(selector)
+	if err != nil {
+		t.Fatalf("Select(%q): %v", selector, err)
+	}
+	return got
+}
+
+func TestSelectChildrenAxis(t *testing.T) {
+	s := selectorSession()
+	if got := sel(t, s, "node"); len(got) != 2 {
+		t.Fatalf("node matches = %d", len(got))
+	}
+	if got := sel(t, s, "node/cpu"); len(got) != 2 {
+		t.Fatalf("node/cpu matches = %d", len(got))
+	}
+	// cache is not a direct child of node.
+	if got := sel(t, s, "node/cache"); len(got) != 0 {
+		t.Fatalf("node/cache matches = %d", len(got))
+	}
+}
+
+func TestSelectDescendantAxis(t *testing.T) {
+	s := selectorSession()
+	if got := sel(t, s, "//cache"); len(got) != 2 {
+		t.Fatalf("//cache = %d", len(got))
+	}
+	if got := sel(t, s, "//core"); len(got) != 4 {
+		t.Fatalf("//core = %d", len(got))
+	}
+	if got := sel(t, s, "node//core"); len(got) != 4 {
+		t.Fatalf("node//core = %d", len(got))
+	}
+	if got := sel(t, s, "//*"); len(got) < 10 {
+		t.Fatalf("//* = %d", len(got))
+	}
+}
+
+func TestSelectPredicates(t *testing.T) {
+	s := selectorSession()
+	cases := map[string]int{
+		"//cache[name=L3]":                      2,
+		"//device[type=Nvidia_K20c]":            2,
+		"//device[type=Other]":                  0,
+		"//cpu[frequency>=3e9]":                 1,
+		"//cpu[frequency<3e9]":                  1,
+		"//cpu[frequency!=2e9]":                 1,
+		"//device[role=worker]":                 2,
+		"//device[role!=worker]":                0,
+		"//power_domain[enableSwitchOff=false]": 1,
+		"//node[id=n1]":                         1,
+		"//core[zzz!=foo]":                      4, // absent attr differs from any value
+		"//core[zzz=foo]":                       0,
+		"//cache[size=15728640]":                2, // normalized bytes
+	}
+	for selector, want := range cases {
+		if got := sel(t, s, selector); len(got) != want {
+			t.Errorf("%q matched %d, want %d", selector, len(got), want)
+		}
+	}
+}
+
+func TestSelectIndex(t *testing.T) {
+	s := selectorSession()
+	got := sel(t, s, "node[1]/device")
+	if len(got) != 1 || got[0].ID() != "gpu1" {
+		t.Fatalf("node[1]/device = %v", ids(got))
+	}
+	if got := sel(t, s, "node[5]"); len(got) != 0 {
+		t.Fatal("out-of-range index matched")
+	}
+	got = sel(t, s, "//cpu[0]")
+	if len(got) != 1 || got[0].ID() != "cpu0" {
+		t.Fatalf("//cpu[0] = %v", ids(got))
+	}
+}
+
+func ids(es []Elem) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Ident()
+	}
+	return out
+}
+
+func TestSelectOne(t *testing.T) {
+	s := selectorSession()
+	e, err := s.SelectOne("//node[id=n0]/cpu")
+	if err != nil || e.ID() != "cpu0" {
+		t.Fatalf("SelectOne: %v %v", e.Ident(), err)
+	}
+	if _, err := s.SelectOne("//core"); err == nil {
+		t.Fatal("ambiguous SelectOne accepted")
+	}
+	if _, err := s.SelectOne("//ghost"); err == nil {
+		t.Fatal("empty SelectOne accepted")
+	}
+}
+
+func TestSelectRelative(t *testing.T) {
+	s := selectorSession()
+	n0, _ := s.Find("n0")
+	got, err := n0.Select("cpu/cache")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("relative select = %v, %v", ids(got), err)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	s := selectorSession()
+	for _, bad := range []string{
+		"", "//", "node[", "node[]", "node[-1]", "node[=x]", "cpu[frequency=]",
+		"node//", "a//b//", "[0]",
+	} {
+		if _, err := s.Select(bad); err == nil {
+			t.Errorf("Select(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSelectEmptySession(t *testing.T) {
+	s := NewSession(&rtmodel.Model{})
+	got, err := s.Select("//cpu")
+	if err != nil || got != nil {
+		t.Fatalf("empty session select = %v %v", got, err)
+	}
+}

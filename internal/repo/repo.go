@@ -1,0 +1,300 @@
+// Package repo implements the distributed XPDL model repository of
+// Section III: descriptor modules (.xpdl files) are indexed by their
+// unique meta-model name or instance id and retrieved either from a
+// local model search path or from remote model libraries addressed by
+// URL (the paper envisions hardware manufacturers hosting descriptor
+// downloads; cmd/xpdlrepo provides such a server).
+//
+// The repository is safe for concurrent use: the XPDL processing tool
+// resolves submodel references in parallel while composing a system
+// model, and the runtime query API may lazily load referenced
+// descriptors from multiple goroutines.
+package repo
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xpdl/internal/model"
+	"xpdl/internal/parser"
+)
+
+// Stats counts repository activity; useful for cache-effectiveness
+// experiments (EXPERIMENTS.md E9).
+type Stats struct {
+	Loads         int // successful Load calls
+	CacheHits     int // Loads served from cache
+	LocalParses   int // descriptor files parsed from disk
+	RemoteFetches int // descriptor files fetched over HTTP
+}
+
+// Repository locates, parses and caches XPDL descriptor modules.
+type Repository struct {
+	parser  *parser.Parser
+	client  *http.Client
+	remotes []string
+
+	mu    sync.RWMutex
+	files map[string]string           // ident -> file path (from Scan)
+	cache map[string]*model.Component // ident -> parsed root
+	stats Stats
+}
+
+// New creates a repository over the given local search paths. Call
+// Scan to index them.
+func New(searchPaths ...string) (*Repository, error) {
+	r := &Repository{
+		parser: parser.New(),
+		client: &http.Client{Timeout: 10 * time.Second},
+		files:  map[string]string{},
+		cache:  map[string]*model.Component{},
+	}
+	if err := r.AddPaths(searchPaths...); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AddPaths indexes additional local search paths.
+func (r *Repository) AddPaths(paths ...string) error {
+	for _, p := range paths {
+		if err := r.scanDir(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddRemote registers a remote model library base URL. Identifiers not
+// found locally are fetched as <base>/<ident>.xpdl.
+func (r *Repository) AddRemote(baseURL string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.remotes = append(r.remotes, strings.TrimRight(baseURL, "/"))
+}
+
+// scanDir walks one directory tree and indexes every .xpdl file by the
+// name/id of its root element. Files are parsed eagerly so that index
+// collisions (the paper requires repository-wide unique names) surface
+// immediately.
+func (r *Repository) scanDir(dir string) error {
+	return filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".xpdl") {
+			return nil
+		}
+		c, err := r.parseFile(path)
+		if err != nil {
+			return err
+		}
+		return r.register(c, path)
+	})
+}
+
+func (r *Repository) parseFile(path string) (*model.Component, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, _, err := r.parser.ParseFile(path, src)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.stats.LocalParses++
+	r.mu.Unlock()
+	return c, nil
+}
+
+func (r *Repository) register(c *model.Component, origin string) error {
+	ident := c.Ident()
+	if ident == "" {
+		return fmt.Errorf("repo: %s: root <%s> has neither name= nor id=", origin, c.Kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, dup := r.files[ident]; dup && prev != origin {
+		return fmt.Errorf("repo: identifier %q defined in both %s and %s", ident, prev, origin)
+	}
+	r.files[ident] = origin
+	r.cache[ident] = c
+	return nil
+}
+
+// Register adds an in-memory component to the repository (used by tests
+// and by tools that synthesize models).
+func (r *Repository) Register(c *model.Component) error {
+	return r.register(c, "<memory>")
+}
+
+// Has reports whether the identifier is known (without fetching).
+func (r *Repository) Has(ident string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.cache[ident]
+	return ok
+}
+
+// Load returns the descriptor registered under ident, fetching it from
+// a remote library if necessary. The returned component is shared and
+// must be treated as read-only; clone before mutating.
+func (r *Repository) Load(ident string) (*model.Component, error) {
+	r.mu.Lock()
+	if c, ok := r.cache[ident]; ok {
+		r.stats.Loads++
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		return c, nil
+	}
+	remotes := append([]string(nil), r.remotes...)
+	r.mu.Unlock()
+
+	for _, base := range remotes {
+		c, err := r.fetchRemote(base, ident)
+		if err != nil {
+			continue
+		}
+		if err := r.register(c, base+"/"+ident+".xpdl"); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.stats.Loads++
+		r.mu.Unlock()
+		return c, nil
+	}
+	return nil, fmt.Errorf("repo: model %q not found in search path or %d remote librar%s",
+		ident, len(remotes), plural(len(remotes), "y", "ies"))
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func (r *Repository) fetchRemote(base, ident string) (*model.Component, error) {
+	url := base + "/" + ident + ".xpdl"
+	resp, err := r.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("repo: GET %s: %s", url, resp.Status)
+	}
+	src, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	c, _, err := r.parser.ParseFile(url, src)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.stats.RemoteFetches++
+	r.mu.Unlock()
+	return c, nil
+}
+
+// LoadFile parses and registers a single descriptor file outside the
+// indexed search paths (e.g. a top-level system model given on the
+// command line).
+func (r *Repository) LoadFile(path string) (*model.Component, error) {
+	c, err := r.parseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(c, path); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Idents returns all registered identifiers in sorted order.
+func (r *Repository) Idents() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.cache))
+	for k := range r.cache {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the repository counters.
+func (r *Repository) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
+
+// Prefetch loads the given identifiers concurrently with at most
+// `workers` parallel fetches, returning the first error encountered.
+// It is used by the processing tool to warm the cache for all submodels
+// referenced by a system model before composition.
+func (r *Repository) Prefetch(idents []string, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan string)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ident := range jobs {
+				if _, err := r.Load(ident); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, id := range idents {
+		jobs <- id
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// ReferencedTypes returns the set of type= and extends= identifiers
+// referenced anywhere in the component subtree, sorted. The processing
+// tool uses this to discover which submodels a system model needs.
+func ReferencedTypes(c *model.Component) []string {
+	seen := map[string]bool{}
+	c.Walk(func(x *model.Component) bool {
+		if x.Type != "" {
+			seen[x.Type] = true
+		}
+		for _, e := range x.Extends {
+			seen[e] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

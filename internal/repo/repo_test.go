@@ -1,0 +1,321 @@
+package repo
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpdl/internal/model"
+)
+
+func writeModels(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func basicModels() map[string]string {
+	return map[string]string{
+		"ShaveL2.xpdl":   `<cache name="ShaveL2" size="128" unit="KiB" sets="2" replacement="LRU" write_policy="copyback" />`,
+		"DDR3_16G.xpdl":  `<memory name="DDR3_16G" type="DDR3" size="16" unit="GB" static_power="4" static_power_unit="W" />`,
+		"sub/pcie3.xpdl": `<interconnect name="pcie3"><channel name="up_link" max_bandwidth="6" max_bandwidth_unit="GiB/s"/></interconnect>`,
+	}
+}
+
+func TestScanAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir, basicModels())
+	r, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := r.Idents()
+	want := []string{"DDR3_16G", "ShaveL2", "pcie3"}
+	if len(ids) != len(want) {
+		t.Fatalf("idents = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("idents = %v, want %v", ids, want)
+		}
+	}
+	c, err := r.Load("ShaveL2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != "cache" || c.Name != "ShaveL2" {
+		t.Fatalf("loaded %s", c)
+	}
+	// memory type="DDR3" is a meta reference kept on the component.
+	m, err := r.Load("DDR3_16G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != "DDR3" {
+		t.Fatalf("DDR3_16G type = %q", m.Type)
+	}
+	if !r.Has("pcie3") || r.Has("zz") {
+		t.Fatal("Has wrong")
+	}
+	st := r.Stats()
+	if st.LocalParses != 3 || st.Loads != 2 || st.CacheHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("nope"); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateIdentRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir, map[string]string{
+		"a.xpdl": `<cache name="Dup" size="1" unit="KiB"/>`,
+		"b.xpdl": `<cache name="Dup" size="2" unit="KiB"/>`,
+	})
+	if _, err := New(dir); err == nil || !strings.Contains(err.Error(), "defined in both") {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+}
+
+func TestRootWithoutIdentRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir, map[string]string{"x.xpdl": `<cache size="1" unit="KiB"/>`})
+	if _, err := New(dir); err == nil || !strings.Contains(err.Error(), "neither name= nor id=") {
+		t.Fatalf("anonymous root not rejected: %v", err)
+	}
+}
+
+func TestInvalidFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir, map[string]string{"x.xpdl": `<cache name="c" sets="two"/>`})
+	if _, err := New(dir); err == nil {
+		t.Fatal("invalid descriptor accepted")
+	}
+}
+
+func TestLoadFileAndRegister(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir, map[string]string{"sys.xpdl": `<system id="s1"><node id="n0"/></system>`})
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.LoadFile(filepath.Join(dir, "sys.xpdl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "s1" || !r.Has("s1") {
+		t.Fatal("LoadFile did not register")
+	}
+	mem := model.New("cpu")
+	mem.Name = "InMem"
+	if err := r.Register(mem); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Load("InMem")
+	if err != nil || got != mem {
+		t.Fatal("Register/Load round trip failed")
+	}
+	anon := model.New("cpu")
+	if err := r.Register(anon); err == nil {
+		t.Fatal("anonymous Register should fail")
+	}
+}
+
+func newRemoteServer(t *testing.T, files map[string]string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	for name, src := range files {
+		src := src
+		mux.HandleFunc("/"+name, func(w http.ResponseWriter, req *http.Request) {
+			fmt.Fprint(w, src)
+		})
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRemoteFetch(t *testing.T) {
+	srv := newRemoteServer(t, map[string]string{
+		"Nvidia_K20c.xpdl": `<device name="Nvidia_K20c" extends="Nvidia_Kepler" compute_capability="3.5"/>`,
+	})
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddRemote(srv.URL + "/") // trailing slash is trimmed
+	c, err := r.Load("Nvidia_K20c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "Nvidia_K20c" {
+		t.Fatalf("remote load = %s", c)
+	}
+	// Second load is a cache hit, not a second fetch.
+	if _, err := r.Load("Nvidia_K20c"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.RemoteFetches != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := r.Load("Missing_Model"); err == nil {
+		t.Fatal("missing remote model should fail")
+	}
+}
+
+func TestRemoteFallbackOrder(t *testing.T) {
+	bad := newRemoteServer(t, nil) // serves nothing
+	good := newRemoteServer(t, map[string]string{
+		"M.xpdl": `<cpu name="M"/>`,
+	})
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddRemote(bad.URL)
+	r.AddRemote(good.URL)
+	if _, err := r.Load("M"); err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+}
+
+func TestPrefetchConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{}
+	var idents []string
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("C%02d", i)
+		files[name+".xpdl"] = fmt.Sprintf(`<cache name=%q size="%d" unit="KiB"/>`, name, i+1)
+		idents = append(idents, name)
+	}
+	writeModels(t, dir, files)
+	r, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prefetch(idents, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prefetch([]string{"missing"}, 0); err == nil {
+		t.Fatal("prefetch of missing ident should error")
+	}
+}
+
+func TestConcurrentLoads(t *testing.T) {
+	dir := t.TempDir()
+	writeModels(t, dir, basicModels())
+	r, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := r.Load("ShaveL2"); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Idents()
+				r.Stats()
+				r.Has("pcie3")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReferencedTypes(t *testing.T) {
+	sys := model.New("system")
+	sys.ID = "s"
+	d := model.New("device")
+	d.ID = "gpu1"
+	d.Type = "Nvidia_K20c"
+	k := model.New("device")
+	k.Name = "Nvidia_K20c"
+	k.Extends = []string{"Nvidia_Kepler"}
+	ic := model.New("interconnect")
+	ic.ID = "conn1"
+	ic.Type = "pcie3"
+	sys.Children = append(sys.Children, d, k, ic)
+	got := ReferencedTypes(sys)
+	want := []string{"Nvidia_K20c", "Nvidia_Kepler", "pcie3"}
+	if len(got) != len(want) {
+		t.Fatalf("refs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("refs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemoteCorruptDescriptorRejected(t *testing.T) {
+	srv := newRemoteServer(t, map[string]string{
+		"Broken.xpdl":  `<cpu name="Broken"`,              // not well-formed
+		"BadSem.xpdl":  `<cache name="BadSem" sets="x"/>`, // fails validation
+		"NoIdent.xpdl": `<cpu/>`,                          // missing name/id
+	})
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddRemote(srv.URL)
+	for _, ident := range []string{"Broken", "BadSem", "NoIdent"} {
+		if _, err := r.Load(ident); err == nil {
+			t.Errorf("corrupt remote descriptor %s accepted", ident)
+		}
+		if r.Has(ident) {
+			t.Errorf("corrupt descriptor %s cached", ident)
+		}
+	}
+}
+
+func TestRemoteMismatchedIdentifier(t *testing.T) {
+	// The server returns a descriptor whose root name differs from the
+	// requested identifier: the repository registers it under its real
+	// name, so the requested name stays unresolved on the next lookup
+	// miss unless it matches.
+	srv := newRemoteServer(t, map[string]string{
+		"Alias.xpdl": `<cpu name="RealName"/>`,
+	})
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddRemote(srv.URL)
+	c, err := r.Load("Alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "RealName" {
+		t.Fatalf("loaded %s", c)
+	}
+	// The real identifier is now cached.
+	if !r.Has("RealName") {
+		t.Fatal("real identifier not registered")
+	}
+}

@@ -1,0 +1,172 @@
+// Package report renders human-readable platform reports from composed
+// XPDL models: the "machine-readable data sheet" (Section III) turned
+// back into a readable one. The report summarizes the system's
+// structure, compute resources, memory hierarchy, interconnects, power
+// model coverage and installed software — the information the paper
+// says optimization layers need, formatted for humans reviewing a
+// repository entry.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/analysis"
+	"xpdl/internal/energy"
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+// Markdown renders the full report.
+func Markdown(sys *model.Component) string {
+	var b strings.Builder
+	title := sys.Ident()
+	if title == "" {
+		title = "platform"
+	}
+	fmt.Fprintf(&b, "# Platform report: %s\n\n", title)
+
+	stats := analysis.Summarize(sys)
+	fmt.Fprintf(&b, "Composed model: %d components, %d attributes.\n\n", stats.Components, stats.Attributes)
+
+	// Structure.
+	b.WriteString("## Structure\n\n")
+	b.WriteString("| kind | count |\n|---|---|\n")
+	kinds := make([]string, 0, len(stats.ByKind))
+	for k := range stats.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "| %s | %d |\n", k, stats.ByKind[k])
+	}
+	b.WriteString("\n")
+
+	// Compute.
+	b.WriteString("## Compute\n\n")
+	fmt.Fprintf(&b, "- hardware cores: %d\n", analysis.CountCores(sys))
+	fmt.Fprintf(&b, "- CUDA devices: %d\n", analysis.CountCUDADevices(sys))
+	var freqs []float64
+	sys.Walk(func(c *model.Component) bool {
+		if c.Kind == "core" {
+			if q, ok := c.QuantityAttr("frequency"); ok {
+				freqs = append(freqs, q.Value)
+			}
+		}
+		return true
+	})
+	if len(freqs) > 0 {
+		lo, hi := freqs[0], freqs[0]
+		for _, f := range freqs {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		fmt.Fprintf(&b, "- core frequencies: %s – %s\n",
+			units.Quantity{Value: lo, Dim: units.Frequency},
+			units.Quantity{Value: hi, Dim: units.Frequency})
+	}
+	b.WriteString("\n")
+
+	// Memory hierarchy.
+	b.WriteString("## Memory hierarchy\n\n")
+	b.WriteString("| element | kind | size | notes |\n|---|---|---|---|\n")
+	seen := map[string]int{}
+	sys.Walk(func(c *model.Component) bool {
+		if c.Kind != "cache" && c.Kind != "memory" {
+			return true
+		}
+		q, ok := c.QuantityAttr("size")
+		if !ok {
+			return true
+		}
+		key := fmt.Sprintf("%s|%s|%s", c.Ident(), c.Kind, q)
+		seen[key]++
+		return true
+	})
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "|", 3)
+		note := ""
+		if n := seen[k]; n > 1 {
+			note = fmt.Sprintf("x%d", n)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", parts[0], parts[1], parts[2], note)
+	}
+	b.WriteString("\n")
+
+	// Interconnects.
+	if n := sys.CountKind("interconnect"); n > 0 {
+		b.WriteString("## Interconnects\n\n")
+		sys.Walk(func(c *model.Component) bool {
+			if c.Kind != "interconnect" || c.AttrRaw("head") == "" {
+				return true
+			}
+			line := fmt.Sprintf("- %s: %s -> %s", c.Ident(), c.AttrRaw("head"), c.AttrRaw("tail"))
+			pick := c
+			if ch := c.FirstChildKind("channel"); ch != nil {
+				pick = ch
+			}
+			tc := energy.ChannelCost(pick)
+			if tc.BandwidthBps > 0 {
+				line += fmt.Sprintf(" (%s", units.Quantity{Value: tc.BandwidthBps, Dim: units.Bandwidth})
+				if tc.EnergyPerB > 0 {
+					line += fmt.Sprintf(", %s/B", units.Quantity{Value: tc.EnergyPerB, Dim: units.Energy})
+				}
+				line += ")"
+			}
+			b.WriteString(line + "\n")
+			return true
+		})
+		b.WriteString("\n")
+	}
+
+	// Power.
+	b.WriteString("## Power\n\n")
+	total := analysis.TotalStaticPower(sys)
+	fmt.Fprintf(&b, "- modeled static power: %s\n", total)
+	fmt.Fprintf(&b, "- power domains: %d\n", sys.CountKind("power_domain"))
+	fmt.Fprintf(&b, "- power state machines: %d\n", sys.CountKind("power_state_machine"))
+	unknowns := 0
+	sys.Walk(func(c *model.Component) bool {
+		for _, a := range c.Attrs {
+			if a.Unknown {
+				unknowns++
+			}
+		}
+		return true
+	})
+	fmt.Fprintf(&b, "- attributes awaiting microbenchmarking (\"?\"): %d\n\n", unknowns)
+
+	// Software.
+	var sw []string
+	sys.Walk(func(c *model.Component) bool {
+		if c.Kind == "installed" || c.Kind == "hostOS" {
+			name := c.Type
+			if name == "" {
+				name = c.Ident()
+			}
+			if name != "" {
+				sw = append(sw, name)
+			}
+		}
+		return true
+	})
+	if len(sw) > 0 {
+		b.WriteString("## Installed software\n\n")
+		sort.Strings(sw)
+		for _, s := range sw {
+			fmt.Fprintf(&b, "- %s\n", s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"xpdl/internal/core"
+)
+
+func composed(t *testing.T, system string) string {
+	t.Helper()
+	_, file, _, _ := runtime.Caller(0)
+	models := filepath.Join(filepath.Dir(file), "..", "..", "models")
+	tc, err := core.New(core.Options{SearchPaths: []string{models}, KeepUnknown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.Process(system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Markdown(res.System)
+}
+
+func TestReportLiuServer(t *testing.T) {
+	md := composed(t, "liu_gpu_server")
+	for _, want := range []string{
+		"# Platform report: liu_gpu_server",
+		"hardware cores: 2500",
+		"CUDA devices: 1",
+		"| L3 | cache | 15 MiB |",
+		"connection1: gpu_host -> gpu1",
+		"power domains:",
+		"- CUDA_6.0",
+		"- StarPU_1.0",
+		"awaiting microbenchmarking",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Unknown counts are visible because KeepUnknown was set and no
+	// microbenchmarks ran.
+	if strings.Contains(md, `("?"): 0`) {
+		t.Error("expected nonzero unknown count")
+	}
+}
+
+func TestReportCluster(t *testing.T) {
+	md := composed(t, "XScluster")
+	for _, want := range []string{
+		"# Platform report: XScluster",
+		"| node | 4 |",
+		"conn3: n0 -> n1",
+		"core frequencies:",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("cluster report missing %q", want)
+		}
+	}
+	// Replicated memory modules collapse with a multiplicity note.
+	if !strings.Contains(md, "x4") && !strings.Contains(md, "x16") {
+		t.Errorf("no multiplicity notes in memory table:\n%s", md)
+	}
+}

@@ -1,0 +1,89 @@
+package resolve
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"xpdl/internal/model"
+	"xpdl/internal/repo"
+)
+
+// Property: a group with quantity n expands to exactly n members with
+// ids prefix0..prefix(n-1), each containing one clone of every template
+// child, for arbitrary small n and template widths.
+func TestQuickGroupExpansionShape(t *testing.T) {
+	f := func(qn, width uint8) bool {
+		n := int(qn % 24)
+		w := int(width%4) + 1
+		rp, err := repo.New()
+		if err != nil {
+			return false
+		}
+		root := model.New("cpu")
+		root.ID = "c0"
+		g := model.New("group")
+		g.Prefix = "m"
+		g.Quantity = fmt.Sprintf("%d", n)
+		for i := 0; i < w; i++ {
+			g.Children = append(g.Children, model.New("core"))
+		}
+		root.Children = append(root.Children, g)
+		if err := rp.Register(root); err != nil {
+			return false
+		}
+		out, err := New(rp).ResolveSystem("c0")
+		if err != nil {
+			return false
+		}
+		if out.CountKind("core") != n*w {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			m := out.FindByID(fmt.Sprintf("m%d", i))
+			if m == nil || len(m.Children) != w {
+				return false
+			}
+		}
+		// No member beyond n-1 exists.
+		return out.FindByID(fmt.Sprintf("m%d", n)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serial and parallel expansion produce identical trees for
+// random group sizes.
+func TestQuickParallelSerialParity(t *testing.T) {
+	f := func(qn uint8) bool {
+		n := int(qn%16) + 1
+		build := func() *repo.Repository {
+			rp, _ := repo.New()
+			root := model.New("cpu")
+			root.ID = "c0"
+			g := model.New("group")
+			g.Prefix = "m"
+			g.Quantity = fmt.Sprintf("%d", n)
+			core := model.New("core")
+			cache := model.New("cache")
+			cache.Name = "L1"
+			g.Children = append(g.Children, core, cache)
+			root.Children = append(root.Children, g)
+			_ = rp.Register(root)
+			return rp
+		}
+		serial, err1 := New(build()).ResolveSystem("c0")
+		par := NewParallel(build(), 4)
+		par.ParallelThreshold = 1
+		par.MinParallelCost = 0
+		parOut, err2 := par.ResolveSystem("c0")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return serial.Tree() == parOut.Tree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

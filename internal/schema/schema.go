@@ -1,0 +1,532 @@
+// Package schema defines the XPDL core metamodel: the set of element
+// kinds, their typed attributes, and their legal containment — the
+// machine-readable equivalent of the central xpdl.xsd schema the paper
+// describes in Section IV, from which the C++ query API classes are
+// generated.
+//
+// Following the paper's critique of PDL (Section II-C), properties that
+// are structurally required are predefined, typed attributes so they can
+// be checked statically; the <properties> element remains as the ad-hoc
+// key-value escape hatch.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"xpdl/internal/units"
+)
+
+// AttrType is the static type of an attribute value.
+type AttrType int
+
+// Attribute types.
+const (
+	TString AttrType = iota
+	TInt
+	TFloat
+	TBool
+	TQuantity // numeric value with a companion *_unit attribute
+	TRef      // reference to another model element by name/id
+	TExpr     // expression over params/consts
+	TList     // comma-separated list (e.g. param range)
+)
+
+// String returns the lower-case name of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case TString:
+		return "string"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TQuantity:
+		return "quantity"
+	case TRef:
+		return "ref"
+	case TExpr:
+		return "expr"
+	case TList:
+		return "list"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// AttrSpec describes one attribute of an element kind.
+type AttrSpec struct {
+	Name     string
+	Type     AttrType
+	Required bool
+	// Dim is the expected physical dimension for TQuantity attributes.
+	Dim units.Dimension
+	// Doc is a one-line description used by the code generators.
+	Doc string
+}
+
+// ElementKind describes one XPDL element type: its attributes and which
+// child elements it may contain. An element kind can appear as a
+// meta-model (identified by name=) and/or as a concrete instance
+// (identified by id=); IsComponent kinds additionally accept type= and
+// extends= references.
+type ElementKind struct {
+	Name     string
+	Attrs    []AttrSpec
+	Children []string
+	// IsComponent marks hardware/software component kinds that
+	// participate in the meta-model/instance and inheritance machinery.
+	IsComponent bool
+	// AllowAnyAttrs disables unknown-attribute diagnostics (used by
+	// <property> and kinds that model open attribute sets).
+	AllowAnyAttrs bool
+	// Doc is a one-line description used by the code generators.
+	Doc string
+}
+
+// Attr returns the spec for the named attribute, if declared.
+func (k *ElementKind) Attr(name string) (AttrSpec, bool) {
+	for _, a := range k.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrSpec{}, false
+}
+
+// AllowsChild reports whether child elements of the given kind name may
+// appear inside this kind.
+func (k *ElementKind) AllowsChild(name string) bool {
+	for _, c := range k.Children {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Schema is the full metamodel: a registry of element kinds.
+type Schema struct {
+	kinds map[string]*ElementKind
+}
+
+// Kind looks up an element kind by name.
+func (s *Schema) Kind(name string) (*ElementKind, bool) {
+	k, ok := s.kinds[name]
+	return k, ok
+}
+
+// KindNames returns all element kind names in sorted order.
+func (s *Schema) KindNames() []string {
+	out := make([]string, 0, len(s.kinds))
+	for n := range s.kinds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kinds returns all element kinds sorted by name.
+func (s *Schema) Kinds() []*ElementKind {
+	names := s.KindNames()
+	out := make([]*ElementKind, len(names))
+	for i, n := range names {
+		out[i] = s.kinds[n]
+	}
+	return out
+}
+
+// register adds a kind, panicking on duplicates (schema construction is
+// static).
+func (s *Schema) register(k *ElementKind) {
+	if _, dup := s.kinds[k.Name]; dup {
+		panic("schema: duplicate kind " + k.Name)
+	}
+	s.kinds[k.Name] = k
+}
+
+// identityAttrs are shared by every component kind: the meta/instance
+// naming scheme of Section III-A (name for meta-models, id for concrete
+// models, type for meta-model references, extends for inheritance).
+func identityAttrs() []AttrSpec {
+	return []AttrSpec{
+		{Name: "name", Type: TString, Doc: "meta-model identifier, unique across the repository"},
+		{Name: "id", Type: TString, Doc: "concrete model (instance) identifier"},
+		{Name: "type", Type: TRef, Doc: "reference to the meta-model this element instantiates"},
+		{Name: "extends", Type: TList, Doc: "comma-separated list of supertypes (multiple inheritance)"},
+	}
+}
+
+func quantityAttr(name string, dim units.Dimension, doc string) []AttrSpec {
+	return []AttrSpec{
+		{Name: name, Type: TQuantity, Dim: dim, Doc: doc},
+		{Name: units.UnitAttrFor(name), Type: TString, Doc: "unit for " + name},
+	}
+}
+
+// Core builds the XPDL core metamodel. The attribute and containment
+// sets cover every element used in the paper's Listings 1–15.
+func Core() *Schema {
+	s := &Schema{kinds: map[string]*ElementKind{}}
+
+	componentChildren := []string{"group", "const", "param", "constraints", "properties"}
+
+	add := func(k *ElementKind) *ElementKind {
+		s.register(k)
+		return k
+	}
+
+	// --- Structural / system kinds ---
+	add(&ElementKind{
+		Name:        "system",
+		IsComponent: true,
+		Doc:         "top-level model of a complete single- or multi-node computer system",
+		Attrs:       identityAttrs(),
+		Children: append([]string{
+			"cluster", "node", "socket", "cpu", "device", "gpu", "memory",
+			"interconnects", "software", "power_model",
+		}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name:        "cluster",
+		IsComponent: true,
+		Doc:         "multi-node aggregate connected by an inter-node network",
+		Attrs:       identityAttrs(),
+		Children:    append([]string{"node", "interconnects"}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name:        "node",
+		IsComponent: true,
+		Doc:         "one compute node: sockets, memory, devices and intra-node interconnects",
+		Attrs: append(identityAttrs(),
+			quantityAttr("static_power", units.Power, "baseline node power including motherboard residual")...),
+		Children: append([]string{
+			"socket", "cpu", "memory", "device", "gpu", "interconnects", "software", "power_model",
+		}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name:        "socket",
+		IsComponent: true,
+		Doc:         "physical processor socket",
+		Attrs:       identityAttrs(),
+		Children:    append([]string{"cpu"}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name: "group",
+		Doc:  "grouping construct; with quantity it denotes a homogeneous replicated group",
+		Attrs: []AttrSpec{
+			{Name: "name", Type: TString, Doc: "group meta name"},
+			{Name: "id", Type: TString, Doc: "group instance identifier"},
+			{Name: "prefix", Type: TString, Doc: "identifier prefix for auto-named members (prefix0..prefixN-1)"},
+			{Name: "quantity", Type: TExpr, Doc: "member count; may reference params (e.g. num_SM)"},
+		},
+		Children: []string{
+			"group", "core", "cpu", "cache", "memory", "socket", "node", "device", "gpu",
+			"power_domain", "const", "param", "constraints", "properties",
+		},
+	})
+
+	// --- Processing kinds ---
+	add(&ElementKind{
+		Name:        "cpu",
+		IsComponent: true,
+		Doc:         "CPU package: cores, caches and an optional power model",
+		Attrs: append(append(identityAttrs(),
+			AttrSpec{Name: "role", Type: TString, Doc: "optional control role (master/worker/hybrid), kept from PDL as a secondary aspect"},
+			AttrSpec{Name: "vendor", Type: TString, Doc: "manufacturer"},
+			AttrSpec{Name: "architecture", Type: TString, Doc: "ISA family, e.g. x86_64, sparc_v8"},
+		), append(
+			quantityAttr("frequency", units.Frequency, "nominal clock frequency"),
+			quantityAttr("static_power", units.Power, "idle package power")...)...),
+		Children: append([]string{
+			"core", "cache", "memory", "power_model", "power_domains", "instructions",
+		}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name:        "core",
+		IsComponent: true,
+		Doc:         "one hardware core",
+		Attrs: append(append(identityAttrs(),
+			AttrSpec{Name: "endian", Type: TString, Doc: "byte order: LE or BE"},
+			AttrSpec{Name: "role", Type: TString, Doc: "optional control role"},
+			AttrSpec{Name: "architecture", Type: TString, Doc: "ISA family, e.g. sparc_v8, shave_vliw"},
+		), quantityAttr("frequency", units.Frequency, "core clock frequency")...),
+		Children: append([]string{"cache"}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name:        "cache",
+		IsComponent: true,
+		Doc:         "cache memory; sharing is implied by its scope in the model tree",
+		Attrs: append(append(identityAttrs(),
+			AttrSpec{Name: "level", Type: TInt, Doc: "cache level (1, 2, 3, ...)"},
+			AttrSpec{Name: "sets", Type: TInt, Doc: "associativity sets"},
+			AttrSpec{Name: "line_size", Type: TInt, Doc: "cache line size in bytes"},
+			AttrSpec{Name: "replacement", Type: TString, Doc: "replacement policy, e.g. LRU"},
+			AttrSpec{Name: "write_policy", Type: TString, Doc: "writethrough or copyback"},
+		), quantityAttr("size", units.Size, "capacity")...),
+		Children: componentChildren,
+	})
+	add(&ElementKind{
+		Name:        "memory",
+		IsComponent: true,
+		Doc:         "memory module or explicitly addressed memory space",
+		Attrs: append(append(identityAttrs(),
+			AttrSpec{Name: "slices", Type: TInt, Doc: "number of independently accessible slices (e.g. Myriad CMX)"},
+			AttrSpec{Name: "endian", Type: TString, Doc: "byte order: LE or BE"},
+		), append(
+			quantityAttr("size", units.Size, "capacity"),
+			append(quantityAttr("static_power", units.Power, "idle power"),
+				quantityAttr("max_bandwidth", units.Bandwidth, "peak bandwidth")...)...)...),
+		Children: componentChildren,
+	})
+
+	// --- Devices / accelerators ---
+	deviceAttrs := append(append(identityAttrs(),
+		AttrSpec{Name: "role", Type: TString, Doc: "optional control role"},
+		AttrSpec{Name: "compute_capability", Type: TFloat, Doc: "CUDA compute capability for Nvidia devices"},
+	), quantityAttr("static_power", units.Power, "idle device power")...)
+	add(&ElementKind{
+		Name:        "device",
+		IsComponent: true,
+		Doc:         "accelerator device (GPU, DSP board, ...) with own memory",
+		Attrs:       deviceAttrs,
+		Children: append([]string{
+			"socket", "cpu", "core", "cache", "memory", "gpu", "interconnects",
+			"power_model", "power_domains", "programming_model", "instructions",
+		}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name:        "gpu",
+		IsComponent: true,
+		Doc:         "GPU device; alias kind for device with GPU-specific conventions",
+		Attrs:       deviceAttrs,
+		Children: append([]string{
+			"core", "cache", "memory", "power_model", "power_domains", "programming_model",
+		}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name: "programming_model",
+		Doc:  "programming models supported by the enclosing device",
+		Attrs: []AttrSpec{
+			{Name: "type", Type: TList, Required: true, Doc: "comma-separated model names, e.g. cuda6.0, opencl"},
+		},
+	})
+
+	// --- Interconnects ---
+	add(&ElementKind{
+		Name:  "interconnects",
+		Doc:   "container for interconnect instances of the enclosing scope",
+		Attrs: []AttrSpec{},
+		Children: []string{
+			"interconnect",
+		},
+	})
+	add(&ElementKind{
+		Name:        "interconnect",
+		IsComponent: true,
+		Doc:         "an interconnect technology (meta) or a concrete link (instance with head/tail)",
+		Attrs: append(append(identityAttrs(),
+			AttrSpec{Name: "head", Type: TRef, Doc: "source endpoint id for a directed link"},
+			AttrSpec{Name: "tail", Type: TRef, Doc: "target endpoint id for a directed link"},
+		), append(
+			quantityAttr("max_bandwidth", units.Bandwidth, "peak bandwidth when not modeled per channel"),
+			quantityAttr("latency", units.Time, "per-message latency when not modeled per channel")...)...),
+		Children: append([]string{"channel"}, componentChildren...),
+	})
+	add(&ElementKind{
+		Name: "channel",
+		Doc:  "one directed channel of an interconnect (e.g. PCIe up_link/down_link)",
+		Attrs: append([]AttrSpec{
+			{Name: "name", Type: TString, Doc: "channel name"},
+		}, append(
+			quantityAttr("max_bandwidth", units.Bandwidth, "peak channel bandwidth"),
+			append(quantityAttr("time_offset_per_message", units.Time, "per-message time offset"),
+				append(quantityAttr("energy_per_byte", units.Energy, "transfer energy per byte"),
+					quantityAttr("energy_offset_per_message", units.Energy, "per-message energy offset")...)...)...)...),
+	})
+
+	// --- Software ---
+	add(&ElementKind{
+		Name:     "software",
+		Doc:      "installed system software of the enclosing system/node",
+		Children: []string{"hostOS", "installed", "properties"},
+	})
+	add(&ElementKind{
+		Name:        "hostOS",
+		IsComponent: true,
+		Doc:         "host operating system",
+		Attrs: append(identityAttrs(),
+			AttrSpec{Name: "kernel", Type: TString, Doc: "kernel version"}),
+	})
+	add(&ElementKind{
+		Name:        "installed",
+		IsComponent: true,
+		Doc:         "an installed software package (library, runtime, compiler)",
+		Attrs: append(identityAttrs(),
+			AttrSpec{Name: "path", Type: TString, Doc: "installation path"},
+			AttrSpec{Name: "version", Type: TString, Doc: "package version"}),
+	})
+
+	// --- Properties escape hatch ---
+	add(&ElementKind{
+		Name:     "properties",
+		Doc:      "ad-hoc key-value property container (the PDL-inherited escape mechanism)",
+		Children: []string{"property"},
+	})
+	add(&ElementKind{
+		Name:          "property",
+		AllowAnyAttrs: true,
+		Doc:           "one free-form property; name is required, all other attributes are free-form",
+		Attrs: []AttrSpec{
+			{Name: "name", Type: TString, Required: true, Doc: "property key"},
+			{Name: "value", Type: TString, Doc: "property value"},
+		},
+	})
+
+	// --- Parameters, constants, constraints (Listing 8) ---
+	add(&ElementKind{
+		Name: "const",
+		Doc:  "named constant of a meta-model",
+		Attrs: append([]AttrSpec{
+			{Name: "name", Type: TString, Required: true, Doc: "constant name"},
+			{Name: "type", Type: TString, Doc: "value type, e.g. msize, integer, frequency"},
+			{Name: "value", Type: TString, Doc: "constant value when not carried by a metric attribute"},
+		}, append(quantityAttr("size", units.Size, "size-typed constant value"),
+			quantityAttr("frequency", units.Frequency, "frequency-typed constant value")...)...),
+	})
+	add(&ElementKind{
+		Name: "param",
+		Doc:  "formal parameter of a meta-model, possibly user-configurable",
+		Attrs: append([]AttrSpec{
+			{Name: "name", Type: TString, Required: true, Doc: "parameter name"},
+			{Name: "type", Type: TString, Doc: "value type, e.g. msize, integer, frequency"},
+			{Name: "configurable", Type: TBool, Doc: "whether software may reconfigure the parameter"},
+			{Name: "range", Type: TList, Doc: "comma-separated legal values"},
+			{Name: "value", Type: TString, Doc: "bound value (instances and subtype bindings)"},
+		}, append(quantityAttr("size", units.Size, "size-typed binding"),
+			quantityAttr("frequency", units.Frequency, "frequency-typed binding")...)...),
+	})
+	add(&ElementKind{
+		Name:     "constraints",
+		Doc:      "container for constraints over params/consts",
+		Children: []string{"constraint"},
+	})
+	add(&ElementKind{
+		Name: "constraint",
+		Doc:  "a boolean expression that must hold for every concrete configuration",
+		Attrs: []AttrSpec{
+			{Name: "expr", Type: TExpr, Required: true, Doc: "constraint expression"},
+		},
+	})
+
+	// --- Power modeling (Listings 12–13) ---
+	add(&ElementKind{
+		Name:        "power_model",
+		IsComponent: true,
+		Doc:         "power model reference: domains, state machines and microbenchmarks",
+		Attrs:       identityAttrs(),
+		Children:    []string{"power_domains", "power_state_machine", "instructions", "microbenchmarks", "properties"},
+	})
+	add(&ElementKind{
+		Name:        "power_domains",
+		IsComponent: true,
+		Doc:         "set of power domains (power islands) of a component",
+		Attrs:       identityAttrs(),
+		Children:    []string{"power_domain", "group"},
+	})
+	add(&ElementKind{
+		Name: "power_domain",
+		Doc:  "group of components switched together in power state transitions",
+		Attrs: []AttrSpec{
+			{Name: "name", Type: TString, Required: true, Doc: "domain name"},
+			{Name: "enableSwitchOff", Type: TBool, Doc: "false marks the main domain that cannot be switched off"},
+			{Name: "switchoffCondition", Type: TString, Doc: "condition of the form '<group> off' gating switch-off"},
+		},
+		Children: []string{"core", "cpu", "memory", "cache", "device", "gpu"},
+	})
+	add(&ElementKind{
+		Name:        "power_state_machine",
+		IsComponent: true,
+		Doc:         "finite state machine over DVFS/sleep states of a power domain",
+		Attrs: append(identityAttrs(),
+			AttrSpec{Name: "power_domain", Type: TRef, Doc: "the domain this PSM controls"}),
+		Children: []string{"power_states", "transitions"},
+	})
+	add(&ElementKind{
+		Name:     "power_states",
+		Doc:      "container for the PSM's states",
+		Children: []string{"power_state"},
+	})
+	add(&ElementKind{
+		Name: "power_state",
+		Doc:  "one P/C state with its frequency and static power level",
+		Attrs: append([]AttrSpec{
+			{Name: "name", Type: TString, Required: true, Doc: "state name, e.g. P1"},
+		}, append(quantityAttr("frequency", units.Frequency, "operating frequency in this state"),
+			quantityAttr("power", units.Power, "static power drawn in this state")...)...),
+	})
+	add(&ElementKind{
+		Name:     "transitions",
+		Doc:      "container for the PSM's transitions",
+		Children: []string{"transition"},
+	})
+	add(&ElementKind{
+		Name: "transition",
+		Doc:  "a programmer-initiated state switch with its overhead costs",
+		Attrs: append([]AttrSpec{
+			{Name: "head", Type: TRef, Required: true, Doc: "source state"},
+			{Name: "tail", Type: TRef, Required: true, Doc: "target state"},
+		}, append(quantityAttr("time", units.Time, "switching time overhead"),
+			quantityAttr("energy", units.Energy, "switching energy overhead")...)...),
+	})
+
+	// --- Instruction energies and microbenchmarks (Listings 14–15) ---
+	add(&ElementKind{
+		Name:        "instructions",
+		IsComponent: true,
+		Doc:         "instruction set with per-instruction dynamic energy cost",
+		Attrs: append(identityAttrs(),
+			AttrSpec{Name: "mb", Type: TRef, Doc: "default microbenchmark suite for this ISA"}),
+		Children: []string{"inst"},
+	})
+	add(&ElementKind{
+		Name: "inst",
+		Doc:  "one instruction; energy '?' means 'derive by microbenchmarking at deployment'",
+		Attrs: append([]AttrSpec{
+			{Name: "name", Type: TString, Required: true, Doc: "instruction mnemonic"},
+			{Name: "mb", Type: TRef, Doc: "microbenchmark deriving this instruction's energy"},
+		}, quantityAttr("energy", units.Energy, "dynamic energy per executed instruction; '?' if unknown")...),
+		Children: []string{"data"},
+	})
+	add(&ElementKind{
+		Name: "data",
+		Doc:  "one (frequency, energy) sample of an instruction's energy function",
+		Attrs: append(quantityAttr("frequency", units.Frequency, "sample frequency"),
+			quantityAttr("energy", units.Energy, "sample energy")...),
+	})
+	add(&ElementKind{
+		Name:        "microbenchmarks",
+		IsComponent: true,
+		Doc:         "microbenchmark suite with deployment information",
+		Attrs: append(identityAttrs(),
+			AttrSpec{Name: "instruction_set", Type: TRef, Doc: "the ISA this suite calibrates"},
+			AttrSpec{Name: "path", Type: TString, Doc: "directory holding the benchmark sources"},
+			AttrSpec{Name: "command", Type: TString, Doc: "script that builds and runs the suite"}),
+		Children: []string{"microbenchmark"},
+	})
+	add(&ElementKind{
+		Name: "microbenchmark",
+		Doc:  "one microbenchmark: source file and build flags",
+		Attrs: []AttrSpec{
+			{Name: "id", Type: TString, Required: true, Doc: "benchmark identifier referenced from inst/@mb"},
+			{Name: "type", Type: TString, Doc: "instruction or metric the benchmark measures"},
+			{Name: "file", Type: TString, Doc: "source file"},
+			{Name: "cflags", Type: TString, Doc: "compiler flags"},
+			{Name: "lflags", Type: TString, Doc: "linker flags"},
+		},
+	})
+
+	return s
+}

@@ -1,0 +1,295 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/units"
+)
+
+func parse(t *testing.T, src string) *ast.Element {
+	t.Helper()
+	e, err := ast.Parse("test.xpdl", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return e
+}
+
+func TestCoreKindsPresent(t *testing.T) {
+	s := Core()
+	wanted := []string{
+		"system", "cluster", "node", "socket", "group", "cpu", "core", "cache",
+		"memory", "device", "gpu", "interconnects", "interconnect", "channel",
+		"software", "hostOS", "installed", "properties", "property",
+		"const", "param", "constraints", "constraint",
+		"power_model", "power_domains", "power_domain",
+		"power_state_machine", "power_states", "power_state", "transitions", "transition",
+		"instructions", "inst", "data", "microbenchmarks", "microbenchmark",
+		"programming_model",
+	}
+	for _, k := range wanted {
+		if _, ok := s.Kind(k); !ok {
+			t.Errorf("kind %q missing", k)
+		}
+	}
+	if len(s.KindNames()) != len(wanted) {
+		t.Errorf("kind count = %d, want %d", len(s.KindNames()), len(wanted))
+	}
+	if len(s.Kinds()) != len(wanted) {
+		t.Errorf("Kinds() length mismatch")
+	}
+}
+
+func TestKindLookupHelpers(t *testing.T) {
+	s := Core()
+	cpu, _ := s.Kind("cpu")
+	if spec, ok := cpu.Attr("frequency"); !ok || spec.Type != TQuantity || spec.Dim != units.Frequency {
+		t.Errorf("cpu frequency attr = %+v, %v", spec, ok)
+	}
+	if _, ok := cpu.Attr("nonexistent"); ok {
+		t.Error("nonexistent attr found")
+	}
+	if !cpu.AllowsChild("core") || cpu.AllowsChild("cluster") {
+		t.Error("cpu containment wrong")
+	}
+	names := s.KindNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("KindNames not sorted")
+		}
+	}
+}
+
+func TestValidateListing1Clean(t *testing.T) {
+	s := Core()
+	root := parse(t, `
+<cpu name="Intel_Xeon_E5_2630L">
+  <group prefix="core_group" quantity="2">
+    <group prefix="core" quantity="2">
+      <core frequency="2" frequency_unit="GHz" />
+      <cache name="L1" size="32" unit="KiB" />
+    </group>
+    <cache name="L2" size="256" unit="KiB" />
+  </group>
+  <cache name="L3" size="15" unit="MiB" />
+  <power_model type="power_model_E5_2630L" />
+</cpu>`)
+	ds := s.Validate(root)
+	if len(ds) != 0 {
+		t.Fatalf("expected clean validation, got:\n%s", ds)
+	}
+}
+
+func TestValidateUnknownElement(t *testing.T) {
+	s := Core()
+	ds := s.Validate(parse(t, `<bogus_thing />`))
+	if !ds.HasErrors() {
+		t.Fatal("unknown element not flagged")
+	}
+	if !strings.Contains(ds.String(), "unknown element") {
+		t.Fatalf("diagnostic text: %s", ds)
+	}
+}
+
+func TestValidateContainment(t *testing.T) {
+	s := Core()
+	// cluster inside cache is illegal.
+	ds := s.Validate(parse(t, `<cache name="x" size="1" unit="KiB"><constraints/></cache>`))
+	if ds.HasErrors() {
+		t.Fatalf("constraints inside cache should be fine: %s", ds)
+	}
+	ds = s.Validate(parse(t, `<cache name="x"><node/></cache>`))
+	if !ds.HasErrors() {
+		t.Fatal("node inside cache not flagged")
+	}
+}
+
+func TestValidateAttrTypes(t *testing.T) {
+	s := Core()
+	cases := []struct {
+		src     string
+		wantErr bool
+		label   string
+	}{
+		{`<cache name="c" sets="2" size="128" unit="KiB"/>`, false, "good ints"},
+		{`<cache name="c" sets="two" size="128" unit="KiB"/>`, true, "non-int sets"},
+		{`<cache name="c" size="big!" unit="KiB"/>`, true, "non-numeric non-identifier quantity with unit"},
+		{`<cache name="c" size="128" unit="parsecs"/>`, true, "bad unit"},
+		{`<cache name="c" size="128" unit="GHz"/>`, true, "wrong dimension"},
+		{`<cache name="c" size="L1size" unit="KB"/>`, false, "param reference as value"},
+		{`<inst name="fmul" energy="?" energy_unit="pJ"/>`, false, "? placeholder"},
+		{`<power_domain name="d" enableSwitchOff="maybe"/>`, true, "bad bool"},
+		{`<power_domain name="d" enableSwitchOff="false"/>`, false, "good bool"},
+		{`<constraint expr="a + == b"/>`, true, "bad expr"},
+		{`<constraint expr="a + 1 == b"/>`, false, "good expr"},
+		{`<device name="d" compute_capability="3.5"/>`, false, "float ok"},
+		{`<device name="d" compute_capability="three"/>`, true, "bad float"},
+		{`<cache name="c" size="$$" />`, true, "garbage quantity no unit"},
+	}
+	for _, c := range cases {
+		ds := s.Validate(parse(t, c.src))
+		if got := ds.HasErrors(); got != c.wantErr {
+			t.Errorf("%s: HasErrors = %v, want %v (%s)", c.label, got, c.wantErr, ds)
+		}
+	}
+}
+
+func TestValidateRequiredAttrs(t *testing.T) {
+	s := Core()
+	ds := s.Validate(parse(t, `<constraint/>`))
+	if !ds.HasErrors() || !strings.Contains(ds.String(), "missing required attribute") {
+		t.Fatalf("missing expr not flagged: %s", ds)
+	}
+	ds = s.Validate(parse(t, `<property/>`))
+	if !ds.HasErrors() {
+		t.Fatal("property without name not flagged")
+	}
+}
+
+func TestValidateUnknownAttrWarns(t *testing.T) {
+	s := Core()
+	ds := s.Validate(parse(t, `<cache name="c" size="1" unit="KiB" zzz="1"/>`))
+	if ds.HasErrors() {
+		t.Fatalf("unknown attribute should warn, not error: %s", ds)
+	}
+	if len(ds) != 1 || ds[0].Severity != Warning {
+		t.Fatalf("want 1 warning, got: %s", ds)
+	}
+	// property accepts arbitrary attributes.
+	ds = s.Validate(parse(t, `<property name="ExternalPowerMeter" type="x" command="myscript.sh"/>`))
+	if len(ds) != 0 {
+		t.Fatalf("property free-form attrs flagged: %s", ds)
+	}
+}
+
+func TestValidateMetaVsInstanceWarning(t *testing.T) {
+	s := Core()
+	ds := s.Validate(parse(t, `<cpu name="A" id="a1"/>`))
+	if ds.HasErrors() {
+		t.Fatalf("name+id should warn only: %s", ds)
+	}
+	found := false
+	for _, d := range ds {
+		if strings.Contains(d.Msg, "both name=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected meta/instance warning, got: %s", ds)
+	}
+}
+
+func TestDiagnosticsHelpers(t *testing.T) {
+	ds := Diagnostics{
+		{Warning, ast.Pos{File: "f", Line: 1, Column: 1}, "w"},
+		{Error, ast.Pos{File: "f", Line: 2, Column: 1}, "e"},
+	}
+	if !ds.HasErrors() {
+		t.Fatal("HasErrors false")
+	}
+	if len(ds.Errors()) != 1 || ds.Errors()[0].Msg != "e" {
+		t.Fatal("Errors() wrong")
+	}
+	if Info.String() != "info" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Fatal("severity strings wrong")
+	}
+	if !strings.Contains(ds[1].Error(), "f:2:1: error: e") {
+		t.Fatalf("diag format: %s", ds[1].Error())
+	}
+}
+
+func TestAttrTypeString(t *testing.T) {
+	for at, want := range map[AttrType]string{
+		TString: "string", TInt: "int", TFloat: "float", TBool: "bool",
+		TQuantity: "quantity", TRef: "ref", TExpr: "expr", TList: "list",
+	} {
+		if at.String() != want {
+			t.Errorf("AttrType %d string = %q, want %q", at, at.String(), want)
+		}
+	}
+	if AttrType(99).String() == "" {
+		t.Error("unknown AttrType should still render")
+	}
+}
+
+func TestValidatePSMListing13(t *testing.T) {
+	s := Core()
+	root := parse(t, `
+<power_state_machine name="power_state_machine1" power_domain="xyCPU_core_pd">
+  <power_states>
+    <power_state name="P1" frequency="1.2" frequency_unit="GHz" power="20" power_unit="W" />
+    <power_state name="P2" frequency="1.6" frequency_unit="GHz" power="25" power_unit="W" />
+    <power_state name="P3" frequency="2.0" frequency_unit="GHz" power="33" power_unit="W" />
+  </power_states>
+  <transitions>
+    <transition head="P2" tail="P1" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+    <transition head="P3" tail="P2" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+    <transition head="P1" tail="P3" time="2" time_unit="us" energy="5" energy_unit="nJ"/>
+  </transitions>
+</power_state_machine>`)
+	ds := s.Validate(root)
+	if len(ds) != 0 {
+		t.Fatalf("PSM validation: %s", ds)
+	}
+}
+
+func TestValidateMicrobenchListing15(t *testing.T) {
+	s := Core()
+	root := parse(t, `
+<microbenchmarks id="mb_x86_base_1" instruction_set="x86_base_isa" path="/usr/local/micr/src" command="mbscript.sh">
+  <microbenchmark id="fa1" type="fadd" file="fadd.c" cflags="-O0" lflags="-lm" />
+  <microbenchmark id="mo1" type="mov" file="mov.c" cflags="-O0" lflags="-lm" />
+</microbenchmarks>`)
+	ds := s.Validate(root)
+	if len(ds) != 0 {
+		t.Fatalf("microbenchmarks validation: %s", ds)
+	}
+}
+
+// TestSchemaDocumentation: the generators derive doc comments from the
+// schema, so every kind and attribute must carry one.
+func TestSchemaDocumentation(t *testing.T) {
+	s := Core()
+	for _, k := range s.Kinds() {
+		if k.Doc == "" {
+			t.Errorf("kind %s has no doc", k.Name)
+		}
+		for _, a := range k.Attrs {
+			if a.Doc == "" {
+				t.Errorf("attribute %s.%s has no doc", k.Name, a.Name)
+			}
+		}
+	}
+}
+
+// TestQuantityAttrsHaveUnitCompanions: the metric_unit convention must
+// be followed by the schema itself.
+func TestQuantityAttrsHaveUnitCompanions(t *testing.T) {
+	s := Core()
+	for _, k := range s.Kinds() {
+		for _, a := range k.Attrs {
+			if a.Type != TQuantity {
+				continue
+			}
+			unitAttr := units.UnitAttrFor(a.Name)
+			if _, ok := k.Attr(unitAttr); !ok {
+				t.Errorf("%s.%s lacks its %s companion", k.Name, a.Name, unitAttr)
+			}
+		}
+	}
+}
+
+// TestContainmentReferencesExist: every child named in a containment
+// list must itself be a registered kind.
+func TestContainmentReferencesExist(t *testing.T) {
+	s := Core()
+	for _, k := range s.Kinds() {
+		for _, c := range k.Children {
+			if _, ok := s.Kind(c); !ok {
+				t.Errorf("%s allows unknown child %q", k.Name, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/expr"
+	"xpdl/internal/units"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Diagnostic severities.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns "info", "warning" or "error".
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	default:
+		return "error"
+	}
+}
+
+// Diagnostic is one validation finding with its source position.
+type Diagnostic struct {
+	Severity Severity
+	Pos      ast.Pos
+	Msg      string
+}
+
+// Error renders the diagnostic as "pos: severity: msg".
+func (d Diagnostic) Error() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Msg)
+}
+
+// Diagnostics is a list of findings.
+type Diagnostics []Diagnostic
+
+// HasErrors reports whether any diagnostic has Error severity.
+func (ds Diagnostics) HasErrors() bool {
+	for _, d := range ds {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the Error-severity findings.
+func (ds Diagnostics) Errors() Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String joins all diagnostics, one per line.
+func (ds Diagnostics) String() string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.Error()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Unknown is the placeholder value marking attributes to be derived by
+// microbenchmarking at deployment time (Listing 3, Listing 14).
+const Unknown = "?"
+
+// Validate checks one element tree against the metamodel and returns
+// all findings. It checks element kinds, containment, attribute
+// presence, and attribute value syntax (including units for TQuantity
+// attributes and compilability for TExpr attributes).
+func (s *Schema) Validate(root *ast.Element) Diagnostics {
+	var ds Diagnostics
+	s.validateElement(root, nil, &ds)
+	return ds
+}
+
+func (s *Schema) validateElement(e *ast.Element, parentKind *ElementKind, ds *Diagnostics) {
+	kind, known := s.Kind(e.Name)
+	if !known {
+		*ds = append(*ds, Diagnostic{Error, e.Pos, fmt.Sprintf("unknown element <%s>", e.Name)})
+		return
+	}
+	if parentKind != nil && !parentKind.AllowsChild(e.Name) {
+		*ds = append(*ds, Diagnostic{Error, e.Pos,
+			fmt.Sprintf("element <%s> not allowed inside <%s>", e.Name, parentKind.Name)})
+	}
+
+	// Attribute checks.
+	seen := map[string]bool{}
+	for _, a := range e.Attrs {
+		seen[a.Name] = true
+		spec, declared := kind.Attr(a.Name)
+		if !declared {
+			if !kind.AllowAnyAttrs && !isUnitCompanion(kind, a.Name) {
+				*ds = append(*ds, Diagnostic{Warning, e.Pos,
+					fmt.Sprintf("unknown attribute %q on <%s>", a.Name, e.Name)})
+			}
+			continue
+		}
+		s.checkAttrValue(e, kind, spec, a.Value, ds)
+	}
+	for _, spec := range kind.Attrs {
+		if spec.Required && !seen[spec.Name] {
+			*ds = append(*ds, Diagnostic{Error, e.Pos,
+				fmt.Sprintf("missing required attribute %q on <%s>", spec.Name, e.Name)})
+		}
+	}
+
+	// Meta-vs-instance discipline for component kinds: warn if an
+	// element declares both a meta name and an instance id.
+	if kind.IsComponent {
+		_, hasName := e.Attr("name")
+		_, hasID := e.Attr("id")
+		if hasName && hasID {
+			*ds = append(*ds, Diagnostic{Warning, e.Pos,
+				fmt.Sprintf("<%s> declares both name= (meta-model) and id= (instance)", e.Name)})
+		}
+	}
+
+	for _, c := range e.Children {
+		s.validateElement(c, kind, ds)
+	}
+}
+
+// isUnitCompanion reports whether attr is the *_unit companion of a
+// declared quantity attribute — those are declared explicitly in the
+// schema, but a few models carry units for free-form metrics too, which
+// we accept silently when the base metric is declared.
+func isUnitCompanion(kind *ElementKind, attr string) bool {
+	base, ok := strings.CutSuffix(attr, "_unit")
+	if !ok {
+		return false
+	}
+	_, declared := kind.Attr(base)
+	return declared
+}
+
+func (s *Schema) checkAttrValue(e *ast.Element, kind *ElementKind, spec AttrSpec, val string, ds *Diagnostics) {
+	switch spec.Type {
+	case TInt:
+		if val == Unknown {
+			return
+		}
+		if _, err := strconv.Atoi(strings.TrimSpace(val)); err != nil {
+			*ds = append(*ds, Diagnostic{Error, e.Pos,
+				fmt.Sprintf("attribute %s=%q on <%s> is not an integer", spec.Name, val, e.Name)})
+		}
+	case TFloat:
+		if val == Unknown {
+			return
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err != nil {
+			*ds = append(*ds, Diagnostic{Error, e.Pos,
+				fmt.Sprintf("attribute %s=%q on <%s> is not a number", spec.Name, val, e.Name)})
+		}
+	case TBool:
+		lv := strings.ToLower(strings.TrimSpace(val))
+		if lv != "true" && lv != "false" {
+			*ds = append(*ds, Diagnostic{Error, e.Pos,
+				fmt.Sprintf("attribute %s=%q on <%s> is not a boolean", spec.Name, val, e.Name)})
+		}
+	case TQuantity:
+		s.checkQuantity(e, spec, val, ds)
+	case TExpr:
+		if val == Unknown {
+			return
+		}
+		if _, err := expr.Compile(val); err != nil {
+			*ds = append(*ds, Diagnostic{Error, e.Pos,
+				fmt.Sprintf("attribute %s on <%s>: %v", spec.Name, e.Name, err)})
+		}
+	case TString, TRef, TList:
+		if strings.TrimSpace(val) == "" && spec.Required {
+			*ds = append(*ds, Diagnostic{Error, e.Pos,
+				fmt.Sprintf("attribute %s on <%s> is empty", spec.Name, e.Name)})
+		}
+	}
+}
+
+func (s *Schema) checkQuantity(e *ast.Element, spec AttrSpec, val string, ds *Diagnostics) {
+	if val == Unknown {
+		// Placeholder to be filled by microbenchmarking.
+		return
+	}
+	unitAttr := units.UnitAttrFor(spec.Name)
+	unitVal, hasUnit := e.Attr(unitAttr)
+	if !hasUnit {
+		// A bare number is accepted (it may be a param reference or a
+		// dimensionless count), but if it is not numeric it must be an
+		// identifier usable as a param reference.
+		if _, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err != nil {
+			if !isIdentifier(val) {
+				*ds = append(*ds, Diagnostic{Error, e.Pos,
+					fmt.Sprintf("attribute %s=%q on <%s> is neither a number, a parameter name, nor %q", spec.Name, val, e.Name, Unknown)})
+			}
+		}
+		return
+	}
+	// Value may be numeric or a param reference even when a unit exists.
+	if _, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err != nil {
+		if isIdentifier(val) {
+			return
+		}
+		*ds = append(*ds, Diagnostic{Error, e.Pos,
+			fmt.Sprintf("attribute %s=%q on <%s> is not numeric", spec.Name, val, e.Name)})
+		return
+	}
+	dim, _, err := units.ParseUnit(unitVal)
+	if err != nil {
+		*ds = append(*ds, Diagnostic{Error, e.Pos,
+			fmt.Sprintf("attribute %s on <%s>: %v", unitAttr, e.Name, err)})
+		return
+	}
+	if spec.Dim != units.Dimensionless && dim != spec.Dim {
+		*ds = append(*ds, Diagnostic{Error, e.Pos,
+			fmt.Sprintf("attribute %s on <%s>: unit %q has dimension %s, expected %s",
+				spec.Name, e.Name, unitVal, dim, spec.Dim)})
+	}
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package simhw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Link simulates one directed interconnect channel with the affine cost
+// model of Listing 3: transfer time is bytes/bandwidth plus a
+// per-message time offset, transfer energy is per-byte energy plus a
+// per-message energy offset. The true offsets are what deployment-time
+// channel microbenchmarking has to recover (they are the "?" entries of
+// the pcie3 descriptor).
+type Link struct {
+	// Ground truth parameters.
+	BandwidthBps float64
+	TimeOffsetS  float64
+	EnergyPerB   float64
+	EnergyOffJ   float64
+
+	// MeterNoise / SampleDt follow the same sampled-integrator error
+	// model as Machine.ReadMeter.
+	MeterNoise float64
+	SampleDt   float64
+	// IdlePowerW is the link's baseline power, integrated by the meter.
+	IdlePowerW float64
+
+	rng    *rand.Rand
+	clock  float64
+	energy float64
+}
+
+// NewPCIe3UpLink builds the simulated up_link of the pcie3 descriptor:
+// the bandwidth and per-byte energy match the descriptor's known
+// attributes; the offsets are the hidden truths the calibration must
+// derive.
+func NewPCIe3UpLink(seed int64) *Link {
+	return &Link{
+		BandwidthBps: 6 * (1 << 30),
+		TimeOffsetS:  500e-9,
+		EnergyPerB:   8e-12,
+		EnergyOffJ:   120e-12,
+		// A dedicated on-board rail sensor: finer sampling and a lower
+		// power scale than the wall meter on the Machine.
+		MeterNoise: 0.005,
+		SampleDt:   1e-4,
+		IdlePowerW: 0.5,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewLink builds a link with explicit ground truth.
+func NewLink(seed int64, bwBps, toffS, epbJ, eoffJ float64) *Link {
+	return &Link{
+		BandwidthBps: bwBps, TimeOffsetS: toffS, EnergyPerB: epbJ, EnergyOffJ: eoffJ,
+		MeterNoise: 0.005, SampleDt: 1e-4, IdlePowerW: 0.5,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Reset zeroes the link's accounting.
+func (l *Link) Reset() { l.clock, l.energy = 0, 0 }
+
+// Transfer moves the payload over the link, advancing time and energy.
+func (l *Link) Transfer(bytes, messages int64) error {
+	if bytes < 0 || messages < 0 {
+		return fmt.Errorf("simhw: negative transfer (%d bytes, %d messages)", bytes, messages)
+	}
+	t := float64(bytes)/l.BandwidthBps + float64(messages)*l.TimeOffsetS
+	l.clock += t
+	l.energy += l.IdlePowerW*t + float64(bytes)*l.EnergyPerB + float64(messages)*l.EnergyOffJ
+	return nil
+}
+
+// Idle advances time without traffic; only idle power accrues.
+func (l *Link) Idle(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	l.clock += seconds
+	l.energy += l.IdlePowerW * seconds
+}
+
+// Clock returns the true elapsed time.
+func (l *Link) Clock() float64 { return l.clock }
+
+// TrueEnergy returns the exact accumulated energy.
+func (l *Link) TrueEnergy() float64 { return l.energy }
+
+// ReadMeter returns the observed (energy, time) with sampled-integrator
+// noise, like Machine.ReadMeter.
+func (l *Link) ReadMeter() (energyJ, seconds float64) {
+	std := l.MeterNoise * l.IdlePowerW * math.Sqrt(l.clock*l.SampleDt)
+	e := l.energy + l.rng.NormFloat64()*std
+	if e < 0 {
+		e = 0
+	}
+	return e, l.clock
+}

@@ -1,0 +1,268 @@
+package simhw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDivsdTableMatchesPaper(t *testing.T) {
+	m := NewX86(1)
+	cases := map[float64]float64{
+		2.8: 18.625e-9,
+		2.9: 19.573e-9,
+		3.4: 21.023e-9,
+	}
+	for f, want := range cases {
+		got, ok := m.TrueEnergyPerInst("divsd", f)
+		if !ok {
+			t.Fatal("divsd missing")
+		}
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("divsd@%.1f = %g, want %g", f, got, want)
+		}
+	}
+}
+
+func TestTableInterpolationAndClamping(t *testing.T) {
+	spec := &InstSpec{Table: []Sample{{2.0, 10e-9}, {3.0, 20e-9}}}
+	if got := spec.EnergyAt(2.5); math.Abs(got-15e-9) > 1e-15 {
+		t.Errorf("interp = %g", got)
+	}
+	if got := spec.EnergyAt(1.0); got != 10e-9 {
+		t.Errorf("below clamp = %g", got)
+	}
+	if got := spec.EnergyAt(4.0); got != 20e-9 {
+		t.Errorf("above clamp = %g", got)
+	}
+}
+
+func TestLinearModel(t *testing.T) {
+	spec := &InstSpec{Base: 1e-9, Slope: 0.5e-9, RefGHz: 3.0}
+	if got := spec.EnergyAt(3.0); got != 1e-9 {
+		t.Errorf("at ref = %g", got)
+	}
+	if got := spec.EnergyAt(3.4); math.Abs(got-1.2e-9) > 1e-18 {
+		t.Errorf("above ref = %g", got)
+	}
+}
+
+func TestSetFrequency(t *testing.T) {
+	m := NewX86(1)
+	if err := m.SetFrequency(3.0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Frequency() != 3.0 {
+		t.Fatalf("freq = %v", m.Frequency())
+	}
+	if err := m.SetFrequency(5.0); err == nil {
+		t.Fatal("off-level frequency accepted")
+	}
+	fs := m.Frequencies()
+	if len(fs) != 7 || fs[0] != 2.8 || fs[len(fs)-1] != 3.4 {
+		t.Fatalf("levels = %v", fs)
+	}
+}
+
+func TestExecuteAccounting(t *testing.T) {
+	m := NewX86(1)
+	if err := m.SetFrequency(3.0); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	const n = 1_000_000
+	if err := m.Execute("fadd", n); err != nil {
+		t.Fatal(err)
+	}
+	wantTime := float64(n) * 1.0 / 3e9
+	if math.Abs(m.Clock()-wantTime) > 1e-12 {
+		t.Fatalf("clock = %g, want %g", m.Clock(), wantTime)
+	}
+	wantEnergy := m.StaticAt(3.0)*wantTime + float64(n)*0.82e-9
+	if math.Abs(m.TrueEnergy()-wantEnergy)/wantEnergy > 1e-9 {
+		t.Fatalf("energy = %g, want %g", m.TrueEnergy(), wantEnergy)
+	}
+	if err := m.Execute("bogus", 1); err == nil {
+		t.Fatal("unknown instruction accepted")
+	}
+	if err := m.Execute("fadd", -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestIdleOnlyStatic(t *testing.T) {
+	m := NewX86(1)
+	m.Reset()
+	m.Idle(2.0)
+	want := m.StaticAt(m.Frequency()) * 2.0
+	if math.Abs(m.TrueEnergy()-want) > 1e-12 {
+		t.Fatalf("idle energy = %g, want %g", m.TrueEnergy(), want)
+	}
+	m.Idle(-5) // no-op
+	if m.Clock() != 2.0 {
+		t.Fatal("negative idle advanced clock")
+	}
+}
+
+func TestMeterNoiseDeterministic(t *testing.T) {
+	run := func(seed int64) float64 {
+		m := NewX86(seed)
+		m.Reset()
+		_ = m.Execute("fmul", 1000)
+		e, _ := m.ReadMeter()
+		return e
+	}
+	if run(42) != run(42) {
+		t.Fatal("same seed should be deterministic")
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds should differ")
+	}
+	// Noise stays within ~5 sigma of the sampled-integrator error model.
+	m := NewX86(7)
+	m.Reset()
+	_ = m.Execute("fmul", 1000)
+	e, ts := m.ReadMeter()
+	if ts != m.Clock() {
+		t.Fatal("meter time should be exact")
+	}
+	std := m.MeterNoise * m.StaticAt(m.Frequency()) * math.Sqrt(m.Clock()*m.SampleDt)
+	if math.Abs(e-m.TrueEnergy()) > 5*std {
+		t.Fatalf("meter noise too large: %g vs %g (std %g)", e, m.TrueEnergy(), std)
+	}
+}
+
+func TestMeterAccuracyImprovesWithDuration(t *testing.T) {
+	// Relative error over a long run must be far smaller than over a
+	// short run — the property the microbenchmark runner exploits.
+	relErr := func(n int) float64 {
+		m := NewX86(11)
+		if err := m.SetFrequency(3.0); err != nil {
+			t.Fatal(err)
+		}
+		m.Reset()
+		_ = m.Execute("fadd", n)
+		worst := 0.0
+		for i := 0; i < 20; i++ {
+			e, _ := m.ReadMeter()
+			if r := math.Abs(e-m.TrueEnergy()) / m.TrueEnergy(); r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	shortRun := relErr(10_000)
+	longRun := relErr(100_000_000)
+	if longRun >= shortRun {
+		t.Fatalf("long run not more accurate: short=%g long=%g", shortRun, longRun)
+	}
+	if longRun > 0.02 {
+		t.Fatalf("long run error too large: %g", longRun)
+	}
+}
+
+func TestISAList(t *testing.T) {
+	m := NewX86(1)
+	isa := m.ISA()
+	if len(isa) != 7 {
+		t.Fatalf("isa = %v", isa)
+	}
+	for i := 1; i < len(isa); i++ {
+		if isa[i-1] >= isa[i] {
+			t.Fatal("ISA not sorted")
+		}
+	}
+}
+
+func TestNewCustom(t *testing.T) {
+	isa := map[string]*InstSpec{"nop": {Name: "nop", CPI: 1, Base: 1e-10, RefGHz: 1}}
+	m := NewCustom(3, isa, []float64{1.5, 0.5, 1.0}, func(f float64) float64 { return 1 })
+	fs := m.Frequencies()
+	if fs[0] != 0.5 || fs[2] != 1.5 {
+		t.Fatalf("custom freqs not sorted: %v", fs)
+	}
+	if m.Frequency() != 0.5 {
+		t.Fatal("initial frequency should be lowest")
+	}
+	if err := m.Execute("nop", 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy and clock are monotone non-decreasing under any
+// sequence of operations.
+func TestQuickMonotoneAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewX86(5)
+		isa := m.ISA()
+		prevE, prevT := 0.0, 0.0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				_ = m.Execute(isa[int(op)%len(isa)], int(op)*10)
+			case 1:
+				m.Idle(float64(op) * 1e-6)
+			case 2:
+				_ = m.SetFrequency(m.Frequencies()[int(op)%7])
+			}
+			if m.TrueEnergy() < prevE || m.Clock() < prevT {
+				return false
+			}
+			prevE, prevT = m.TrueEnergy(), m.Clock()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for every ISA instruction, energy per instruction is
+// non-decreasing in frequency (holds for the default ground truth).
+func TestQuickEnergyMonotoneInFrequency(t *testing.T) {
+	m := NewX86(1)
+	for _, inst := range m.ISA() {
+		prev := 0.0
+		for _, f := range m.Frequencies() {
+			e, ok := m.TrueEnergyPerInst(inst, f)
+			if !ok {
+				t.Fatalf("missing %s", inst)
+			}
+			if e < prev {
+				t.Fatalf("%s energy decreases at %.1f GHz", inst, f)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestLinkAccounting(t *testing.T) {
+	l := NewPCIe3UpLink(3)
+	l.Reset()
+	if err := l.Transfer(1<<20, 4); err != nil {
+		t.Fatal(err)
+	}
+	wantT := float64(1<<20)/l.BandwidthBps + 4*l.TimeOffsetS
+	if math.Abs(l.Clock()-wantT) > 1e-15 {
+		t.Fatalf("clock = %g, want %g", l.Clock(), wantT)
+	}
+	wantE := l.IdlePowerW*wantT + float64(1<<20)*l.EnergyPerB + 4*l.EnergyOffJ
+	if math.Abs(l.TrueEnergy()-wantE)/wantE > 1e-12 {
+		t.Fatalf("energy = %g, want %g", l.TrueEnergy(), wantE)
+	}
+	e, ts := l.ReadMeter()
+	if ts != l.Clock() || e <= 0 {
+		t.Fatalf("meter = %g %g", e, ts)
+	}
+	l.Idle(1.0)
+	if l.Clock() <= wantT {
+		t.Fatal("idle did not advance clock")
+	}
+	if err := l.Transfer(-1, 0); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+	custom := NewLink(1, 1e9, 1e-6, 1e-12, 1e-10)
+	if custom.BandwidthBps != 1e9 || custom.EnergyOffJ != 1e-10 {
+		t.Fatalf("custom link = %+v", custom)
+	}
+}

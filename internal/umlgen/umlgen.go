@@ -1,0 +1,178 @@
+// Package umlgen renders the UML view of XPDL (Section III: "XPDL
+// offers multiple views: XML, UML, and C++ ... semantically equivalent,
+// and (basically) convertible to each other"). It emits PlantUML text:
+// a class diagram of the core metamodel, and object diagrams of
+// composed models with homogeneous groups collapsed to a single object
+// annotated with its multiplicity, so cluster-scale models stay
+// readable.
+package umlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/model"
+	"xpdl/internal/schema"
+)
+
+// className renders an element kind as a UML class name
+// (power_state_machine → PowerStateMachine).
+func className(kind string) string {
+	parts := strings.Split(kind, "_")
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+// SchemaDiagram emits a PlantUML class diagram of the metamodel: one
+// class per element kind with its typed attributes, and composition
+// associations for the legal containment relations.
+func SchemaDiagram(s *schema.Schema) string {
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	b.WriteString("' XPDL core metamodel — generated from internal/schema.\n")
+	b.WriteString("hide empty members\n")
+	for _, k := range s.Kinds() {
+		fmt.Fprintf(&b, "class %s {\n", className(k.Name))
+		for _, a := range k.Attrs {
+			fmt.Fprintf(&b, "  +%s : %s\n", a.Name, a.Type)
+		}
+		b.WriteString("}\n")
+	}
+	// Containment as compositions. Deduplicate symmetric pairs not
+	// needed: containment is directed.
+	for _, k := range s.Kinds() {
+		children := append([]string(nil), k.Children...)
+		sort.Strings(children)
+		for _, c := range children {
+			fmt.Fprintf(&b, "%s *-- \"0..*\" %s\n", className(k.Name), className(c))
+		}
+	}
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// ModelDiagramOptions tune object-diagram rendering.
+type ModelDiagramOptions struct {
+	// MaxAttrs bounds the attributes shown per object (0 = 4).
+	MaxAttrs int
+	// CollapseThreshold collapses homogeneous sibling runs longer than
+	// this into one representative object with a multiplicity note
+	// (0 = 4).
+	CollapseThreshold int
+}
+
+// ModelDiagram emits a PlantUML object diagram of a composed model.
+func ModelDiagram(root *model.Component, opts ModelDiagramOptions) string {
+	if opts.MaxAttrs <= 0 {
+		opts.MaxAttrs = 4
+	}
+	if opts.CollapseThreshold <= 0 {
+		opts.CollapseThreshold = 4
+	}
+	var b strings.Builder
+	b.WriteString("@startuml\n")
+	b.WriteString("' XPDL model object diagram — generated from the composed model.\n")
+	seq := 0
+	var emit func(c *model.Component, mult int) string
+	emit = func(c *model.Component, mult int) string {
+		seq++
+		objName := fmt.Sprintf("o%d", seq)
+		title := c.Kind
+		if id := c.Ident(); id != "" {
+			title = id + " : " + className(c.Kind)
+		} else {
+			title = className(c.Kind)
+		}
+		if mult > 1 {
+			title += fmt.Sprintf(" (x%d)", mult)
+		}
+		fmt.Fprintf(&b, "object \"%s\" as %s {\n", title, objName)
+		names := make([]string, 0, len(c.Attrs))
+		for k := range c.Attrs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		shown := 0
+		for _, k := range names {
+			if shown >= opts.MaxAttrs {
+				fmt.Fprintf(&b, "  ... %d more\n", len(names)-shown)
+				break
+			}
+			a := c.Attrs[k]
+			val := a.Raw
+			if a.HasQuantity {
+				val = a.Quantity.String()
+			}
+			fmt.Fprintf(&b, "  %s = %s\n", k, val)
+			shown++
+		}
+		b.WriteString("}\n")
+
+		// Group homogeneous children by structural signature and
+		// collapse long runs.
+		type bucket struct {
+			rep   *model.Component
+			count int
+		}
+		var order []string
+		buckets := map[string]*bucket{}
+		for _, ch := range c.Children {
+			sig := signature(ch)
+			if bk, ok := buckets[sig]; ok {
+				bk.count++
+				continue
+			}
+			buckets[sig] = &bucket{rep: ch, count: 1}
+			order = append(order, sig)
+		}
+		for _, sig := range order {
+			bk := buckets[sig]
+			mult := 1
+			if bk.count >= opts.CollapseThreshold {
+				mult = bk.count
+			}
+			childObj := emit(bk.rep, mult)
+			fmt.Fprintf(&b, "%s *-- %s\n", objName, childObj)
+			if mult == 1 && bk.count > 1 {
+				// Below the threshold: emit the remaining siblings too.
+				for _, ch := range c.Children {
+					if ch != bk.rep && signature(ch) == sig {
+						other := emit(ch, 1)
+						fmt.Fprintf(&b, "%s *-- %s\n", objName, other)
+					}
+				}
+			}
+		}
+		return objName
+	}
+	emit(root, 1)
+	b.WriteString("@enduml\n")
+	return b.String()
+}
+
+// signature captures the structural identity used for collapsing:
+// kind, type and the shape of the subtree.
+func signature(c *model.Component) string {
+	var b strings.Builder
+	var rec func(x *model.Component)
+	rec = func(x *model.Component) {
+		b.WriteString(x.Kind)
+		b.WriteString("/")
+		b.WriteString(x.Type)
+		b.WriteString("(")
+		for _, ch := range x.Children {
+			rec(ch)
+		}
+		b.WriteString(")")
+	}
+	rec(c)
+	return b.String()
+}

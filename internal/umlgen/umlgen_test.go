@@ -1,0 +1,101 @@
+package umlgen
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/schema"
+	"xpdl/internal/units"
+)
+
+func TestSchemaDiagram(t *testing.T) {
+	uml := SchemaDiagram(schema.Core())
+	if !strings.HasPrefix(uml, "@startuml") || !strings.HasSuffix(uml, "@enduml\n") {
+		t.Fatal("not a PlantUML document")
+	}
+	for _, want := range []string{
+		"class Cpu {", "class PowerStateMachine {",
+		"+frequency : quantity", "+expr : expr",
+		`Cpu *-- "0..*" Core`, `PowerStates *-- "0..*" PowerState`,
+	} {
+		if !strings.Contains(uml, want) {
+			t.Errorf("schema diagram missing %q", want)
+		}
+	}
+	if SchemaDiagram(schema.Core()) != uml {
+		t.Fatal("schema diagram not deterministic")
+	}
+}
+
+func buildCluster() *model.Component {
+	sys := model.New("system")
+	sys.ID = "cl"
+	for i := 0; i < 8; i++ {
+		node := model.New("node")
+		node.SetQuantity("static_power", units.MustParse("30", "W"))
+		cpu := model.New("cpu")
+		cpu.Type = "Xeon"
+		node.Children = append(node.Children, cpu)
+		sys.Children = append(sys.Children, node)
+	}
+	odd := model.New("device")
+	odd.ID = "gpu1"
+	sys.Children = append(sys.Children, odd)
+	return sys
+}
+
+func TestModelDiagramCollapsesHomogeneousGroups(t *testing.T) {
+	uml := ModelDiagram(buildCluster(), ModelDiagramOptions{})
+	// 8 identical nodes collapse into one object with multiplicity.
+	if !strings.Contains(uml, "(x8)") {
+		t.Fatalf("homogeneous group not collapsed:\n%s", uml)
+	}
+	if got := strings.Count(uml, `object "Node`); got != 1 {
+		t.Fatalf("expected a single collapsed Node object, got %d:\n%s", got, uml)
+	}
+	// The distinct device is kept separately.
+	if !strings.Contains(uml, "gpu1 : Device") {
+		t.Fatalf("device missing:\n%s", uml)
+	}
+	// Attributes render with units.
+	if !strings.Contains(uml, "static_power = 30 W") {
+		t.Fatalf("attribute rendering wrong:\n%s", uml)
+	}
+}
+
+func TestModelDiagramBelowThresholdKeepsSiblings(t *testing.T) {
+	sys := model.New("system")
+	sys.ID = "s"
+	for i := 0; i < 3; i++ {
+		sys.Children = append(sys.Children, model.New("node"))
+	}
+	uml := ModelDiagram(sys, ModelDiagramOptions{CollapseThreshold: 4})
+	if strings.Contains(uml, "(x3)") {
+		t.Fatalf("collapsed below threshold:\n%s", uml)
+	}
+	if got := strings.Count(uml, `object "Node"`); got != 3 {
+		t.Fatalf("nodes shown = %d:\n%s", got, uml)
+	}
+}
+
+func TestModelDiagramMaxAttrs(t *testing.T) {
+	c := model.New("cpu")
+	c.ID = "c"
+	for _, a := range []string{"a1", "a2", "a3", "a4", "a5", "a6"} {
+		c.SetAttr(a, model.Attr{Raw: "v"})
+	}
+	uml := ModelDiagram(c, ModelDiagramOptions{MaxAttrs: 2})
+	if !strings.Contains(uml, "... 4 more") {
+		t.Fatalf("attr truncation missing:\n%s", uml)
+	}
+}
+
+func TestClassName(t *testing.T) {
+	if got := className("power_state_machine"); got != "PowerStateMachine" {
+		t.Fatalf("className = %q", got)
+	}
+	if got := className("cpu"); got != "Cpu" {
+		t.Fatalf("className = %q", got)
+	}
+}

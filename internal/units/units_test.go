@@ -1,0 +1,266 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		value, unit string
+		want        float64
+	}{
+		{"32", "KiB", 32 * 1024},
+		{"32", "KB", 32 * 1024},
+		{"4", "kB", 4 * 1024},
+		{"256", "KiB", 256 * 1024},
+		{"15", "MiB", 15 * 1024 * 1024},
+		{"16", "GB", 16 * 1024 * 1024 * 1024},
+		{"1", "MB", 1 << 20},
+		{"64", "MB", 64 << 20},
+		{"5", "GB", 5 << 30},
+		{"1", "B", 1},
+		{"2", "TiB", 2 << 40},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.value, c.unit)
+		if err != nil {
+			t.Fatalf("Parse(%q,%q): %v", c.value, c.unit, err)
+		}
+		if q.Dim != Size {
+			t.Errorf("Parse(%q,%q) dim = %v, want Size", c.value, c.unit, q.Dim)
+		}
+		if q.Value != c.want {
+			t.Errorf("Parse(%q,%q) = %v, want %v", c.value, c.unit, q.Value, c.want)
+		}
+	}
+}
+
+func TestParseFrequency(t *testing.T) {
+	q := MustParse("2", "GHz")
+	if q.Dim != Frequency || q.Value != 2e9 {
+		t.Fatalf("2 GHz = %+v", q)
+	}
+	q = MustParse("180", "MHz")
+	if q.Value != 180e6 {
+		t.Fatalf("180 MHz = %v", q.Value)
+	}
+	q = MustParse("706", "MHz")
+	if q.Value != 706e6 {
+		t.Fatalf("706 MHz = %v", q.Value)
+	}
+}
+
+func TestParseEnergyPowerTime(t *testing.T) {
+	if q := MustParse("18.625", "nJ"); math.Abs(q.Value-18.625e-9) > 1e-18 {
+		t.Errorf("18.625 nJ = %v", q.Value)
+	}
+	if q := MustParse("8", "pJ"); math.Abs(q.Value-8e-12) > 1e-20 {
+		t.Errorf("8 pJ = %v", q.Value)
+	}
+	if q := MustParse("4", "W"); q.Value != 4 || q.Dim != Power {
+		t.Errorf("4 W = %+v", q)
+	}
+	if q := MustParse("1", "us"); q.Value != 1e-6 || q.Dim != Time {
+		t.Errorf("1 us = %+v", q)
+	}
+	if q := MustParse("20", "W"); q.Dim != Power {
+		t.Errorf("20 W dim = %v", q.Dim)
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	q, err := Parse("6", "GiB/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dim != Bandwidth {
+		t.Fatalf("dim = %v", q.Dim)
+	}
+	if q.Value != 6*(1<<30) {
+		t.Fatalf("6 GiB/s = %v", q.Value)
+	}
+	if _, err := Parse("1", "qq/s"); err == nil {
+		t.Fatal("expected error for qq/s")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("abc", "W"); err == nil {
+		t.Error("expected error for non-numeric value")
+	}
+	if _, err := Parse("1", "parsec"); err == nil {
+		t.Error("expected error for unknown unit")
+	}
+	if _, _, err := ParseUnit("bogus"); err == nil {
+		t.Error("expected error for bogus unit")
+	}
+}
+
+func TestEmptyUnitIsDimensionless(t *testing.T) {
+	q, err := Parse("13", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dim != Dimensionless || q.Value != 13 {
+		t.Fatalf("got %+v", q)
+	}
+}
+
+func TestCaseInsensitiveSizeFallback(t *testing.T) {
+	for _, u := range []string{"kib", "KIB", "Kb", "gb", "MIB"} {
+		q, err := Parse("1", u)
+		if err != nil {
+			t.Errorf("Parse(1,%q): %v", u, err)
+			continue
+		}
+		if q.Dim != Size {
+			t.Errorf("Parse(1,%q) dim = %v", u, q.Dim)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	q := MustParse("32", "KiB")
+	v, err := q.Convert("KiB")
+	if err != nil || v != 32 {
+		t.Fatalf("Convert KiB = %v, %v", v, err)
+	}
+	v, err = q.Convert("B")
+	if err != nil || v != 32768 {
+		t.Fatalf("Convert B = %v, %v", v, err)
+	}
+	if _, err := q.Convert("GHz"); err == nil {
+		t.Fatal("expected cross-dimension conversion error")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := MustParse("4", "W")
+	b := MustParse("500", "mW")
+	s, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Value-4.5) > 1e-12 {
+		t.Fatalf("sum = %v", s.Value)
+	}
+	if _, err := a.Add(MustParse("1", "J")); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+	if got := a.Scale(3).Value; got != 12 {
+		t.Fatalf("scale = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		q    Quantity
+		want string
+	}{
+		{MustParse("32", "KiB"), "32 KiB"},
+		{MustParse("2", "GHz"), "2 GHz"},
+		{MustParse("18.625", "nJ"), "18.625 nJ"},
+		{MustParse("0", "W"), "0 W"},
+		{MustParse("6", "GiB/s"), "6 GiB/s"},
+		{Quantity{Value: 42}, "42"},
+	}
+	for _, c := range cases {
+		if got := c.q.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.q.Value, got, c.want)
+		}
+	}
+}
+
+func TestDimensionForAttr(t *testing.T) {
+	cases := map[string]Dimension{
+		"static_power":            Power,
+		"frequency":               Frequency,
+		"cfrq":                    Frequency,
+		"energy_per_byte":         Energy,
+		"max_bandwidth":           Bandwidth,
+		"time_offset_per_message": Time,
+		"size":                    Size,
+		"gmsz":                    Size,
+		"shmsize":                 Size,
+		"quantity":                Dimensionless,
+		"voltage":                 Voltage,
+	}
+	for attr, want := range cases {
+		if got := DimensionForAttr(attr); got != want {
+			t.Errorf("DimensionForAttr(%q) = %v, want %v", attr, got, want)
+		}
+	}
+}
+
+func TestUnitAttrFor(t *testing.T) {
+	if got := UnitAttrFor("size"); got != "unit" {
+		t.Errorf("UnitAttrFor(size) = %q", got)
+	}
+	if got := UnitAttrFor("static_power"); got != "static_power_unit" {
+		t.Errorf("UnitAttrFor(static_power) = %q", got)
+	}
+}
+
+func TestDimensionStringAndBaseUnit(t *testing.T) {
+	if Size.String() != "size" || Power.String() != "power" {
+		t.Error("dimension names wrong")
+	}
+	if Dimension(99).String() == "" {
+		t.Error("unknown dimension should still render")
+	}
+	if Size.BaseUnit() != "B" || Bandwidth.BaseUnit() != "B/s" || Dimensionless.BaseUnit() != "" {
+		t.Error("base units wrong")
+	}
+}
+
+// Property: Parse then Convert back to the same unit is the identity on
+// the numeric value (within floating-point tolerance).
+func TestQuickRoundTrip(t *testing.T) {
+	unitsToTry := []string{"B", "KiB", "MiB", "GHz", "MHz", "W", "mW", "nJ", "pJ", "ns", "us", "GiB/s"}
+	f := func(raw uint32, idx uint8) bool {
+		v := float64(raw%1e6) / 16.0
+		u := unitsToTry[int(idx)%len(unitsToTry)]
+		q, err := Parse(trimFloat(v), u)
+		if err != nil {
+			return false
+		}
+		back, err := q.Convert(u)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-v) <= 1e-9*math.Max(1, math.Abs(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative for same-dimension quantities.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b int32) bool {
+		qa := Quantity{Value: float64(a), Dim: Power}
+		qb := Quantity{Value: float64(b), Dim: Power}
+		s1, err1 := qa.Add(qb)
+		s2, err2 := qb.Add(qa)
+		return err1 == nil && err2 == nil && s1 == s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String never returns an empty string and contains the base
+// unit symbol for dimensioned quantities.
+func TestQuickStringNonEmpty(t *testing.T) {
+	f := func(v int32) bool {
+		q := Quantity{Value: float64(v), Dim: Energy}
+		s := q.String()
+		return s != "" && strings.Contains(s, "J")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

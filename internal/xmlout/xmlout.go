@@ -1,0 +1,152 @@
+// Package xmlout renders model components back to .xpdl XML — the
+// inverse of internal/parser. The toolchain uses it to emit normalized
+// descriptors, to write composed models back out (e.g. after
+// microbenchmarking filled the "?" entries, so the derived values can be
+// committed back into the model repository), and to materialize the
+// XPDL view of models converted from other languages (PDL).
+package xmlout
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+// ToAST converts a component tree into an XML element tree. Quantity
+// attributes are rendered with their original unit when known, else in
+// the base unit of their dimension.
+func ToAST(c *model.Component) *ast.Element {
+	e := &ast.Element{Name: c.Kind}
+	if c.Name != "" {
+		e.SetAttr("name", c.Name)
+	}
+	if c.ID != "" {
+		e.SetAttr("id", c.ID)
+	}
+	if c.Type != "" {
+		e.SetAttr("type", c.Type)
+	}
+	if len(c.Extends) > 0 {
+		e.SetAttr("extends", strings.Join(c.Extends, ", "))
+	}
+	if c.Prefix != "" {
+		e.SetAttr("prefix", c.Prefix)
+	}
+	if c.Quantity != "" {
+		e.SetAttr("quantity", c.Quantity)
+	}
+
+	names := make([]string, 0, len(c.Attrs))
+	for k := range c.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		a := c.Attrs[k]
+		switch {
+		case a.Unknown:
+			e.SetAttr(k, "?")
+			if a.Unit != "" {
+				e.SetAttr(units.UnitAttrFor(k), a.Unit)
+			}
+		case a.HasQuantity && a.Unit != "":
+			if v, err := a.Quantity.Convert(a.Unit); err == nil {
+				e.SetAttr(k, trim(v))
+				e.SetAttr(units.UnitAttrFor(k), a.Unit)
+				continue
+			}
+			e.SetAttr(k, a.Raw)
+		case a.HasQuantity && a.Quantity.Dim != units.Dimensionless:
+			e.SetAttr(k, trim(a.Quantity.Value))
+			e.SetAttr(units.UnitAttrFor(k), a.Quantity.Dim.BaseUnit())
+		default:
+			e.SetAttr(k, a.Raw)
+		}
+	}
+
+	for _, p := range c.Params {
+		pe := &ast.Element{Name: "param"}
+		pe.SetAttr("name", p.Name)
+		if p.Type != "" {
+			pe.SetAttr("type", p.Type)
+		}
+		if p.Configurable {
+			pe.SetAttr("configurable", "true")
+		}
+		if len(p.Range) > 0 {
+			pe.SetAttr("range", strings.Join(p.Range, ", "))
+		}
+		if p.Bound() {
+			pe.SetAttr("value", p.Value)
+			if p.Unit != "" {
+				pe.SetAttr("unit", p.Unit)
+			}
+		}
+		e.Children = append(e.Children, pe)
+	}
+	for _, k := range c.Consts {
+		ke := &ast.Element{Name: "const"}
+		ke.SetAttr("name", k.Name)
+		if k.Type != "" {
+			ke.SetAttr("type", k.Type)
+		}
+		if k.Value != "" {
+			ke.SetAttr("value", k.Value)
+			if k.Unit != "" {
+				ke.SetAttr("unit", k.Unit)
+			}
+		}
+		e.Children = append(e.Children, ke)
+	}
+	if len(c.Constraints) > 0 {
+		cs := &ast.Element{Name: "constraints"}
+		for _, cons := range c.Constraints {
+			ce := &ast.Element{Name: "constraint"}
+			ce.SetAttr("expr", cons.Expr)
+			cs.Children = append(cs.Children, ce)
+		}
+		e.Children = append(e.Children, cs)
+	}
+	if len(c.Properties) > 0 {
+		ps := &ast.Element{Name: "properties"}
+		for _, p := range c.Properties {
+			pe := &ast.Element{Name: "property"}
+			pe.SetAttr("name", p.Name)
+			keys := make([]string, 0, len(p.Attrs))
+			for k := range p.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				pe.SetAttr(k, p.Attrs[k])
+			}
+			ps.Children = append(ps.Children, pe)
+		}
+		e.Children = append(e.Children, ps)
+	}
+	for _, ch := range c.Children {
+		e.Children = append(e.Children, ToAST(ch))
+	}
+	return e
+}
+
+func trim(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders the component tree as indented XPDL XML.
+func Write(w io.Writer, c *model.Component) error {
+	return ast.WriteXML(w, ToAST(c))
+}
+
+// String renders the component tree to a string.
+func String(c *model.Component) string {
+	var b strings.Builder
+	_ = Write(&b, c)
+	return b.String()
+}

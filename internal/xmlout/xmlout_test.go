@@ -1,0 +1,112 @@
+package xmlout
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/parser"
+)
+
+// roundTrip parses a descriptor, renders it back and reparses, checking
+// the rendered form is stable and semantically equivalent.
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	p := parser.New()
+	c1, _, err := p.ParseFile("a.xpdl", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out1 := String(c1)
+	c2, _, err := p.ParseFile("b.xpdl", []byte(out1))
+	if err != nil {
+		t.Fatalf("reparse rendered form: %v\n%s", err, out1)
+	}
+	out2 := String(c2)
+	if out1 != out2 {
+		t.Fatalf("rendering unstable:\n%s\nvs\n%s", out1, out2)
+	}
+	return out1
+}
+
+func TestRoundTripListing1(t *testing.T) {
+	out := roundTrip(t, `
+<cpu name="Intel_Xeon_E5_2630L">
+  <group prefix="core_group" quantity="2">
+    <group prefix="core" quantity="2">
+      <core frequency="2" frequency_unit="GHz" />
+      <cache name="L1" size="32" unit="KiB" />
+    </group>
+    <cache name="L2" size="256" unit="KiB" />
+  </group>
+  <cache name="L3" size="15" unit="MiB" />
+  <power_model type="power_model_E5_2630L" />
+</cpu>`)
+	for _, want := range []string{
+		`cpu name="Intel_Xeon_E5_2630L"`,
+		`frequency="2" frequency_unit="GHz"`,
+		`size="32" unit="KiB"`,
+		`prefix="core_group" quantity="2"`,
+		`power_model type="power_model_E5_2630L"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered form missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripParamsConstsConstraints(t *testing.T) {
+	out := roundTrip(t, `
+<device name="K" extends="Nvidia_GPU" compute_capability="3.5">
+  <const name="total" type="msize" value="64" unit="KB"/>
+  <param name="L1size" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+  <param name="num_SM" value="13"/>
+  <constraints><constraint expr="L1size + shmsize == total"/></constraints>
+  <properties><property name="vendor" value="Nvidia"/></properties>
+</device>`)
+	for _, want := range []string{
+		`extends="Nvidia_GPU"`,
+		`const name="total"`,
+		`range="16, 32, 48"`,
+		`configurable="true"`,
+		`param name="num_SM" value="13"`,
+		`constraint expr="L1size + shmsize == total"`,
+		`property name="vendor" value="Nvidia"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered form missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownPlaceholderPreserved(t *testing.T) {
+	out := roundTrip(t, `
+<interconnect name="pcie3">
+  <channel name="up_link" max_bandwidth="6" max_bandwidth_unit="GiB/s"
+           time_offset_per_message="?" time_offset_per_message_unit="ns"/>
+</interconnect>`)
+	if !strings.Contains(out, `time_offset_per_message="?"`) {
+		t.Fatalf("? placeholder lost:\n%s", out)
+	}
+	if !strings.Contains(out, `time_offset_per_message_unit="ns"`) {
+		t.Fatalf("? unit lost:\n%s", out)
+	}
+	if !strings.Contains(out, `max_bandwidth="6"`) {
+		t.Fatalf("quantity not rendered in source unit:\n%s", out)
+	}
+}
+
+func TestQuantityWithoutUnitRendersBaseUnit(t *testing.T) {
+	p := parser.New()
+	c, _, err := p.ParseFile("x.xpdl", []byte(`<memory name="m" size="1024" unit="KiB"/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the recorded unit to force base-unit rendering.
+	a := c.Attrs["size"]
+	a.Unit = ""
+	c.Attrs["size"] = a
+	out := String(c)
+	if !strings.Contains(out, `size="1.048576e+06"`) && !strings.Contains(out, `unit="B"`) {
+		t.Fatalf("base unit rendering wrong:\n%s", out)
+	}
+}

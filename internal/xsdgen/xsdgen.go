@@ -1,0 +1,84 @@
+// Package xsdgen emits the central xpdl.xsd schema document from the Go
+// metamodel (internal/schema). The paper distributes xpdl.xsd as the
+// shared core metamodel from which the query API is generated and
+// against which descriptor files are validated; keeping the XSD
+// generated from the same source as the validator guarantees the two
+// cannot drift apart.
+package xsdgen
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/schema"
+)
+
+// xsdType maps schema attribute types to XSD simple types.
+func xsdType(t schema.AttrType) string {
+	switch t {
+	case schema.TInt:
+		return "xs:integer"
+	case schema.TFloat:
+		return "xs:decimal"
+	case schema.TBool:
+		return "xs:boolean"
+	case schema.TQuantity:
+		// Quantities admit numbers, parameter references and the "?"
+		// placeholder, so they remain strings at the XSD level; the
+		// toolchain's semantic validator enforces the rest.
+		return "xs:string"
+	default:
+		return "xs:string"
+	}
+}
+
+// Generate renders the complete xpdl.xsd document.
+func Generate(s *schema.Schema) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString("<!-- xpdl.xsd: XPDL core metamodel. GENERATED from internal/schema; do not edit. -->\n")
+	b.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" elementFormDefault="qualified">` + "\n")
+
+	for _, k := range s.Kinds() {
+		fmt.Fprintf(&b, "  <!-- %s -->\n", escape(k.Doc))
+		fmt.Fprintf(&b, "  <xs:element name=%q>\n", k.Name)
+		b.WriteString("    <xs:complexType>\n")
+		if len(k.Children) > 0 {
+			b.WriteString("      <xs:choice minOccurs=\"0\" maxOccurs=\"unbounded\">\n")
+			children := append([]string(nil), k.Children...)
+			sortStrings(children)
+			for _, c := range children {
+				fmt.Fprintf(&b, "        <xs:element ref=%q/>\n", c)
+			}
+			b.WriteString("      </xs:choice>\n")
+		}
+		for _, a := range k.Attrs {
+			use := "optional"
+			if a.Required {
+				use = "required"
+			}
+			fmt.Fprintf(&b, "      <xs:attribute name=%q type=%q use=%q/>\n",
+				a.Name, xsdType(a.Type), use)
+		}
+		if k.AllowAnyAttrs {
+			b.WriteString("      <xs:anyAttribute processContents=\"lax\"/>\n")
+		}
+		b.WriteString("    </xs:complexType>\n")
+		b.WriteString("  </xs:element>\n")
+	}
+	b.WriteString("</xs:schema>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "--", "- -")
+	return r.Replace(s)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

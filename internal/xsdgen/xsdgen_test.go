@@ -1,0 +1,71 @@
+package xsdgen
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/ast"
+	"xpdl/internal/schema"
+)
+
+func TestGenerateWellFormed(t *testing.T) {
+	xsd := Generate(schema.Core())
+	root, err := ast.Parse("xpdl.xsd", []byte(xsd))
+	if err != nil {
+		t.Fatalf("generated XSD is not well-formed XML: %v", err)
+	}
+	if root.Name != "schema" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	// One xs:element per schema kind.
+	elems := root.ChildrenNamed("element")
+	if len(elems) != len(schema.Core().KindNames()) {
+		t.Fatalf("elements = %d, want %d", len(elems), len(schema.Core().KindNames()))
+	}
+}
+
+func TestGenerateContent(t *testing.T) {
+	xsd := Generate(schema.Core())
+	for _, want := range []string{
+		`<xs:element name="cpu">`,
+		`<xs:element name="power_state_machine">`,
+		`<xs:attribute name="expr" type="xs:string" use="required"/>`,
+		`<xs:attribute name="sets" type="xs:integer" use="optional"/>`,
+		`<xs:attribute name="enableSwitchOff" type="xs:boolean" use="optional"/>`,
+		`<xs:attribute name="compute_capability" type="xs:decimal" use="optional"/>`,
+		`<xs:anyAttribute processContents="lax"/>`, // property escape hatch
+		`<xs:element ref="core"/>`,
+	} {
+		if !strings.Contains(xsd, want) {
+			t.Errorf("XSD missing %q", want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	if Generate(schema.Core()) != Generate(schema.Core()) {
+		t.Fatal("XSD generation not deterministic")
+	}
+}
+
+func TestXsdTypeMapping(t *testing.T) {
+	cases := map[schema.AttrType]string{
+		schema.TInt:      "xs:integer",
+		schema.TFloat:    "xs:decimal",
+		schema.TBool:     "xs:boolean",
+		schema.TQuantity: "xs:string",
+		schema.TString:   "xs:string",
+		schema.TRef:      "xs:string",
+	}
+	for at, want := range cases {
+		if got := xsdType(at); got != want {
+			t.Errorf("xsdType(%v) = %q, want %q", at, got, want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a -- b & c"); strings.Contains(got, "--") || !strings.Contains(got, "&amp;") {
+		t.Errorf("escape = %q", got)
+	}
+}

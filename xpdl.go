@@ -1,0 +1,68 @@
+// Package xpdl is a Go implementation of XPDL, the extensible platform
+// description language for energy modeling and optimization (Kessler,
+// Li, Atalar, Dobre — ICPP-EMS 2015).
+//
+// XPDL descriptors are machine-readable data sheets of hardware and
+// system-software components, organized as a distributed repository of
+// reusable submodels. This package is the public facade over the
+// toolchain: it composes a concrete system model from its referenced
+// submodels (inheritance, parameters, group expansion, constraints),
+// runs deployment-time microbenchmarks to fill unknown energy costs,
+// performs static analysis, and emits a light-weight runtime model that
+// applications introspect through the runtime query API for
+// platform-aware adaptive optimization such as conditional composition.
+//
+// Quick start:
+//
+//	tc, err := xpdl.NewToolchain(xpdl.Options{
+//	    SearchPaths:        []string{"models"},
+//	    RunMicrobenchmarks: true,
+//	})
+//	res, err := tc.Process("liu_gpu_server")
+//	err = tc.EmitRuntime(res, "liu.xrt")
+//	...
+//	s, err := xpdl.OpenRuntime("liu.xrt")      // at application startup
+//	cores := s.Root().NumCores()
+//	hasCUBLAS := s.Installed("CUBLAS")
+package xpdl
+
+import (
+	"xpdl/internal/codegen"
+	"xpdl/internal/core"
+	"xpdl/internal/query"
+	"xpdl/internal/schema"
+	"xpdl/internal/xsdgen"
+)
+
+// Options configure a Toolchain; see core.Options for field docs.
+type Options = core.Options
+
+// Toolchain is the XPDL processing tool: repository browsing, model
+// composition, microbenchmark bootstrapping, static analysis, runtime
+// model emission.
+type Toolchain = core.Toolchain
+
+// Result is the outcome of processing one system model.
+type Result = core.Result
+
+// Session is an initialized runtime query environment (the equivalent
+// of the paper's xpdl_init plus the generated getter API).
+type Session = query.Session
+
+// NewToolchain builds a processing tool over the configured model
+// repository search paths and remote libraries.
+func NewToolchain(opts Options) (*Toolchain, error) { return core.New(opts) }
+
+// OpenRuntime loads a runtime model file written by Toolchain.EmitRuntime
+// and returns a query session — the xpdl_init() of the paper.
+func OpenRuntime(path string) (*Session, error) { return query.Init(path) }
+
+// GenerateCPPAPI emits the C++ runtime query API (one class per model
+// element type, with generated getters and setters) from the core
+// schema, as filename → contents.
+func GenerateCPPAPI() (map[string]string, error) {
+	return codegen.GenerateCPP(schema.Core())
+}
+
+// GenerateXSD renders the central xpdl.xsd schema document.
+func GenerateXSD() string { return xsdgen.Generate(schema.Core()) }

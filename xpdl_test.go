@@ -1,0 +1,99 @@
+package xpdl_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpdl"
+	"xpdl/internal/parser"
+	"xpdl/internal/xmlout"
+)
+
+// TestFacadePipeline drives the public API end to end: toolchain →
+// process → emit → open → introspect.
+func TestFacadePipeline(t *testing.T) {
+	tc, err := xpdl.NewToolchain(xpdl.Options{
+		SearchPaths:        []string{"models"},
+		RunMicrobenchmarks: true,
+		Seed:               7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.Process("liu_gpu_server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "liu.xrt")
+	if err := tc.EmitRuntime(res, path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := xpdl.OpenRuntime(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root().NumCores() != 2500 {
+		t.Fatalf("cores = %d", s.Root().NumCores())
+	}
+	if !s.Installed("CUBLAS") {
+		t.Fatal("CUBLAS missing")
+	}
+	// Path selectors work on the loaded runtime model.
+	caches, err := s.Select("//cache[name=L3]")
+	if err != nil || len(caches) != 1 {
+		t.Fatalf("selector: %v, %v", len(caches), err)
+	}
+	gpu, err := s.SelectOne("//device[type=Nvidia_K20c]")
+	if err != nil || gpu.ID() != "gpu1" {
+		t.Fatalf("SelectOne: %v %v", gpu.Ident(), err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	files, err := xpdl.GenerateCPPAPI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(files["xpdl_model.hpp"], "class XpdlCpu") {
+		t.Fatal("C++ API missing classes")
+	}
+	xsd := xpdl.GenerateXSD()
+	if !strings.Contains(xsd, `<xs:element name="system">`) {
+		t.Fatal("XSD missing elements")
+	}
+}
+
+// TestModelZooRenderRoundTrip: every descriptor in models/ survives a
+// parse → render → parse → render cycle with stable output (the XML
+// view is convertible, Section III).
+func TestModelZooRenderRoundTrip(t *testing.T) {
+	matches, err := filepath.Glob("models/*/*.xpdl")
+	if err != nil || len(matches) < 20 {
+		t.Fatalf("glob: %d files, %v", len(matches), err)
+	}
+	p := parser.New()
+	for _, file := range matches {
+		src, err := readFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, _, err := p.ParseFile(file, src)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		out1 := xmlout.String(c1)
+		c2, _, err := p.ParseFile(file+"#rt", []byte(out1))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", file, err, out1)
+		}
+		if out2 := xmlout.String(c2); out2 != out1 {
+			t.Fatalf("%s: unstable rendering", file)
+		}
+	}
+}
+
+func readFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
