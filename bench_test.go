@@ -34,6 +34,7 @@ import (
 	"xpdl/internal/power"
 	"xpdl/internal/query"
 	"xpdl/internal/repo"
+	reposerver "xpdl/internal/repo/server"
 	"xpdl/internal/resolve"
 	"xpdl/internal/rtmodel"
 	"xpdl/internal/simhw"
@@ -348,6 +349,51 @@ func BenchmarkE9_DistributedRepo(b *testing.B) {
 			if _, err := r.Load("Nvidia_K20c"); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	// Revalidated304 measures a repository restart against an unchanged
+	// remote: the descriptor is served by the real xpdlrepo handler, the
+	// client revalidates its disk cache with If-None-Match and parses
+	// the on-disk copy after the 304 — no body transfer.
+	b.Run("Revalidated304", func(b *testing.B) {
+		h, err := reposerver.New("models/device")
+		if err != nil {
+			b.Fatal(err)
+		}
+		realSrv := httptest.NewServer(h)
+		defer realSrv.Close()
+		cacheDir := b.TempDir()
+		cfg := repo.DefaultFetchConfig()
+		cfg.CacheDir = cacheDir
+		warm, err := repo.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm.SetFetchConfig(cfg)
+		warm.AddRemote(realSrv.URL)
+		if _, err := warm.Load("Nvidia_K20c"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := repo.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.SetFetchConfig(cfg)
+			r.AddRemote(realSrv.URL)
+			if _, err := r.Load("Nvidia_K20c"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		r, _ := repo.New()
+		r.SetFetchConfig(cfg)
+		r.AddRemote(realSrv.URL)
+		r.Load("Nvidia_K20c")
+		if st := r.Stats(); st.NotModified != 1 || st.RemoteFetches != 0 {
+			b.Fatalf("revalidation did not take the 304 path: %+v", st)
 		}
 	})
 }

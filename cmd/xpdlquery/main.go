@@ -2,6 +2,13 @@
 // answers introspection queries — the command-line face of the runtime
 // query API (Section IV).
 //
+// The runtime model may also be fetched over HTTP(S) — useful when a
+// deployment service publishes the composed model next to the
+// descriptor library. The download uses the repository's retry/backoff
+// policy so a flaky network does not fail the query:
+//
+//	xpdlquery -rt http://models.example.com/liu.xrt cores
+//
 // Usage:
 //
 //	xpdlquery -rt liu.xrt tree                # print the model tree
@@ -16,23 +23,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"xpdl/internal/expr"
 	"xpdl/internal/query"
+	"xpdl/internal/repo"
 )
 
 func main() {
-	rt := flag.String("rt", "", "runtime model file (.xrt)")
+	rt := flag.String("rt", "", "runtime model file (.xrt) or http(s) URL")
 	flag.Parse()
 	if *rt == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
 		os.Exit(2)
 	}
-	s, err := query.Init(*rt)
+	path, err := localize(*rt)
+	if err != nil {
+		fail(err)
+	}
+	s, err := query.Init(path)
 	if err != nil {
 		fail(err)
 	}
@@ -107,6 +121,31 @@ func printTree(e query.Elem, depth int) {
 	for _, c := range e.Children() {
 		printTree(c, depth+1)
 	}
+}
+
+// localize makes the runtime model available as a local file: paths
+// pass through, http(s) URLs are downloaded with the repository's
+// retry/backoff policy into a temporary file.
+func localize(rt string) (string, error) {
+	if !strings.HasPrefix(rt, "http://") && !strings.HasPrefix(rt, "https://") {
+		return rt, nil
+	}
+	body, err := repo.FetchURL(context.Background(), rt, repo.DefaultFetchConfig())
+	if err != nil {
+		return "", err
+	}
+	f, err := os.CreateTemp("", "xpdlquery-*"+filepath.Ext(rt))
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return f.Name(), nil
 }
 
 func fail(err error) {

@@ -5,7 +5,13 @@
 //
 // Descriptors are served as /<ident>.xpdl where ident is the name/id of
 // the descriptor's root element (not the file name), matching the
-// repository's fetch convention. /index lists all identifiers.
+// repository's fetch convention. Responses carry ETag/Last-Modified
+// and honor conditional requests with 304, so clients running a
+// descriptor cache revalidate instead of re-downloading. /index lists
+// all identifiers; /index?stats=1 appends request counters.
+//
+// The handler lives in internal/repo/server so its routing and
+// conditional-request behavior are covered by httptest tests.
 //
 // Usage:
 //
@@ -14,15 +20,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"os"
-	"path/filepath"
-	"strings"
-	"sync"
 
-	"xpdl/internal/ast"
+	"xpdl/internal/repo/server"
 )
 
 func main() {
@@ -30,66 +31,10 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	flag.Parse()
 
-	idx, err := index(*dir)
+	srv, err := server.New(*dir)
 	if err != nil {
 		log.Fatal("xpdlrepo: ", err)
 	}
-	log.Printf("xpdlrepo: serving %d descriptors from %s on %s", len(idx.byIdent), *dir, *addr)
-	log.Fatal(http.ListenAndServe(*addr, idx))
-}
-
-// repoIndex maps descriptor identifiers to files, serving them over
-// HTTP.
-type repoIndex struct {
-	mu      sync.RWMutex
-	byIdent map[string]string
-}
-
-func index(dir string) (*repoIndex, error) {
-	idx := &repoIndex{byIdent: map[string]string{}}
-	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() || !strings.HasSuffix(path, ".xpdl") {
-			return nil
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		root, err := ast.Parse(path, src)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		ident := root.AttrDefault("id", root.AttrDefault("name", ""))
-		if ident == "" {
-			return fmt.Errorf("%s: root element has neither name= nor id=", path)
-		}
-		if prev, dup := idx.byIdent[ident]; dup {
-			return fmt.Errorf("identifier %q in both %s and %s", ident, prev, path)
-		}
-		idx.byIdent[ident] = path
-		return nil
-	})
-	return idx, err
-}
-
-func (idx *repoIndex) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	idx.mu.RLock()
-	defer idx.mu.RUnlock()
-	if r.URL.Path == "/index" || r.URL.Path == "/" {
-		for ident := range idx.byIdent {
-			fmt.Fprintln(w, ident)
-		}
-		return
-	}
-	ident := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/"), ".xpdl")
-	path, ok := idx.byIdent[ident]
-	if !ok {
-		http.NotFound(w, r)
-		return
-	}
-	w.Header().Set("Content-Type", "application/xml")
-	http.ServeFile(w, r, path)
+	log.Printf("xpdlrepo: serving %d descriptors from %s on %s", srv.Len(), *dir, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -18,6 +18,7 @@ import (
 
 	"xpdl/internal/config"
 	"xpdl/internal/core"
+	"xpdl/internal/repo"
 	"xpdl/internal/report"
 	"xpdl/internal/umlgen"
 	"xpdl/internal/xmlout"
@@ -39,6 +40,12 @@ func main() {
 		configFile = flag.String("config", "", "tool configuration file (filter/elicitation rules)")
 		emitUML    = flag.String("emit-uml", "", "write a PlantUML object diagram of the composed model to this file")
 		emitReport = flag.String("report", "", "write a Markdown platform report to this file")
+
+		// Remote-fetch robustness knobs (see repo.FetchConfig).
+		retries   = flag.Int("remote-retries", 0, "max fetch attempts per remote library (0 = default)")
+		fetchTmo  = flag.Duration("remote-timeout", 0, "per-attempt timeout for remote fetches (0 = default)")
+		cacheDir  = flag.String("remote-cache", "", "on-disk descriptor cache directory (enables ETag revalidation)")
+		repoStats = flag.Bool("repo-stats", false, "print repository robustness counters after processing")
 	)
 	flag.Parse()
 	if *system == "" {
@@ -58,6 +65,13 @@ func main() {
 	}
 	if *remote != "" {
 		opts.Remotes = append(opts.Remotes, *remote)
+	}
+	if *retries != 0 || *fetchTmo != 0 || *cacheDir != "" {
+		opts.Fetch = &repo.FetchConfig{
+			MaxAttempts:       *retries,
+			PerAttemptTimeout: *fetchTmo,
+			CacheDir:          *cacheDir,
+		}
 	}
 	if *configFile != "" {
 		src, err := os.ReadFile(*configFile)
@@ -90,6 +104,11 @@ func main() {
 		fmt.Printf("  %-22s %6d\n", k, res.Stats.ByKind[k])
 	}
 	fmt.Printf("synthesized attributes: %d; filtered: %d\n", res.Synthesized, res.Filtered)
+	if *repoStats {
+		st := tc.Repo.Stats()
+		fmt.Printf("repository: %d loads (%d cache hits, %d coalesced), %d local parses, %d remote fetches, %d revalidated (304), %d retries, %d failures, %d misses\n",
+			st.Loads, st.CacheHits, st.Coalesced, st.LocalParses, st.RemoteFetches, st.NotModified, st.Retries, st.Failures, st.Misses)
+	}
 	for _, d := range res.Downgrades {
 		fmt.Println("downgrade:", d)
 	}

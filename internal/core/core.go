@@ -28,6 +28,11 @@ type Options struct {
 	SearchPaths []string
 	// Remotes are base URLs of remote model libraries.
 	Remotes []string
+	// Fetch, when non-nil, tunes the repository's remote-fetch
+	// robustness (retries, backoff, per-attempt timeouts, hedged
+	// failover, on-disk descriptor cache). Nil selects
+	// repo.DefaultFetchConfig.
+	Fetch *repo.FetchConfig
 	// RunMicrobenchmarks enables deployment-time calibration of "?"
 	// energy attributes against the simulated hardware substrate.
 	RunMicrobenchmarks bool
@@ -64,6 +69,11 @@ func New(opts Options) (*Toolchain, error) {
 	r, err := repo.New(opts.SearchPaths...)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Fetch != nil {
+		if err := r.SetFetchConfig(*opts.Fetch); err != nil {
+			return nil, err
+		}
 	}
 	for _, rem := range opts.Remotes {
 		r.AddRemote(rem)

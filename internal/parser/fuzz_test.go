@@ -1,0 +1,63 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFile feeds arbitrary descriptor sources through the full
+// parse + validate pipeline, seeded with every real descriptor in the
+// models/ repository. The parser must never panic; when it accepts an
+// input, the resulting component must be well-formed (a kind, and only
+// registered attribute types).
+func FuzzParseFile(f *testing.F) {
+	seeds, err := collectSeeds("../../models")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no .xpdl seeds found under ../../models")
+	}
+	for _, src := range seeds {
+		f.Add(src)
+	}
+	// Hand-picked adversarial seeds: truncation, duplicate attributes,
+	// deep nesting, entity tricks.
+	f.Add([]byte(`<cpu name="x"`))
+	f.Add([]byte(`<cache name="c" sets="2" sets="3"/>`))
+	f.Add([]byte(`<a><a><a><a><a><a><a><a></a></a></a></a></a></a></a></a>`))
+	f.Add([]byte(`<cpu name="&lt;&amp;&gt;"/>`))
+	f.Add([]byte("<cpu name=\"\xff\xfe\"/>"))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		p := New()
+		c, _, err := p.ParseFile("fuzz.xpdl", src)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		if c == nil {
+			t.Fatal("nil component without error")
+		}
+		if c.Kind == "" {
+			t.Fatalf("accepted component has no kind: %#v", c)
+		}
+	})
+}
+
+func collectSeeds(root string) ([][]byte, error) {
+	var seeds [][]byte
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".xpdl") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		seeds = append(seeds, src)
+		return nil
+	})
+	return seeds, err
+}

@@ -1,0 +1,124 @@
+package repo
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// diskCache is the optional on-disk descriptor cache behind the
+// conditional-revalidation path: each entry stores the fetched
+// descriptor body next to a small .meta file holding its HTTP cache
+// validators (ETag, Last-Modified). A repository restarted against an
+// unchanged remote then revalidates with If-None-Match and serves the
+// body from disk on a 304 instead of re-downloading it.
+type diskCache struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// cacheEntry is one revalidatable cached descriptor.
+type cacheEntry struct {
+	path         string // body file (useful as a parse origin)
+	body         []byte
+	etag         string
+	lastModified string
+}
+
+func newDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repo: descriptor cache: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// fileStem maps an identifier to a safe file name. Identifiers are
+// usually plain model names; anything unusual is escaped and suffixed
+// with a short hash to stay collision-free.
+func (d *diskCache) fileStem(ident string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, ident)
+	if safe == ident && ident != "" {
+		return filepath.Join(d.dir, safe)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(ident))
+	return filepath.Join(d.dir, fmt.Sprintf("%s-%08x", safe, h.Sum32()))
+}
+
+// lookup returns the cached entry for ident, if both body and metadata
+// are present and readable.
+func (d *diskCache) lookup(ident string) (*cacheEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stem := d.fileStem(ident)
+	body, err := os.ReadFile(stem + ".xpdl")
+	if err != nil {
+		return nil, false
+	}
+	meta, err := os.ReadFile(stem + ".meta")
+	if err != nil {
+		return nil, false
+	}
+	e := &cacheEntry{path: stem + ".xpdl", body: body}
+	sc := bufio.NewScanner(bytes.NewReader(meta))
+	for sc.Scan() {
+		key, val, ok := strings.Cut(sc.Text(), ": ")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "etag":
+			e.etag = val
+		case "last-modified":
+			e.lastModified = val
+		}
+	}
+	if e.etag == "" && e.lastModified == "" {
+		return nil, false // nothing to revalidate with
+	}
+	return e, true
+}
+
+// store writes the descriptor body and its validators. Errors are
+// returned for logging but the caller treats them as advisory — a
+// broken cache must never fail a successful fetch.
+func (d *diskCache) store(ident string, body []byte, etag, lastModified string) error {
+	if etag == "" && lastModified == "" {
+		return nil // not revalidatable; caching it would never help
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stem := d.fileStem(ident)
+	if err := os.WriteFile(stem+".xpdl", body, 0o644); err != nil {
+		return err
+	}
+	var meta bytes.Buffer
+	if etag != "" {
+		fmt.Fprintf(&meta, "etag: %s\n", etag)
+	}
+	if lastModified != "" {
+		fmt.Fprintf(&meta, "last-modified: %s\n", lastModified)
+	}
+	return os.WriteFile(stem+".meta", meta.Bytes(), 0o644)
+}
+
+// remove drops a cached entry (used when a cached body fails to parse).
+func (d *diskCache) remove(ident string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stem := d.fileStem(ident)
+	os.Remove(stem + ".xpdl")
+	os.Remove(stem + ".meta")
+}

@@ -1,0 +1,225 @@
+// Package faulty is a fault-injection test harness for the distributed
+// model repository: an httptest server with programmable per-identifier
+// failure scripts (drop the connection, delay, answer 500/429/arbitrary
+// status, truncate the body, corrupt the XML, block until released) and
+// a request log that records every request with its conditional headers
+// and the status served.
+//
+// Each incoming request for an identifier consumes one scripted action;
+// when the script is exhausted the server behaves like a healthy
+// xpdlrepo instance: it serves the registered descriptor with an ETag
+// and answers If-None-Match revalidations with 304. Tests therefore
+// express "fails twice, then recovers" as Script(id, Status(500),
+// Status(500)).
+package faulty
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Action is one scripted behavior for one request.
+type Action struct {
+	kind    string
+	status  int
+	delay   time.Duration
+	release <-chan struct{}
+}
+
+// OK serves the descriptor normally (the default once a script runs dry).
+func OK() Action { return Action{kind: "ok"} }
+
+// Status answers with the given HTTP status code and no useful body.
+// Use Status(500) for server errors and Status(429) for throttling.
+func Status(code int) Action { return Action{kind: "status", status: code} }
+
+// Drop severs the TCP connection mid-response without a status line;
+// clients observe a transport error.
+func Drop() Action { return Action{kind: "drop"} }
+
+// Delay sleeps before serving the descriptor normally, to trip
+// per-attempt timeouts.
+func Delay(d time.Duration) Action { return Action{kind: "delay", delay: d} }
+
+// Truncate advertises the full Content-Length but sends only half the
+// body before severing the connection; clients observe an unexpected
+// EOF while reading.
+func Truncate() Action { return Action{kind: "truncate"} }
+
+// Corrupt serves a 200 whose body is not well-formed XML.
+func Corrupt() Action { return Action{kind: "corrupt"} }
+
+// Hold blocks the request until the channel is closed, then serves the
+// descriptor normally. Tests use it to pile up concurrent clients
+// behind one in-flight fetch.
+func Hold(release <-chan struct{}) Action { return Action{kind: "hold", release: release} }
+
+// Request is one log entry.
+type Request struct {
+	Ident       string // identifier derived from the path ("" for /index etc.)
+	Path        string
+	IfNoneMatch string // conditional validator the client sent, if any
+	Status      int    // status the server answered with (0 for dropped conns)
+}
+
+// Server is the programmable remote model library.
+type Server struct {
+	*httptest.Server
+
+	mu      sync.Mutex
+	files   map[string]string // ident -> descriptor body
+	scripts map[string][]Action
+	log     []Request
+}
+
+// NewServer starts a faulty remote serving the given descriptors
+// (ident -> body). It is closed automatically when the test ends.
+func NewServer(t testing.TB, files map[string]string) *Server {
+	t.Helper()
+	s := &Server{
+		files:   map[string]string{},
+		scripts: map[string][]Action{},
+	}
+	for ident, body := range files {
+		s.files[ident] = body
+	}
+	s.Server = httptest.NewServer(http.HandlerFunc(s.serve))
+	t.Cleanup(s.Close)
+	return s
+}
+
+// Script appends failure actions for the identifier. Requests consume
+// actions in order; once exhausted the server serves the descriptor
+// normally.
+func (s *Server) Script(ident string, actions ...Action) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scripts[ident] = append(s.scripts[ident], actions...)
+}
+
+// SetBody registers or replaces a descriptor body.
+func (s *Server) SetBody(ident, body string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[ident] = body
+}
+
+// Requests returns a copy of the request log.
+func (s *Server) Requests() []Request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Request(nil), s.log...)
+}
+
+// RequestsFor counts logged requests for one identifier.
+func (s *Server) RequestsFor(ident string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.log {
+		if r.Ident == ident {
+			n++
+		}
+	}
+	return n
+}
+
+// etagOf returns the strong ETag for a body, matching what the real
+// xpdlrepo server would compute.
+func etagOf(body string) string {
+	return fmt.Sprintf(`"%x"`, sha256.Sum256([]byte(body)))
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	ident := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/"), ".xpdl")
+
+	s.mu.Lock()
+	var act Action
+	if script := s.scripts[ident]; len(script) > 0 {
+		act = script[0]
+		s.scripts[ident] = script[1:]
+	} else {
+		act = OK()
+	}
+	body, known := s.files[ident]
+	entry := Request{
+		Ident:       ident,
+		Path:        r.URL.Path,
+		IfNoneMatch: r.Header.Get("If-None-Match"),
+	}
+	s.log = append(s.log, entry)
+	logIdx := len(s.log) - 1
+	s.mu.Unlock()
+
+	// Record the served status even when the action severs the
+	// connection by panicking (Drop/Truncate leave it 0).
+	status := 0
+	defer func() {
+		s.mu.Lock()
+		s.log[logIdx].Status = status
+		s.mu.Unlock()
+	}()
+	status = s.perform(w, r, act, ident, body, known)
+}
+
+// perform executes one action and reports the status served (0 when
+// the connection was severed without one).
+func (s *Server) perform(w http.ResponseWriter, r *http.Request, act Action, ident, body string, known bool) int {
+	switch act.kind {
+	case "status":
+		http.Error(w, http.StatusText(act.status), act.status)
+		return act.status
+	case "drop":
+		panic(http.ErrAbortHandler)
+	case "delay":
+		time.Sleep(act.delay)
+		return s.serveBody(w, r, body, known)
+	case "hold":
+		<-act.release
+		return s.serveBody(w, r, body, known)
+	case "truncate":
+		if !known {
+			http.NotFound(w, r)
+			return http.StatusNotFound
+		}
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(body[:len(body)/2]))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler) // sever before the advertised length
+	case "corrupt":
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`<corrupt <<` + body))
+		return http.StatusOK
+	default: // "ok"
+		return s.serveBody(w, r, body, known)
+	}
+}
+
+// serveBody serves the descriptor with an ETag, honoring
+// If-None-Match with a 304 like a healthy model library.
+func (s *Server) serveBody(w http.ResponseWriter, r *http.Request, body string, known bool) int {
+	if !known {
+		http.NotFound(w, r)
+		return http.StatusNotFound
+	}
+	etag := etagOf(body)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return http.StatusNotModified
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Last-Modified", time.Unix(1700000000, 0).UTC().Format(http.TimeFormat))
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, body)
+	return http.StatusOK
+}

@@ -5,6 +5,13 @@
 // URL (the paper envisions hardware manufacturers hosting descriptor
 // downloads; cmd/xpdlrepo provides such a server).
 //
+// The remote-fetch path is production-grade: per-remote retries with
+// exponential backoff and jitter (honoring 429/5xx vs. other-4xx
+// semantics and Retry-After), per-attempt timeouts, hedged failover
+// across remotes, singleflight coalescing of concurrent loads of the
+// same identifier, and optional ETag/If-None-Match revalidation backed
+// by an on-disk descriptor cache. See FetchConfig.
+//
 // The repository is safe for concurrent use: the XPDL processing tool
 // resolves submodel references in parallel while composing a system
 // model, and the runtime query API may lazily load referenced
@@ -12,34 +19,42 @@
 package repo
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"xpdl/internal/model"
 	"xpdl/internal/parser"
 )
 
-// Stats counts repository activity; useful for cache-effectiveness
-// experiments (EXPERIMENTS.md E9).
+// Stats counts repository activity; useful for cache-effectiveness and
+// robustness experiments (EXPERIMENTS.md E9).
 type Stats struct {
 	Loads         int // successful Load calls
-	CacheHits     int // Loads served from cache
+	CacheHits     int // Loads served from the in-memory cache
 	LocalParses   int // descriptor files parsed from disk
-	RemoteFetches int // descriptor files fetched over HTTP
+	RemoteFetches int // full descriptor bodies fetched over HTTP (200)
+	Misses        int // Load calls that found the identifier nowhere
+	Retries       int // retry attempts after retryable fetch failures
+	Failures      int // individual fetch attempts that ended in error
+	NotModified   int // 304 revalidations served from the disk cache
+	Coalesced     int // Loads that shared another caller's in-flight fetch
 }
 
 // Repository locates, parses and caches XPDL descriptor modules.
 type Repository struct {
-	parser  *parser.Parser
-	client  *http.Client
-	remotes []string
+	parser   *parser.Parser
+	client   *http.Client
+	fetchCfg FetchConfig
+	disk     *diskCache
+	flight   flightGroup
+	remotes  []string
 
 	mu    sync.RWMutex
 	files map[string]string           // ident -> file path (from Scan)
@@ -51,15 +66,40 @@ type Repository struct {
 // Scan to index them.
 func New(searchPaths ...string) (*Repository, error) {
 	r := &Repository{
-		parser: parser.New(),
-		client: &http.Client{Timeout: 10 * time.Second},
-		files:  map[string]string{},
-		cache:  map[string]*model.Component{},
+		parser:   parser.New(),
+		client:   &http.Client{},
+		fetchCfg: DefaultFetchConfig().withDefaults(),
+		files:    map[string]string{},
+		cache:    map[string]*model.Component{},
 	}
 	if err := r.AddPaths(searchPaths...); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// SetFetchConfig replaces the remote-fetch policy. Zero-valued fields
+// fall back to DefaultFetchConfig. Setting CacheDir enables the
+// on-disk descriptor cache (the directory is created if needed). Must
+// be called before the first Load that hits a remote.
+func (r *Repository) SetFetchConfig(cfg FetchConfig) error {
+	r.fetchCfg = cfg.withDefaults()
+	r.disk = nil
+	if cfg.CacheDir != "" {
+		d, err := newDiskCache(cfg.CacheDir)
+		if err != nil {
+			return err
+		}
+		r.disk = d
+	}
+	return nil
+}
+
+// bump applies a counter update under the stats lock.
+func (r *Repository) bump(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
 }
 
 // AddPaths indexes additional local search paths.
@@ -109,9 +149,7 @@ func (r *Repository) parseFile(path string) (*model.Component, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	r.stats.LocalParses++
-	r.mu.Unlock()
+	r.bump(func(s *Stats) { s.LocalParses++ })
 	return c, nil
 }
 
@@ -148,6 +186,16 @@ func (r *Repository) Has(ident string) bool {
 // a remote library if necessary. The returned component is shared and
 // must be treated as read-only; clone before mutating.
 func (r *Repository) Load(ident string) (*model.Component, error) {
+	return r.LoadContext(context.Background(), ident)
+}
+
+// LoadContext is Load with cancellation: an expired or canceled
+// context aborts in-flight remote fetches (including their backoff
+// sleeps) and returns the context error.
+//
+// Concurrent loads of one identifier are coalesced: exactly one fetch
+// is issued and every waiter shares its outcome.
+func (r *Repository) LoadContext(ctx context.Context, ident string) (*model.Component, error) {
 	r.mu.Lock()
 	if c, ok := r.cache[ident]; ok {
 		r.stats.Loads++
@@ -158,21 +206,57 @@ func (r *Repository) Load(ident string) (*model.Component, error) {
 	remotes := append([]string(nil), r.remotes...)
 	r.mu.Unlock()
 
-	for _, base := range remotes {
-		c, err := r.fetchRemote(base, ident)
-		if err != nil {
-			continue
+	v, err, shared := r.flight.do(ident, func() (any, error) {
+		return r.fetchAndRegister(ctx, ident, remotes)
+	})
+	if err != nil {
+		r.bump(func(s *Stats) { s.Misses++ })
+		return nil, err
+	}
+	r.bump(func(s *Stats) {
+		s.Loads++
+		if shared {
+			s.Coalesced++
 		}
-		if err := r.register(c, base+"/"+ident+".xpdl"); err != nil {
-			return nil, err
-		}
-		r.mu.Lock()
-		r.stats.Loads++
-		r.mu.Unlock()
+	})
+	return v.(*model.Component), nil
+}
+
+// fetchAndRegister is the singleflight leader body: fetch ident from
+// the remotes (hedged, with retries) and register the result.
+func (r *Repository) fetchAndRegister(ctx context.Context, ident string, remotes []string) (*model.Component, error) {
+	// Double-check the cache: a previous flight may have registered the
+	// descriptor between this caller's cache miss and it becoming the
+	// leader. Without this, back-to-back flights would fetch twice.
+	r.mu.RLock()
+	c, ok := r.cache[ident]
+	r.mu.RUnlock()
+	if ok {
+		r.bump(func(s *Stats) { s.CacheHits++ })
 		return c, nil
 	}
-	return nil, fmt.Errorf("repo: model %q not found in search path or %d remote librar%s",
-		ident, len(remotes), plural(len(remotes), "y", "ies"))
+	if len(remotes) == 0 {
+		return nil, notFoundErr(ident, 0, nil)
+	}
+	c, origin, err := r.fetchAny(ctx, ident, remotes)
+	if err != nil {
+		return nil, notFoundErr(ident, len(remotes), err)
+	}
+	if err := r.register(c, origin); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// notFoundErr builds the canonical "not found" error, wrapping the
+// joined per-remote fetch errors when there are any.
+func notFoundErr(ident string, nremotes int, cause error) error {
+	msg := fmt.Sprintf("repo: model %q not found in search path or %d remote librar%s",
+		ident, nremotes, plural(nremotes, "y", "ies"))
+	if cause == nil {
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%s: %w", msg, cause)
 }
 
 func plural(n int, one, many string) string {
@@ -180,30 +264,6 @@ func plural(n int, one, many string) string {
 		return one
 	}
 	return many
-}
-
-func (r *Repository) fetchRemote(base, ident string) (*model.Component, error) {
-	url := base + "/" + ident + ".xpdl"
-	resp, err := r.client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("repo: GET %s: %s", url, resp.Status)
-	}
-	src, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return nil, err
-	}
-	c, _, err := r.parser.ParseFile(url, src)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.stats.RemoteFetches++
-	r.mu.Unlock()
-	return c, nil
 }
 
 // LoadFile parses and registers a single descriptor file outside the
@@ -240,41 +300,38 @@ func (r *Repository) Stats() Stats {
 }
 
 // Prefetch loads the given identifiers concurrently with at most
-// `workers` parallel fetches, returning the first error encountered.
-// It is used by the processing tool to warm the cache for all submodels
-// referenced by a system model before composition.
+// `workers` parallel fetches. All load failures are aggregated into
+// the returned error (errors.Join); each failure is also counted in
+// Stats.Misses. It is used by the processing tool to warm the cache
+// for all submodels referenced by a system model before composition.
 func (r *Repository) Prefetch(idents []string, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
-	jobs := make(chan string)
-	errc := make(chan error, 1)
+	type job struct {
+		idx   int
+		ident string
+	}
+	jobs := make(chan job)
+	errs := make([]error, len(idents))
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ident := range jobs {
-				if _, err := r.Load(ident); err != nil {
-					select {
-					case errc <- err:
-					default:
-					}
+			for j := range jobs {
+				if _, err := r.Load(j.ident); err != nil {
+					errs[j.idx] = err
 				}
 			}
 		}()
 	}
-	for _, id := range idents {
-		jobs <- id
+	for i, id := range idents {
+		jobs <- job{i, id}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errc:
-		return err
-	default:
-		return nil
-	}
+	return errors.Join(errs...)
 }
 
 // ReferencedTypes returns the set of type= and extends= identifiers

@@ -1,0 +1,187 @@
+// Package server implements the HTTP handler of cmd/xpdlrepo — the
+// "manufacturer web site" half of the distributed model repository
+// (Section III). It is extracted into a package of its own so the
+// routing, index and conditional-request behavior are testable with
+// httptest without spinning up the binary.
+//
+// Descriptors are served as /<ident>.xpdl where ident is the name/id
+// of the descriptor's root element (not the file name), matching the
+// repository client's fetch convention. Every descriptor response
+// carries a strong ETag (content hash) and Last-Modified, and
+// conditional requests (If-None-Match / If-Modified-Since) are
+// answered with 304 Not Modified so clients with a descriptor cache
+// revalidate instead of re-downloading. /index lists all identifiers
+// in sorted order; /index?stats=1 appends a '#'-prefixed stats
+// trailer.
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xpdl/internal/ast"
+)
+
+// Stats counts requests served, mirroring the client-side repo.Stats
+// for the E9 revalidation experiments.
+type Stats struct {
+	Requests    int // all requests
+	Descriptors int // descriptor bodies served with 200
+	NotModified int // conditional requests answered with 304
+	NotFound    int // unknown identifiers
+}
+
+// entry is one served descriptor, loaded at index time.
+type entry struct {
+	path    string
+	body    []byte
+	etag    string
+	modTime time.Time
+}
+
+// Server serves a directory of XPDL descriptors by identifier.
+type Server struct {
+	mu      sync.RWMutex
+	byIdent map[string]entry
+	stats   Stats
+}
+
+// New indexes dir and returns a ready handler. Each .xpdl file is
+// parsed so that missing identifiers and repository-wide duplicates
+// are rejected at startup, exactly like the client-side scan.
+func New(dir string) (*Server, error) {
+	s := &Server{byIdent: map[string]entry{}}
+	indexTime := time.Now()
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".xpdl") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		root, err := ast.Parse(path, src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ident := root.AttrDefault("id", root.AttrDefault("name", ""))
+		if ident == "" {
+			return fmt.Errorf("%s: root element has neither name= nor id=", path)
+		}
+		if prev, dup := s.byIdent[ident]; dup {
+			return fmt.Errorf("identifier %q in both %s and %s", ident, prev.path, path)
+		}
+		// Container images and reproducible checkouts often carry
+		// zero/epoch mtimes, which net/http treats as "no modtime" and
+		// drops Last-Modified entirely; fall back to the index time so
+		// If-Modified-Since revalidation keeps working.
+		modTime := info.ModTime()
+		if modTime.Unix() <= 0 {
+			modTime = indexTime
+		}
+		s.byIdent[ident] = entry{
+			path:    path,
+			body:    src,
+			etag:    fmt.Sprintf(`"%x"`, sha256.Sum256(src)),
+			modTime: modTime,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Len returns the number of indexed descriptors.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byIdent)
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+
+	if r.URL.Path == "/index" || r.URL.Path == "/" {
+		s.serveIndex(w, r)
+		return
+	}
+	ident := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/"), ".xpdl")
+	s.mu.RLock()
+	e, ok := s.byIdent[ident]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		s.stats.NotFound++
+		s.mu.Unlock()
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Header().Set("ETag", e.etag)
+	// ServeContent answers If-None-Match / If-Modified-Since / Range
+	// against the ETag header and mod time.
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	http.ServeContent(sw, r, ident+".xpdl", e.modTime, strings.NewReader(string(e.body)))
+	s.mu.Lock()
+	switch sw.code {
+	case http.StatusNotModified:
+		s.stats.NotModified++
+	case http.StatusOK, http.StatusPartialContent:
+		s.stats.Descriptors++
+	}
+	s.mu.Unlock()
+}
+
+// serveIndex lists all identifiers in sorted order, one per line; with
+// ?stats=1 a '#'-prefixed trailer reports the request counters (lines
+// starting with '#' are comments to index consumers).
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	idents := make([]string, 0, len(s.byIdent))
+	for ident := range s.byIdent {
+		idents = append(idents, ident)
+	}
+	st := s.stats
+	s.mu.RUnlock()
+	sort.Strings(idents)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, ident := range idents {
+		fmt.Fprintln(w, ident)
+	}
+	if r.URL.Query().Get("stats") != "" {
+		fmt.Fprintf(w, "# requests=%d descriptors=%d not_modified=%d not_found=%d\n",
+			st.Requests, st.Descriptors, st.NotModified, st.NotFound)
+	}
+}
+
+// statusWriter records the status code ServeContent chose.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

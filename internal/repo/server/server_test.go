@@ -1,0 +1,205 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"k20c.xpdl":      `<device name="Nvidia_K20c" extends="Nvidia_Kepler" compute_capability="3.5"/>`,
+		"sub/ddr3.xpdl":  `<memory name="DDR3_16G" type="DDR3" size="16" unit="GB"/>`,
+		"sys.xpdl":       `<system id="s1"><node id="n0"/></system>`,
+		"ignore-me.txt":  `not a descriptor`,
+		"sub/notes.yaml": `also: ignored`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHandler(t *testing.T) {
+	s := newTestServer(t)
+	// Identifiers come from root elements, not file names.
+	k20cETag := func() string {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", "/Nvidia_K20c.xpdl", nil))
+		return rec.Header().Get("ETag")
+	}()
+	if k20cETag == "" {
+		t.Fatal("descriptor response has no ETag")
+	}
+
+	tests := []struct {
+		name       string
+		path       string
+		header     map[string]string
+		wantStatus int
+		wantBody   string // substring; "" = don't check
+	}{
+		{name: "ident routing by name", path: "/Nvidia_K20c.xpdl", wantStatus: 200, wantBody: `name="Nvidia_K20c"`},
+		{name: "ident routing without extension", path: "/DDR3_16G", wantStatus: 200, wantBody: `type="DDR3"`},
+		{name: "ident routing by id", path: "/s1.xpdl", wantStatus: 200, wantBody: `<system id="s1">`},
+		{name: "file name is not an identifier", path: "/k20c.xpdl", wantStatus: 404},
+		{name: "unknown ident 404", path: "/NoSuchModel.xpdl", wantStatus: 404},
+		{name: "index sorted", path: "/index", wantStatus: 200, wantBody: "DDR3_16G\nNvidia_K20c\ns1\n"},
+		{name: "root alias for index", path: "/", wantStatus: 200, wantBody: "DDR3_16G\n"},
+		{name: "index stats trailer", path: "/index?stats=1", wantStatus: 200, wantBody: "# requests="},
+		{name: "matching etag revalidates", path: "/Nvidia_K20c.xpdl",
+			header: map[string]string{"If-None-Match": k20cETag}, wantStatus: 304},
+		{name: "stale etag serves body", path: "/Nvidia_K20c.xpdl",
+			header: map[string]string{"If-None-Match": `"deadbeef"`}, wantStatus: 200, wantBody: "Nvidia_K20c"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req := httptest.NewRequest("GET", tt.path, nil)
+			for k, v := range tt.header {
+				req.Header.Set(k, v)
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != tt.wantStatus {
+				t.Fatalf("GET %s = %d, want %d", tt.path, rec.Code, tt.wantStatus)
+			}
+			if tt.wantBody != "" && !strings.Contains(rec.Body.String(), tt.wantBody) {
+				t.Fatalf("GET %s body = %q, want substring %q", tt.path, rec.Body.String(), tt.wantBody)
+			}
+			if tt.wantStatus == 304 && rec.Body.Len() != 0 {
+				t.Fatalf("304 carried a body: %q", rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestIfModifiedSinceRevalidates(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest("GET", "/DDR3_16G.xpdl", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	lm := rec.Header().Get("Last-Modified")
+	if rec.Code != 200 || lm == "" {
+		t.Fatalf("status=%d last-modified=%q", rec.Code, lm)
+	}
+	req = httptest.NewRequest("GET", "/DDR3_16G.xpdl", nil)
+	req.Header.Set("If-Modified-Since", lm)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 304 {
+		t.Fatalf("If-Modified-Since revalidation = %d, want 304", rec.Code)
+	}
+}
+
+func TestEpochMtimeStillServesLastModified(t *testing.T) {
+	// Container images and reproducible checkouts carry epoch mtimes,
+	// which net/http's ServeContent treats as "no modtime" — the server
+	// must fall back so If-Modified-Since revalidation keeps working.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.xpdl")
+	if err := os.WriteFile(path, []byte(`<cpu name="M"/>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Unix(0, 0)
+	if err := os.Chtimes(path, epoch, epoch); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/M.xpdl", nil))
+	lm := rec.Header().Get("Last-Modified")
+	if lm == "" {
+		t.Fatal("epoch-mtime descriptor served without Last-Modified")
+	}
+	req := httptest.NewRequest("GET", "/M.xpdl", nil)
+	req.Header.Set("If-Modified-Since", lm)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 304 {
+		t.Fatalf("revalidation = %d, want 304", rec.Code)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	s := newTestServer(t)
+	get := func(path, etag string) int {
+		req := httptest.NewRequest("GET", path, nil)
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	get("/Nvidia_K20c.xpdl", "")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/Nvidia_K20c.xpdl", nil))
+	etag := rec.Header().Get("ETag")
+	if code := get("/Nvidia_K20c.xpdl", etag); code != 304 {
+		t.Fatalf("conditional GET = %d", code)
+	}
+	get("/Missing.xpdl", "")
+	st := s.Stats()
+	if st.Requests != 4 || st.Descriptors != 2 || st.NotModified != 1 || st.NotFound != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestNewRejectsBrokenDirs(t *testing.T) {
+	for name, files := range map[string]map[string]string{
+		"duplicate ident": {
+			"a.xpdl": `<cache name="Dup" size="1" unit="KiB"/>`,
+			"b.xpdl": `<cache name="Dup" size="2" unit="KiB"/>`,
+		},
+		"anonymous root": {"x.xpdl": `<cache size="1" unit="KiB"/>`},
+		"malformed xml":  {"x.xpdl": `<cache name="c"`},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			for f, src := range files {
+				if err := os.WriteFile(filepath.Join(dir, f), []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := New(dir); err == nil {
+				t.Fatal("broken directory accepted")
+			}
+		})
+	}
+}
+
+func TestEndToEndWithHTTPServer(t *testing.T) {
+	s := newTestServer(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/Nvidia_K20c.xpdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/xml" {
+		t.Fatalf("status=%d content-type=%q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+}

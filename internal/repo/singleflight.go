@@ -1,0 +1,49 @@
+package repo
+
+import "sync"
+
+// flightGroup deduplicates concurrent fetches of the same identifier:
+// the first caller becomes the leader and performs the work, later
+// callers block until the leader finishes and share its result. This
+// keeps N concurrent Load("m1") calls from stampeding a remote library
+// with N identical requests.
+//
+// It is a minimal single-use variant of the well-known singleflight
+// pattern; results are not cached here — the repository's own cache
+// layer does that.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do invokes fn once per concurrently-requested key. The boolean
+// result reports whether the caller shared another caller's flight
+// (i.e. was coalesced) rather than leading its own.
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

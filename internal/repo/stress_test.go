@@ -1,0 +1,95 @@
+package repo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xpdl/internal/repo/faulty"
+)
+
+// TestStressParallelOperations hammers one Repository with parallel
+// Load, Prefetch, AddRemote, Stats, Idents and Has calls (run it under
+// -race). The fault-injection server's request log then proves the
+// singleflight + double-checked-cache guarantee: every remote
+// identifier was fetched exactly once no matter how many goroutines
+// raced for it.
+func TestStressParallelOperations(t *testing.T) {
+	const nIdents = 20
+	files := map[string]string{}
+	var idents []string
+	for i := 0; i < nIdents; i++ {
+		name := fmt.Sprintf("Stress%02d", i)
+		files[name] = fmt.Sprintf(`<cache name=%q size="%d" unit="KiB"/>`, name, i+1)
+		idents = append(idents, name)
+	}
+	srv := faulty.NewServer(t, files)
+	empty := faulty.NewServer(t, nil)
+
+	dir := t.TempDir()
+	writeModels(t, dir, basicModels())
+	r, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddRemote(srv.URL)
+
+	var wg sync.WaitGroup
+	// 16 loaders, each walking the ident set from a different offset.
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < nIdents; i++ {
+				ident := idents[(g*7+i)%nIdents]
+				if _, err := r.Load(ident); err != nil {
+					t.Errorf("load %s: %v", ident, err)
+					return
+				}
+				r.Has(ident)
+				r.Stats()
+			}
+		}(g)
+	}
+	// Two prefetchers covering the full set.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.Prefetch(idents, 4); err != nil {
+				t.Errorf("prefetch: %v", err)
+			}
+		}()
+	}
+	// A goroutine mutating the remote set and reading local state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			r.AddRemote(empty.URL)
+			r.Idents()
+			if _, err := r.Load("ShaveL2"); err != nil { // local, always cached
+				t.Errorf("local load: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, ident := range idents {
+		if n := srv.RequestsFor(ident); n != 1 {
+			t.Errorf("ident %s fetched %d times, want exactly 1", ident, n)
+		}
+	}
+	st := r.Stats()
+	if st.RemoteFetches != nIdents {
+		t.Errorf("RemoteFetches = %d, want %d; stats = %+v", st.RemoteFetches, nIdents, st)
+	}
+	if st.Misses != 0 || st.Failures != 0 || st.Retries != 0 {
+		t.Errorf("healthy remote produced failures: %+v", st)
+	}
+	// Every Load call succeeded and is accounted for: 16 loaders x 20 +
+	// 2 prefetchers x 20 + 10 local loads.
+	if want := 16*nIdents + 2*nIdents + 10; st.Loads != want {
+		t.Errorf("Loads = %d, want %d", st.Loads, want)
+	}
+}
