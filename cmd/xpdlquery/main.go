@@ -31,16 +31,33 @@ import (
 	"strings"
 
 	"xpdl/internal/expr"
+	"xpdl/internal/obs"
 	"xpdl/internal/query"
 	"xpdl/internal/repo"
 )
 
 func main() {
 	rt := flag.String("rt", "", "runtime model file (.xrt) or http(s) URL")
+	metrics := flag.Bool("metrics", false, "print the metrics registry (lookup/selector counters) after the command")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
 	flag.Parse()
 	if *rt == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
 		os.Exit(2)
+	}
+	if *obsAddr != "" {
+		addr, shutdown, err := obs.Serve(*obsAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "xpdlquery: observability endpoints on http://%s\n", addr)
+	}
+	if *metrics {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "metrics:")
+			_ = obs.Default().WritePrometheus(os.Stderr)
+		}()
 	}
 	path, err := localize(*rt)
 	if err != nil {

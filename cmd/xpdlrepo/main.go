@@ -23,18 +23,27 @@ import (
 	"log"
 	"net/http"
 
+	"xpdl/internal/obs"
 	"xpdl/internal/repo/server"
 )
 
 func main() {
 	dir := flag.String("dir", "models", "directory of .xpdl descriptors to serve")
 	addr := flag.String("addr", ":8344", "listen address")
+	obsAddr := flag.String("obs-addr", "", "additionally serve /metrics, /debug/pprof and /debug/vars on this address (they are always available on -addr too)")
 	flag.Parse()
 
 	srv, err := server.New(*dir)
 	if err != nil {
 		log.Fatal("xpdlrepo: ", err)
 	}
-	log.Printf("xpdlrepo: serving %d descriptors from %s on %s", srv.Len(), *dir, *addr)
+	if *obsAddr != "" {
+		bound, _, err := obs.Serve(*obsAddr, srv.Registry(), obs.Default())
+		if err != nil {
+			log.Fatal("xpdlrepo: ", err)
+		}
+		log.Printf("xpdlrepo: observability endpoints on http://%s", bound)
+	}
+	log.Printf("xpdlrepo: serving %d descriptors from %s on %s (metrics on /metrics, profiles on /debug/pprof/)", srv.Len(), *dir, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

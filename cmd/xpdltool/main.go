@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"xpdl/internal/config"
 	"xpdl/internal/core"
+	"xpdl/internal/obs"
 	"xpdl/internal/repo"
 	"xpdl/internal/report"
 	"xpdl/internal/umlgen"
@@ -46,6 +48,12 @@ func main() {
 		fetchTmo  = flag.Duration("remote-timeout", 0, "per-attempt timeout for remote fetches (0 = default)")
 		cacheDir  = flag.String("remote-cache", "", "on-disk descriptor cache directory (enables ETag revalidation)")
 		repoStats = flag.Bool("repo-stats", false, "print repository robustness counters after processing")
+
+		// Observability (see internal/obs and README "Observability").
+		trace    = flag.Bool("trace", false, "print the per-phase span tree (wall time + allocations) after processing")
+		metrics  = flag.Bool("metrics", false, "print the metrics registry in Prometheus text format after processing")
+		traceOut = flag.String("trace-out", "", "write the span tree and metrics snapshot as JSON to this file")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
 	)
 	flag.Parse()
 	if *system == "" {
@@ -84,10 +92,26 @@ func main() {
 		}
 		opts.Config = &cfg
 	}
+	// A nil root span keeps the whole pipeline on the allocation-free
+	// no-op path; any observability flag turns tracing on.
+	var root *obs.Span
+	if *trace || *traceOut != "" || *obsAddr != "" {
+		root = obs.NewSpan("xpdltool")
+		opts.Span = root
+	}
+	if *obsAddr != "" {
+		addr, shutdown, err := obs.Serve(*obsAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "xpdltool: observability endpoints on http://%s\n", addr)
+	}
 	tc, err := core.New(opts)
 	if err != nil {
 		fail(err)
 	}
+	tc.Repo.PublishMetrics(nil)
 	res, err := tc.Process(*system)
 	if err != nil {
 		fail(err)
@@ -154,6 +178,31 @@ func main() {
 		}
 		fmt.Printf("runtime model written to %s (%d bytes, %d nodes)\n",
 			*out, info.Size(), res.Runtime.Len())
+	}
+
+	root.Stop()
+	if *trace {
+		fmt.Print("\ntrace:\n" + root.Text())
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if err := obs.Default().WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		artifact := struct {
+			Span    obs.SpanSnapshot   `json:"span"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{root.Snapshot(), obs.Default().Snapshot()}
+		raw, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace JSON written to %s\n", *traceOut)
 	}
 }
 

@@ -16,12 +16,14 @@ import (
 	"strings"
 
 	"xpdl/internal/ast"
+	"xpdl/internal/obs"
 	"xpdl/internal/schema"
 )
 
 func main() {
 	dir := flag.String("dir", "", "validate every .xpdl file under this directory")
 	quiet := flag.Bool("q", false, "suppress per-file OK lines")
+	trace := flag.Bool("trace", false, "print a per-file parse/validate span tree (wall time + allocations)")
 	flag.Parse()
 
 	var files []string
@@ -46,22 +48,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A nil root span keeps validation on the no-op path unless -trace.
+	var span *obs.Span
+	if *trace {
+		span = obs.NewSpan("xpdlvalidate")
+	}
 	s := schema.Core()
 	bad := 0
 	for _, f := range files {
+		fsp := span.Start(filepath.Base(f))
 		src, err := os.ReadFile(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xpdlvalidate:", err)
 			bad++
+			fsp.Stop()
 			continue
 		}
+		psp := fsp.Start("parse")
 		root, err := ast.Parse(f, src)
+		psp.Stop()
 		if err != nil {
 			fmt.Println(err)
 			bad++
+			fsp.Stop()
 			continue
 		}
+		vsp := fsp.Start("validate")
 		diags := s.Validate(root)
+		vsp.Stop()
+		fsp.SetAttr("elements", fmt.Sprint(root.CountElements()))
+		fsp.Stop()
 		for _, d := range diags {
 			fmt.Println(d.Error())
 		}
@@ -70,6 +86,10 @@ func main() {
 		} else if !*quiet {
 			fmt.Printf("%s: OK (%d elements)\n", f, root.CountElements())
 		}
+	}
+	span.Stop()
+	if *trace {
+		fmt.Print("\ntrace:\n" + span.Text())
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "xpdlvalidate: %d of %d file(s) failed\n", bad, len(files))

@@ -10,12 +10,14 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"xpdl/internal/analysis"
 	"xpdl/internal/config"
 	"xpdl/internal/energy"
 	"xpdl/internal/microbench"
 	"xpdl/internal/model"
+	"xpdl/internal/obs"
 	"xpdl/internal/repo"
 	"xpdl/internal/resolve"
 	"xpdl/internal/rtmodel"
@@ -56,6 +58,11 @@ type Options struct {
 	// elicitation rules (Section IV: the tool is configurable). It
 	// overrides KeepUnknown and Rules.
 	Config *config.Config
+	// Span, when non-nil, is the parent trace span under which Process
+	// records one child span per pipeline phase (parse, fetch, resolve,
+	// bootstrap, calibrate, analyze, emit). obs.Span is nil-safe, so a
+	// nil Span disables tracing at zero cost.
+	Span *obs.Span
 }
 
 // Toolchain is a configured XPDL processing tool.
@@ -108,15 +115,23 @@ type Result struct {
 	Filtered int
 }
 
-// Process composes the named concrete system model end to end.
+// Process composes the named concrete system model end to end. When
+// Options.Span is set, each pipeline phase is recorded as a child span.
 func (t *Toolchain) Process(systemID string) (*Result, error) {
+	proc := t.Opts.Span.Start("process")
+	proc.SetAttr("system", systemID)
+	defer proc.Stop()
+
+	sp := proc.Start("parse")
 	root, err := t.Repo.Load(systemID)
+	sp.Stop()
 	if err != nil {
 		return nil, err
 	}
 	// Warm the cache for all referenced submodels concurrently. Missing
 	// leaf type tags are tolerated here; resolution decides what is
 	// fatal.
+	sp = proc.Start("fetch")
 	refs := repo.ReferencedTypes(root)
 	var present []string
 	for _, r := range refs {
@@ -124,15 +139,20 @@ func (t *Toolchain) Process(systemID string) (*Result, error) {
 			present = append(present, r)
 		}
 	}
-	if err := t.Repo.Prefetch(present, t.Opts.PrefetchWorkers); err != nil {
+	sp.SetAttr("refs", strconv.Itoa(len(present)))
+	err = t.Repo.Prefetch(present, t.Opts.PrefetchWorkers)
+	sp.Stop()
+	if err != nil {
 		return nil, err
 	}
 
+	sp = proc.Start("resolve")
 	res := resolve.New(t.Repo)
 	if t.Opts.ResolveWorkers > 1 {
 		res.Workers = t.Opts.ResolveWorkers
 	}
 	system, err := res.ResolveSystem(systemID)
+	sp.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -140,18 +160,24 @@ func (t *Toolchain) Process(systemID string) (*Result, error) {
 	out := &Result{System: system}
 
 	if t.Opts.RunMicrobenchmarks {
+		sp = proc.Start("bootstrap")
 		rep, err := t.bootstrap(system)
+		sp.Stop()
 		if err != nil {
 			return nil, err
 		}
 		out.Microbench = rep
+		sp = proc.Start("calibrate")
 		chans, err := t.calibrateChannels(system)
+		sp.SetAttr("channels", strconv.Itoa(len(chans)))
+		sp.Stop()
 		if err != nil {
 			return nil, err
 		}
 		out.Channels = chans
 	}
 
+	sp = proc.Start("analyze")
 	rules := t.Opts.Rules
 	downgrade := true
 	var filters []analysis.FilterRule
@@ -176,7 +202,12 @@ func (t *Toolchain) Process(systemID string) (*Result, error) {
 		out.Filtered = analysis.Filter(system, filters...)
 	}
 	out.Stats = analysis.Summarize(system)
+	sp.Stop()
+
+	sp = proc.Start("emit")
 	out.Runtime = rtmodel.Build(system)
+	sp.SetAttr("nodes", strconv.Itoa(out.Runtime.Len()))
+	sp.Stop()
 	return out, nil
 }
 
@@ -299,5 +330,7 @@ func (t *Toolchain) EmitRuntime(res *Result, path string) error {
 	if res == nil || res.Runtime == nil {
 		return fmt.Errorf("core: nothing to emit")
 	}
+	sp := t.Opts.Span.Start("write")
+	defer sp.Stop()
 	return res.Runtime.SaveFile(path)
 }

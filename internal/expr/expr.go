@@ -305,8 +305,22 @@ type callNode struct {
 	args []Node
 }
 
-func (n numNode) String() string   { return strconv.FormatFloat(n.v, 'g', -1, 64) }
-func (n strNode) String() string   { return strconv.Quote(n.s) }
+func (n numNode) String() string { return strconv.FormatFloat(n.v, 'g', -1, 64) }
+
+// String renders the literal in a form the lexer can read back. The
+// lexer has no escape sequences — a string simply runs to the next
+// matching quote — so pick whichever quote character does not occur in
+// the contents. A string containing both kinds is unrepresentable; the
+// strconv.Quote fallback at least keeps the output readable.
+func (n strNode) String() string {
+	if !strings.ContainsRune(n.s, '\'') {
+		return "'" + n.s + "'"
+	}
+	if !strings.ContainsRune(n.s, '"') {
+		return `"` + n.s + `"`
+	}
+	return strconv.Quote(n.s)
+}
 func (n identNode) String() string { return n.name }
 func (n unaryNode) String() string { return n.op + n.x.String() }
 func (n binNode) String() string   { return "(" + n.l.String() + " " + n.op + " " + n.r.String() + ")" }
@@ -327,11 +341,28 @@ var precedence = map[string]int{
 	"*": 6, "/": 6, "%": 6,
 }
 
+// maxParseDepth bounds parser recursion so adversarial input such as
+// a long run of '(' or '!' returns an error instead of overflowing the
+// goroutine stack. 200 levels is far beyond any hand-written
+// constraint expression.
+const maxParseDepth = 200
+
 type parser struct {
-	toks []token
-	pos  int
-	src  string
+	toks  []token
+	pos   int
+	src   string
+	depth int
 }
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("expr: expression nested deeper than %d levels in %q", maxParseDepth, p.src)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
@@ -345,6 +376,10 @@ func (p *parser) expect(text string) error {
 }
 
 func (p *parser) parseExpr(minPrec int) (Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -369,6 +404,10 @@ func (p *parser) parseExpr(minPrec int) (Node, error) {
 }
 
 func (p *parser) parseUnary() (Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.peek()
 	if t.kind == tokOp && (t.text == "-" || t.text == "!") {
 		p.next()

@@ -1,0 +1,111 @@
+package expr
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// harvestModelExprs pulls every expr="..." attribute out of the
+// descriptor library so the corpus starts from the constraint strings
+// the toolchain actually evaluates, not just synthetic cases.
+func harvestModelExprs(t *testing.F) []string {
+	t.Helper()
+	var out []string
+	re := regexp.MustCompile(`expr="([^"]*)"`)
+	root := filepath.Join("..", "..", "models")
+	_ = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".xpdl") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+			out = append(out, m[1])
+		}
+		return nil
+	})
+	return out
+}
+
+// FuzzEval drives arbitrary input through the whole pipeline —
+// lexer, parser, String() round-trip, evaluator — and requires that
+// nothing ever panics: malformed input must come back as an error.
+// It caught the unbounded parser recursion (a long run of '(' or '!'
+// overflowed the goroutine stack) and the strconv.Quote rendering in
+// strNode.String that the escape-less lexer could not read back.
+func FuzzEval(f *testing.F) {
+	for _, seed := range harvestModelExprs(f) {
+		f.Add(seed)
+	}
+	for _, seed := range []string{
+		"installed('CUBLAS') && num_cores() >= 4",
+		"min(a, 2) + 3 * b == c || !d",
+		"num_devices('cuda') * 2400",
+		"frequency / 1e9 <= 2.5",
+		"-x % 3 != 0",
+		"'dq \" inside' == s",
+		"!!!!true",
+		"((((((1))))))",
+		"max(1, 2, 3) + len('abc')",
+		"1 +",
+		strings.Repeat("(", 64),
+		strings.Repeat("!", 64) + "1",
+	} {
+		f.Add(seed)
+	}
+	env := MapEnv{Vars: map[string]Value{
+		"a": Number(1), "b": Number(2), "c": Number(7), "d": Bool(false),
+		"s": String("str"), "frequency": Number(2.4e9),
+		"L1size": Number(16384), "shmsize": Number(49152), "shmtotalsize": Number(65536),
+	}}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Compile(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Evaluation may fail (unknown ident, type mismatch, division
+		// by zero...) but must not panic.
+		_, _ = EvalNode(n, env)
+		_ = Idents(n)
+
+		// String() must render something Compile can read back, except
+		// for the one unrepresentable case: a string literal containing
+		// both quote characters (the lexer has no escapes).
+		rendered := n.String()
+		if strings.Contains(rendered, `\`) && hasBothQuotes(n) {
+			return
+		}
+		n2, err := Compile(rendered)
+		if err != nil {
+			t.Fatalf("String() output does not re-parse: %q -> %q: %v", src, rendered, err)
+		}
+		if got := n2.String(); got != rendered {
+			t.Fatalf("String() not a fixed point: %q -> %q -> %q", src, rendered, got)
+		}
+	})
+}
+
+// hasBothQuotes reports whether any string literal in the tree
+// contains both ' and ", which the escape-less grammar cannot express.
+func hasBothQuotes(n Node) bool {
+	switch n := n.(type) {
+	case strNode:
+		return strings.ContainsRune(n.s, '\'') && strings.ContainsRune(n.s, '"')
+	case unaryNode:
+		return hasBothQuotes(n.x)
+	case binNode:
+		return hasBothQuotes(n.l) || hasBothQuotes(n.r)
+	case callNode:
+		for _, a := range n.args {
+			if hasBothQuotes(a) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the default registry under the "xpdl" expvar
+// key so /debug/vars carries the same counters as /metrics.
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("xpdl", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// MetricsHandler serves the Prometheus text exposition of the given
+// registries, concatenated in order (no registry means Default).
+func MetricsHandler(regs ...*Registry) http.Handler {
+	if len(regs) == 0 {
+		regs = []*Registry{Default()}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// Handle mounts the observability endpoints on an existing mux:
+// /metrics (Prometheus text for the given registries, Default if none),
+// /debug/vars (expvar) and /debug/pprof/ (all standard profiles).
+func Handle(mux *http.ServeMux, regs ...*Registry) {
+	publishExpvar()
+	mux.Handle("/metrics", MetricsHandler(regs...))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewMux returns a mux serving only the observability endpoints.
+func NewMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	Handle(mux, regs...)
+	return mux
+}
+
+// Serve binds addr and serves the observability endpoints in a
+// background goroutine. It returns the bound address (useful with
+// ":0") and a shutdown function. Binding errors are returned
+// synchronously so tools fail fast on a bad -obs-addr.
+func Serve(addr string, regs ...*Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewMux(regs...)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

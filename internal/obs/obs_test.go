@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("test_temp", "Temperature.")
+	g.Set(20)
+	g.Add(2.5)
+	if got := g.Value(); got != 22.5 {
+		t.Fatalf("gauge = %v, want 22.5", got)
+	}
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("histogram sum = %v, want 5.555", h.Sum())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		"test_latency_seconds_sum 5.555",
+		"test_latency_seconds_count 4",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 5",
+		"# TYPE test_temp gauge",
+		"test_temp 22.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: histogram block sorts before counter before gauge.
+	if strings.Index(out, "test_latency_seconds") > strings.Index(out, "test_ops_total") {
+		t.Errorf("exposition not sorted by name:\n%s", out)
+	}
+}
+
+func TestRegistryGetOrCreateAndFuncs(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same", "")
+	b := reg.Counter("same", "")
+	if a != b {
+		t.Fatal("Counter with same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter name did not panic")
+		}
+	}()
+
+	reg.CounterFunc("fn_total", "Bridged.", func() float64 { return 42 })
+	if v, ok := reg.Value("fn_total"); !ok || v != 42 {
+		t.Fatalf("func metric value = %v, %v", v, ok)
+	}
+	// Re-registering a func metric replaces it (fresh Repository case).
+	reg.CounterFunc("fn_total", "Bridged.", func() float64 { return 43 })
+	if v, _ := reg.Value("fn_total"); v != 43 {
+		t.Fatalf("replaced func metric value = %v, want 43", v)
+	}
+
+	reg.Gauge("same", "") // must panic
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("process")
+	p := root.Start("parse")
+	time.Sleep(time.Millisecond)
+	p.Stop()
+	f := root.Start("fetch")
+	f.SetAttr("refs", "17")
+	f.SetAttr("refs", "18") // overwrite, not duplicate
+	f.Stop()
+	root.Stop()
+
+	if root.Child("parse") == nil || root.Child("fetch") == nil {
+		t.Fatal("children not recorded")
+	}
+	if d := root.Child("parse").Duration(); d < time.Millisecond {
+		t.Errorf("parse duration = %v, want >= 1ms", d)
+	}
+	if root.Duration() < root.Child("parse").Duration() {
+		t.Error("root shorter than child")
+	}
+
+	text := root.Text()
+	for _, want := range []string{"process", "parse", "fetch", "refs=18", "allocs"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text tree missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "refs=17") {
+		t.Errorf("SetAttr did not overwrite:\n%s", text)
+	}
+
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap SpanSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "process" || len(snap.Children) != 2 {
+		t.Fatalf("JSON snapshot = %+v", snap)
+	}
+	if snap.Children[0].Name != "parse" || snap.Children[1].Name != "fetch" {
+		t.Fatalf("children out of order: %+v", snap.Children)
+	}
+	if snap.Children[1].Attrs["refs"] != "18" {
+		t.Fatalf("attrs lost in JSON: %+v", snap.Children[1])
+	}
+}
+
+// TestNilSpanNoop proves the disabled path is allocation-free: the
+// whole instrumentation chain over a nil root must not allocate.
+func TestNilSpanNoop(t *testing.T) {
+	var root *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := root.Start("phase")
+		sp.SetAttr("k", "v")
+		child := sp.Start("sub")
+		child.Stop()
+		sp.Stop()
+		_ = sp.Duration()
+		_ = sp.Name()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil span chain allocates %v times per run, want 0", allocs)
+	}
+	if root.Text() != "" || root.Child("x") != nil {
+		t.Fatal("nil span rendering not empty")
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mux_test_total", "help").Add(7)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "mux_test_total 7") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "xpdl") {
+		t.Errorf("/debug/vars = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+		_ = body
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRaceRegistry hammers one registry with 100 concurrent writers —
+// counter increments, gauge updates, histogram observations, func
+// (re-)registration — while scrapers render the Prometheus text. Run
+// under -race; final counts prove no increment was lost.
+func TestRaceRegistry(t *testing.T) {
+	const (
+		writers = 100
+		perG    = 1000
+	)
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter("race_ops_total", "shared counter")
+			ga := reg.Gauge("race_level", "shared gauge")
+			h := reg.Histogram("race_lat", "shared histogram", []float64{0.5})
+			own := reg.Counter(fmt.Sprintf("race_g%02d_total", g%10), "per-group counter")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i%2) * 0.9)
+				own.Inc()
+				if i%100 == 0 {
+					reg.CounterFunc("race_fn", "bridged", func() float64 { return float64(g) })
+				}
+			}
+		}(g)
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+				}
+				reg.Names()
+				reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := reg.Counter("race_ops_total", "").Value(); got != writers*perG {
+		t.Errorf("race_ops_total = %d, want %d", got, writers*perG)
+	}
+	if got := reg.Gauge("race_level", "").Value(); got != writers*perG {
+		t.Errorf("race_level = %v, want %d", got, writers*perG)
+	}
+	h := reg.Histogram("race_lat", "", nil)
+	if h.Count() != writers*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), writers*perG)
+	}
+	for g := 0; g < 10; g++ {
+		name := fmt.Sprintf("race_g%02d_total", g)
+		if got := reg.Counter(name, "").Value(); got != perG*(writers/10) {
+			t.Errorf("%s = %d, want %d", name, got, perG*(writers/10))
+		}
+	}
+}
+
+// TestRaceSpanTree has 100 goroutines growing one span tree while
+// others render it as text and JSON. Every child must be recorded
+// exactly once and the tree must stay renderable mid-flight.
+func TestRaceSpanTree(t *testing.T) {
+	const (
+		writers = 100
+		spans   = 8
+	)
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := root.Start(fmt.Sprintf("writer%03d", g))
+			for i := 0; i < spans; i++ {
+				sp := mine.Start(fmt.Sprintf("op%d", i))
+				sp.SetAttr("i", fmt.Sprint(i))
+				sp.Stop()
+			}
+			mine.Stop()
+		}(g)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = root.Text()
+				if _, err := root.MarshalJSON(); err != nil {
+					t.Errorf("marshal: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	root.Stop()
+
+	snap := root.Snapshot()
+	if len(snap.Children) != writers {
+		t.Fatalf("root has %d children, want %d", len(snap.Children), writers)
+	}
+	for _, c := range snap.Children {
+		if len(c.Children) != spans {
+			t.Errorf("%s has %d spans, want %d", c.Name, len(c.Children), spans)
+		}
+	}
+	if n := strings.Count(root.Text(), "writer"); n != writers {
+		t.Errorf("rendered %d writers, want %d", n, writers)
+	}
+}

@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta atomically.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets with fixed
+// upper bounds, Prometheus-style.
+type Histogram struct {
+	bounds  []float64      // sorted upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets are the default histogram bounds, in seconds (matching the
+// Prometheus client default — suitable for phase latencies).
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricKind discriminates registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindFuncCounter
+	kindFuncGauge
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindFuncCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+	fn        func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. It is safe for concurrent registration, updates
+// and scrapes. The zero value is not usable; use NewRegistry or
+// Default.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level
+// instrumentation (resolve, query) records into and that the cmd tools
+// expose.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it if
+// needed. Registering a name that exists with a different metric kind
+// panics: metric names are a process-wide contract.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindCounter {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.kind.promType()))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindGauge {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.kind.promType()))
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, gauge: g}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.kind.promType()))
+		}
+		return m.histogram
+	}
+	h := newHistogram(bounds)
+	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, histogram: h}
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for subsystems that already keep their own counters
+// (e.g. repo.Stats). Re-registering a name replaces the function, so a
+// fresh Repository can take over its metrics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, kindFuncCounter, fn)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerFunc(name, help, kindFuncGauge, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.fn == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as a non-func %s", name, m.kind.promType()))
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kind, fn: fn}
+}
+
+// Names returns all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Value returns the current value of a counter, gauge or func metric
+// (histograms report their observation count).
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value()), true
+	case kindGauge:
+		return m.gauge.Value(), true
+	case kindHistogram:
+		return float64(m.histogram.Count()), true
+	default:
+		return m.fn(), true
+	}
+}
+
+// WritePrometheus renders every metric in the Prometheus text format,
+// sorted by name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.promType()); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		case kindHistogram:
+			err = writeHistogram(w, m.name, m.histogram)
+		default:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns a name → value map of every metric (histograms as
+// their observation count), for JSON export alongside a span tree.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, n := range r.Names() {
+		if v, ok := r.Value(n); ok {
+			out[n] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+// Package obs is the toolchain's observability layer: hierarchical
+// phase spans for tracing where wall time and allocations go inside the
+// parse → resolve → analyze → bootstrap → emit pipeline, an atomic
+// counters/gauges/histograms registry with Prometheus text exposition,
+// and pprof/expvar HTTP wiring so long-running tools (xpdlrepo, query
+// services) can be profiled in place.
+//
+// The package is dependency-free (standard library only) and designed
+// so that disabled instrumentation costs nothing: every Span method is
+// nil-safe, so code can be written as
+//
+//	sp := parent.Start("resolve")
+//	defer sp.Stop()
+//
+// and a nil parent turns the whole chain into allocation-free no-ops.
+// Counters are single atomic adds and stay enabled unconditionally.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node of a trace tree: a named phase with wall-clock
+// duration, approximate allocation deltas (from runtime.MemStats, so
+// concurrent goroutines' allocations are attributed too — treat the
+// numbers as process-wide cost of the phase, not exclusive cost), free
+// -form attributes, and child spans.
+//
+// All methods are safe on a nil receiver (no-ops) and safe for
+// concurrent use: multiple goroutines may start children of the same
+// parent while others render the tree.
+type Span struct {
+	name string
+
+	mu       sync.Mutex
+	start    time.Time
+	duration time.Duration
+	done     bool
+
+	startAlloc   uint64 // MemStats.TotalAlloc at Start
+	startMallocs uint64 // MemStats.Mallocs at Start
+	allocBytes   uint64 // TotalAlloc delta at Stop
+	mallocs      uint64 // Mallocs delta at Stop
+
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct{ key, value string }
+
+// NewSpan starts a new root span.
+func NewSpan(name string) *Span {
+	s := &Span{name: name}
+	s.begin()
+	return s
+}
+
+func (s *Span) begin() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.start = time.Now()
+	s.startAlloc = ms.TotalAlloc
+	s.startMallocs = ms.Mallocs
+}
+
+// Start begins a child span. On a nil receiver it returns nil, so a
+// whole call chain built over a disabled root is free.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name}
+	c.begin()
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Stop ends the span, recording its duration and allocation deltas.
+// Stopping twice keeps the first measurement.
+func (s *Span) Stop() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.duration = time.Since(s.start)
+		s.allocBytes = ms.TotalAlloc - s.startAlloc
+		s.mallocs = ms.Mallocs - s.startMallocs
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value annotation (e.g. the number of
+// descriptors fetched during the fetch phase).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, spanAttr{key, value})
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the measured duration; for a running span, the time
+// elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.duration
+	}
+	return time.Since(s.start)
+}
+
+// Child returns the first child with the given name (nil if absent).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// SpanSnapshot is an immutable copy of a span subtree, used for
+// rendering and JSON export.
+type SpanSnapshot struct {
+	Name       string            `json:"name"`
+	DurationNS int64             `json:"duration_ns"`
+	AllocBytes uint64            `json:"alloc_bytes"`
+	Mallocs    uint64            `json:"mallocs"`
+	Running    bool              `json:"running,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// Snapshot copies the span subtree under its locks. The zero snapshot
+// is returned for a nil span.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:       s.name,
+		AllocBytes: s.allocBytes,
+		Mallocs:    s.mallocs,
+		Running:    !s.done,
+	}
+	if s.done {
+		snap.DurationNS = s.duration.Nanoseconds()
+	} else {
+		snap.DurationNS = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			snap.Attrs[a.key] = a.value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// MarshalJSON renders the span subtree as a JSON tree.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Snapshot())
+}
+
+// Text renders the span subtree as an indented table:
+//
+//	process                12.8ms   3.1MiB    40128 allocs
+//	  parse                 1.2ms 101.4KiB     1204 allocs
+//	  fetch                 0.3ms  12.0KiB      201 allocs  refs=17
+func (s *Span) Text() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeSnapshot(&b, s.Snapshot(), 0)
+	return b.String()
+}
+
+func writeSnapshot(b *strings.Builder, snap SpanSnapshot, depth int) {
+	name := strings.Repeat("  ", depth) + snap.Name
+	fmt.Fprintf(b, "%-32s %9s %9s %9d allocs", name,
+		formatDuration(time.Duration(snap.DurationNS)), formatBytes(snap.AllocBytes), snap.Mallocs)
+	if snap.Running {
+		b.WriteString("  (running)")
+	}
+	if len(snap.Attrs) > 0 {
+		keys := make([]string, 0, len(snap.Attrs))
+		for k := range snap.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, "  %s=%s", k, snap.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range snap.Children {
+		writeSnapshot(b, c, depth+1)
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// WriteText writes the rendered span tree to w.
+func (s *Span) WriteText(w io.Writer) error {
+	_, err := io.WriteString(w, s.Text())
+	return err
+}

@@ -22,8 +22,21 @@ import (
 	"strings"
 
 	"xpdl/internal/expr"
+	"xpdl/internal/obs"
 	"xpdl/internal/rtmodel"
 	"xpdl/internal/units"
+)
+
+// Runtime-API counters in the process-wide registry: how often
+// applications hit the model (see /metrics on any obs-enabled tool).
+// Single atomic adds — cheap enough to stay enabled unconditionally.
+var (
+	mLookups = obs.Default().Counter("xpdl_query_lookups_total",
+		"Identifier lookups through Session.Find.")
+	mSelectorEvals = obs.Default().Counter("xpdl_query_selector_evals_total",
+		"Path-selector evaluations (Select/SelectOne).")
+	mEnvCalls = obs.Default().Counter("xpdl_query_env_calls_total",
+		"Platform functions invoked from constraint expressions.")
 )
 
 // Session is an initialized runtime query environment over one loaded
@@ -81,6 +94,7 @@ func (s *Session) Root() Elem {
 
 // Find locates an element by identifier anywhere in the model.
 func (s *Session) Find(ident string) (Elem, bool) {
+	mLookups.Inc()
 	n, ok := s.m.Lookup(ident)
 	if !ok {
 		return Elem{}, false
@@ -413,6 +427,7 @@ func (p platformEnv) Lookup(name string) (expr.Value, bool) {
 }
 
 func (p platformEnv) Call(name string, args []expr.Value) (expr.Value, error) {
+	mEnvCalls.Inc()
 	switch name {
 	case "installed":
 		if len(args) == 1 && args[0].Kind == expr.KindString {

@@ -37,6 +37,7 @@ func (s *Session) Select(selector string) ([]Elem, error) {
 // Select evaluates the selector relative to this element; see
 // Session.Select for the grammar.
 func (e Elem) Select(selector string) ([]Elem, error) {
+	mSelectorEvals.Inc()
 	segs, err := parseSelector(selector)
 	if err != nil {
 		return nil, err

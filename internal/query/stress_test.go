@@ -1,0 +1,94 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"xpdl/internal/expr"
+	"xpdl/internal/obs"
+)
+
+// TestStressConcurrentReaders proves a loaded model serves many
+// concurrent readers — browsing, lookups, selectors, derived analysis
+// and expression evaluation — while the obs counters record every
+// operation and scrapers render the registry (run under -race; the
+// Session index is forced at NewSession exactly so this is safe).
+func TestStressConcurrentReaders(t *testing.T) {
+	const (
+		readers = 100
+		rounds  = 50
+	)
+	s := NewSession(buildModel())
+	lookupsBefore := obs.Default().Counter("xpdl_query_lookups_total", "").Value()
+	selectorsBefore := obs.Default().Counter("xpdl_query_selector_evals_total", "").Value()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, ok := s.Find("gpu1"); !ok {
+					errs <- fmt.Errorf("gpu1 not found")
+					return
+				}
+				if n := s.Root().NumCores(); n != 12 {
+					errs <- fmt.Errorf("NumCores = %d, want 12", n)
+					return
+				}
+				got, err := s.Select("//cache[name=L3]")
+				if err != nil || len(got) != 1 {
+					errs <- fmt.Errorf("select L3: %v (%d hits)", err, len(got))
+					return
+				}
+				if !s.Installed("CUBLAS") {
+					errs <- fmt.Errorf("CUBLAS not installed")
+					return
+				}
+				v, err := expr.Eval("installed('CUBLAS') && num_cores() >= 4", s.Env(nil))
+				if err != nil || !v.Truthy() {
+					errs <- fmt.Errorf("eval: %v %v", v, err)
+					return
+				}
+				if w := s.Root().TotalStaticPower().Value; w != 40 {
+					errs <- fmt.Errorf("static power = %v, want 40", w)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent scrapers rendering the process-wide registry while the
+	// readers bump its counters.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := obs.Default().WritePrometheus(io.Discard); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Find is counted once per call; the expression evaluates
+	// installed() and num_cores() but no Find. Other tests in the
+	// package may add more, never less.
+	wantLookups := int64(readers * rounds)
+	if d := obs.Default().Counter("xpdl_query_lookups_total", "").Value() - lookupsBefore; d < wantLookups {
+		t.Errorf("lookup counter advanced by %d, want >= %d", d, wantLookups)
+	}
+	wantSelectors := int64(readers * rounds)
+	if d := obs.Default().Counter("xpdl_query_selector_evals_total", "").Value() - selectorsBefore; d < wantSelectors {
+		t.Errorf("selector counter advanced by %d, want >= %d", d, wantSelectors)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"xpdl/internal/model"
+	"xpdl/internal/obs"
 	"xpdl/internal/parser"
 )
 
@@ -297,6 +298,37 @@ func (r *Repository) Stats() Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.stats
+}
+
+// PublishMetrics bridges the repository's Stats counters into an obs
+// registry as scrape-time func metrics (nil selects obs.Default), so
+// /metrics exposes live fetch/cache/robustness counts. Re-publishing
+// from a newer Repository takes over the metric names.
+func (r *Repository) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	bridge := func(name, help string, sel func(Stats) int) {
+		reg.CounterFunc(name, help, func() float64 { return float64(sel(r.Stats())) })
+	}
+	bridge("xpdl_repo_loads_total", "Successful descriptor Load calls.",
+		func(s Stats) int { return s.Loads })
+	bridge("xpdl_repo_cache_hits_total", "Loads served from the in-memory cache.",
+		func(s Stats) int { return s.CacheHits })
+	bridge("xpdl_repo_local_parses_total", "Descriptor files parsed from disk.",
+		func(s Stats) int { return s.LocalParses })
+	bridge("xpdl_repo_remote_fetches_total", "Full descriptor bodies fetched over HTTP (200).",
+		func(s Stats) int { return s.RemoteFetches })
+	bridge("xpdl_repo_misses_total", "Load calls that found the identifier nowhere.",
+		func(s Stats) int { return s.Misses })
+	bridge("xpdl_repo_retries_total", "Retry attempts after retryable fetch failures.",
+		func(s Stats) int { return s.Retries })
+	bridge("xpdl_repo_failures_total", "Individual fetch attempts that ended in error.",
+		func(s Stats) int { return s.Failures })
+	bridge("xpdl_repo_not_modified_total", "304 revalidations served from the disk cache.",
+		func(s Stats) int { return s.NotModified })
+	bridge("xpdl_repo_coalesced_total", "Loads that shared another caller's in-flight fetch.",
+		func(s Stats) int { return s.Coalesced })
 }
 
 // Prefetch loads the given identifiers concurrently with at most

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// scrapeMetric fetches /metrics through the handler itself and returns
+// the value of one sample, the way a Prometheus scraper would see it.
+func scrapeMetric(t *testing.T, s *Server, name string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? ([0-9.eE+-]+)$`).
+		FindStringSubmatch(rec.Body.String())
+	if m == nil {
+		t.Fatalf("/metrics: sample %q not found in:\n%s", name, rec.Body.String())
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("/metrics: sample %q = %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestMetricsChangeAfterFetch is the observability acceptance check:
+// scraping /metrics before and after descriptor traffic must show the
+// request counters advance, 304s land in their own counter, scrapes
+// themselves stay out of the stats, and the latency histogram fills.
+func TestMetricsChangeAfterFetch(t *testing.T) {
+	s := newTestServer(t)
+
+	if v := scrapeMetric(t, s, "xpdl_repo_server_descriptors_total"); v != 0 {
+		t.Fatalf("descriptors_total before any fetch = %v", v)
+	}
+	if v := scrapeMetric(t, s, "xpdl_repo_server_descriptors_indexed"); v != 3 {
+		t.Fatalf("descriptors_indexed = %v, want 3", v)
+	}
+
+	// One full fetch, then a conditional revalidation with its ETag.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/Nvidia_K20c.xpdl", nil))
+	if rec.Code != 200 {
+		t.Fatalf("fetch: status %d", rec.Code)
+	}
+	req := httptest.NewRequest("GET", "/Nvidia_K20c.xpdl", nil)
+	req.Header.Set("If-None-Match", rec.Header().Get("ETag"))
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, req)
+	if rec2.Code != 304 {
+		t.Fatalf("revalidation: status %d", rec2.Code)
+	}
+
+	if v := scrapeMetric(t, s, "xpdl_repo_server_descriptors_total"); v != 1 {
+		t.Errorf("descriptors_total after fetch = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, s, "xpdl_repo_server_not_modified_total"); v != 1 {
+		t.Errorf("not_modified_total after revalidation = %v, want 1", v)
+	}
+	// Two descriptor requests total; the /metrics scrapes must not count.
+	if v := scrapeMetric(t, s, "xpdl_repo_server_requests_total"); v != 2 {
+		t.Errorf("requests_total = %v, want 2 (scrapes must not count)", v)
+	}
+	if v := scrapeMetric(t, s, "xpdl_repo_server_request_seconds_count"); v != 2 {
+		t.Errorf("request_seconds_count = %v, want 2", v)
+	}
+}

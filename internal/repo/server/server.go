@@ -13,6 +13,10 @@
 // revalidate instead of re-downloading. /index lists all identifiers
 // in sorted order; /index?stats=1 appends a '#'-prefixed stats
 // trailer.
+//
+// The server is observable in place: /metrics exposes its request
+// counters (and the process-wide registry) in Prometheus text format,
+// /debug/pprof/ the standard profiles, and /debug/vars expvar.
 package server
 
 import (
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"xpdl/internal/ast"
+	"xpdl/internal/obs"
 )
 
 // Stats counts requests served, mirroring the client-side repo.Stats
@@ -51,6 +56,10 @@ type Server struct {
 	mu      sync.RWMutex
 	byIdent map[string]entry
 	stats   Stats
+
+	reg    *obs.Registry  // per-server registry bridging stats
+	latns  *obs.Histogram // descriptor request latency (seconds)
+	obsMux *http.ServeMux // /metrics, /debug/pprof/, /debug/vars
 }
 
 // New indexes dir and returns a ready handler. Each .xpdl file is
@@ -58,6 +67,7 @@ type Server struct {
 // are rejected at startup, exactly like the client-side scan.
 func New(dir string) (*Server, error) {
 	s := &Server{byIdent: map[string]entry{}}
+	s.initObs()
 	indexTime := time.Now()
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
@@ -103,6 +113,35 @@ func New(dir string) (*Server, error) {
 	return s, nil
 }
 
+// initObs builds the server's own metrics registry (request counters
+// as scrape-time funcs over Stats, plus a latency histogram) and the
+// mux for the observability endpoints. The registry is per-server so
+// httptest suites can spin up many servers without name collisions;
+// /metrics also appends the process-wide obs.Default() registry.
+func (s *Server) initObs() {
+	s.reg = obs.NewRegistry()
+	stat := func(sel func(Stats) int) func() float64 {
+		return func() float64 { return float64(sel(s.Stats())) }
+	}
+	s.reg.CounterFunc("xpdl_repo_server_requests_total", "All requests served.",
+		stat(func(st Stats) int { return st.Requests }))
+	s.reg.CounterFunc("xpdl_repo_server_descriptors_total", "Descriptor bodies served with 200.",
+		stat(func(st Stats) int { return st.Descriptors }))
+	s.reg.CounterFunc("xpdl_repo_server_not_modified_total", "Conditional requests answered with 304.",
+		stat(func(st Stats) int { return st.NotModified }))
+	s.reg.CounterFunc("xpdl_repo_server_not_found_total", "Requests for unknown identifiers.",
+		stat(func(st Stats) int { return st.NotFound }))
+	s.reg.GaugeFunc("xpdl_repo_server_descriptors_indexed", "Descriptors in the index.",
+		func() float64 { return float64(s.Len()) })
+	s.latns = s.reg.Histogram("xpdl_repo_server_request_seconds",
+		"Descriptor request latency.", nil)
+	s.obsMux = obs.NewMux(s.reg, obs.Default())
+}
+
+// Registry returns the server's metrics registry, so embedding tools
+// can expose it on an address of their own.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // Len returns the number of indexed descriptors.
 func (s *Server) Len() int {
 	s.mu.RLock()
@@ -118,6 +157,12 @@ func (s *Server) Stats() Stats {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Observability endpoints bypass the request counters so scrapes do
+	// not distort the descriptor-traffic stats.
+	if r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/") {
+		s.obsMux.ServeHTTP(w, r)
+		return
+	}
 	s.mu.Lock()
 	s.stats.Requests++
 	s.mu.Unlock()
@@ -126,6 +171,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveIndex(w, r)
 		return
 	}
+	start := time.Now()
+	defer func() { s.latns.Observe(time.Since(start).Seconds()) }()
 	ident := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/"), ".xpdl")
 	s.mu.RLock()
 	e, ok := s.byIdent[ident]

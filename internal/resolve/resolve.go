@@ -31,8 +31,25 @@ import (
 
 	"xpdl/internal/expr"
 	"xpdl/internal/model"
+	"xpdl/internal/obs"
 	"xpdl/internal/repo"
 	"xpdl/internal/units"
+)
+
+// Composition-engine counters in the process-wide registry: group
+// expansion fan-out and flatten-cache effectiveness, the two levers of
+// resolution cost (see /metrics on any obs-enabled tool).
+var (
+	mGroupsExpanded = obs.Default().Counter("xpdl_resolve_groups_expanded_total",
+		"Quantity-groups expanded into member replicas.")
+	mGroupMembers = obs.Default().Counter("xpdl_resolve_group_members_total",
+		"Group member instances created by expansion.")
+	mParallelExpansions = obs.Default().Counter("xpdl_resolve_parallel_expansions_total",
+		"Group expansions that fanned out over the worker pool.")
+	mFlattenHits = obs.Default().Counter("xpdl_resolve_flatten_cache_hits_total",
+		"Meta-model flattenings served from the memo cache.")
+	mFlattenMisses = obs.Default().Counter("xpdl_resolve_flatten_cache_misses_total",
+		"Meta-model flattenings computed from repository descriptors.")
 )
 
 // Resolver composes concrete models against a descriptor repository.
@@ -289,8 +306,11 @@ func (r *Resolver) expandChild(ch *model.Component, sc *scope, depth int) ([]*mo
 			member.Consts = cloneConsts(ch.Consts)
 			return member
 		}
+		mGroupsExpanded.Inc()
+		mGroupMembers.Add(int64(n))
 		members := make([]*model.Component, n)
 		if r.Workers > 1 && n >= r.ParallelThreshold && templateCost(ch)*n >= r.MinParallelCost {
+			mParallelExpansions.Inc()
 			if err := r.expandParallel(members, mkMember, sc, depth); err != nil {
 				return nil, err
 			}
@@ -551,8 +571,10 @@ func rangeContains(rng []string, val string) bool {
 // must clone before mutating.
 func (r *Resolver) flatten(name string, depth int) (*model.Component, error) {
 	if flat, ok := r.flatCache[name]; ok {
+		mFlattenHits.Inc()
 		return flat, nil
 	}
+	mFlattenMisses.Inc()
 	if r.visiting[name] {
 		return nil, fmt.Errorf("inheritance cycle through %q", name)
 	}

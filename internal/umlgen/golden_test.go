@@ -1,0 +1,45 @@
+package umlgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xpdl/internal/schema"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name> byte-for-byte, and
+// rewrites the file when the test runs with -update. The full-document
+// goldens lock the exact rendering the content tests only spot-check,
+// so layout drift (ordering, indentation, multiplicities) is caught.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/umlgen -update' to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s differs from golden; run 'go test ./internal/umlgen -update' if the change is intended\ngot:\n%s", name, got)
+	}
+}
+
+func TestSchemaDiagramGolden(t *testing.T) {
+	checkGolden(t, "schema_core.puml", SchemaDiagram(schema.Core()))
+}
+
+func TestModelDiagramGolden(t *testing.T) {
+	checkGolden(t, "model_cluster.puml", ModelDiagram(buildCluster(), ModelDiagramOptions{}))
+}

@@ -1,0 +1,208 @@
+package xmlout
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/parser"
+	"xpdl/internal/units"
+)
+
+// TestModelsRoundTrip is a property test over the whole descriptor
+// library: every models/ file must survive parse -> emit -> re-parse
+// with no semantic change. Textual identity is NOT required — the
+// emitter normalizes attribute order, quantity rendering and unit
+// companions — so the comparison is semantic: quantities by dimension
+// and value (with a relative epsilon for unit conversion), everything
+// else exactly.
+func TestModelsRoundTrip(t *testing.T) {
+	root := filepath.Join("..", "..", "models")
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".xpdl") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no descriptors found under models/")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.ToSlash(strings.TrimPrefix(f, root+string(os.PathSeparator))), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := parser.New()
+			orig, diags, err := p.ParseFile(f, src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if diags.HasErrors() {
+				t.Fatalf("parse diagnostics: %v", diags)
+			}
+			emitted := String(orig)
+			again, diags, err := parser.New().ParseFile(f+" (re-emitted)", []byte(emitted))
+			if err != nil {
+				t.Fatalf("re-parse of emitted output: %v\nemitted:\n%s", err, emitted)
+			}
+			if diags.HasErrors() {
+				t.Fatalf("re-parse diagnostics: %v\nemitted:\n%s", diags, emitted)
+			}
+			if err := semanticallyEqual(orig, again, "/"+orig.Kind); err != nil {
+				t.Errorf("round trip changed the model: %v\nemitted:\n%s", err, emitted)
+			}
+		})
+	}
+}
+
+// semanticallyEqual compares two component trees, reporting the first
+// difference with its path.
+func semanticallyEqual(a, b *model.Component, path string) error {
+	if a.Kind != b.Kind || a.Name != b.Name || a.ID != b.ID || a.Type != b.Type {
+		return fmt.Errorf("%s: identity differs: %s/%s/%s/%s vs %s/%s/%s/%s",
+			path, a.Kind, a.Name, a.ID, a.Type, b.Kind, b.Name, b.ID, b.Type)
+	}
+	if strings.Join(a.Extends, ",") != strings.Join(b.Extends, ",") {
+		return fmt.Errorf("%s: extends differs: %v vs %v", path, a.Extends, b.Extends)
+	}
+	if a.Prefix != b.Prefix || a.Quantity != b.Quantity {
+		return fmt.Errorf("%s: group replication differs", path)
+	}
+	if err := attrsEqual(a, b, path); err != nil {
+		return err
+	}
+	if len(a.Params) != len(b.Params) {
+		return fmt.Errorf("%s: params %d vs %d", path, len(a.Params), len(b.Params))
+	}
+	for i, pa := range a.Params {
+		pb := b.Params[i]
+		if pa.Name != pb.Name || pa.Type != pb.Type || pa.Configurable != pb.Configurable ||
+			strings.Join(pa.Range, ",") != strings.Join(pb.Range, ",") ||
+			pa.Value != pb.Value || pa.Unit != pb.Unit {
+			return fmt.Errorf("%s: param %q differs: %+v vs %+v", path, pa.Name, *pa, *pb)
+		}
+	}
+	if len(a.Consts) != len(b.Consts) {
+		return fmt.Errorf("%s: consts %d vs %d", path, len(a.Consts), len(b.Consts))
+	}
+	for i, ka := range a.Consts {
+		kb := b.Consts[i]
+		if ka.Name != kb.Name || ka.Type != kb.Type || ka.Value != kb.Value || ka.Unit != kb.Unit {
+			return fmt.Errorf("%s: const %q differs: %+v vs %+v", path, ka.Name, *ka, *kb)
+		}
+	}
+	if len(a.Constraints) != len(b.Constraints) {
+		return fmt.Errorf("%s: constraints %d vs %d", path, len(a.Constraints), len(b.Constraints))
+	}
+	for i := range a.Constraints {
+		if a.Constraints[i].Expr != b.Constraints[i].Expr {
+			return fmt.Errorf("%s: constraint %d differs: %q vs %q",
+				path, i, a.Constraints[i].Expr, b.Constraints[i].Expr)
+		}
+	}
+	if len(a.Properties) != len(b.Properties) {
+		return fmt.Errorf("%s: properties %d vs %d", path, len(a.Properties), len(b.Properties))
+	}
+	for i, pa := range a.Properties {
+		pb := b.Properties[i]
+		if pa.Name != pb.Name || len(pa.Attrs) != len(pb.Attrs) {
+			return fmt.Errorf("%s: property %q differs", path, pa.Name)
+		}
+		for k, v := range pa.Attrs {
+			if pb.Attrs[k] != v {
+				return fmt.Errorf("%s: property %q attr %q: %q vs %q", path, pa.Name, k, v, pb.Attrs[k])
+			}
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Errorf("%s: children %d vs %d", path, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		cp := path + "/" + a.Children[i].Kind
+		if id := a.Children[i].Ident(); id != "" {
+			cp += "[" + id + "]"
+		}
+		if err := semanticallyEqual(a.Children[i], b.Children[i], cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attrsEqual compares attribute maps. Companion unit attributes
+// (frequency_unit, unit, ...) are excluded from the key-set check: the
+// emitter may add one where the source relied on the schema-declared
+// dimension, and the unit itself is already captured in the quantity
+// comparison. Quantities compare by dimension and normalized value
+// with a relative epsilon absorbing unit-conversion arithmetic.
+func attrsEqual(a, b *model.Component, path string) error {
+	companion := map[string]bool{}
+	for _, c := range []*model.Component{a, b} {
+		for k, at := range c.Attrs {
+			if at.HasQuantity || at.Unknown {
+				companion[units.UnitAttrFor(k)] = true
+			}
+		}
+	}
+	for _, pair := range []struct{ x, y *model.Component }{{a, b}, {b, a}} {
+		for k := range pair.x.Attrs {
+			if companion[k] {
+				continue
+			}
+			if _, ok := pair.y.Attrs[k]; !ok {
+				return fmt.Errorf("%s: attribute %q present on one side only", path, k)
+			}
+		}
+	}
+	for k, aa := range a.Attrs {
+		if companion[k] {
+			continue
+		}
+		ba, ok := b.Attrs[k]
+		if !ok {
+			continue // reported above
+		}
+		if aa.Unknown != ba.Unknown {
+			return fmt.Errorf("%s: attribute %q: unknown-ness differs", path, k)
+		}
+		if aa.Unknown {
+			continue
+		}
+		if aa.HasQuantity && ba.HasQuantity {
+			if aa.Quantity.Dim != ba.Quantity.Dim {
+				return fmt.Errorf("%s: attribute %q: dimension differs: %v vs %v",
+					path, k, aa.Quantity.Dim, ba.Quantity.Dim)
+			}
+			if !closeEnough(aa.Quantity.Value, ba.Quantity.Value) {
+				return fmt.Errorf("%s: attribute %q: value differs: %v vs %v",
+					path, k, aa.Quantity.Value, ba.Quantity.Value)
+			}
+			continue
+		}
+		if aa.HasQuantity != ba.HasQuantity || aa.Raw != ba.Raw {
+			return fmt.Errorf("%s: attribute %q: %q vs %q", path, k, aa.Raw, ba.Raw)
+		}
+	}
+	return nil
+}
+
+func closeEnough(x, y float64) bool {
+	if x == y {
+		return true
+	}
+	d := math.Abs(x - y)
+	return d <= 1e-9*math.Max(math.Abs(x), math.Abs(y))
+}

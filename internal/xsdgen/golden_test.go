@@ -1,0 +1,38 @@
+package xsdgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xpdl/internal/schema"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGenerateGolden locks the complete generated xpdl.xsd against
+// testdata/xpdl.xsd. The content tests spot-check individual
+// declarations; the golden catches everything else — ordering,
+// indentation, escaping — so schema changes show up as a readable
+// diff. Regenerate with 'go test ./internal/xsdgen -update'.
+func TestGenerateGolden(t *testing.T) {
+	got := Generate(schema.Core())
+	path := filepath.Join("testdata", "xpdl.xsd")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/xsdgen -update' to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("xpdl.xsd differs from golden; run 'go test ./internal/xsdgen -update' if the change is intended\ngot:\n%s", got)
+	}
+}
