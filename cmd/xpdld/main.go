@@ -1,0 +1,154 @@
+// Command xpdld is the hot-swapping platform-model query service: a
+// long-running daemon that resolves XPDL system models through the
+// processing toolchain once, holds the resulting query snapshots in
+// memory, and answers JSON-over-HTTP introspection requests — the
+// runtime query API of Section IV served to many processes instead of
+// linked into one.
+//
+// Models stay fresh without restarts: a background revalidator
+// periodically invalidates the descriptor caches (remote descriptors
+// revalidate with conditional requests and usually cost one 304) and
+// re-resolves every resident model, atomically swapping in snapshots
+// whose content actually changed. In-flight requests keep the snapshot
+// they started with.
+//
+// Usage:
+//
+//	xpdld -models models -preload liu_gpu_server -addr :8360
+//
+// Endpoints (all under /v1/models/{model}):
+//
+//	GET  /healthz                    liveness + resident models
+//	GET  /v1/models                  resident model inventory
+//	GET  .../summary                 cores, CUDA devices, static power, installed software
+//	GET  .../tree  .../json          model exports (xpdlquery-compatible)
+//	GET  .../element?ident=gpu1      element lookup by qualified name
+//	GET  .../select?q=//cache        selector evaluation (also POST)
+//	POST .../eval                    expression evaluation in the model env
+//	GET  .../energy?table=e5_isa&inst=divsd&ghz=3.0
+//	GET  .../transfer?channel=up_link&bytes=1048576
+//	POST .../dispatch                composition variant selection
+//	POST .../refresh                 manual revalidation (unless -allow-refresh=false)
+//	GET  /metrics /debug/pprof/ /debug/vars
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xpdl/internal/core"
+	"xpdl/internal/obs"
+	"xpdl/internal/repo"
+	"xpdl/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8360", "listen address")
+		models      = flag.String("models", "models", "comma-separated local model repository directories")
+		remotes     = flag.String("remote", "", "comma-separated base URLs of remote model libraries")
+		preload     = flag.String("preload", "", "comma-separated system identifiers to resolve at startup")
+		revalidate  = flag.Duration("revalidate", 30*time.Second, "revalidation poll interval (0 disables hot swapping)")
+		maxModels   = flag.Int("max-models", 0, "maximum resident models, LRU-evicted beyond (0 = unbounded)")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request timeout")
+		maxInflight = flag.Int("max-inflight", 256, "maximum concurrently served requests")
+		cacheDir    = flag.String("cache-dir", "", "on-disk descriptor cache for remote libraries (enables offline fallback)")
+		allowRef    = flag.Bool("allow-refresh", true, "expose POST /v1/models/{model}/refresh")
+		seed        = flag.Int64("seed", 1, "simulated-substrate seed for '?' calibration")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		SearchPaths: splitList(*models),
+		Remotes:     splitList(*remotes),
+		Seed:        *seed,
+	}
+	if *cacheDir != "" {
+		cfg := repo.DefaultFetchConfig()
+		cfg.CacheDir = *cacheDir
+		opts.Fetch = &cfg
+	}
+	loader, err := serve.NewToolchainLoader(opts)
+	if err != nil {
+		fail(err)
+	}
+	store := serve.NewStore(loader, *maxModels)
+	srv := serve.NewServer(serve.Config{
+		Store:          store,
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInflight,
+		AllowRefresh:   *allowRef,
+	})
+	loader.Repo().PublishMetrics(obs.Default())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for _, ident := range splitList(*preload) {
+		start := time.Now()
+		snap, err := store.Get(ctx, ident)
+		if err != nil {
+			fail(fmt.Errorf("preload %s: %w", ident, err))
+		}
+		log.Printf("xpdld: preloaded %s (%d nodes, fingerprint %s) in %s",
+			ident, snap.Nodes(), snap.Fingerprint, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *revalidate > 0 {
+		rv := &serve.Revalidator{Store: store, Interval: *revalidate, Log: log.Default()}
+		go rv.Run(ctx)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// The write timeout must cover the request timeout plus the
+		// encode of large responses (full-model JSON exports).
+		WriteTimeout: *reqTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("xpdld: serving platform-model queries on %s (models: %s)", *addr, *models)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-ctx.Done():
+	}
+	log.Print("xpdld: shutting down (waiting for in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("xpdld: shutdown: %v", err)
+	}
+	log.Print("xpdld: bye")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xpdld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command xpdlload drives synthetic query load against a running
+// xpdld and reports throughput and latency percentiles — the
+// measurement half of the serving experiments (EXPERIMENTS.md E15) and
+// the smoke probe of the CI serve job.
+//
+// Usage:
+//
+//	xpdlload -addr http://localhost:8360 -model liu_gpu_server -c 8 -duration 10s
+//
+// The exit status is 0 only when the run saw at least one 2xx response
+// and no transport errors, so scripts can assert "the daemon actually
+// served load" with a plain `xpdlload && ...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// probe is one endpoint of the load mix.
+type probe struct {
+	name   string
+	method string
+	path   string // relative to /v1/models/{model}
+	body   string
+}
+
+func probes(model string) map[string]probe {
+	return map[string]probe{
+		"summary": {"summary", http.MethodGet, "/summary", ""},
+		"element": {"element", http.MethodGet, "/element?ident=" + url.QueryEscape(model), ""},
+		"select":  {"select", http.MethodGet, "/select?q=" + url.QueryEscape("//core"), ""},
+		"eval":    {"eval", http.MethodPost, "/eval", `{"expr": "num_cores() >= 1"}`},
+		"tree":    {"tree", http.MethodGet, "/tree", ""},
+	}
+}
+
+type workerStats struct {
+	latencies []time.Duration
+	byClass   map[int]int // status/100 -> count
+	transport int         // request errors (connect, timeout)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8360", "base URL of the xpdld instance")
+		model    = flag.String("model", "", "system model identifier to query (required)")
+		duration = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		conc     = flag.Int("c", 4, "concurrent load workers")
+		mix      = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix")
+	)
+	flag.Parse()
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "xpdlload: -model is required")
+		os.Exit(2)
+	}
+	all := probes(*model)
+	var mixProbes []probe
+	for _, name := range strings.Split(*mix, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xpdlload: unknown endpoint %q in -mix\n", name)
+			os.Exit(2)
+		}
+		mixProbes = append(mixProbes, p)
+	}
+	if len(mixProbes) == 0 {
+		fmt.Fprintln(os.Stderr, "xpdlload: empty -mix")
+		os.Exit(2)
+	}
+
+	base := strings.TrimRight(*addr, "/") + "/v1/models/" + url.PathEscape(*model)
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	stats := make([]workerStats, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.byClass = map[int]int{}
+			for i := 0; time.Now().Before(deadline); i++ {
+				p := mixProbes[(i+w)%len(mixProbes)]
+				var body io.Reader
+				if p.body != "" {
+					body = strings.NewReader(p.body)
+				}
+				req, err := http.NewRequest(p.method, base+p.path, body)
+				if err != nil {
+					st.transport++
+					continue
+				}
+				if p.body != "" {
+					req.Header.Set("Content-Type", "application/json")
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					st.transport++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.byClass[resp.StatusCode/100]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all2xx, allOther, transport int
+	var lats []time.Duration
+	byClass := map[int]int{}
+	for _, st := range stats {
+		lats = append(lats, st.latencies...)
+		transport += st.transport
+		for cls, n := range st.byClass {
+			byClass[cls] += n
+			if cls == 2 {
+				all2xx += n
+			} else {
+				allOther += n
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	total := len(lats)
+	fmt.Printf("xpdlload: %d requests in %s (%.0f req/s), %d workers, mix %s\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *conc, *mix)
+	for _, cls := range []int{2, 3, 4, 5} {
+		if n := byClass[cls]; n > 0 {
+			fmt.Printf("  %dxx: %d\n", cls, n)
+		}
+	}
+	if transport > 0 {
+		fmt.Printf("  transport errors: %d\n", transport)
+	}
+	if total > 0 {
+		fmt.Printf("  latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[total-1])
+	}
+	if all2xx == 0 {
+		fmt.Fprintln(os.Stderr, "xpdlload: FAIL: no 2xx responses")
+		os.Exit(1)
+	}
+	if transport > 0 {
+		fmt.Fprintln(os.Stderr, "xpdlload: FAIL: transport errors")
+		os.Exit(1)
+	}
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -9,6 +9,13 @@
 //
 //	xpdlquery -rt http://models.example.com/liu.xrt cores
 //
+// With -remote, the same commands are answered by a running xpdld
+// daemon instead of a local runtime model; -rt then names the system
+// model identifier. The output is byte-identical to the local path, so
+// scripts can switch between the two transparently:
+//
+//	xpdlquery -remote http://localhost:8360 -rt liu_gpu_server cores
+//
 // Usage:
 //
 //	xpdlquery -rt liu.xrt tree                # print the model tree
@@ -26,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,15 +42,42 @@ import (
 	"xpdl/internal/obs"
 	"xpdl/internal/query"
 	"xpdl/internal/repo"
+	"xpdl/internal/serve"
+	"xpdl/internal/units"
 )
 
+// selRow is one selector match: the fields both backends can print.
+type selRow struct {
+	Kind, Path string
+}
+
+// backend answers the query commands; the local implementation wraps
+// an in-process query.Session, the remote one a running xpdld. Both
+// must produce byte-identical command output.
+type backend interface {
+	Tree(w io.Writer) error
+	Cores() (int, error)
+	CUDADevices() (int, error)
+	StaticPower() (units.Quantity, error)
+	Installed() ([]string, error)
+	// Get returns the printable value of one attribute: the quantity
+	// rendering when the attribute has a normalized value, the raw
+	// string otherwise.
+	Get(ident, attr string) (string, error)
+	JSON(w io.Writer) error
+	Select(sel string) ([]selRow, error)
+	// Eval returns the Go literal rendering of the expression value.
+	Eval(src string) (string, error)
+}
+
 func main() {
-	rt := flag.String("rt", "", "runtime model file (.xrt) or http(s) URL")
+	rt := flag.String("rt", "", "runtime model file (.xrt), http(s) URL, or — with -remote — a system model identifier")
+	remote := flag.String("remote", "", "base URL of a running xpdld; queries are answered by the daemon")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (lookup/selector counters) after the command")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
 	flag.Parse()
 	if *rt == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
+		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery [-remote http://host:port] -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
 		os.Exit(2)
 	}
 	if *obsAddr != "" {
@@ -59,85 +94,220 @@ func main() {
 			_ = obs.Default().WritePrometheus(os.Stderr)
 		}()
 	}
-	path, err := localize(*rt)
-	if err != nil {
-		fail(err)
-	}
-	s, err := query.Init(path)
-	if err != nil {
-		fail(err)
-	}
-	switch cmd := flag.Arg(0); cmd {
-	case "tree":
-		printTree(s.Root(), 0)
-	case "cores":
-		fmt.Println(s.Root().NumCores())
-	case "cuda-devices":
-		fmt.Println(s.Root().NumCUDADevices())
-	case "static-power":
-		fmt.Println(s.Root().TotalStaticPower())
-	case "installed":
-		for _, pkg := range s.InstalledList() {
-			fmt.Println(pkg)
+	var b backend
+	if *remote != "" {
+		b = &remoteBackend{
+			ctx:    context.Background(),
+			client: serve.NewClient(*remote),
+			model:  *rt,
 		}
-	case "get":
-		if flag.NArg() != 3 {
-			fail(fmt.Errorf("get needs <ident> <attr>"))
-		}
-		e, ok := s.Find(flag.Arg(1))
-		if !ok {
-			fail(fmt.Errorf("element %q not found", flag.Arg(1)))
-		}
-		if q, ok := e.GetQuantity(flag.Arg(2)); ok {
-			fmt.Println(q)
-			return
-		}
-		if v, ok := e.GetString(flag.Arg(2)); ok {
-			fmt.Println(v)
-			return
-		}
-		fail(fmt.Errorf("element %q has no attribute %q", flag.Arg(1), flag.Arg(2)))
-	case "json":
-		if err := s.Model().WriteJSON(os.Stdout); err != nil {
-			fail(err)
-		}
-	case "select":
-		if flag.NArg() != 2 {
-			fail(fmt.Errorf("select needs one selector argument"))
-		}
-		elems, err := s.Select(flag.Arg(1))
+	} else {
+		path, err := localize(*rt)
 		if err != nil {
 			fail(err)
 		}
-		for _, e := range elems {
-			fmt.Printf("%s\t%s\n", e.Kind(), e.Path())
-		}
-	case "eval":
-		v, err := expr.Eval(strings.Join(flag.Args()[1:], " "), s.Env(nil))
+		s, err := query.Init(path)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(v.GoString())
-	default:
-		fail(fmt.Errorf("unknown command %q", cmd))
+		b = &localBackend{s: s}
+	}
+	if err := run(b, os.Stdout, flag.Args()); err != nil {
+		fail(err)
 	}
 }
 
-func printTree(e query.Elem, depth int) {
-	if !e.Valid() {
-		return
+// run dispatches one command against a backend, writing to w.
+func run(b backend, w io.Writer, args []string) error {
+	switch cmd := args[0]; cmd {
+	case "tree":
+		return b.Tree(w)
+	case "cores":
+		n, err := b.Cores()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, n)
+	case "cuda-devices":
+		n, err := b.CUDADevices()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, n)
+	case "static-power":
+		q, err := b.StaticPower()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, q)
+	case "installed":
+		pkgs, err := b.Installed()
+		if err != nil {
+			return err
+		}
+		for _, pkg := range pkgs {
+			fmt.Fprintln(w, pkg)
+		}
+	case "get":
+		if len(args) != 3 {
+			return fmt.Errorf("get needs <ident> <attr>")
+		}
+		v, err := b.Get(args[1], args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, v)
+	case "json":
+		return b.JSON(w)
+	case "select":
+		if len(args) != 2 {
+			return fmt.Errorf("select needs one selector argument")
+		}
+		rows, err := b.Select(args[1])
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%s\n", row.Kind, row.Path)
+		}
+	case "eval":
+		text, err := b.Eval(strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, text)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
 	}
-	line := strings.Repeat("  ", depth) + e.Kind()
-	if id := e.Ident(); id != "" {
-		line += " " + id
+	return nil
+}
+
+// ---- local backend: in-process query session ----
+
+type localBackend struct {
+	s *query.Session
+}
+
+func (l *localBackend) Tree(w io.Writer) error         { return serve.WriteTree(w, l.s.Root()) }
+func (l *localBackend) Cores() (int, error)            { return l.s.Root().NumCores(), nil }
+func (l *localBackend) CUDADevices() (int, error)      { return l.s.Root().NumCUDADevices(), nil }
+func (l *localBackend) Installed() ([]string, error)   { return l.s.InstalledList(), nil }
+func (l *localBackend) JSON(w io.Writer) error         { return l.s.Model().WriteJSON(w) }
+func (l *localBackend) StaticPower() (units.Quantity, error) {
+	return l.s.Root().TotalStaticPower(), nil
+}
+
+func (l *localBackend) Get(ident, attr string) (string, error) {
+	e, ok := l.s.Find(ident)
+	if !ok {
+		return "", fmt.Errorf("element %q not found", ident)
 	}
-	if t := e.TypeName(); t != "" {
-		line += " : " + t
+	if q, ok := e.GetQuantity(attr); ok {
+		return q.String(), nil
 	}
-	fmt.Println(line)
-	for _, c := range e.Children() {
-		printTree(c, depth+1)
+	if v, ok := e.GetString(attr); ok {
+		return v, nil
 	}
+	return "", fmt.Errorf("element %q has no attribute %q", ident, attr)
+}
+
+func (l *localBackend) Select(sel string) ([]selRow, error) {
+	elems, err := l.s.Select(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]selRow, 0, len(elems))
+	for _, e := range elems {
+		rows = append(rows, selRow{Kind: e.Kind(), Path: e.Path()})
+	}
+	return rows, nil
+}
+
+func (l *localBackend) Eval(src string) (string, error) {
+	v, err := expr.Eval(src, l.s.Env(nil))
+	if err != nil {
+		return "", err
+	}
+	return v.GoString(), nil
+}
+
+// ---- remote backend: a running xpdld ----
+
+type remoteBackend struct {
+	ctx    context.Context
+	client *serve.Client
+	model  string
+}
+
+func (r *remoteBackend) Tree(w io.Writer) error { return r.client.Tree(r.ctx, r.model, w) }
+func (r *remoteBackend) JSON(w io.Writer) error { return r.client.JSON(r.ctx, r.model, w) }
+
+func (r *remoteBackend) Cores() (int, error) {
+	sum, err := r.client.Summary(r.ctx, r.model)
+	if err != nil {
+		return 0, err
+	}
+	return sum.Cores, nil
+}
+
+func (r *remoteBackend) CUDADevices() (int, error) {
+	sum, err := r.client.Summary(r.ctx, r.model)
+	if err != nil {
+		return 0, err
+	}
+	return sum.CUDADevices, nil
+}
+
+func (r *remoteBackend) StaticPower() (units.Quantity, error) {
+	sum, err := r.client.Summary(r.ctx, r.model)
+	if err != nil {
+		return units.Quantity{}, err
+	}
+	// The wire carries watts; the local path prints a power quantity.
+	return units.Quantity{Value: sum.StaticPowerW, Dim: units.Power}, nil
+}
+
+func (r *remoteBackend) Installed() ([]string, error) {
+	sum, err := r.client.Summary(r.ctx, r.model)
+	if err != nil {
+		return nil, err
+	}
+	return sum.Installed, nil
+}
+
+func (r *remoteBackend) Get(ident, attr string) (string, error) {
+	e, err := r.client.Element(r.ctx, r.model, ident)
+	if err != nil {
+		return "", err
+	}
+	a, ok := e.Attrs[attr]
+	if !ok {
+		return "", fmt.Errorf("element %q has no attribute %q", ident, attr)
+	}
+	if a.Value != nil {
+		return a.Display, nil
+	}
+	return a.Raw, nil
+}
+
+func (r *remoteBackend) Select(sel string) ([]selRow, error) {
+	resp, err := r.client.Select(r.ctx, r.model, sel, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]selRow, 0, len(resp.Elements))
+	for _, e := range resp.Elements {
+		rows = append(rows, selRow{Kind: e.Kind, Path: e.Path})
+	}
+	return rows, nil
+}
+
+func (r *remoteBackend) Eval(src string) (string, error) {
+	resp, err := r.client.Eval(r.ctx, r.model, src, nil)
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
 }
 
 // localize makes the runtime model available as a local file: paths

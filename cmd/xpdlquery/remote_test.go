@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"xpdl/internal/core"
+	"xpdl/internal/query"
+	"xpdl/internal/serve"
+)
+
+// TestRemoteBackendParity runs every query command against the same
+// model twice — once through the in-process session, once through a
+// live xpdld over HTTP — and requires byte-identical output. This is
+// the contract that lets scripts switch between `-rt file.xrt` and
+// `-remote http://...` without caring which one answered.
+func TestRemoteBackendParity(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("caller unknown")
+	}
+	models := filepath.Join(filepath.Dir(file), "..", "..", "models")
+	const system = "liu_gpu_server"
+
+	// Local path: toolchain → runtime model → session.
+	tc, err := core.New(core.Options{SearchPaths: []string{models}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.Process(system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := &localBackend{s: query.NewSession(res.Runtime)}
+
+	// Remote path: the same toolchain options behind a live daemon.
+	loader, err := serve.NewToolchainLoader(core.Options{SearchPaths: []string{models}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serve.Config{Store: serve.NewStore(loader, 0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	remote := &remoteBackend{
+		ctx:    context.Background(),
+		client: serve.NewClient(ts.URL),
+		model:  system,
+	}
+
+	commands := [][]string{
+		{"tree"},
+		{"cores"},
+		{"cuda-devices"},
+		{"static-power"},
+		{"installed"},
+		{"get", "gpu1", "compute_capability"},
+		{"get", "gpu1", "static_power"},
+		{"select", "//device"},
+		{"select", "//cache"},
+		{"eval", "installed('CUBLAS') && num_cores() >= 4"},
+		{"eval", "num_cores() * 2"},
+		{"json"},
+	}
+	for _, args := range commands {
+		var lout, rout bytes.Buffer
+		if err := run(local, &lout, args); err != nil {
+			t.Fatalf("local %v: %v", args, err)
+		}
+		if err := run(remote, &rout, args); err != nil {
+			t.Fatalf("remote %v: %v", args, err)
+		}
+		if lout.String() != rout.String() {
+			t.Errorf("command %v: local and remote output differ\nlocal:\n%s\nremote:\n%s",
+				args, lout.String(), rout.String())
+		}
+		if lout.Len() == 0 {
+			t.Errorf("command %v produced no output", args)
+		}
+	}
+}
+
+// TestRemoteBackendErrors: failures surface as errors, not panics or
+// empty output.
+func TestRemoteBackendErrors(t *testing.T) {
+	_, file, _, _ := runtime.Caller(0)
+	models := filepath.Join(filepath.Dir(file), "..", "..", "models")
+	loader, err := serve.NewToolchainLoader(core.Options{SearchPaths: []string{models}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serve.Config{Store: serve.NewStore(loader, 0)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	unknown := &remoteBackend{ctx: context.Background(), client: serve.NewClient(ts.URL), model: "no_such_system"}
+	if _, err := unknown.Cores(); err == nil {
+		t.Error("unknown model: expected an error")
+	}
+	known := &remoteBackend{ctx: context.Background(), client: serve.NewClient(ts.URL), model: "myriad_standalone"}
+	if _, err := known.Get("no_such_elem", "x"); err == nil {
+		t.Error("unknown element: expected an error")
+	}
+	if _, err := known.Eval("1 +"); err == nil {
+		t.Error("malformed expression: expected an error")
+	}
+	var buf bytes.Buffer
+	if err := run(known, &buf, []string{"bogus"}); err == nil {
+		t.Error("unknown command: expected an error")
+	}
+}

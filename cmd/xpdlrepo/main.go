@@ -19,9 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"xpdl/internal/obs"
 	"xpdl/internal/repo/server"
@@ -45,5 +51,31 @@ func main() {
 		log.Printf("xpdlrepo: observability endpoints on http://%s", bound)
 	}
 	log.Printf("xpdlrepo: serving %d descriptors from %s on %s (metrics on /metrics, profiles on /debug/pprof/)", srv.Len(), *dir, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// Descriptors are small static documents: tight read/write timeouts
+	// shed slow-loris clients without risking legitimate transfers.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal("xpdlrepo: ", err)
+	case <-ctx.Done():
+	}
+	log.Print("xpdlrepo: shutting down (draining connections)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print("xpdlrepo: shutdown: ", err)
+	}
+	log.Print("xpdlrepo: bye")
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 var expvarOnce sync.Once
@@ -61,12 +62,23 @@ func NewMux(regs ...*Registry) *http.ServeMux {
 // background goroutine. It returns the bound address (useful with
 // ":0") and a shutdown function. Binding errors are returned
 // synchronously so tools fail fast on a bad -obs-addr.
+//
+// The server carries conservative timeouts: observability endpoints
+// are scraped by collectors, not streamed, so a stuck client must not
+// pin a connection forever. WriteTimeout stays generous because CPU
+// profiles (/debug/pprof/profile) block for their sampling window.
 func Serve(addr string, regs ...*Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewMux(regs...)}
+	srv := &http.Server{
+		Handler:           NewMux(regs...),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

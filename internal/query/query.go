@@ -259,6 +259,11 @@ func (e Elem) GetBool(attr string) (bool, bool) {
 	return b, true
 }
 
+// Attrs returns the element's attributes in declaration order. The
+// slice is shared with the runtime model and must not be mutated —
+// used by serving layers that project elements into wire formats.
+func (e Elem) Attrs() []rtmodel.Attr { return e.node().Attrs }
+
 // Property returns a free-form property by name.
 func (e Elem) Property(name string) (rtmodel.Prop, bool) {
 	for _, p := range e.node().Props {

@@ -46,6 +46,7 @@ type Stats struct {
 	Failures      int // individual fetch attempts that ended in error
 	NotModified   int // 304 revalidations served from the disk cache
 	Coalesced     int // Loads that shared another caller's in-flight fetch
+	Invalidations int // Invalidate calls (cache drops for revalidation)
 }
 
 // Repository locates, parses and caches XPDL descriptor modules.
@@ -175,6 +176,42 @@ func (r *Repository) Register(c *model.Component) error {
 	return r.register(c, "<memory>")
 }
 
+// memoryOrigin marks descriptors registered without a backing file or
+// URL; Invalidate keeps them because they cannot be re-loaded.
+const memoryOrigin = "<memory>"
+
+// isRemoteOrigin reports whether an origin recorded in the file index
+// is a remote library URL rather than a local path.
+func isRemoteOrigin(origin string) bool {
+	return strings.HasPrefix(origin, "http://") || strings.HasPrefix(origin, "https://")
+}
+
+// Invalidate drops the in-memory descriptor cache so subsequent Loads
+// observe upstream changes — the revalidation hook behind long-running
+// services (xpdld) that hot-swap resolved model snapshots. The file
+// index is retained: local descriptors are lazily re-parsed from their
+// recorded path on the next Load, and remote descriptors are re-fetched
+// through the conditional-request path, where an unchanged body costs
+// one 304 against the on-disk cache instead of a download. Descriptors
+// registered via Register (no backing file) are kept as-is.
+func (r *Repository) Invalidate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for ident, origin := range r.files {
+		if origin == memoryOrigin {
+			continue
+		}
+		delete(r.cache, ident)
+		if isRemoteOrigin(origin) {
+			// Forget the remote registration entirely: the next Load
+			// runs the full hedged fetch (ETag revalidation included)
+			// and re-registers whatever origin wins.
+			delete(r.files, ident)
+		}
+	}
+	r.stats.Invalidations++
+}
+
 // Has reports whether the identifier is known (without fetching).
 func (r *Repository) Has(ident string) bool {
 	r.mu.RLock()
@@ -234,6 +271,30 @@ func (r *Repository) fetchAndRegister(ctx context.Context, ident string, remotes
 	r.mu.RUnlock()
 	if ok {
 		r.bump(func(s *Stats) { s.CacheHits++ })
+		return c, nil
+	}
+	// An invalidated local descriptor keeps its file-index entry: re-parse
+	// it from disk so Invalidate + Load observes on-disk edits without a
+	// full directory re-scan.
+	r.mu.RLock()
+	origin, indexed := r.files[ident]
+	r.mu.RUnlock()
+	if indexed && !isRemoteOrigin(origin) && origin != memoryOrigin {
+		c, err := r.parseFile(origin)
+		if err != nil {
+			return nil, err
+		}
+		if c.Ident() != ident {
+			// The file was rewritten under a different root identifier;
+			// the old name no longer resolves locally.
+			r.mu.Lock()
+			delete(r.files, ident)
+			r.mu.Unlock()
+			return nil, notFoundErr(ident, len(remotes), nil)
+		}
+		if err := r.register(c, origin); err != nil {
+			return nil, err
+		}
 		return c, nil
 	}
 	if len(remotes) == 0 {
@@ -329,6 +390,8 @@ func (r *Repository) PublishMetrics(reg *obs.Registry) {
 		func(s Stats) int { return s.NotModified })
 	bridge("xpdl_repo_coalesced_total", "Loads that shared another caller's in-flight fetch.",
 		func(s Stats) int { return s.Coalesced })
+	bridge("xpdl_repo_invalidations_total", "Invalidate calls (cache drops for revalidation).",
+		func(s Stats) int { return s.Invalidations })
 }
 
 // Prefetch loads the given identifiers concurrently with at most

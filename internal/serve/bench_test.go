@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchDo drives one request through the in-process mux.
+func benchDo(b *testing.B, srv *Server, method, target, body string) {
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s %s: status %d", method, target, rec.Code)
+	}
+}
+
+// BenchmarkServeSummary measures the hot path of an already-resident
+// snapshot: pointer load, LRU touch, derived-analysis roll-up, JSON
+// encode.
+func BenchmarkServeSummary(b *testing.B) {
+	srv, _ := newModelServer(b, Config{})
+	benchDo(b, srv, http.MethodGet, "/v1/models/myriad_standalone/summary", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDo(b, srv, http.MethodGet, "/v1/models/myriad_standalone/summary", "")
+	}
+}
+
+// BenchmarkServeSelect measures selector evaluation over the resident
+// snapshot.
+func BenchmarkServeSelect(b *testing.B) {
+	srv, _ := newModelServer(b, Config{})
+	benchDo(b, srv, http.MethodGet, "/v1/models/myriad_standalone/select?q=%2F%2Fcore", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDo(b, srv, http.MethodGet, "/v1/models/myriad_standalone/select?q=%2F%2Fcore", "")
+	}
+}
+
+// BenchmarkServeEval measures expression evaluation through the full
+// request-decode path.
+func BenchmarkServeEval(b *testing.B) {
+	srv, _ := newModelServer(b, Config{})
+	const body = `{"expr": "num_cores() >= 4 && installed('StarPU')"}`
+	benchDo(b, srv, http.MethodPost, "/v1/models/myriad_standalone/eval", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDo(b, srv, http.MethodPost, "/v1/models/myriad_standalone/eval", body)
+	}
+}

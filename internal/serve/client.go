@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is a typed client for the xpdld JSON API; xpdlquery's -remote
+// mode is built on it. The zero HTTP client means http.DefaultClient.
+type Client struct {
+	// Base is the daemon address, e.g. "http://localhost:8346".
+	Base string
+	// HTTP overrides the transport (tests inject httptest clients).
+	HTTP *http.Client
+}
+
+// NewClient normalizes base into a client.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiStatusError is a non-2xx answer from the daemon, carrying the
+// decoded error envelope when there is one.
+type apiStatusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiStatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("xpdld: %s (HTTP %d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("xpdld: HTTP %d", e.Status)
+}
+
+// do runs one request and decodes the JSON answer into out (skipped
+// when out is nil). Raw-body endpoints pass a writer via sink.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body, out any, sink io.Writer) error {
+	u := c.Base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var envelope ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		_ = json.Unmarshal(data, &envelope)
+		return &apiStatusError{Status: resp.StatusCode, Msg: envelope.Error}
+	}
+	if sink != nil {
+		_, err = io.Copy(sink, resp.Body)
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &out, nil)
+	return out, err
+}
+
+// Models lists resident models.
+func (c *Client) Models(ctx context.Context) (ModelsResponse, error) {
+	var out ModelsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, nil, &out, nil)
+	return out, err
+}
+
+// Model fetches one model's info (loading it on first use).
+func (c *Client) Model(ctx context.Context, ident string) (ModelInfo, error) {
+	var out ModelInfo
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident), nil, nil, &out, nil)
+	return out, err
+}
+
+// Tree streams the plain-text model tree into w — the same rendering
+// as `xpdlquery tree` against a local file.
+func (c *Client) Tree(ctx context.Context, ident string, w io.Writer) error {
+	return c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/tree", nil, nil, nil, w)
+}
+
+// JSON streams the full model JSON export into w.
+func (c *Client) JSON(ctx context.Context, ident string, w io.Writer) error {
+	return c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/json", nil, nil, nil, w)
+}
+
+// Summary fetches the derived-analysis roll-up.
+func (c *Client) Summary(ctx context.Context, ident string) (SummaryResponse, error) {
+	var out SummaryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/summary", nil, nil, &out, nil)
+	return out, err
+}
+
+// Element looks up one element by qualified name.
+func (c *Client) Element(ctx context.Context, ident, elem string) (ElementJSON, error) {
+	var out ElementJSON
+	q := url.Values{"ident": {elem}}
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/element", q, nil, &out, nil)
+	return out, err
+}
+
+// Select evaluates a path selector; limit 0 returns every match.
+func (c *Client) Select(ctx context.Context, ident, selector string, limit int) (SelectResponse, error) {
+	var out SelectResponse
+	req := SelectRequest{Selector: selector, Limit: limit}
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/select", nil, req, &out, nil)
+	return out, err
+}
+
+// Eval evaluates a constraint expression in the model environment.
+func (c *Client) Eval(ctx context.Context, ident, expression string, vars map[string]any) (EvalResponse, error) {
+	var out EvalResponse
+	req := EvalRequest{Expr: expression, Vars: vars}
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/eval", nil, req, &out, nil)
+	return out, err
+}
+
+// EnergyTable lists an instruction-energy table.
+func (c *Client) EnergyTable(ctx context.Context, ident, table string) (EnergyResponse, error) {
+	var out EnergyResponse
+	q := url.Values{"table": {table}}
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/energy", q, nil, &out, nil)
+	return out, err
+}
+
+// EnergyAt interpolates one instruction's energy at a frequency.
+func (c *Client) EnergyAt(ctx context.Context, ident, table, inst string, ghz float64) (EnergyResponse, error) {
+	var out EnergyResponse
+	q := url.Values{
+		"table": {table},
+		"inst":  {inst},
+		"ghz":   {strconv.FormatFloat(ghz, 'g', -1, 64)},
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/energy", q, nil, &out, nil)
+	return out, err
+}
+
+// Transfer prices a payload over one interconnect channel.
+func (c *Client) Transfer(ctx context.Context, ident, channel string, bytes, messages int64) (TransferResponse, error) {
+	var out TransferResponse
+	q := url.Values{
+		"channel":  {channel},
+		"bytes":    {strconv.FormatInt(bytes, 10)},
+		"messages": {strconv.FormatInt(messages, 10)},
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/transfer", q, nil, &out, nil)
+	return out, err
+}
+
+// Dispatch asks the daemon which composition variant to run.
+func (c *Client) Dispatch(ctx context.Context, ident string, req DispatchRequest) (DispatchResponse, error) {
+	var out DispatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/dispatch", nil, req, &out, nil)
+	return out, err
+}
+
+// Refresh triggers a manual revalidation of one model.
+func (c *Client) Refresh(ctx context.Context, ident string) (RefreshResponse, error) {
+	var out RefreshResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/refresh", nil, nil, &out, nil)
+	return out, err
+}

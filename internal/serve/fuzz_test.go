@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fuzzServer builds a cheap stub-backed server once per fuzz target.
+// Requests go through Server.ServeHTTP directly, so a handler panic
+// propagates to the fuzzing engine instead of being swallowed by a
+// connection goroutine.
+func fuzzServer(f *testing.F) *Server {
+	f.Helper()
+	st := NewStore(newStubLoader(), 0)
+	srv := NewServer(Config{Store: st, MaxInFlight: 4})
+	return srv
+}
+
+func fuzzDo(t *testing.T, srv *Server, method, target, body string) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code >= 500 {
+		t.Fatalf("%s %s body %q: status %d, want < 500", method, target, body, rec.Code)
+	}
+}
+
+// FuzzRequestDecoder throws arbitrary bytes at every JSON-body
+// endpoint. Malformed JSON, wrong-typed fields, trailing garbage and
+// oversized payloads must all come back as 4xx — never a panic, never
+// a 5xx.
+func FuzzRequestDecoder(f *testing.F) {
+	srv := fuzzServer(f)
+	f.Add(`{"expr": "1 + 1"}`)
+	f.Add(`{"expr": 42}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"selector": "//core", "limit": -99}`)
+	f.Add(`{"expr": "1"} trailing`)
+	f.Add(`{"vars": {"x": {"deep": [1,2,3]}}}`)
+	f.Add(`{"variants": [{"name": "a", "cost": "1 +"}]}`)
+	f.Add(strings.Repeat(`{"expr":"`, 200))
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, path := range []string{"/eval", "/select", "/dispatch"} {
+			fuzzDo(t, srv, http.MethodPost, "/v1/models/m"+path, body)
+		}
+	})
+}
+
+// FuzzSelector throws arbitrary selector strings at both the GET
+// query-parameter path and the POST body path. Deep selectors and
+// absurd limits are rejected as 4xx; no input may panic the matcher.
+func FuzzSelector(f *testing.F) {
+	srv := fuzzServer(f)
+	f.Add("//core")
+	f.Add("/system/device[type=gpu]")
+	f.Add("//cache[")
+	f.Add(strings.Repeat("/a", 500))
+	f.Add("//*")
+	f.Add("/../..")
+	f.Add("//core[num=]")
+	f.Add(strings.Repeat("[", 100))
+	f.Fuzz(func(t *testing.T, sel string) {
+		q := "?q=" + urlQueryEscape(sel)
+		fuzzDo(t, srv, http.MethodGet, "/v1/models/m/select"+q, "")
+		fuzzDo(t, srv, http.MethodPost, "/v1/models/m/select",
+			`{"selector": `+jsonQuote(sel)+`}`)
+	})
+}
+
+// FuzzEvalExpr feeds arbitrary expression strings through the /eval
+// endpoint — the remote twin of internal/expr's FuzzEval, plus the
+// HTTP framing around it.
+func FuzzEvalExpr(f *testing.F) {
+	srv := fuzzServer(f)
+	f.Add("1 + 1")
+	f.Add("installed('CUDA') && num_cores() >= 4")
+	f.Add("((((((")
+	f.Add("1 / 0")
+	f.Add("x * y")
+	f.Add(strings.Repeat("1+", 2000) + "1")
+	f.Fuzz(func(t *testing.T, src string) {
+		fuzzDo(t, srv, http.MethodPost, "/v1/models/m/eval",
+			`{"expr": `+jsonQuote(src)+`}`)
+	})
+}
+
+// jsonQuote produces a valid JSON string literal for arbitrary input.
+func jsonQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				b.WriteString(" ")
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// urlQueryEscape keeps httptest.NewRequest from rejecting the target:
+// it percent-encodes everything that is not clearly safe.
+func urlQueryEscape(s string) string {
+	const safe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(safe, c) >= 0 {
+			b.WriteByte(c)
+		} else {
+			const hex = "0123456789ABCDEF"
+			b.WriteByte('%')
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		}
+	}
+	return b.String()
+}

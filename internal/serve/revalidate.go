@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"log"
+	"time"
+
+	"xpdl/internal/obs"
+)
+
+// Revalidator metrics (process-wide registry).
+var (
+	mRevalCycles = obs.Default().Counter("xpdl_serve_revalidate_cycles_total",
+		"Completed revalidation cycles.")
+	mRevalErrors = obs.Default().Counter("xpdl_serve_revalidate_errors_total",
+		"Models whose revalidation load failed (resident snapshot kept).")
+)
+
+// Revalidator periodically re-resolves every resident model and
+// hot-swaps changed snapshots. Each cycle first invalidates the
+// loader's descriptor caches, so local files are re-parsed and remote
+// descriptors are revalidated with conditional requests — an
+// unchanged upstream costs one 304 per remote descriptor, and an
+// unchanged resolution costs no swap at all (the fingerprint matches).
+type Revalidator struct {
+	Store    *Store
+	Interval time.Duration
+	// Log, when non-nil, receives one line per swap and per error.
+	Log *log.Logger
+	// OnSwap, when non-nil, is called after each published swap
+	// (tests synchronize on it).
+	OnSwap func(ident string)
+}
+
+// Run polls until ctx is canceled. It is meant to be one goroutine of
+// the daemon, next to the HTTP listener.
+func (rv *Revalidator) Run(ctx context.Context) {
+	if rv.Interval <= 0 {
+		rv.Interval = 30 * time.Second
+	}
+	t := time.NewTicker(rv.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rv.Cycle(ctx)
+		}
+	}
+}
+
+// Cycle runs one revalidation pass over every resident model.
+func (rv *Revalidator) Cycle(ctx context.Context) {
+	rv.Store.loader.Invalidate()
+	for _, ident := range rv.Store.Resident() {
+		if ctx.Err() != nil {
+			return
+		}
+		swapped, err := rv.Store.Refresh(ctx, ident)
+		switch {
+		case err != nil:
+			mRevalErrors.Inc()
+			if rv.Log != nil {
+				rv.Log.Printf("revalidate %s: %v (keeping resident snapshot)", ident, err)
+			}
+		case swapped:
+			if snap, ok := rv.Store.Peek(ident); ok && rv.Log != nil {
+				rv.Log.Printf("revalidate %s: hot-swapped generation %d (fingerprint %s)",
+					ident, snap.Gen, snap.Fingerprint)
+			}
+			if rv.OnSwap != nil {
+				rv.OnSwap(ident)
+			}
+		}
+	}
+	mRevalCycles.Inc()
+}

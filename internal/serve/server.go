@@ -1,0 +1,621 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"xpdl/internal/composition"
+	"xpdl/internal/energy"
+	"xpdl/internal/expr"
+	"xpdl/internal/model"
+	"xpdl/internal/obs"
+)
+
+// Request-shape limits: anything beyond them is a client error (4xx),
+// never a panic or an unbounded amount of work.
+const (
+	maxBodyBytes    = 1 << 20 // JSON request bodies
+	maxExprBytes    = 16 << 10
+	maxSelectorLen  = 4 << 10
+	maxSelectorSegs = 128 // "/"-separated selector depth
+	maxVars         = 256
+	maxVariants     = 128
+	maxSelectLimit  = 100000
+)
+
+// Config tunes the query service.
+type Config struct {
+	// Store supplies model snapshots; required.
+	Store *Store
+	// RequestTimeout bounds each API request, queueing included
+	// (default 10s; cold model loads run to completion regardless, so
+	// the first request for a heavy model may exceed it).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served API requests; excess
+	// requests wait their turn until RequestTimeout and are answered
+	// 503 when the slot never frees (default 256).
+	MaxInFlight int
+	// AllowRefresh enables POST /v1/models/{model}/refresh, the manual
+	// revalidation trigger (on by default in xpdld; off for untrusted
+	// deployments since a refresh costs a full toolchain run).
+	AllowRefresh bool
+}
+
+// Server answers JSON-over-HTTP platform-model queries against the
+// snapshot store. It is an http.Handler; mount it on any mux or serve
+// it directly.
+type Server struct {
+	store        *Store
+	mux          *http.ServeMux
+	sem          chan struct{}
+	timeout      time.Duration
+	allowRefresh bool
+
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	rejected *obs.Counter
+	timeouts *obs.Counter
+	statuses map[int]*obs.Counter // by status class: 2,4,5
+}
+
+// NewServer builds the query service over cfg.Store.
+func NewServer(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("serve: Config.Store is required")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	s := &Server{
+		store:        cfg.Store,
+		mux:          http.NewServeMux(),
+		sem:          make(chan struct{}, cfg.MaxInFlight),
+		timeout:      cfg.RequestTimeout,
+		allowRefresh: cfg.AllowRefresh,
+		reg:          obs.NewRegistry(),
+	}
+	s.inflight = s.reg.Gauge("xpdld_inflight_requests", "API requests currently being served.")
+	s.rejected = s.reg.Counter("xpdld_rejected_total", "Requests rejected by the concurrency limiter.")
+	s.timeouts = s.reg.Counter("xpdld_timeouts_total", "Requests that exceeded the per-request timeout.")
+	s.statuses = map[int]*obs.Counter{
+		2: s.reg.Counter("xpdld_responses_2xx_total", "API responses with a 2xx status."),
+		4: s.reg.Counter("xpdld_responses_4xx_total", "API responses with a 4xx status."),
+		5: s.reg.Counter("xpdld_responses_5xx_total", "API responses with a 5xx status."),
+	}
+	s.routes()
+	return s
+}
+
+// Registry returns the per-server metrics registry (latency
+// histograms, limiter counters); /metrics serves it together with the
+// process-wide default registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+func (s *Server) routes() {
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	s.handle("GET /v1/models", "models", s.handleModels)
+	s.handle("GET /v1/models/{model}", "model", s.handleModel)
+	s.handle("GET /v1/models/{model}/tree", "tree", s.handleTree)
+	s.handle("GET /v1/models/{model}/json", "json", s.handleJSON)
+	s.handle("GET /v1/models/{model}/summary", "summary", s.handleSummary)
+	s.handle("GET /v1/models/{model}/element", "element", s.handleElement)
+	s.handle("GET /v1/models/{model}/select", "select", s.handleSelectGet)
+	s.handle("POST /v1/models/{model}/select", "select", s.handleSelectPost)
+	s.handle("POST /v1/models/{model}/eval", "eval", s.handleEval)
+	s.handle("GET /v1/models/{model}/energy", "energy", s.handleEnergy)
+	s.handle("GET /v1/models/{model}/transfer", "transfer", s.handleTransfer)
+	s.handle("POST /v1/models/{model}/dispatch", "dispatch", s.handleDispatch)
+	if s.allowRefresh {
+		s.handle("POST /v1/models/{model}/refresh", "refresh", s.handleRefresh)
+	}
+	// Observability rides on the same listener: Prometheus text of the
+	// server registry plus the process-wide one, pprof, expvar.
+	obs.Handle(s.mux, s.reg, obs.Default())
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError carries an HTTP status through handler returns.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &apiError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// handler is the shape of all API endpoints: return a JSON-marshalable
+// payload or an error (apiError for client errors).
+type handler func(w http.ResponseWriter, r *http.Request) (any, error)
+
+// handle wraps an endpoint with the production plumbing: the
+// concurrency limiter, the per-request timeout, status counters and a
+// per-endpoint latency histogram named xpdld_<name>_seconds.
+func (s *Server) handle(pattern, name string, h handler) {
+	lat := s.reg.Histogram("xpdld_"+name+"_seconds",
+		"Latency of the "+name+" endpoint in seconds.", nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			s.rejected.Inc()
+			s.writeError(w, &apiError{status: http.StatusServiceUnavailable,
+				msg: "server saturated; retry later"})
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		start := time.Now()
+		payload, err := h(w, r.WithContext(ctx))
+		lat.Observe(time.Since(start).Seconds())
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.timeouts.Inc()
+				err = &apiError{status: http.StatusServiceUnavailable, msg: "request timed out"}
+			}
+			s.writeError(w, err)
+			return
+		}
+		if payload == nil {
+			return // handler wrote the response itself (tree, json)
+		}
+		s.writeJSON(w, http.StatusOK, payload)
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.countStatus(status)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) countStatus(status int) {
+	if c, ok := s.statuses[status/100]; ok {
+		c.Inc()
+	}
+}
+
+// snapshot resolves the {model} path segment into the current
+// snapshot, stamping the generation headers so clients (and the
+// hot-swap stress test) can observe which generation answered.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*Snapshot, error) {
+	ident := r.PathValue("model")
+	if ident == "" {
+		return nil, badRequest("missing model identifier")
+	}
+	snap, err := s.store.Get(r.Context(), ident)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		return nil, notFound("model %q: %v", ident, err)
+	}
+	w.Header().Set("X-Xpdl-Generation", strconv.FormatUint(snap.Gen, 10))
+	w.Header().Set("X-Xpdl-Fingerprint", snap.Fingerprint)
+	return snap, nil
+}
+
+// ---- endpoints ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (any, error) {
+	return HealthResponse{
+		Status:     "ok",
+		Resident:   s.store.Resident(),
+		Generation: s.store.Generation(),
+	}, nil
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) (any, error) {
+	resp := ModelsResponse{Models: []ModelInfo{}}
+	for _, ident := range s.store.Resident() {
+		if snap, ok := s.store.Peek(ident); ok {
+			resp.Models = append(resp.Models, infoOf(snap))
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	return infoOf(snap), nil
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	s.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = WriteTree(w, snap.Session.Root())
+	return nil, nil
+}
+
+func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	s.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = snap.Session.Model().WriteJSON(w)
+	return nil, nil
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	root := snap.Session.Root()
+	installed := snap.Session.InstalledList()
+	if installed == nil {
+		installed = []string{}
+	}
+	return SummaryResponse{
+		Cores:        root.NumCores(),
+		CUDADevices:  root.NumCUDADevices(),
+		StaticPowerW: root.TotalStaticPower().Value,
+		Installed:    installed,
+	}, nil
+}
+
+func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	ident := r.URL.Query().Get("ident")
+	if ident == "" {
+		return nil, badRequest("missing ?ident= query parameter")
+	}
+	e, ok := snap.Session.Find(ident)
+	if !ok {
+		return nil, notFound("element %q not found in model %q", ident, snap.Ident)
+	}
+	return elementOf(e), nil
+}
+
+// checkSelector applies the shape limits shared by the GET and POST
+// selector paths.
+func checkSelector(sel string) error {
+	if sel == "" {
+		return badRequest("missing selector")
+	}
+	if len(sel) > maxSelectorLen {
+		return badRequest("selector longer than %d bytes", maxSelectorLen)
+	}
+	if strings.Count(sel, "/") > maxSelectorSegs {
+		return badRequest("selector deeper than %d segments", maxSelectorSegs)
+	}
+	return nil
+}
+
+func (s *Server) runSelect(snap *Snapshot, sel string, limit int) (any, error) {
+	if err := checkSelector(sel); err != nil {
+		return nil, err
+	}
+	if limit < 0 || limit > maxSelectLimit {
+		return nil, badRequest("limit must be in [0, %d]", maxSelectLimit)
+	}
+	elems, err := snap.Session.Select(sel)
+	if err != nil {
+		return nil, badRequest("selector: %v", err)
+	}
+	resp := SelectResponse{Count: len(elems), Elements: []ElementRef{}}
+	if limit > 0 && len(elems) > limit {
+		elems = elems[:limit]
+	}
+	for _, e := range elems {
+		resp.Elements = append(resp.Elements, refOf(e))
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSelectGet(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil {
+			return nil, badRequest("limit: %v", err)
+		}
+	}
+	return s.runSelect(snap, r.URL.Query().Get("q"), limit)
+}
+
+func (s *Server) handleSelectPost(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	var req SelectRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	return s.runSelect(snap, req.Selector, req.Limit)
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	var req EvalRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Expr == "" {
+		return nil, badRequest("missing expr")
+	}
+	if len(req.Expr) > maxExprBytes {
+		return nil, badRequest("expr longer than %d bytes", maxExprBytes)
+	}
+	if len(req.Vars) > maxVars {
+		return nil, badRequest("more than %d vars", maxVars)
+	}
+	vars, err := toExprVars(req.Vars)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	v, err := expr.Eval(req.Expr, snap.Session.Env(vars))
+	if err != nil {
+		return nil, badRequest("eval: %v", err)
+	}
+	return evalResponseOf(v), nil
+}
+
+func evalResponseOf(v expr.Value) EvalResponse {
+	resp := EvalResponse{Text: v.GoString()}
+	switch v.Kind {
+	case expr.KindNumber:
+		resp.Kind, resp.Num = "number", v.Num
+	case expr.KindBool:
+		resp.Kind, resp.Bool = "bool", v.Bool
+	default:
+		resp.Kind, resp.Str = "string", v.Str
+	}
+	return resp
+}
+
+// findComponent locates a component by identifier in the composed
+// instance tree (energy tables, interconnect channels).
+func findComponent(sys *model.Component, ident string) *model.Component {
+	var out *model.Component
+	sys.Walk(func(c *model.Component) bool {
+		if out == nil && c.Ident() == ident {
+			out = c
+			return false
+		}
+		return out == nil
+	})
+	return out
+}
+
+func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query()
+	tableID := q.Get("table")
+	if tableID == "" {
+		return nil, badRequest("missing ?table= query parameter")
+	}
+	comp := findComponent(snap.System, tableID)
+	if comp == nil || comp.Kind != "instructions" {
+		return nil, notFound("instruction table %q not found in model %q", tableID, snap.Ident)
+	}
+	table, err := energy.TableFromComponent(comp)
+	if err != nil {
+		return nil, &apiError{status: http.StatusUnprocessableEntity,
+			msg: fmt.Sprintf("table %q: %v", tableID, err)}
+	}
+	resp := EnergyResponse{Table: tableID}
+	inst := q.Get("inst")
+	if inst == "" {
+		resp.Instructions = table.Names()
+		resp.Unknowns = table.Unknowns()
+		return resp, nil
+	}
+	ghzRaw := q.Get("ghz")
+	if ghzRaw == "" {
+		return nil, badRequest("missing ?ghz= query parameter")
+	}
+	ghz, err := strconv.ParseFloat(ghzRaw, 64)
+	if err != nil || math.IsNaN(ghz) || math.IsInf(ghz, 0) || ghz <= 0 {
+		return nil, badRequest("ghz must be a positive number")
+	}
+	e, ok := table.EnergyAt(inst, ghz)
+	if !ok {
+		return nil, notFound("instruction %q has no energy at %g GHz in table %q", inst, ghz, tableID)
+	}
+	resp.Inst, resp.GHz, resp.EnergyJ = inst, ghz, &e
+	return resp, nil
+}
+
+func (s *Server) handleTransfer(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query()
+	chID := q.Get("channel")
+	if chID == "" {
+		return nil, badRequest("missing ?channel= query parameter")
+	}
+	comp := findComponent(snap.System, chID)
+	if comp == nil || (comp.Kind != "channel" && comp.Kind != "interconnect") {
+		return nil, notFound("channel %q not found in model %q", chID, snap.Ident)
+	}
+	parseCount := func(key string, def int64) (int64, error) {
+		raw := q.Get(key)
+		if raw == "" {
+			return def, nil
+		}
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 {
+			return 0, badRequest("%s must be a non-negative integer", key)
+		}
+		return n, nil
+	}
+	bytes, err := parseCount("bytes", 0)
+	if err != nil {
+		return nil, err
+	}
+	messages, err := parseCount("messages", 1)
+	if err != nil {
+		return nil, err
+	}
+	tc := energy.ChannelCost(comp)
+	timeS, energyJ := tc.Cost(bytes, messages)
+	return TransferResponse{
+		Channel:      chID,
+		BandwidthBps: tc.BandwidthBps,
+		Bytes:        bytes,
+		Messages:     messages,
+		TimeS:        timeS,
+		EnergyJ:      energyJ,
+	}, nil
+}
+
+func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	var req DispatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Variants) == 0 {
+		return nil, badRequest("missing variants")
+	}
+	if len(req.Variants) > maxVariants {
+		return nil, badRequest("more than %d variants", maxVariants)
+	}
+	if len(req.Vars) > maxVars {
+		return nil, badRequest("more than %d vars", maxVars)
+	}
+	for _, v := range req.Variants {
+		if v.Name == "" {
+			return nil, badRequest("variant without a name")
+		}
+		if len(v.Selectable) > maxExprBytes || len(v.Cost) > maxExprBytes {
+			return nil, badRequest("variant %q: expression longer than %d bytes", v.Name, maxExprBytes)
+		}
+	}
+	vars, err := toExprVars(req.Vars)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	ctx := composition.Context{Session: snap.Session, Vars: vars}
+	comp := &composition.Component{Name: req.Component}
+	costs := map[string]float64{}
+	for _, vj := range req.Variants {
+		costExpr := vj.Cost
+		name := vj.Name
+		comp.Variants = append(comp.Variants, &composition.Variant{
+			Name:       vj.Name,
+			Selectable: vj.Selectable,
+			Cost: func(ctx composition.Context) float64 {
+				if costExpr == "" {
+					return 0
+				}
+				v, err := expr.Eval(costExpr, ctx.Env())
+				if err != nil || v.Kind != expr.KindNumber {
+					return math.MaxFloat64
+				}
+				costs[name] = v.Num
+				return v.Num
+			},
+		})
+	}
+	selectable, selErr := comp.Selectable(ctx)
+	chosen, err := comp.Select(ctx)
+	if err != nil {
+		return nil, &apiError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	resp := DispatchResponse{Selectable: []string{}, Chosen: chosen.Name, Costs: costs}
+	for _, v := range selectable {
+		resp.Selectable = append(resp.Selectable, v.Name)
+	}
+	sort.Strings(resp.Selectable)
+	if selErr != nil {
+		resp.Warning = selErr.Error()
+	}
+	return resp, nil
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) (any, error) {
+	ident := r.PathValue("model")
+	if ident == "" {
+		return nil, badRequest("missing model identifier")
+	}
+	swapped, err := s.store.Refresh(r.Context(), ident)
+	if err != nil {
+		return nil, fmt.Errorf("refresh %q: %w", ident, err)
+	}
+	snap, ok := s.store.Peek(ident)
+	if !ok {
+		return nil, notFound("model %q is not resident", ident)
+	}
+	return RefreshResponse{Ident: ident, Swapped: swapped, Generation: snap.Gen}, nil
+}
+
+// decodeJSON reads a bounded JSON body into dst, mapping every decode
+// failure to a 400.
+func decodeJSON(r *http.Request, dst any) error {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("request body: %v", err)
+	}
+	// Trailing garbage after the JSON document is also a client error.
+	if dec.More() {
+		return badRequest("request body: trailing data after JSON document")
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package serve implements xpdld, the hot-swapping platform-model
+// query service: it loads one or more platform models through the
+// existing processing toolchain into immutable query snapshots and
+// answers JSON-over-HTTP requests — element lookup, selector
+// evaluation, expression/env evaluation, energy-table and
+// transfer-cost queries, and composition variant dispatch — against
+// the in-memory query.Session instead of the filesystem.
+//
+// The paper's Section IV positions the runtime query API as what
+// "upper optimization layers" call at run time; this package is the
+// long-running home of that API. Resolved snapshots are held behind an
+// atomic pointer per model with an LRU bounding residency, and a
+// background revalidator polls the repository (ETag/304 for remote
+// descriptors, lazy re-parse for local ones) and hot-swaps freshly
+// resolved snapshots without dropping in-flight requests.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"xpdl/internal/core"
+	"xpdl/internal/model"
+	"xpdl/internal/obs"
+	"xpdl/internal/query"
+	"xpdl/internal/repo"
+	"xpdl/internal/rtmodel"
+)
+
+// Snapshot is one immutable, fully resolved platform model generation.
+// Everything reachable from it is read-only after construction, so any
+// number of request goroutines may share it while the store swaps in a
+// successor; holders of an old snapshot keep a consistent view until
+// they drop it.
+type Snapshot struct {
+	// Ident is the concrete system model identifier (e.g. "XScluster").
+	Ident string
+	// Gen is the store-assigned generation, strictly increasing across
+	// publishes of the same model. Zero until published.
+	Gen uint64
+	// Fingerprint is a content hash of the serialized runtime model;
+	// two snapshots with equal fingerprints answer every query alike.
+	Fingerprint string
+	// LoadedAt is when resolution finished.
+	LoadedAt time.Time
+	// Session is the runtime query API over the resolved model.
+	Session *query.Session
+	// System is the composed instance tree behind Session; energy-table
+	// and transfer-cost queries read it.
+	System *model.Component
+}
+
+// Nodes returns the runtime-model node count.
+func (s *Snapshot) Nodes() int { return s.Session.Model().Len() }
+
+// fingerprintOf hashes the binary runtime-model serialization.
+func fingerprintOf(m *rtmodel.Model) (string, error) {
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
+}
+
+// Loader resolves a system identifier into a fresh snapshot.
+type Loader interface {
+	// Load resolves systemID end to end. Implementations must return a
+	// snapshot that shares no mutable state with previous loads.
+	Load(ctx context.Context, systemID string) (*Snapshot, error)
+	// Invalidate asks the loader to drop caches so the next Load
+	// observes upstream changes (new descriptor bodies, edited files).
+	Invalidate()
+}
+
+// ToolchainLoader loads snapshots through the XPDL processing tool
+// (parse → fetch → resolve → analyze → emit) over a shared repository,
+// so consecutive loads reuse the descriptor cache and — after
+// Invalidate — the conditional-request (ETag/304) revalidation path.
+type ToolchainLoader struct {
+	// Span, when non-nil, receives one child span per load.
+	Span *obs.Span
+
+	mu   sync.Mutex
+	tc   *core.Toolchain
+	opts core.Options
+}
+
+// NewToolchainLoader builds the underlying toolchain once; Load calls
+// share its repository.
+func NewToolchainLoader(opts core.Options) (*ToolchainLoader, error) {
+	tc, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ToolchainLoader{tc: tc, opts: opts}, nil
+}
+
+// Load resolves systemID into an immutable snapshot. Loads are
+// serialized: the toolchain's resolver is itself parallel, and model
+// resolution is a cold path compared to query serving.
+func (l *ToolchainLoader) Load(ctx context.Context, systemID string) (*Snapshot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp := l.Span.Start("load")
+	sp.SetAttr("system", systemID)
+	defer sp.Stop()
+	res, err := l.tc.Process(systemID)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %s: %w", systemID, err)
+	}
+	fp, err := fingerprintOf(res.Runtime)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fingerprint %s: %w", systemID, err)
+	}
+	return &Snapshot{
+		Ident:       systemID,
+		Fingerprint: fp,
+		LoadedAt:    time.Now(),
+		Session:     query.NewSession(res.Runtime),
+		System:      res.System,
+	}, nil
+}
+
+// Invalidate drops the repository's in-memory descriptor cache; the
+// next Load re-parses local files and revalidates remote descriptors
+// with conditional requests (304 when unchanged).
+func (l *ToolchainLoader) Invalidate() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tc.Repo.Invalidate()
+}
+
+// Repo exposes the underlying repository (metrics bridging, tests).
+func (l *ToolchainLoader) Repo() *repo.Repository {
+	return l.tc.Repo
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xpdl/internal/obs"
+)
+
+// Store metrics in the process-wide registry.
+var (
+	mStoreHits = obs.Default().Counter("xpdl_serve_store_hits_total",
+		"Model lookups answered from a resident snapshot.")
+	mStoreLoads = obs.Default().Counter("xpdl_serve_model_loads_total",
+		"Cold model loads through the toolchain.")
+	mStoreSwaps = obs.Default().Counter("xpdl_serve_snapshot_swaps_total",
+		"Hot swaps that published a changed snapshot.")
+	mStoreUnchanged = obs.Default().Counter("xpdl_serve_snapshot_unchanged_total",
+		"Refreshes whose fingerprint matched the resident snapshot.")
+	mStoreEvictions = obs.Default().Counter("xpdl_serve_model_evictions_total",
+		"Resident models evicted by the LRU cap.")
+	mStoreErrors = obs.Default().Counter("xpdl_serve_load_errors_total",
+		"Loads or refreshes that ended in error.")
+	mStoreResident = obs.Default().Gauge("xpdl_serve_resident_models",
+		"Models currently resident in the snapshot store.")
+)
+
+// entry is one model slot: the published snapshot behind an atomic
+// pointer (readers never block on loads or swaps) plus a per-model
+// load mutex so concurrent cold loads and refreshes of the same model
+// coalesce into one toolchain run.
+type entry struct {
+	ident  string
+	snap   atomic.Pointer[Snapshot]
+	loadMu sync.Mutex
+	lruEl  *list.Element // guarded by Store.mu
+}
+
+// Store holds resolved model snapshots for the serving daemon. Reads
+// are lock-free on the hot path: one map lookup under RLock, one
+// atomic pointer load. Publishing a new generation is a single pointer
+// swap, so in-flight requests keep the snapshot they started with and
+// later requests see the new one — never a mix.
+type Store struct {
+	loader Loader
+	max    int // maximum resident models; <= 0 means unlimited
+
+	gen atomic.Uint64 // generation source, shared across models
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+}
+
+// NewStore builds a store over the loader. maxResident bounds how many
+// models stay resident at once (<= 0: unlimited); the least recently
+// served model is evicted when the cap is exceeded.
+func NewStore(loader Loader, maxResident int) *Store {
+	return &Store{
+		loader:  loader,
+		max:     maxResident,
+		entries: map[string]*entry{},
+		lru:     list.New(),
+	}
+}
+
+// Get returns the current snapshot of ident, loading it through the
+// toolchain on first use (or after eviction). The returned snapshot is
+// immutable; callers use it for the duration of one request.
+func (st *Store) Get(ctx context.Context, ident string) (*Snapshot, error) {
+	st.mu.RLock()
+	e := st.entries[ident]
+	st.mu.RUnlock()
+	if e != nil {
+		if snap := e.snap.Load(); snap != nil {
+			mStoreHits.Inc()
+			st.touch(e)
+			return snap, nil
+		}
+	}
+	return st.loadSlow(ctx, ident)
+}
+
+// loadSlow performs the cold-load path: create (or revive) the entry,
+// take its load mutex, and double-check that a concurrent loader has
+// not already published.
+func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) {
+	st.mu.Lock()
+	e := st.entries[ident]
+	if e == nil {
+		e = &entry{ident: ident}
+		st.entries[ident] = e
+		e.lruEl = st.lru.PushFront(e)
+	}
+	st.mu.Unlock()
+
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	if snap := e.snap.Load(); snap != nil {
+		mStoreHits.Inc()
+		st.touch(e)
+		return snap, nil
+	}
+	snap, err := st.loader.Load(ctx, ident)
+	if err != nil {
+		mStoreErrors.Inc()
+		st.dropIfEmpty(e)
+		return nil, err
+	}
+	snap.Gen = st.gen.Add(1)
+	e.snap.Store(snap)
+	mStoreLoads.Inc()
+	st.touch(e)
+	st.evictOver(e)
+	return snap, nil
+}
+
+// Refresh resolves ident again and publishes the result only when its
+// fingerprint differs from the resident snapshot — the hot-swap path
+// the revalidator drives. It reports whether a swap happened. A model
+// that is not resident is left alone (nothing to refresh).
+func (st *Store) Refresh(ctx context.Context, ident string) (bool, error) {
+	st.mu.RLock()
+	e := st.entries[ident]
+	st.mu.RUnlock()
+	if e == nil {
+		return false, nil
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	old := e.snap.Load()
+	if old == nil {
+		return false, nil // evicted or never published
+	}
+	snap, err := st.loader.Load(ctx, ident)
+	if err != nil {
+		mStoreErrors.Inc()
+		return false, err
+	}
+	if snap.Fingerprint == old.Fingerprint {
+		mStoreUnchanged.Inc()
+		return false, nil
+	}
+	snap.Gen = st.gen.Add(1)
+	e.snap.Store(snap)
+	mStoreSwaps.Inc()
+	return true, nil
+}
+
+// touch moves the entry to the LRU front and refreshes the resident
+// gauge.
+func (st *Store) touch(e *entry) {
+	st.mu.Lock()
+	if e.lruEl != nil {
+		st.lru.MoveToFront(e.lruEl)
+	}
+	mStoreResident.Set(float64(len(st.entries)))
+	st.mu.Unlock()
+}
+
+// dropIfEmpty removes an entry whose load failed before anything was
+// published, so a bad identifier does not pin an LRU slot.
+func (st *Store) dropIfEmpty(e *entry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e.snap.Load() == nil {
+		if e.lruEl != nil {
+			st.lru.Remove(e.lruEl)
+			e.lruEl = nil
+		}
+		delete(st.entries, e.ident)
+	}
+}
+
+// evictOver enforces the residency cap, never evicting keep (the entry
+// just served).
+func (st *Store) evictOver(keep *entry) {
+	if st.max <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.entries) > st.max {
+		back := st.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		if victim == keep {
+			// The only over-cap candidate is the entry being served;
+			// serving it beats honoring the cap by one.
+			break
+		}
+		st.lru.Remove(back)
+		victim.lruEl = nil
+		victim.snap.Store(nil)
+		delete(st.entries, victim.ident)
+		mStoreEvictions.Inc()
+	}
+	mStoreResident.Set(float64(len(st.entries)))
+}
+
+// Evict removes ident from the store; the next Get re-loads it.
+func (st *Store) Evict(ident string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[ident]
+	if !ok {
+		return false
+	}
+	if e.lruEl != nil {
+		st.lru.Remove(e.lruEl)
+		e.lruEl = nil
+	}
+	e.snap.Store(nil)
+	delete(st.entries, ident)
+	mStoreResident.Set(float64(len(st.entries)))
+	return true
+}
+
+// Resident returns the identifiers of resident models, sorted.
+func (st *Store) Resident() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.entries))
+	for id, e := range st.entries {
+		if e.snap.Load() != nil {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Peek returns the resident snapshot without loading or touching the
+// LRU (introspection endpoints, tests).
+func (st *Store) Peek(ident string) (*Snapshot, bool) {
+	st.mu.RLock()
+	e := st.entries[ident]
+	st.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	snap := e.snap.Load()
+	return snap, snap != nil
+}
+
+// Generation returns the latest generation the store has published.
+func (st *Store) Generation() uint64 { return st.gen.Load() }
+
+// String summarizes the store for logs.
+func (st *Store) String() string {
+	return fmt.Sprintf("serve.Store{resident: %d, gen: %d}", len(st.Resident()), st.Generation())
+}

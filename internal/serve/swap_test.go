@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSwapStressStore runs 100 concurrent readers against the store
+// while the snapshot is hot-swapped many times. Invariants:
+//
+//  1. no torn snapshot: the fingerprint ("fp-<ident>-<v>") always
+//     matches the model content (root attribute "v"), because the swap
+//     is a single atomic pointer store;
+//  2. generations are monotonic per reader;
+//  3. no read is stale beyond one generation: a Get that starts after
+//     a swap was published observes at least that published generation.
+//
+// Run with -race; the test is also a memory-model check.
+func TestSwapStressStore(t *testing.T) {
+	const (
+		readers = 100
+		swaps   = 50
+	)
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	var published atomic.Uint64 // last generation published by the swapper
+	if snap, _ := st.Peek("m"); snap != nil {
+		published.Store(snap.Gen)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := published.Load()
+				snap, err := st.Get(ctx, "m")
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Torn-snapshot check: fingerprint vs content.
+				v, ok := snap.Session.Root().GetString("v")
+				if !ok {
+					errs <- fmt.Errorf("snapshot %s has no v attribute", snap.Ident)
+					return
+				}
+				if want := fmt.Sprintf("fp-m-%s", v); snap.Fingerprint != want {
+					errs <- fmt.Errorf("torn snapshot: fingerprint %s, content v=%s", snap.Fingerprint, v)
+					return
+				}
+				if snap.Gen < lastGen {
+					errs <- fmt.Errorf("generation went backwards: %d after %d", snap.Gen, lastGen)
+					return
+				}
+				lastGen = snap.Gen
+				if snap.Gen < floor {
+					errs <- fmt.Errorf("stale read: generation %d, but %d was already published", snap.Gen, floor)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < swaps; i++ {
+		l.bumpVersion("m")
+		swapped, err := st.Refresh(ctx, "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !swapped {
+			t.Fatalf("swap %d: changed model was not swapped", i)
+		}
+		snap, _ := st.Peek("m")
+		published.Store(snap.Gen)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	final, _ := st.Peek("m")
+	if got := versionOf(t, final); got != strconv.Itoa(swaps) {
+		t.Fatalf("final snapshot serves v=%s, want %d", got, swaps)
+	}
+}
+
+// TestSwapStressHTTP is the end-to-end variant: concurrent HTTP
+// clients query the daemon while the model is swapped underneath.
+// Zero requests may fail, and the generation header must stay
+// monotonic per client.
+func TestSwapStressHTTP(t *testing.T) {
+	const (
+		readers = 32
+		swaps   = 20
+	)
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, MaxInFlight: readers * 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if _, err := st.Get(context.Background(), "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	var requests, swapsSeen atomic.Int64
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			client := ts.Client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + "/v1/models/m/element?ident=m")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d during swap", resp.StatusCode)
+					return
+				}
+				gen, err := strconv.ParseUint(resp.Header.Get("X-Xpdl-Generation"), 10, 64)
+				if err != nil {
+					errs <- fmt.Errorf("bad generation header: %v", err)
+					return
+				}
+				if gen < lastGen {
+					errs <- fmt.Errorf("generation header went backwards: %d after %d", gen, lastGen)
+					return
+				}
+				if gen > lastGen && lastGen != 0 {
+					swapsSeen.Add(1)
+				}
+				lastGen = gen
+			}
+		}()
+	}
+
+	// Interleave swaps with reader progress: each swap waits until at
+	// least one more request completed, so queries genuinely race the
+	// pointer store.
+	for i := 0; i < swaps; i++ {
+		before := requests.Load()
+		for requests.Load() == before {
+			runtime.Gosched()
+		}
+		l.bumpVersion("m")
+		if _, err := st.Refresh(context.Background(), "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if requests.Load() == 0 {
+		t.Fatal("no requests completed")
+	}
+	t.Logf("%d requests served across %d swaps (%d generation changes observed)",
+		requests.Load(), swaps, swapsSeen.Load())
+}
+
+// TestSwapKeepsInFlightSnapshot: a handler that resolved its snapshot
+// keeps answering from it even if a swap and an eviction land while
+// the request is in flight — the old snapshot is immutable and only
+// garbage-collected when the last reference drops.
+func TestSwapKeepsInFlightSnapshot(t *testing.T) {
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	ctx := context.Background()
+	old, err := st.Get(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.bumpVersion("m")
+	if _, err := st.Refresh(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	st.Evict("m")
+	// The in-flight reference still serves the pre-swap content.
+	if got := versionOf(t, old); got != "0" {
+		t.Fatalf("in-flight snapshot mutated: v=%s", got)
+	}
+	if !strings.HasSuffix(old.Fingerprint, "-0") {
+		t.Fatalf("in-flight fingerprint mutated: %s", old.Fingerprint)
+	}
+}
