@@ -30,6 +30,13 @@
 //	POST .../dispatch                composition variant selection
 //	POST .../refresh                 manual revalidation (unless -allow-refresh=false)
 //	GET  /metrics /debug/pprof/ /debug/vars
+//	GET  /debug/traces               recent completed request traces
+//	GET  /debug/traces/{id}          one trace's full span tree as JSON
+//
+// Every request is traced: an incoming W3C traceparent header joins
+// the caller's trace, otherwise -trace-sample decides whether the
+// fresh trace is retained. 5xx responses are always retained. The
+// response header X-Xpdl-Trace names the trace either way.
 package main
 
 import (
@@ -64,8 +71,19 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "on-disk descriptor cache for remote libraries (enables offline fallback)")
 		allowRef    = flag.Bool("allow-refresh", true, "expose POST /v1/models/{model}/refresh")
 		seed        = flag.Int64("seed", 1, "simulated-substrate seed for '?' calibration")
+		traceSample = flag.Float64("trace-sample", 0.1, "head-sampling probability for request traces (5xx always recorded; clients can force via traceparent)")
+		maxTraces   = flag.Int("max-traces", 256, "completed traces retained behind /debug/traces")
+		slowMS      = flag.Int("slow-ms", 500, "log a warn line for requests at least this slow, in milliseconds (0 disables)")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat)
 
 	opts := core.Options{
 		SearchPaths: splitList(*models),
@@ -87,6 +105,10 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInflight,
 		AllowRefresh:   *allowRef,
+		TraceSample:    *traceSample,
+		MaxTraces:      *maxTraces,
+		SlowRequest:    time.Duration(*slowMS) * time.Millisecond,
+		Logger:         logger,
 	})
 	loader.Repo().PublishMetrics(obs.Default())
 
@@ -104,7 +126,13 @@ func main() {
 	}
 
 	if *revalidate > 0 {
-		rv := &serve.Revalidator{Store: store, Interval: *revalidate, Log: log.Default()}
+		rv := &serve.Revalidator{
+			Store:    store,
+			Interval: *revalidate,
+			Log:      log.Default(),
+			Sampler:  srv.Sampler(),
+			Traces:   srv.Traces(),
+		}
 		go rv.Run(ctx)
 	}
 

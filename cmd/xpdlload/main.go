@@ -1,11 +1,16 @@
 // Command xpdlload drives synthetic query load against a running
 // xpdld and reports throughput and latency percentiles — the
-// measurement half of the serving experiments (EXPERIMENTS.md E15) and
-// the smoke probe of the CI serve job.
+// measurement half of the serving experiments (EXPERIMENTS.md E15/E16)
+// and the smoke probe of the CI serve job.
 //
 // Usage:
 //
 //	xpdlload -addr http://localhost:8360 -model liu_gpu_server -c 8 -duration 10s
+//
+// With -trace-sample > 0 the given fraction of requests carries a
+// sampled W3C traceparent header, forcing the daemon to retain those
+// traces in /debug/traces; the report then names the slowest request's
+// trace ID so the worst latency of a run can be explained span by span.
 //
 // The exit status is 0 only when the run saw at least one 2xx response
 // and no transport errors, so scripts can assert "the daemon actually
@@ -23,6 +28,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"xpdl/internal/obs"
 )
 
 // probe is one endpoint of the load mix.
@@ -45,17 +52,22 @@ func probes(model string) map[string]probe {
 
 type workerStats struct {
 	latencies []time.Duration
-	byClass   map[int]int // status/100 -> count
+	byCode    map[int]int // exact status code -> count
 	transport int         // request errors (connect, timeout)
+
+	slowest      time.Duration
+	slowestProbe string
+	slowestTrace string // from the X-Xpdl-Trace response header
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8360", "base URL of the xpdld instance")
-		model    = flag.String("model", "", "system model identifier to query (required)")
-		duration = flag.Duration("duration", 5*time.Second, "how long to generate load")
-		conc     = flag.Int("c", 4, "concurrent load workers")
-		mix      = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix")
+		addr        = flag.String("addr", "http://localhost:8360", "base URL of the xpdld instance")
+		model       = flag.String("model", "", "system model identifier to query (required)")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		conc        = flag.Int("c", 4, "concurrent load workers")
+		mix         = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests sent with a sampled traceparent (the daemon retains those traces)")
 	)
 	flag.Parse()
 	if *model == "" {
@@ -83,6 +95,7 @@ func main() {
 
 	base := strings.TrimRight(*addr, "/") + "/v1/models/" + url.PathEscape(*model)
 	client := &http.Client{Timeout: 30 * time.Second}
+	sampler := obs.NewSampler(*traceSample)
 	deadline := time.Now().Add(*duration)
 	stats := make([]workerStats, *conc)
 	var wg sync.WaitGroup
@@ -92,7 +105,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			st := &stats[w]
-			st.byClass = map[int]int{}
+			st.byCode = map[int]int{}
 			for i := 0; time.Now().Before(deadline); i++ {
 				p := mixProbes[(i+w)%len(mixProbes)]
 				var body io.Reader
@@ -107,6 +120,14 @@ func main() {
 				if p.body != "" {
 					req.Header.Set("Content-Type", "application/json")
 				}
+				if sampler.Sample() {
+					tc := obs.TraceContext{
+						TraceID: obs.NewTraceID(),
+						SpanID:  obs.NewSpanID(),
+						Sampled: true,
+					}
+					req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				if err != nil {
@@ -114,39 +135,51 @@ func main() {
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
+				lat := time.Since(t0)
+				st.latencies = append(st.latencies, lat)
+				st.byCode[resp.StatusCode]++
+				if lat > st.slowest {
+					st.slowest = lat
+					st.slowestProbe = p.name
+					st.slowestTrace = resp.Header.Get("X-Xpdl-Trace")
+				}
 				resp.Body.Close()
-				st.latencies = append(st.latencies, time.Since(t0))
-				st.byClass[resp.StatusCode/100]++
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all2xx, allOther, transport int
+	var all2xx, transport int
 	var lats []time.Duration
-	byClass := map[int]int{}
+	byCode := map[int]int{}
+	var slowest workerStats
 	for _, st := range stats {
 		lats = append(lats, st.latencies...)
 		transport += st.transport
-		for cls, n := range st.byClass {
-			byClass[cls] += n
-			if cls == 2 {
+		for code, n := range st.byCode {
+			byCode[code] += n
+			if code/100 == 2 {
 				all2xx += n
-			} else {
-				allOther += n
 			}
+		}
+		if st.slowest > slowest.slowest {
+			slowest = st
 		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	codes := make([]int, 0, len(byCode))
+	for code := range byCode {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
 
 	total := len(lats)
 	fmt.Printf("xpdlload: %d requests in %s (%.0f req/s), %d workers, mix %s\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *conc, *mix)
-	for _, cls := range []int{2, 3, 4, 5} {
-		if n := byClass[cls]; n > 0 {
-			fmt.Printf("  %dxx: %d\n", cls, n)
-		}
+	for _, code := range codes {
+		line := fmt.Sprintf("  %d %s: %d", code, http.StatusText(code), byCode[code])
+		fmt.Println(strings.TrimRight(line, " "))
 	}
 	if transport > 0 {
 		fmt.Printf("  transport errors: %d\n", transport)
@@ -154,6 +187,13 @@ func main() {
 	if total > 0 {
 		fmt.Printf("  latency: p50 %s  p90 %s  p99 %s  max %s\n",
 			pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[total-1])
+	}
+	if slowest.slowest > 0 {
+		line := fmt.Sprintf("  slowest: %s on %s", slowest.slowest, slowest.slowestProbe)
+		if slowest.slowestTrace != "" {
+			line += " (trace " + slowest.slowestTrace + ")"
+		}
+		fmt.Println(line)
 	}
 	if all2xx == 0 {
 		fmt.Fprintln(os.Stderr, "xpdlload: FAIL: no 2xx responses")

@@ -75,6 +75,7 @@ func main() {
 	remote := flag.String("remote", "", "base URL of a running xpdld; queries are answered by the daemon")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (lookup/selector counters) after the command")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
+	trace := flag.Bool("trace", false, "with -remote: send a sampled traceparent so the daemon records the request; the trace ID is printed to stderr")
 	flag.Parse()
 	if *rt == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery [-remote http://host:port] -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
@@ -96,8 +97,24 @@ func main() {
 	}
 	var b backend
 	if *remote != "" {
+		ctx := context.Background()
+		if *trace {
+			// A client-side trace forces the daemon to record the request
+			// (the sampled flag on the propagated traceparent wins over
+			// the server's own sampling), and /debug/traces/<id> then
+			// holds the full span tree: client → handler → store load →
+			// toolchain phases → repository fetches.
+			tr := obs.StartTrace("xpdlquery", obs.TraceContext{
+				TraceID: obs.NewTraceID(),
+				SpanID:  obs.NewSpanID(),
+				Sampled: true,
+			}, obs.SpanID{})
+			ctx = obs.ContextWithTrace(ctx, tr)
+			fmt.Fprintf(os.Stderr, "xpdlquery: trace %s (fetch %s/debug/traces/%s)\n",
+				tr.Context().TraceID, *remote, tr.Context().TraceID)
+		}
 		b = &remoteBackend{
-			ctx:    context.Background(),
+			ctx:    ctx,
 			client: serve.NewClient(*remote),
 			model:  *rt,
 		}

@@ -37,12 +37,21 @@ func main() {
 	dir := flag.String("dir", "models", "directory of .xpdl descriptors to serve")
 	addr := flag.String("addr", ":8344", "listen address")
 	obsAddr := flag.String("obs-addr", "", "additionally serve /metrics, /debug/pprof and /debug/vars on this address (they are always available on -addr too)")
+	logLevel := flag.String("log-level", "info", "structured access-log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "structured access-log format: text or json")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal("xpdlrepo: ", err)
+	}
 	srv, err := server.New(*dir)
 	if err != nil {
 		log.Fatal("xpdlrepo: ", err)
 	}
+	// Structured access logs: one record per descriptor/index request,
+	// stamped with the caller's trace ID when a traceparent arrives.
+	srv.AccessLog = obs.NewLogger(os.Stderr, level, *logFormat)
 	if *obsAddr != "" {
 		bound, _, err := obs.Serve(*obsAddr, srv.Registry(), obs.Default())
 		if err != nil {

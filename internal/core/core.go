@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -118,12 +119,26 @@ type Result struct {
 // Process composes the named concrete system model end to end. When
 // Options.Span is set, each pipeline phase is recorded as a child span.
 func (t *Toolchain) Process(systemID string) (*Result, error) {
-	proc := t.Opts.Span.Start("process")
+	return t.ProcessContext(context.Background(), systemID)
+}
+
+// ProcessContext is Process with request-scoped tracing and
+// cancellation: when ctx carries an active span (a traced xpdld
+// request), the per-phase spans attach under it, so one trace links
+// the HTTP request to the toolchain run and the repository fetches it
+// triggers. A span in ctx takes precedence over Options.Span; with
+// neither, tracing is free no-ops.
+func (t *Toolchain) ProcessContext(ctx context.Context, systemID string) (*Result, error) {
+	parent := obs.SpanFromContext(ctx)
+	if parent == nil {
+		parent = t.Opts.Span
+	}
+	proc := parent.Start("process")
 	proc.SetAttr("system", systemID)
 	defer proc.Stop()
 
 	sp := proc.Start("parse")
-	root, err := t.Repo.Load(systemID)
+	root, err := t.Repo.LoadContext(obs.ContextWithSpan(ctx, sp), systemID)
 	sp.Stop()
 	if err != nil {
 		return nil, err
@@ -140,7 +155,7 @@ func (t *Toolchain) Process(systemID string) (*Result, error) {
 		}
 	}
 	sp.SetAttr("refs", strconv.Itoa(len(present)))
-	err = t.Repo.Prefetch(present, t.Opts.PrefetchWorkers)
+	err = t.Repo.PrefetchContext(obs.ContextWithSpan(ctx, sp), present, t.Opts.PrefetchWorkers)
 	sp.Stop()
 	if err != nil {
 		return nil, err

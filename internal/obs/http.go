@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -22,12 +24,28 @@ func publishExpvar() {
 }
 
 // MetricsHandler serves the Prometheus text exposition of the given
-// registries, concatenated in order (no registry means Default).
+// registries, concatenated in order (no registry means Default). When
+// the scraper negotiates OpenMetrics (an Accept header mentioning
+// application/openmetrics-text) or forces it with ?exemplars=1, the
+// OpenMetrics form is served instead, which carries the per-bucket
+// trace-ID exemplars.
 func MetricsHandler(regs ...*Registry) http.Handler {
 	if len(regs) == 0 {
 		regs = []*Registry{Default()}
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
+			r.URL.Query().Get("exemplars") != ""
+		if openMetrics {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			for _, reg := range regs {
+				if err := reg.writeExposition(w, true); err != nil {
+					return
+				}
+			}
+			_, _ = io.WriteString(w, "# EOF\n")
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		for _, reg := range regs {
 			if err := reg.WritePrometheus(w); err != nil {

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel reads a level name ("debug", "info", "warn"/"warning",
+// "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled structured logger emitting one record per line,
+// either JSON ("json") or a readable key=value form ("text"). Every
+// record written with a context carrying an active trace is stamped
+// with that trace's ID, so grepping a trace ID through the logs yields
+// the request's full story alongside its span tree.
+//
+// All methods are nil-safe, so instrumented code never guards the
+// logger, and the zero threshold (LevelInfo by default through
+// NewLogger) keeps debug chatter off production output.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	json  bool
+}
+
+// NewLogger builds a logger writing to w at the given threshold.
+// format is "json" (JSON lines) or anything else for text.
+func NewLogger(w io.Writer, level Level, format string) *Logger {
+	return &Logger{w: w, level: level, json: strings.EqualFold(format, "json")}
+}
+
+// Enabled reports whether records at level pass the threshold.
+// Nil-safe (false), so callers can skip expensive field construction.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Log writes one record. kv are alternating key/value pairs; a
+// dangling key is paired with "(MISSING)". Values are rendered with
+// %v except error and fmt.Stringer which use their message. Nil-safe.
+func (l *Logger) Log(ctx context.Context, level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	now := time.Now()
+	traceID := TraceIDFromContext(ctx)
+
+	var b strings.Builder
+	if l.json {
+		b.WriteString(`{"ts":`)
+		b.WriteString(jsonString(now.Format(time.RFC3339Nano)))
+		b.WriteString(`,"level":`)
+		b.WriteString(jsonString(level.String()))
+		b.WriteString(`,"msg":`)
+		b.WriteString(jsonString(msg))
+		if traceID != "" {
+			b.WriteString(`,"trace_id":`)
+			b.WriteString(jsonString(traceID))
+		}
+		for i := 0; i < len(kv); i += 2 {
+			b.WriteString(",")
+			b.WriteString(jsonString(keyAt(kv, i)))
+			b.WriteString(":")
+			b.WriteString(jsonValue(valueAt(kv, i)))
+		}
+		b.WriteString("}\n")
+	} else {
+		b.WriteString(now.Format("2006-01-02T15:04:05.000Z07:00"))
+		b.WriteString(" ")
+		b.WriteString(strings.ToUpper(level.String()))
+		b.WriteString(" ")
+		b.WriteString(msg)
+		if traceID != "" {
+			b.WriteString(" trace_id=")
+			b.WriteString(traceID)
+		}
+		for i := 0; i < len(kv); i += 2 {
+			b.WriteString(" ")
+			b.WriteString(keyAt(kv, i))
+			b.WriteString("=")
+			b.WriteString(textValue(valueAt(kv, i)))
+		}
+		b.WriteString("\n")
+	}
+
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelDebug, msg, kv...)
+}
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelInfo, msg, kv...)
+}
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelWarn, msg, kv...)
+}
+
+// Error logs at LevelError.
+func (l *Logger) Error(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelError, msg, kv...)
+}
+
+func keyAt(kv []any, i int) string {
+	if k, ok := kv[i].(string); ok {
+		return k
+	}
+	return fmt.Sprintf("%v", kv[i])
+}
+
+func valueAt(kv []any, i int) any {
+	if i+1 < len(kv) {
+		return kv[i+1]
+	}
+	return "(MISSING)"
+}
+
+// jsonString marshals s as a JSON string (escaping handled by
+// encoding/json; marshal of a string cannot fail).
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// jsonValue renders a field value: numbers and booleans natively,
+// everything else as a JSON string.
+func jsonValue(v any) string {
+	switch v.(type) {
+	case int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, bool, nil:
+		b, err := json.Marshal(v)
+		if err == nil {
+			return string(b)
+		}
+	}
+	return jsonString(textValue(v))
+}
+
+// textValue renders a field value for the text format, quoting values
+// containing spaces.
+func textValue(v any) string {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case error:
+		s = t.Error()
+	case fmt.Stringer:
+		s = t.String()
+	default:
+		s = fmt.Sprintf("%v", v)
+	}
+	if strings.ContainsAny(s, " \t\n\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -6,8 +6,10 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready
@@ -73,12 +75,23 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram counts observations into cumulative buckets with fixed
-// upper bounds, Prometheus-style.
+// upper bounds, Prometheus-style. Each bucket additionally retains the
+// most recent exemplar (an observed value with its trace ID), exposed
+// in the OpenMetrics exposition so a latency outlier links straight to
+// the trace that caused it.
 type Histogram struct {
-	bounds  []float64      // sorted upper bounds; an implicit +Inf bucket follows
-	counts  []atomic.Int64 // len(bounds)+1
-	count   atomic.Int64
-	sumBits atomic.Uint64
+	bounds    []float64      // sorted upper bounds; an implicit +Inf bucket follows
+	counts    []atomic.Int64 // len(bounds)+1
+	count     atomic.Int64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last write wins
+}
+
+// Exemplar links one observation to the trace that produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // DefBuckets are the default histogram bounds, in seconds (matching the
@@ -91,7 +104,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
@@ -109,6 +126,30 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and retains it as the exemplar of
+// its bucket when traceID is non-empty. The last exemplar per bucket
+// wins — enough to answer "show me a trace that landed here".
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+}
+
+// BucketExemplar returns the retained exemplar of bucket i (0-based,
+// the +Inf bucket last), nil when none was recorded.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations.
@@ -150,9 +191,11 @@ func (k metricKind) promType() string {
 }
 
 type metric struct {
-	name string
-	help string
-	kind metricKind
+	name   string // full sample name: family + rendered labels
+	family string // bare metric name (HELP/TYPE are per family)
+	labels string // rendered constant labels, `{k="v",...}` or ""
+	help   string
+	kind   metricKind
 
 	counter   *Counter
 	gauge     *Gauge
@@ -194,8 +237,51 @@ func (r *Registry) Counter(name, help string) *Counter {
 		return m.counter
 	}
 	c := &Counter{}
-	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, counter: c}
+	r.metrics[name] = &metric{name: name, family: name, help: help, kind: kindCounter, counter: c}
 	return c
+}
+
+// CounterWith returns a counter carrying constant labels under a
+// shared family name (e.g. CounterWith("xpdld_shed_total", help,
+// "endpoint", "select") exposes `xpdld_shed_total{endpoint="select"}`).
+// labelPairs alternate key, value; the HELP/TYPE header is emitted
+// once per family. A family must be consistently labeled or not.
+func (r *Registry) CounterWith(name, help string, labelPairs ...string) *Counter {
+	labels := renderLabels(labelPairs)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kindCounter {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", key, m.kind.promType()))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[key] = &metric{name: key, family: name, labels: labels, help: help, kind: kindCounter, counter: c}
+	return c
+}
+
+// renderLabels renders alternating key/value pairs as a Prometheus
+// label set. Values are escaped; a dangling key gets an empty value.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i+1 < len(pairs) {
+			v = pairs[i+1]
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], v)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Gauge returns the gauge registered under name, creating it if needed.
@@ -209,7 +295,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return m.gauge
 	}
 	g := &Gauge{}
-	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, gauge: g}
+	r.metrics[name] = &metric{name: name, family: name, help: help, kind: kindGauge, gauge: g}
 	return g
 }
 
@@ -225,7 +311,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		return m.histogram
 	}
 	h := newHistogram(bounds)
-	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, histogram: h}
+	r.metrics[name] = &metric{name: name, family: name, help: help, kind: kindHistogram, histogram: h}
 	return h
 }
 
@@ -248,7 +334,7 @@ func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() fl
 	if m, ok := r.metrics[name]; ok && m.fn == nil {
 		panic(fmt.Sprintf("obs: metric %q already registered as a non-func %s", name, m.kind.promType()))
 	}
-	r.metrics[name] = &metric{name: name, help: help, kind: kind, fn: fn}
+	r.metrics[name] = &metric{name: name, family: name, help: help, kind: kind, fn: fn}
 }
 
 // Names returns all registered metric names, sorted.
@@ -284,25 +370,52 @@ func (r *Registry) Value(name string) (float64, bool) {
 	}
 }
 
-// WritePrometheus renders every metric in the Prometheus text format,
-// sorted by name so output is deterministic.
+// WritePrometheus renders every metric in the Prometheus text format
+// (version 0.0.4), sorted by family then labels so output is
+// deterministic; HELP/TYPE headers are emitted once per family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same metrics in the OpenMetrics text
+// format: identical sample lines plus per-bucket trace-ID exemplars
+// (`... # {trace_id="…"} value timestamp`) and the mandatory `# EOF`
+// terminator. Collectors that understand exemplars can jump from a
+// latency bucket straight to the trace in /debug/traces.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeExposition(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
 	r.mu.RLock()
 	ms := make([]*metric, 0, len(r.metrics))
 	for _, m := range r.metrics {
 		ms = append(ms, m)
 	}
 	r.mu.RUnlock()
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].labels < ms[j].labels
+	})
 
+	lastFamily := ""
 	for _, m := range ms {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind.promType()); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.promType()); err != nil {
-			return err
 		}
 		var err error
 		switch m.kind {
@@ -311,7 +424,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
 		case kindHistogram:
-			err = writeHistogram(w, m.name, m.histogram)
+			err = writeHistogram(w, m.family, m.histogram, exemplars)
 		default:
 			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
 		}
@@ -322,16 +435,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
+func writeHistogram(w io.Writer, name string, h *Histogram, exemplars bool) error {
+	writeBucket := func(i int, le string, cum int64) error {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d", name, le, cum); err != nil {
+			return err
+		}
+		if exemplars {
+			if ex := h.BucketExemplar(i); ex != nil {
+				if _, err := fmt.Fprintf(w, " # {trace_id=%q} %s %s",
+					ex.TraceID, formatFloat(ex.Value),
+					formatFloat(float64(ex.Time.UnixNano())/1e9)); err != nil {
+					return err
+				}
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
 	cum := int64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+		if err := writeBucket(i, formatFloat(bound), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if err := writeBucket(len(h.bounds), "+Inf", cum); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum())); err != nil {

@@ -37,7 +37,8 @@ import (
 // concurrent use: multiple goroutines may start children of the same
 // parent while others render the tree.
 type Span struct {
-	name string
+	name  string
+	noMem bool // light span: skip runtime.ReadMemStats on Start/Stop
 
 	mu       sync.Mutex
 	start    time.Time
@@ -50,10 +51,21 @@ type Span struct {
 	mallocs      uint64 // Mallocs delta at Stop
 
 	attrs    []spanAttr
+	events   []spanEvent
 	children []*Span
 }
 
 type spanAttr struct{ key, value string }
+
+type spanEvent struct {
+	at  time.Time
+	msg string
+}
+
+// maxSpanEvents bounds per-span event memory; a retry storm must not
+// grow a request trace without limit. The final slot is overwritten
+// with a truncation marker.
+const maxSpanEvents = 64
 
 // NewSpan starts a new root span.
 func NewSpan(name string) *Span {
@@ -62,12 +74,25 @@ func NewSpan(name string) *Span {
 	return s
 }
 
+// NewLightSpan starts a root span that skips the runtime.ReadMemStats
+// calls on Start/Stop (they briefly stop the world, which is fine for
+// one toolchain run but not for per-request tracing under load). Child
+// spans inherit lightness, so a request's whole span tree costs only
+// clock reads and small allocations.
+func NewLightSpan(name string) *Span {
+	s := &Span{name: name, noMem: true}
+	s.begin()
+	return s
+}
+
 func (s *Span) begin() {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
+	if !s.noMem {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.startAlloc = ms.TotalAlloc
+		s.startMallocs = ms.Mallocs
+	}
 	s.start = time.Now()
-	s.startAlloc = ms.TotalAlloc
-	s.startMallocs = ms.Mallocs
 }
 
 // Start begins a child span. On a nil receiver it returns nil, so a
@@ -76,7 +101,7 @@ func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name}
+	c := &Span{name: name, noMem: s.noMem}
 	c.begin()
 	s.mu.Lock()
 	s.children = append(s.children, c)
@@ -90,14 +115,42 @@ func (s *Span) Stop() {
 	if s == nil {
 		return
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
+	var allocBytes, mallocs uint64
+	if !s.noMem {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocBytes = ms.TotalAlloc - s.startAlloc
+		mallocs = ms.Mallocs - s.startMallocs
+	}
 	s.mu.Lock()
 	if !s.done {
 		s.done = true
 		s.duration = time.Since(s.start)
-		s.allocBytes = ms.TotalAlloc - s.startAlloc
-		s.mallocs = ms.Mallocs - s.startMallocs
+		s.allocBytes = allocBytes
+		s.mallocs = mallocs
+	}
+	s.mu.Unlock()
+}
+
+// Event appends a timestamped annotation to the span (a retry attempt,
+// a 304 revalidation, a coalesced load). Events are capped at
+// maxSpanEvents per span; past the cap the last slot becomes a
+// truncation marker.
+func (s *Span) Event(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	now := time.Now()
+	s.mu.Lock()
+	switch {
+	case len(s.events) < maxSpanEvents-1:
+		s.events = append(s.events, spanEvent{at: now, msg: msg})
+	case len(s.events) == maxSpanEvents-1:
+		s.events = append(s.events, spanEvent{at: now, msg: "(further events truncated)"})
 	}
 	s.mu.Unlock()
 }
@@ -158,7 +211,8 @@ func (s *Span) Child(name string) *Span {
 }
 
 // SpanSnapshot is an immutable copy of a span subtree, used for
-// rendering and JSON export.
+// rendering and JSON export. It round-trips through encoding/json
+// losslessly, so a captured trace can be shipped, stored and re-read.
 type SpanSnapshot struct {
 	Name       string            `json:"name"`
 	DurationNS int64             `json:"duration_ns"`
@@ -166,7 +220,15 @@ type SpanSnapshot struct {
 	Mallocs    uint64            `json:"mallocs"`
 	Running    bool              `json:"running,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
+	Events     []SpanEvent       `json:"events,omitempty"`
 	Children   []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// SpanEvent is one timestamped annotation, with the offset given
+// relative to its span's start.
+type SpanEvent struct {
+	OffsetNS int64  `json:"offset_ns"`
+	Msg      string `json:"msg"`
 }
 
 // Snapshot copies the span subtree under its locks. The zero snapshot
@@ -191,6 +253,12 @@ func (s *Span) Snapshot() SpanSnapshot {
 		snap.Attrs = make(map[string]string, len(s.attrs))
 		for _, a := range s.attrs {
 			snap.Attrs[a.key] = a.value
+		}
+	}
+	if len(s.events) > 0 {
+		snap.Events = make([]SpanEvent, len(s.events))
+		for i, e := range s.events {
+			snap.Events[i] = SpanEvent{OffsetNS: e.at.Sub(s.start).Nanoseconds(), Msg: e.msg}
 		}
 	}
 	children := make([]*Span, len(s.children))
@@ -239,6 +307,10 @@ func writeSnapshot(b *strings.Builder, snap SpanSnapshot, depth int) {
 		}
 	}
 	b.WriteByte('\n')
+	for _, e := range snap.Events {
+		fmt.Fprintf(b, "%s· +%s %s\n", strings.Repeat("  ", depth+1),
+			formatDuration(time.Duration(e.OffsetNS)), e.Msg)
+	}
 	for _, c := range snap.Children {
 		writeSnapshot(b, c, depth+1)
 	}

@@ -1,0 +1,105 @@
+package obs
+
+import "sync"
+
+// TraceBuffer is a bounded ring of completed traces: the retention
+// store behind /debug/traces. Records are stored by value and copied
+// out under the lock, so concurrent readers can never observe a torn
+// trace, and memory is bounded by the capacity regardless of traffic.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	buf   []TraceRecord
+	next  int    // ring write cursor
+	n     int    // records currently held (<= cap)
+	total uint64 // records ever added (dropped = total - n)
+}
+
+// NewTraceBuffer returns a buffer retaining the most recent capacity
+// traces (minimum 1).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceBuffer{buf: make([]TraceRecord, capacity)}
+}
+
+// Add stores a completed trace, evicting the oldest when full.
+// Nil-safe.
+func (b *TraceBuffer) Add(rec TraceRecord) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.buf[b.next] = rec
+	b.next = (b.next + 1) % len(b.buf)
+	if b.n < len(b.buf) {
+		b.n++
+	}
+	b.total++
+	b.mu.Unlock()
+}
+
+// Recent returns up to n traces, newest first (n <= 0 means all
+// retained). Nil-safe (nil slice).
+func (b *TraceBuffer) Recent(n int) []TraceRecord {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 || n > b.n {
+		n = b.n
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (b.next - 1 - i + len(b.buf)) % len(b.buf)
+		out = append(out, b.buf[idx])
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID (newest match when
+// IDs collide). Nil-safe.
+func (b *TraceBuffer) Get(traceID string) (TraceRecord, bool) {
+	if b == nil {
+		return TraceRecord{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := 0; i < b.n; i++ {
+		idx := (b.next - 1 - i + len(b.buf)) % len(b.buf)
+		if b.buf[idx].TraceID == traceID {
+			return b.buf[idx], true
+		}
+	}
+	return TraceRecord{}, false
+}
+
+// Len returns the number of retained traces. Nil-safe.
+func (b *TraceBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Cap returns the retention capacity. Nil-safe.
+func (b *TraceBuffer) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.buf)
+}
+
+// Total returns how many traces were ever added (retained + evicted).
+// Nil-safe.
+func (b *TraceBuffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xpdl/internal/model"
+	"xpdl/internal/obs"
 )
 
 // FetchConfig tunes the remote-fetch path of a Repository. The zero
@@ -218,14 +219,22 @@ func (r *Repository) fetchAny(ctx context.Context, ident string, remotes []strin
 }
 
 // fetchWithRetry runs the per-remote retry loop with exponential
-// backoff and jitter around fetchOnce.
+// backoff and jitter around fetchOnce. Under a traced request each
+// remote gets a child span whose events record every retry attempt
+// and its outcome, so a slow cold load explains itself.
 func (r *Repository) fetchWithRetry(ctx context.Context, base, ident string) (*model.Component, error) {
 	cfg := r.fetchCfg
+	ctx, sp := obs.StartSpan(ctx, "repo.fetch")
+	sp.SetAttr("remote", base)
+	sp.SetAttr("ident", ident)
+	defer sp.Stop()
 	var last error
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			r.bump(func(s *Stats) { s.Retries++ })
-			if err := cfg.wait(ctx, cfg.backoffFor(attempt-1, last)); err != nil {
+			backoff := cfg.backoffFor(attempt-1, last)
+			sp.Event("retry %d/%d after %s (cause: %v)", attempt+1, cfg.MaxAttempts, backoff.Round(time.Millisecond), last)
+			if err := cfg.wait(ctx, backoff); err != nil {
 				return nil, err
 			}
 		}
@@ -235,6 +244,7 @@ func (r *Repository) fetchWithRetry(ctx context.Context, base, ident string) (*m
 		}
 		last = err
 		r.bump(func(s *Stats) { s.Failures++ })
+		sp.Event("attempt %d failed: %v", attempt+1, err)
 		if !retryable(err) || ctx.Err() != nil {
 			break
 		}
@@ -256,6 +266,9 @@ func (r *Repository) fetchOnce(ctx context.Context, base, ident string) (*model.
 	if err != nil {
 		return nil, permanent(err)
 	}
+	// Carry the active trace across the process boundary so the remote
+	// library's access logs line up with the daemon's trace ID.
+	obs.Propagate(ctx, req.Header.Set)
 	var cached *cacheEntry
 	if r.disk != nil {
 		if e, ok := r.disk.lookup(ident); ok {
@@ -284,6 +297,7 @@ func (r *Repository) fetchOnce(ctx context.Context, base, ident string) (*model.
 			return nil, err
 		}
 		r.bump(func(s *Stats) { s.NotModified++ })
+		obs.SpanFromContext(ctx).Event("304 not modified; served from disk cache")
 		return c, nil
 	case resp.StatusCode != http.StatusOK:
 		return nil, &statusError{url: url, code: resp.StatusCode, retryAfter: retryAfterOf(resp)}
@@ -301,6 +315,7 @@ func (r *Repository) fetchOnce(ctx context.Context, base, ident string) (*model.
 		r.disk.store(ident, src, resp.Header.Get("ETag"), resp.Header.Get("Last-Modified"))
 	}
 	r.bump(func(s *Stats) { s.RemoteFetches++ })
+	obs.SpanFromContext(ctx).Event("fetched %d bytes (200)", len(src))
 	return c, nil
 }
 

@@ -244,12 +244,21 @@ func (r *Repository) LoadContext(ctx context.Context, ident string) (*model.Comp
 	remotes := append([]string(nil), r.remotes...)
 	r.mu.Unlock()
 
+	// A cache miss is real work (disk re-parse or remote fetch): record
+	// it as a child span of whatever trace the caller is running under.
+	spanCtx, sp := obs.StartSpan(ctx, "repo.load")
+	sp.SetAttr("ident", ident)
+	defer sp.Stop()
+
 	v, err, shared := r.flight.do(ident, func() (any, error) {
-		return r.fetchAndRegister(ctx, ident, remotes)
+		return r.fetchAndRegister(spanCtx, ident, remotes)
 	})
 	if err != nil {
 		r.bump(func(s *Stats) { s.Misses++ })
 		return nil, err
+	}
+	if shared {
+		sp.Event("coalesced with another caller's in-flight fetch")
 	}
 	r.bump(func(s *Stats) {
 		s.Loads++
@@ -280,6 +289,7 @@ func (r *Repository) fetchAndRegister(ctx context.Context, ident string, remotes
 	origin, indexed := r.files[ident]
 	r.mu.RUnlock()
 	if indexed && !isRemoteOrigin(origin) && origin != memoryOrigin {
+		obs.SpanFromContext(ctx).Event("re-parsing local descriptor %s", origin)
 		c, err := r.parseFile(origin)
 		if err != nil {
 			return nil, err
@@ -400,6 +410,15 @@ func (r *Repository) PublishMetrics(reg *obs.Registry) {
 // Stats.Misses. It is used by the processing tool to warm the cache
 // for all submodels referenced by a system model before composition.
 func (r *Repository) Prefetch(idents []string, workers int) error {
+	return r.PrefetchContext(context.Background(), idents, workers)
+}
+
+// PrefetchContext is Prefetch with cancellation and tracing: each
+// worker loads through LoadContext, so cache misses appear as
+// repo.load child spans of the context's active span (the toolchain's
+// fetch phase under a traced request) and an expired context aborts
+// the remaining fetches.
+func (r *Repository) PrefetchContext(ctx context.Context, idents []string, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -415,7 +434,7 @@ func (r *Repository) Prefetch(idents []string, workers int) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				if _, err := r.Load(j.ident); err != nil {
+				if _, err := r.LoadContext(ctx, j.ident); err != nil {
 					errs[j.idx] = err
 				}
 			}

@@ -53,6 +53,13 @@ type entry struct {
 
 // Server serves a directory of XPDL descriptors by identifier.
 type Server struct {
+	// AccessLog, when non-nil, receives one structured record per
+	// descriptor/index request (method, path, status, duration). Records
+	// for requests carrying a W3C traceparent header are stamped with
+	// the caller's trace ID, so daemon-side revalidation fetches can be
+	// correlated with the library's logs. Nil disables access logging.
+	AccessLog *obs.Logger
+
 	mu      sync.RWMutex
 	byIdent map[string]entry
 	stats   Stats
@@ -167,11 +174,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.stats.Requests++
 	s.mu.Unlock()
 
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	defer func() {
+		if s.AccessLog == nil {
+			return
+		}
+		kv := []any{"method", r.Method, "path", r.URL.Path, "status", sw.code,
+			"duration_ms", float64(time.Since(start).Nanoseconds()) / 1e6}
+		// Stamp the caller's trace ID so a traced xpdld revalidation
+		// cycle can be followed into the library's own logs.
+		if tc, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); err == nil {
+			kv = append(kv, "trace_id", tc.TraceID.String())
+		}
+		s.AccessLog.Info(r.Context(), "request", kv...)
+	}()
+
 	if r.URL.Path == "/index" || r.URL.Path == "/" {
-		s.serveIndex(w, r)
+		s.serveIndex(sw, r)
 		return
 	}
-	start := time.Now()
 	defer func() { s.latns.Observe(time.Since(start).Seconds()) }()
 	ident := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/"), ".xpdl")
 	s.mu.RLock()
@@ -181,14 +203,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.stats.NotFound++
 		s.mu.Unlock()
-		http.NotFound(w, r)
+		http.NotFound(sw, r)
 		return
 	}
-	w.Header().Set("Content-Type", "application/xml")
-	w.Header().Set("ETag", e.etag)
+	sw.Header().Set("Content-Type", "application/xml")
+	sw.Header().Set("ETag", e.etag)
 	// ServeContent answers If-None-Match / If-Modified-Since / Range
 	// against the ETag header and mod time.
-	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	http.ServeContent(sw, r, ident+".xpdl", e.modTime, strings.NewReader(string(e.body)))
 	s.mu.Lock()
 	switch sw.code {

@@ -158,6 +158,26 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// TraceSummary is one line of the /debug/traces listing: enough to
+// decide whether the full span tree is worth fetching.
+type TraceSummary struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Status     int       `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	Sampled    bool      `json:"sampled"`
+	Spans      int       `json:"spans"`
+}
+
+// TraceListResponse is GET /debug/traces.
+type TraceListResponse struct {
+	Retained int            `json:"retained"`
+	Capacity int            `json:"capacity"`
+	Traces   []TraceSummary `json:"traces"`
+}
+
 // infoOf projects a snapshot into its wire description.
 func infoOf(s *Snapshot) ModelInfo {
 	return ModelInfo{

@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"xpdl/internal/obs"
 )
 
 // Client is a typed client for the xpdld JSON API; xpdlquery's -remote
@@ -69,6 +71,9 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Join the caller's trace (if any) so the daemon-side span tree
+	// shows the remote client as the root.
+	obs.Propagate(ctx, req.Header.Set)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err

@@ -30,6 +30,12 @@ type Revalidator struct {
 	// OnSwap, when non-nil, is called after each published swap
 	// (tests synchronize on it).
 	OnSwap func(ident string)
+	// Sampler decides which background cycles are traced; Traces
+	// receives the completed cycle traces. Both are typically shared
+	// with the Server so revalidator work lands in the same
+	// /debug/traces buffer as request traces. Nil disables tracing.
+	Sampler *obs.Sampler
+	Traces  *obs.TraceBuffer
 }
 
 // Run polls until ctx is canceled. It is meant to be one goroutine of
@@ -50,17 +56,33 @@ func (rv *Revalidator) Run(ctx context.Context) {
 	}
 }
 
-// Cycle runs one revalidation pass over every resident model.
+// Cycle runs one revalidation pass over every resident model. Sampled
+// cycles are recorded as a "revalidate" trace whose children are the
+// per-model store.refresh spans (and, below them, the toolchain phases
+// and repository revalidation fetches they trigger).
 func (rv *Revalidator) Cycle(ctx context.Context) {
+	var tr *obs.Trace
+	if rv.Traces != nil && rv.Sampler.Sample() {
+		tr = obs.StartTrace("revalidate", obs.TraceContext{
+			TraceID: obs.NewTraceID(),
+			SpanID:  obs.NewSpanID(),
+			Sampled: true,
+		}, obs.SpanID{})
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	var firstErr error
 	rv.Store.loader.Invalidate()
 	for _, ident := range rv.Store.Resident() {
 		if ctx.Err() != nil {
-			return
+			break
 		}
 		swapped, err := rv.Store.Refresh(ctx, ident)
 		switch {
 		case err != nil:
 			mRevalErrors.Inc()
+			if firstErr == nil {
+				firstErr = err
+			}
 			if rv.Log != nil {
 				rv.Log.Printf("revalidate %s: %v (keeping resident snapshot)", ident, err)
 			}
@@ -75,4 +97,11 @@ func (rv *Revalidator) Cycle(ctx context.Context) {
 		}
 	}
 	mRevalCycles.Inc()
+	if tr != nil {
+		status, errMsg := 0, ""
+		if firstErr != nil {
+			errMsg = firstErr.Error()
+		}
+		rv.Traces.Add(tr.Finish(status, errMsg))
+	}
 }

@@ -47,6 +47,22 @@ type Config struct {
 	// revalidation trigger (on by default in xpdld; off for untrusted
 	// deployments since a refresh costs a full toolchain run).
 	AllowRefresh bool
+
+	// TraceSample is the head-sampling probability for traces started
+	// locally (no incoming traceparent). Error responses (5xx) are
+	// always retained regardless. An incoming sampled traceparent is
+	// honored as-is, so clients can force a trace end to end. Default 0:
+	// only errors and client-forced traces reach /debug/traces.
+	TraceSample float64
+	// MaxTraces bounds the completed-trace ring buffer behind
+	// /debug/traces (default 256).
+	MaxTraces int
+	// SlowRequest, when > 0, logs one warn-level line (with the trace
+	// ID) for every request at least this slow.
+	SlowRequest time.Duration
+	// Logger receives structured access/slow-request logs. Nil disables
+	// logging (the obs.Logger is nil-safe).
+	Logger *obs.Logger
 }
 
 // Server answers JSON-over-HTTP platform-model queries against the
@@ -58,11 +74,17 @@ type Server struct {
 	sem          chan struct{}
 	timeout      time.Duration
 	allowRefresh bool
+	slow         time.Duration
+
+	sampler *obs.Sampler
+	traces  *obs.TraceBuffer
+	logger  *obs.Logger
 
 	reg      *obs.Registry
 	inflight *obs.Gauge
 	rejected *obs.Counter
 	timeouts *obs.Counter
+	recorded *obs.Counter
 	statuses map[int]*obs.Counter // by status class: 2,4,5
 }
 
@@ -77,17 +99,25 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 256
 	}
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 256
+	}
 	s := &Server{
 		store:        cfg.Store,
 		mux:          http.NewServeMux(),
 		sem:          make(chan struct{}, cfg.MaxInFlight),
 		timeout:      cfg.RequestTimeout,
 		allowRefresh: cfg.AllowRefresh,
+		slow:         cfg.SlowRequest,
+		sampler:      obs.NewSampler(cfg.TraceSample),
+		traces:       obs.NewTraceBuffer(cfg.MaxTraces),
+		logger:       cfg.Logger,
 		reg:          obs.NewRegistry(),
 	}
 	s.inflight = s.reg.Gauge("xpdld_inflight_requests", "API requests currently being served.")
 	s.rejected = s.reg.Counter("xpdld_rejected_total", "Requests rejected by the concurrency limiter.")
 	s.timeouts = s.reg.Counter("xpdld_timeouts_total", "Requests that exceeded the per-request timeout.")
+	s.recorded = s.reg.Counter("xpdld_traces_recorded_total", "Completed traces retained in the /debug/traces ring buffer.")
 	s.statuses = map[int]*obs.Counter{
 		2: s.reg.Counter("xpdld_responses_2xx_total", "API responses with a 2xx status."),
 		4: s.reg.Counter("xpdld_responses_4xx_total", "API responses with a 4xx status."),
@@ -101,6 +131,14 @@ func NewServer(cfg Config) *Server {
 // histograms, limiter counters); /metrics serves it together with the
 // process-wide default registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Traces returns the completed-trace ring buffer behind /debug/traces,
+// so the daemon can record revalidator cycles into the same place.
+func (s *Server) Traces() *obs.TraceBuffer { return s.traces }
+
+// Sampler returns the server's head sampler (shared with the
+// revalidator so background cycles obey the same rate).
+func (s *Server) Sampler() *obs.Sampler { return s.sampler }
 
 func (s *Server) routes() {
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
@@ -120,8 +158,65 @@ func (s *Server) routes() {
 		s.handle("POST /v1/models/{model}/refresh", "refresh", s.handleRefresh)
 	}
 	// Observability rides on the same listener: Prometheus text of the
-	// server registry plus the process-wide one, pprof, expvar.
+	// server registry plus the process-wide one, pprof, expvar, and the
+	// completed-trace ring buffer.
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	obs.Handle(s.mux, s.reg, obs.Default())
+}
+
+// handleTraceList serves summaries of the most recent traces, newest
+// first (?n= bounds the count). The introspection endpoints bypass the
+// limiter and tracing so they stay usable while the service is
+// saturated — exactly when they are needed.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			s.writeError(w, badRequest("n must be a non-negative integer"))
+			return
+		}
+		n = v
+	}
+	recs := s.traces.Recent(n)
+	resp := TraceListResponse{Retained: s.traces.Len(), Capacity: s.traces.Cap(), Traces: []TraceSummary{}}
+	for i := range recs {
+		resp.Traces = append(resp.Traces, summarizeTrace(&recs[i]))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraceGet serves one retained trace as its full span-tree JSON.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.traces.Get(id)
+	if !ok {
+		s.writeError(w, notFound("trace %q not retained (buffer holds the most recent %d)", id, s.traces.Cap()))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rec)
+}
+
+func summarizeTrace(rec *obs.TraceRecord) TraceSummary {
+	return TraceSummary{
+		TraceID:    rec.TraceID,
+		Name:       rec.Name,
+		Start:      rec.Start,
+		DurationMS: float64(rec.DurationNS) / 1e6,
+		Status:     rec.Status,
+		Error:      rec.Error,
+		Sampled:    rec.Sampled,
+		Spans:      countSpans(&rec.Root),
+	}
+}
+
+func countSpans(s *obs.SpanSnapshot) int {
+	n := 1
+	for i := range s.Children {
+		n += countSpans(&s.Children[i])
+	}
+	return n
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -148,42 +243,121 @@ func notFound(format string, args ...any) error {
 // payload or an error (apiError for client errors).
 type handler func(w http.ResponseWriter, r *http.Request) (any, error)
 
-// handle wraps an endpoint with the production plumbing: the
-// concurrency limiter, the per-request timeout, status counters and a
-// per-endpoint latency histogram named xpdld_<name>_seconds.
+// statusWriter captures the status code a handler wrote so the
+// middleware can stamp it onto the trace and the logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// startTrace extracts-or-starts the request trace. A valid incoming
+// traceparent joins the caller's trace (its sampled flag is honored
+// as-is, so clients can force a recorded trace end to end); an absent
+// or malformed header starts a fresh trace sampled by the server's
+// head sampler. Malformed headers are deliberately ignored, never an
+// error: tracing must not fail a request.
+func (s *Server) startTrace(r *http.Request, name string) *obs.Trace {
+	var parent obs.SpanID
+	tc, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if err == nil {
+		parent = tc.SpanID
+		tc.SpanID = obs.NewSpanID()
+	} else {
+		tc = obs.TraceContext{
+			TraceID: obs.NewTraceID(),
+			SpanID:  obs.NewSpanID(),
+			Sampled: s.sampler.Sample(),
+		}
+	}
+	tr := obs.StartTrace(r.Method+" "+name, tc, parent)
+	tr.Span().SetAttr("path", r.URL.Path)
+	return tr
+}
+
+// finishRequest completes the per-request bookkeeping: the latency
+// observation carries the trace ID as an exemplar, sampled or errored
+// (5xx) traces are retained in the ring buffer, and requests above the
+// slow threshold earn a warn-level log line.
+func (s *Server) finishRequest(ctx context.Context, tr *obs.Trace, r *http.Request,
+	name string, status int, errMsg string, start time.Time, lat *obs.Histogram) {
+	dur := time.Since(start)
+	lat.ObserveExemplar(dur.Seconds(), tr.Context().TraceID.String())
+	if tr.Sampled() || status >= 500 {
+		s.traces.Add(tr.Finish(status, errMsg))
+		s.recorded.Inc()
+	}
+	durMS := float64(dur.Nanoseconds()) / 1e6
+	if s.slow > 0 && dur >= s.slow {
+		s.logger.Warn(ctx, "slow request", "method", r.Method, "endpoint", name,
+			"path", r.URL.Path, "status", status, "duration_ms", durMS)
+	} else {
+		s.logger.Debug(ctx, "request", "method", r.Method, "endpoint", name,
+			"path", r.URL.Path, "status", status, "duration_ms", durMS)
+	}
+}
+
+// handle wraps an endpoint with the production plumbing: per-request
+// tracing, the concurrency limiter, the per-request timeout, status
+// counters and a per-endpoint latency histogram named
+// xpdld_<name>_seconds (whose buckets carry trace-ID exemplars in the
+// OpenMetrics exposition).
 func (s *Server) handle(pattern, name string, h handler) {
 	lat := s.reg.Histogram("xpdld_"+name+"_seconds",
 		"Latency of the "+name+" endpoint in seconds.", nil)
+	shed := s.reg.CounterWith("xpdld_shed_total",
+		"Requests shed by the concurrency limiter, by endpoint.",
+		"endpoint", name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		start := time.Now()
+		tr := s.startTrace(r, name)
+		// The response always names its trace so clients (and the load
+		// generator) can correlate even server-sampled requests.
+		w.Header().Set("X-Xpdl-Trace", tr.Context().TraceID.String())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx, cancel := context.WithTimeout(obs.ContextWithTrace(r.Context(), tr), s.timeout)
 		defer cancel()
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		case <-ctx.Done():
 			s.rejected.Inc()
-			s.writeError(w, &apiError{status: http.StatusServiceUnavailable,
+			shed.Inc()
+			sw.Header().Set("Retry-After", "1")
+			s.writeError(sw, &apiError{status: http.StatusServiceUnavailable,
 				msg: "server saturated; retry later"})
+			s.finishRequest(ctx, tr, r, name, sw.status, "server saturated", start, lat)
 			return
 		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 
-		start := time.Now()
-		payload, err := h(w, r.WithContext(ctx))
-		lat.Observe(time.Since(start).Seconds())
+		payload, err := h(sw, r.WithContext(ctx))
+		var errMsg string
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.timeouts.Inc()
 				err = &apiError{status: http.StatusServiceUnavailable, msg: "request timed out"}
 			}
-			s.writeError(w, err)
-			return
+			errMsg = err.Error()
+			s.writeError(sw, err)
+		} else if payload != nil {
+			s.writeJSON(sw, http.StatusOK, payload)
 		}
-		if payload == nil {
-			return // handler wrote the response itself (tree, json)
-		}
-		s.writeJSON(w, http.StatusOK, payload)
+		s.finishRequest(ctx, tr, r, name, sw.status, errMsg, start, lat)
 	})
 }
 

@@ -108,10 +108,15 @@ func (l *ToolchainLoader) Load(ctx context.Context, systemID string) (*Snapshot,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sp := l.Span.Start("load")
+	// Attach under the request trace when one is active; the standalone
+	// Span field stays the fallback for untraced daemon bootstrap loads.
+	ctx, sp := obs.StartSpan(ctx, "load")
+	if sp == nil {
+		sp = l.Span.Start("load")
+	}
 	sp.SetAttr("system", systemID)
 	defer sp.Stop()
-	res, err := l.tc.Process(systemID)
+	res, err := l.tc.ProcessContext(ctx, systemID)
 	if err != nil {
 		return nil, fmt.Errorf("serve: load %s: %w", systemID, err)
 	}

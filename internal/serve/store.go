@@ -78,6 +78,7 @@ func (st *Store) Get(ctx context.Context, ident string) (*Snapshot, error) {
 	if e != nil {
 		if snap := e.snap.Load(); snap != nil {
 			mStoreHits.Inc()
+			obs.SpanFromContext(ctx).Event("store hit: %s gen %d", ident, snap.Gen)
 			st.touch(e)
 			return snap, nil
 		}
@@ -89,6 +90,9 @@ func (st *Store) Get(ctx context.Context, ident string) (*Snapshot, error) {
 // take its load mutex, and double-check that a concurrent loader has
 // not already published.
 func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.load")
+	sp.SetAttr("model", ident)
+	defer sp.Stop()
 	st.mu.Lock()
 	e := st.entries[ident]
 	if e == nil {
@@ -102,6 +106,7 @@ func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) 
 	defer e.loadMu.Unlock()
 	if snap := e.snap.Load(); snap != nil {
 		mStoreHits.Inc()
+		sp.Event("coalesced: a concurrent load already published gen %d", snap.Gen)
 		st.touch(e)
 		return snap, nil
 	}
@@ -124,6 +129,9 @@ func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) 
 // the revalidator drives. It reports whether a swap happened. A model
 // that is not resident is left alone (nothing to refresh).
 func (st *Store) Refresh(ctx context.Context, ident string) (bool, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.refresh")
+	sp.SetAttr("model", ident)
+	defer sp.Stop()
 	st.mu.RLock()
 	e := st.entries[ident]
 	st.mu.RUnlock()
@@ -143,6 +151,7 @@ func (st *Store) Refresh(ctx context.Context, ident string) (bool, error) {
 	}
 	if snap.Fingerprint == old.Fingerprint {
 		mStoreUnchanged.Inc()
+		sp.Event("fingerprint unchanged; keeping gen %d", old.Gen)
 		return false, nil
 	}
 	snap.Gen = st.gen.Add(1)

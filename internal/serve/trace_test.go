@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xpdl/internal/obs"
+)
+
+// newTestListener serves srv on an httptest listener.
+func newTestListener(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+var traceIDRe = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// spanNames flattens a span tree into "parent/child" paths.
+func spanNames(snap *obs.SpanSnapshot, prefix string, out map[string]bool) {
+	path := snap.Name
+	if prefix != "" {
+		path = prefix + "/" + snap.Name
+	}
+	out[path] = true
+	for i := range snap.Children {
+		spanNames(&snap.Children[i], path, out)
+	}
+}
+
+func getTrace(t *testing.T, baseURL, traceID string) obs.TraceRecord {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d", traceID, resp.StatusCode)
+	}
+	var rec obs.TraceRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestTraceEndToEnd drives a client-forced trace through a cold model
+// load and asserts the daemon retains one tree linking the client,
+// the HTTP handler, the store load and the toolchain phases.
+func TestTraceEndToEnd(t *testing.T) {
+	ts, c, _ := newHTTPStack(t, Config{}) // TraceSample 0: only the forced trace is retained
+	tr := obs.StartTrace("test-client", obs.TraceContext{
+		TraceID: obs.NewTraceID(),
+		SpanID:  obs.NewSpanID(),
+		Sampled: true,
+	}, obs.SpanID{})
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+
+	if _, err := c.Summary(ctx, "liu_gpu_server"); err != nil {
+		t.Fatal(err)
+	}
+	traceID := tr.Context().TraceID.String()
+	rec := getTrace(t, ts.URL, traceID)
+	if rec.TraceID != traceID {
+		t.Fatalf("TraceID = %s, want %s", rec.TraceID, traceID)
+	}
+	if !rec.Sampled || rec.Status != http.StatusOK {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.ParentSpanID != tr.Context().SpanID.String() {
+		t.Fatalf("ParentSpanID = %q, want the client span %s", rec.ParentSpanID, tr.Context().SpanID)
+	}
+	names := map[string]bool{}
+	spanNames(&rec.Root, "", names)
+	for _, want := range []string{
+		"client",
+		"client/GET summary",
+		"client/GET summary/store.load",
+		"client/GET summary/store.load/load",
+		"client/GET summary/store.load/load/process",
+		"client/GET summary/store.load/load/process/parse",
+		"client/GET summary/store.load/load/process/resolve",
+		"client/GET summary/store.load/load/process/emit",
+	} {
+		if !names[want] {
+			t.Fatalf("span %q missing; tree has %v", want, names)
+		}
+	}
+
+	// A second query hits the resident snapshot: the trace must exist
+	// but stay flat (no store.load child) and carry the hit event.
+	tr2 := obs.StartTrace("test-client", obs.TraceContext{
+		TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true,
+	}, obs.SpanID{})
+	if _, err := c.Summary(obs.ContextWithTrace(context.Background(), tr2), "liu_gpu_server"); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := getTrace(t, ts.URL, tr2.Context().TraceID.String())
+	names2 := map[string]bool{}
+	spanNames(&rec2.Root, "", names2)
+	if names2["client/GET summary/store.load"] {
+		t.Fatalf("warm query must not re-load: %v", names2)
+	}
+
+	// The trace list endpoint must summarize both.
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list TraceListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Retained < 2 || len(list.Traces) < 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Traces[0].Spans == 0 || list.Traces[0].TraceID == "" {
+		t.Fatalf("summary = %+v", list.Traces[0])
+	}
+}
+
+// TestMalformedTraceparentIgnored asserts the middleware never turns a
+// bad traceparent into an error: the request succeeds with a fresh
+// locally started trace.
+func TestMalformedTraceparentIgnored(t *testing.T) {
+	ts, _, _ := newHTTPStack(t, Config{TraceSample: 1})
+	bad := []string{
+		"not-a-traceparent",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		strings.Repeat("0-", 300),
+		"",
+	}
+	for _, h := range bad {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/models/liu_gpu_server/summary", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != "" {
+			req.Header.Set(obs.TraceparentHeader, h)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traceparent %q: status %d, want 200", h, resp.StatusCode)
+		}
+		id := resp.Header.Get("X-Xpdl-Trace")
+		if !traceIDRe.MatchString(id) {
+			t.Fatalf("traceparent %q: X-Xpdl-Trace = %q, want a fresh 32-hex trace ID", h, id)
+		}
+		if strings.Contains(h, id) {
+			t.Fatalf("traceparent %q: bad trace ID %q was adopted", h, id)
+		}
+	}
+}
+
+// TestValidTraceparentAdopted is the positive control: a well-formed
+// sampled header joins the caller's trace.
+func TestValidTraceparentAdopted(t *testing.T) {
+	ts, _, _ := newHTTPStack(t, Config{})
+	const parent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(obs.TraceparentHeader, parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Xpdl-Trace"); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("X-Xpdl-Trace = %q, want the propagated trace ID", got)
+	}
+	rec := getTrace(t, ts.URL, "0af7651916cd43dd8448eb211c80319c")
+	if rec.ParentSpanID != "b7ad6b7169203331" {
+		t.Fatalf("ParentSpanID = %q", rec.ParentSpanID)
+	}
+}
+
+// TestTracedRequestsUnderRace hammers a fully sampled server with
+// concurrent traced requests while other goroutines read the ring
+// buffer, asserting bounded retention and no torn records (run with
+// -race to exercise the synchronization).
+func TestTracedRequestsUnderRace(t *testing.T) {
+	loader := newStubLoader()
+	store := NewStore(loader, 0)
+	srv := NewServer(Config{Store: store, TraceSample: 1, MaxTraces: 64})
+	ts := newTestListener(t, srv)
+
+	const requests = 100
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers of the ring buffer and the list endpoint.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range srv.Traces().Recent(0) {
+					if rec.TraceID == "" || rec.Root.Name == "" {
+						t.Error("torn trace record observed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			model := fmt.Sprintf("m%d", i%8)
+			req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/models/"+model+"/summary", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+			req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	// Give readers a moment of overlap with the request storm, then
+	// wind everything down.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if got, cap := srv.Traces().Len(), srv.Traces().Cap(); got > cap {
+		t.Fatalf("ring buffer exceeded its bound: %d > %d", got, cap)
+	}
+	if srv.Traces().Total() < requests {
+		t.Fatalf("Total = %d, want >= %d (all requests were sampled)", srv.Traces().Total(), requests)
+	}
+	for _, rec := range srv.Traces().Recent(0) {
+		if rec.Root.Running {
+			t.Fatalf("retained trace still running: %+v", rec)
+		}
+		if rec.Status != http.StatusOK {
+			t.Fatalf("retained trace status = %d", rec.Status)
+		}
+	}
+}
+
+// TestShedSetsRetryAfterAndCountsPerEndpoint saturates a MaxInFlight=1
+// server with a slow loader and asserts sheds answer 503 with
+// Retry-After plus a per-endpoint counter in /metrics.
+func TestShedSetsRetryAfterAndCountsPerEndpoint(t *testing.T) {
+	loader := newStubLoader()
+	loader.delay = 300 * time.Millisecond
+	store := NewStore(loader, 0)
+	srv := NewServer(Config{
+		Store:          store,
+		MaxInFlight:    1,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	ts := newTestListener(t, srv)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var shedResp *http.Response
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Get(ts.URL + "/v1/models/slow/summary")
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				mu.Lock()
+				if shedResp == nil {
+					shedResp = resp
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shedResp == nil {
+		t.Fatal("no request was shed despite MaxInFlight=1 and a slow loader")
+	}
+	if ra := shedResp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 shed response missing Retry-After")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `xpdld_shed_total{endpoint="summary"}`) {
+		t.Fatalf("per-endpoint shed counter missing from /metrics:\n%s", sb.String())
+	}
+}
