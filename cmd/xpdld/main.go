@@ -25,6 +25,7 @@
 //	GET  .../element?ident=gpu1      element lookup by qualified name
 //	GET  .../select?q=//cache        selector evaluation (also POST)
 //	POST .../eval                    expression evaluation in the model env
+//	POST .../batch                   many select/eval ops, one round trip
 //	GET  .../energy?table=e5_isa&inst=divsd&ghz=3.0
 //	GET  .../transfer?channel=up_link&bytes=1048576
 //	POST .../dispatch                composition variant selection
@@ -54,6 +55,7 @@ import (
 
 	"xpdl/internal/core"
 	"xpdl/internal/obs"
+	"xpdl/internal/query"
 	"xpdl/internal/repo"
 	"xpdl/internal/serve"
 )
@@ -71,6 +73,7 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "on-disk descriptor cache for remote libraries (enables offline fallback)")
 		allowRef    = flag.Bool("allow-refresh", true, "expose POST /v1/models/{model}/refresh")
 		seed        = flag.Int64("seed", 1, "simulated-substrate seed for '?' calibration")
+		planCache   = flag.Int("plan-cache", 1024, "maximum cached compiled selector plans (0 disables plan caching)")
 		traceSample = flag.Float64("trace-sample", 0.1, "head-sampling probability for request traces (5xx always recorded; clients can force via traceparent)")
 		maxTraces   = flag.Int("max-traces", 256, "completed traces retained behind /debug/traces")
 		slowMS      = flag.Int("slow-ms", 500, "log a warn line for requests at least this slow, in milliseconds (0 disables)")
@@ -84,6 +87,7 @@ func main() {
 		fail(err)
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logFormat)
+	query.DefaultPlanCache().SetCapacity(*planCache)
 
 	opts := core.Options{
 		SearchPaths: splitList(*models),

@@ -7,6 +7,11 @@
 //
 //	xpdlload -addr http://localhost:8360 -model liu_gpu_server -c 8 -duration 10s
 //
+// Including "batch" in -mix drives the /batch endpoint instead of one
+// request per query: each batch request packs -batch N select/eval
+// operations (default 8), so N queries cost one HTTP round trip — the
+// amortized mode of EXPERIMENTS.md E17.
+//
 // With -trace-sample > 0 the given fraction of requests carries a
 // sampled W3C traceparent header, forcing the daemon to retain those
 // traces in /debug/traces; the report then names the slowest request's
@@ -40,14 +45,31 @@ type probe struct {
 	body   string
 }
 
-func probes(model string) map[string]probe {
+func probes(model string, batchOps int) map[string]probe {
 	return map[string]probe{
 		"summary": {"summary", http.MethodGet, "/summary", ""},
 		"element": {"element", http.MethodGet, "/element?ident=" + url.QueryEscape(model), ""},
 		"select":  {"select", http.MethodGet, "/select?q=" + url.QueryEscape("//core"), ""},
 		"eval":    {"eval", http.MethodPost, "/eval", `{"expr": "num_cores() >= 1"}`},
 		"tree":    {"tree", http.MethodGet, "/tree", ""},
+		"batch":   {"batch", http.MethodPost, "/batch", batchBody(batchOps)},
 	}
+}
+
+// batchBody builds a /batch payload of n select/eval operations — the
+// amortized client path the batch mode measures against the
+// one-request-per-query endpoints.
+func batchBody(n int) string {
+	selectors := []string{"//core", "//cache", "//device"}
+	ops := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			ops = append(ops, `{"op": "eval", "expr": "num_cores() >= 1"}`)
+		} else {
+			ops = append(ops, fmt.Sprintf(`{"op": "select", "selector": %q}`, selectors[i%len(selectors)]))
+		}
+	}
+	return `{"ops": [` + strings.Join(ops, ", ") + `]}`
 }
 
 type workerStats struct {
@@ -66,7 +88,8 @@ func main() {
 		model       = flag.String("model", "", "system model identifier to query (required)")
 		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
 		conc        = flag.Int("c", 4, "concurrent load workers")
-		mix         = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix")
+		mix         = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix (summary, element, select, eval, tree, batch)")
+		batchOps    = flag.Int("batch", 8, `select/eval operations per /batch request (the "batch" mix endpoint)`)
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests sent with a sampled traceparent (the daemon retains those traces)")
 	)
 	flag.Parse()
@@ -74,7 +97,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xpdlload: -model is required")
 		os.Exit(2)
 	}
-	all := probes(*model)
+	if *batchOps < 1 {
+		fmt.Fprintln(os.Stderr, "xpdlload: -batch must be at least 1")
+		os.Exit(2)
+	}
+	all := probes(*model, *batchOps)
 	var mixProbes []probe
 	for _, name := range strings.Split(*mix, ",") {
 		name = strings.TrimSpace(name)

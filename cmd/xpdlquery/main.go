@@ -27,6 +27,11 @@
 //	xpdlquery -rt liu.xrt eval "installed('CUBLAS') && num_cores() >= 4"
 //	xpdlquery -rt liu.xrt select "//cache[name=L3]"
 //	xpdlquery -rt liu.xrt json                # export the model as JSON
+//	xpdlquery explain "//cache[name=L3]"      # show the compiled query plan
+//
+// explain needs no model: it compiles the selector and prints one line
+// per segment with the strategy the executor uses (index lookups vs
+// tree walks), so slow selectors can be diagnosed without a server.
 package main
 
 import (
@@ -77,8 +82,20 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
 	trace := flag.Bool("trace", false, "with -remote: send a sampled traceparent so the daemon records the request; the trace ID is printed to stderr")
 	flag.Parse()
+	// explain is model-free: it only compiles the selector.
+	if flag.NArg() > 0 && flag.Arg(0) == "explain" {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("explain needs one selector argument"))
+		}
+		p, err := query.Compile(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(p.Describe())
+		return
+	}
 	if *rt == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery [-remote http://host:port] -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr>")
+		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery [-remote http://host:port] -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr|select sel|explain sel|json>")
 		os.Exit(2)
 	}
 	if *obsAddr != "" {

@@ -61,6 +61,11 @@ func TestRemoteBackendParity(t *testing.T) {
 		{"get", "gpu1", "static_power"},
 		{"select", "//device"},
 		{"select", "//cache"},
+		// Indexed fast-path shapes: (kind,name), id, and kind-scan
+		// lookups must print exactly what the walker would.
+		{"select", "//cache[name=L2]"},
+		{"select", "//device[id=gpu1]"},
+		{"select", "//core[frequency>=1e9]"},
 		{"eval", "installed('CUBLAS') && num_cores() >= 4"},
 		{"eval", "num_cores() * 2"},
 		{"json"},

@@ -1,0 +1,368 @@
+package query
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xpdl/internal/obs"
+)
+
+// Query-planning counters in the process-wide registry: how often the
+// hot select path reuses a compiled plan and answers from the
+// per-snapshot indexes instead of re-parsing and walking the tree.
+var (
+	mPlanCacheHits = obs.Default().Counter("xpdl_query_plan_cache_hits_total",
+		"Selector evaluations answered by a cached compiled plan.")
+	mPlanCacheMisses = obs.Default().Counter("xpdl_query_plan_cache_misses_total",
+		"Selector evaluations that compiled a fresh plan.")
+	mIndexBuilds = obs.Default().Counter("xpdl_query_index_builds_total",
+		"Per-snapshot selector index constructions (once per session).")
+	mIndexedSegments = obs.Default().Counter("xpdl_query_indexed_segments_total",
+		"Selector segments resolved by index lookup instead of a tree walk.")
+	mWalkedSegments = obs.Default().Counter("xpdl_query_walked_segments_total",
+		"Selector segments resolved by the general tree walker.")
+)
+
+// Plan is a compiled selector: the parse and predicate analysis happen
+// once at Compile time, so evaluating the same selector against many
+// snapshots (the xpdld hot path) costs no per-request front-end work.
+// A Plan is immutable and safe for concurrent use; it carries no model
+// state, so one Plan may run against any number of Sessions, including
+// across hot swaps.
+type Plan struct {
+	selector string
+	segs     []segment
+}
+
+// Compile parses a selector into a reusable plan. The grammar and
+// semantics are exactly those of Session.Select.
+func Compile(selector string) (*Plan, error) {
+	segs, err := parseSelector(selector)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{selector: selector, segs: segs}, nil
+}
+
+// Selector returns the source text the plan was compiled from.
+func (p *Plan) Selector() string { return p.selector }
+
+// Run evaluates the plan from the session root — the fast equivalent
+// of Session.Select with this plan's selector.
+func (p *Plan) Run(s *Session) ([]Elem, error) {
+	root := s.Root()
+	if !root.Valid() {
+		return nil, nil
+	}
+	return p.run(root, true), nil
+}
+
+// RunFrom evaluates the plan relative to an element, like Elem.Select.
+func (p *Plan) RunFrom(e Elem) ([]Elem, error) {
+	if !e.Valid() {
+		return nil, nil
+	}
+	return p.run(e, true), nil
+}
+
+// runWalker evaluates the plan using only the general tree walker,
+// never the indexes — the reference implementation the differential
+// tests and benchmarks compare the indexed path against.
+func (p *Plan) runWalker(e Elem) []Elem {
+	if !e.Valid() {
+		return nil
+	}
+	return p.run(e, false)
+}
+
+// run executes the compiled segments. useIndex gates the per-snapshot
+// index fast paths; both modes must produce identical results.
+func (p *Plan) run(from Elem, useIndex bool) []Elem {
+	current := []Elem{from}
+	for si := range p.segs {
+		sg := &p.segs[si]
+		var next []Elem
+		unique := false
+		if useIndex && si == 0 && sg.deep && from.idx == 0 && sg.kind != "*" {
+			next = sg.indexed(from.s)
+			unique = true
+			mIndexedSegments.Inc()
+		} else {
+			mWalkedSegments.Inc()
+			for _, cur := range current {
+				next = append(next, sg.apply(cur)...)
+			}
+		}
+		// Dedupe BEFORE applying a positional predicate: on "//" axes an
+		// element reachable through two ancestors must occupy one
+		// position, not shift the [N] numbering of everything after it
+		// (see TestSelectIndexAfterDedupe). Index results are unique and
+		// preorder-sorted by construction.
+		if !unique {
+			next = dedupe(next)
+		}
+		if sg.index >= 0 {
+			if sg.index < len(next) {
+				next = next[sg.index : sg.index+1]
+			} else {
+				next = nil
+			}
+		}
+		current = next
+	}
+	return current
+}
+
+// Describe renders the compiled plan one line per segment, naming the
+// strategy the executor uses when the plan runs from the model root —
+// the output of `xpdlquery explain`.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s\n", p.selector)
+	for i := range p.segs {
+		sg := &p.segs[i]
+		axis := "/"
+		if sg.deep {
+			axis = "//"
+		}
+		fmt.Fprintf(&b, "  seg %d: %s%s  strategy=%s\n", i, axis, sg.text(), sg.strategy(i == 0))
+	}
+	return b.String()
+}
+
+// text reconstructs the segment's source form.
+func (sg *segment) text() string {
+	out := sg.kind
+	switch {
+	case sg.index >= 0:
+		out += "[" + strconv.Itoa(sg.index) + "]"
+	case sg.hasPred:
+		out += "[" + sg.attr + sg.op + sg.value + "]"
+	}
+	return out
+}
+
+// strategy names how the executor resolves this segment when the plan
+// runs from the root element.
+func (sg *segment) strategy(first bool) string {
+	if !first || !sg.deep || sg.kind == "*" {
+		return "walk"
+	}
+	if !sg.hasPred {
+		return "index:kind"
+	}
+	if sg.op == "=" && !numericLiteral(sg.value) {
+		switch sg.attr {
+		case "name":
+			return "index:kind+name"
+		case "id":
+			return "index:id"
+		}
+	}
+	return "index:kind-scan"
+}
+
+// numericLiteral reports whether matchPred would treat the predicate
+// value as a number (and thus compare against attribute values rather
+// than the identity strings the maps are keyed by).
+func numericLiteral(v string) bool {
+	_, err := strconv.ParseFloat(v, 64)
+	return err == nil
+}
+
+// indexed resolves a deep first segment from the root via the
+// per-snapshot indexes. The returned elements are unique and in
+// preorder — exactly the walker's output for the same segment.
+func (sg *segment) indexed(s *Session) []Elem {
+	idx := s.indexes()
+	if sg.hasPred && sg.op == "=" && !numericLiteral(sg.value) {
+		switch sg.attr {
+		case "name":
+			return s.elemsOf(idx.byKindName[kindName{sg.kind, sg.value}])
+		case "id":
+			var out []Elem
+			for _, i := range idx.byID[sg.value] {
+				if i != 0 && s.m.Nodes[i].Kind == sg.kind {
+					out = append(out, Elem{s: s, idx: i, ok: true})
+				}
+			}
+			return out
+		}
+	}
+	candidates := idx.byKind[sg.kind]
+	if !sg.hasPred {
+		return s.elemsOf(candidates)
+	}
+	// General predicate: scan only this kind's elements, reusing the
+	// walker's matcher so the semantics cannot drift.
+	var out []Elem
+	for _, i := range candidates {
+		if i == 0 {
+			continue
+		}
+		e := Elem{s: s, idx: i, ok: true}
+		if sg.matchPred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// elemsOf materializes cursors for preorder node indices, skipping the
+// root: the walker never considers the element a selector starts from.
+func (s *Session) elemsOf(idxs []int32) []Elem {
+	var out []Elem
+	for _, i := range idxs {
+		if i == 0 {
+			continue
+		}
+		out = append(out, Elem{s: s, idx: i, ok: true})
+	}
+	return out
+}
+
+// ---- per-snapshot selector indexes ----
+
+type kindName struct{ kind, name string }
+
+// selIndex accelerates the common selector shapes over one immutable
+// model: kind → elements, (kind, name) → elements, id → elements. All
+// slices are in preorder, so indexed answers reproduce walker order.
+type selIndex struct {
+	byKind     map[string][]int32
+	byKindName map[kindName][]int32
+	byID       map[string][]int32
+}
+
+func buildSelIndex(s *Session) *selIndex {
+	idx := &selIndex{
+		byKind:     map[string][]int32{},
+		byKindName: map[kindName][]int32{},
+		byID:       map[string][]int32{},
+	}
+	for i := range s.m.Nodes {
+		n := &s.m.Nodes[i]
+		pi := int32(i)
+		idx.byKind[n.Kind] = append(idx.byKind[n.Kind], pi)
+		if n.Name != "" {
+			k := kindName{n.Kind, n.Name}
+			idx.byKindName[k] = append(idx.byKindName[k], pi)
+		}
+		if n.ID != "" {
+			idx.byID[n.ID] = append(idx.byID[n.ID], pi)
+		}
+	}
+	return idx
+}
+
+// indexes returns the session's selector indexes, building them on
+// first use. The build runs exactly once per session; the model is
+// immutable, so the result never changes.
+func (s *Session) indexes() *selIndex {
+	s.idxOnce.Do(func() {
+		s.idx = buildSelIndex(s)
+		mIndexBuilds.Inc()
+	})
+	return s.idx
+}
+
+// BuildIndexes eagerly constructs the per-snapshot selector indexes.
+// Serving layers call it at snapshot-load time so the first request
+// after a hot swap never pays the build; calling it again is free.
+func (s *Session) BuildIndexes() { s.indexes() }
+
+// ---- plan cache ----
+
+// PlanCache is a concurrency-safe bounded LRU of compiled plans keyed
+// by selector text. Plans carry no model state, so one cache serves
+// every snapshot — hot swaps never invalidate it.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used; values are *Plan
+}
+
+// NewPlanCache builds a cache bounded to max compiled plans (<= 0
+// disables caching: every Get compiles).
+func NewPlanCache(max int) *PlanCache {
+	return &PlanCache{max: max, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Get returns the compiled plan for a selector, compiling and caching
+// it on first use. Parse errors are returned without being cached.
+func (c *PlanCache) Get(selector string) (*Plan, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[selector]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*Plan)
+		c.mu.Unlock()
+		mPlanCacheHits.Inc()
+		return p, nil
+	}
+	c.mu.Unlock()
+	mPlanCacheMisses.Inc()
+	p, err := Compile(selector)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// A concurrent Get may have compiled the same selector; keep the
+	// resident one so repeated callers share a single Plan value.
+	if el, ok := c.entries[selector]; ok {
+		c.lru.MoveToFront(el)
+		p = el.Value.(*Plan)
+	} else if c.max > 0 {
+		c.entries[selector] = c.lru.PushFront(p)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return p, nil
+}
+
+// evictLocked trims the LRU down to the capacity. Caller holds mu.
+func (c *PlanCache) evictLocked() {
+	for c.max > 0 && len(c.entries) > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*Plan)
+		c.lru.Remove(back)
+		delete(c.entries, victim.selector)
+	}
+}
+
+// SetCapacity rebounds the cache, evicting least-recently-used plans
+// when shrinking. A capacity <= 0 disables caching and drops every
+// resident plan.
+func (c *PlanCache) SetCapacity(max int) {
+	c.mu.Lock()
+	c.max = max
+	if max <= 0 {
+		c.entries = map[string]*list.Element{}
+		c.lru.Init()
+	} else {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of resident compiled plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// defaultPlans backs Session.Select / Elem.Select; 1024 selectors is
+// far beyond any real client mix, and the LRU bound keeps adversarial
+// selector streams (fuzzers, scrapers) from growing it without limit.
+var defaultPlans = NewPlanCache(1024)
+
+// DefaultPlanCache returns the process-wide plan cache used by
+// Session.Select; daemons resize it via SetCapacity.
+func DefaultPlanCache() *PlanCache { return defaultPlans }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"xpdl/internal/expr"
 	"xpdl/internal/obs"
@@ -41,9 +42,13 @@ var (
 
 // Session is an initialized runtime query environment over one loaded
 // platform model. It is immutable after Init and safe for concurrent
-// use.
+// use. Selector indexes (see BuildIndexes) are constructed lazily at
+// most once and never change afterwards.
 type Session struct {
 	m *rtmodel.Model
+
+	idxOnce sync.Once
+	idx     *selIndex
 }
 
 // Init loads the runtime model file produced by the XPDL processing

@@ -26,6 +26,23 @@ import (
 //	//device[type=Nvidia_K20c]
 //	//core[frequency>=2e9]
 //	//power_domain[enableSwitchOff=false]
+//
+// Positional predicates apply across the combined, deduplicated match
+// list of their segment, matching how users count results.
+//
+// Comparison semantics: when the predicate value parses as a number,
+// the attribute's normalized numeric value (or its raw string, if that
+// parses) is compared numerically. Otherwise "=" and "!=" compare the
+// raw strings exactly. The ordered operators (<, <=, >, >=) are
+// defined only over numbers: when either side is non-numeric the
+// predicate is false — never an error. A missing attribute matches
+// "!=" against any value and fails every other operator.
+//
+// Selectors are compiled once into a Plan and cached in the bounded
+// process-wide DefaultPlanCache, and sessions answer the common deep
+// shapes (//kind, //kind[name=…], //kind[id=…], //kind[attr op v])
+// from per-snapshot hash indexes instead of tree walks; results are
+// identical to the walker's in content and order.
 func (s *Session) Select(selector string) ([]Elem, error) {
 	root := s.Root()
 	if !root.Valid() {
@@ -38,28 +55,11 @@ func (s *Session) Select(selector string) ([]Elem, error) {
 // Session.Select for the grammar.
 func (e Elem) Select(selector string) ([]Elem, error) {
 	mSelectorEvals.Inc()
-	segs, err := parseSelector(selector)
+	p, err := defaultPlans.Get(selector)
 	if err != nil {
 		return nil, err
 	}
-	current := []Elem{e}
-	for _, sg := range segs {
-		var next []Elem
-		for _, cur := range current {
-			next = append(next, sg.apply(cur)...)
-		}
-		// Positional predicates apply across the combined match list,
-		// matching how users count results.
-		if sg.index >= 0 {
-			if sg.index < len(next) {
-				next = next[sg.index : sg.index+1]
-			} else {
-				next = nil
-			}
-		}
-		current = dedupe(next)
-	}
-	return current, nil
+	return p.RunFrom(e)
 }
 
 // SelectOne returns the single element matched by the selector; it
@@ -212,6 +212,13 @@ func (sg segment) apply(from Elem) []Elem {
 	return out
 }
 
+// matchPred evaluates the segment's attribute predicate against one
+// element. The semantics are total — no input combination errors:
+//
+//   - numeric value, numeric attribute  → numeric comparison
+//   - otherwise, "="/"!="               → exact raw-string comparison
+//   - otherwise, ordered op (<, >=, …)  → false (non-numeric side)
+//   - missing attribute                 → true only for "!="
 func (sg segment) matchPred(x Elem) bool {
 	// Identity pseudo-attributes first.
 	var str string
@@ -247,7 +254,10 @@ func (sg segment) matchPred(x Elem) bool {
 	case "!=":
 		return str != sg.value
 	default:
-		return false // ordered comparison on non-numeric strings
+		// Ordered comparison where either side is non-numeric: the
+		// predicate is simply false, never an error — selectors must
+		// stay total over arbitrary models.
+		return false
 	}
 }
 

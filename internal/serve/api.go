@@ -93,6 +93,36 @@ type EvalResponse struct {
 	Text string  `json:"text"`
 }
 
+// BatchOp is one operation inside a /batch request: a selector
+// evaluation (op "select", using Selector/Limit) or an expression
+// evaluation (op "eval", using Expr/Vars).
+type BatchOp struct {
+	Op       string         `json:"op"`
+	Selector string         `json:"selector,omitempty"`
+	Limit    int            `json:"limit,omitempty"`
+	Expr     string         `json:"expr,omitempty"`
+	Vars     map[string]any `json:"vars,omitempty"`
+}
+
+// BatchRequest executes many select/eval operations against one
+// consistent snapshot in a single round trip.
+type BatchRequest struct {
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchResult answers one BatchOp: exactly one of Select, Eval or
+// Error is populated.
+type BatchResult struct {
+	Select *SelectResponse `json:"select,omitempty"`
+	Eval   *EvalResponse   `json:"eval,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse carries one result per requested operation, in order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
 // SummaryResponse is the derived-analysis roll-up of one model.
 type SummaryResponse struct {
 	Cores        int      `json:"cores"`

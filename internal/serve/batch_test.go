@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestBatchEndpoint(t *testing.T) {
+	_, c, _ := newHTTPStack(t, Config{})
+	ctx := context.Background()
+	const m = "liu_gpu_server"
+
+	t.Run("mixed ops against one snapshot", func(t *testing.T) {
+		resp, err := c.Batch(ctx, m, BatchRequest{Ops: []BatchOp{
+			{Op: "select", Selector: "//device"},
+			{Op: "eval", Expr: "num_cores() >= 4"},
+			{Op: "select", Selector: "//core", Limit: 3},
+			{Op: "select", Selector: "//cache["}, // in-band parse error
+			{Op: "flush"},                        // in-band unknown op
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 5 {
+			t.Fatalf("results = %d, want 5", len(resp.Results))
+		}
+		if r := resp.Results[0]; r.Select == nil || r.Select.Count < 1 || r.Select.Elements[0].Kind != "device" {
+			t.Fatalf("select result = %+v", r)
+		}
+		if r := resp.Results[1]; r.Eval == nil || r.Eval.Kind != "bool" || !r.Eval.Bool {
+			t.Fatalf("eval result = %+v", r)
+		}
+		if r := resp.Results[2]; r.Select == nil || len(r.Select.Elements) != 3 || r.Select.Count <= 3 {
+			t.Fatalf("limited select result = %+v", r)
+		}
+		if r := resp.Results[3]; r.Select != nil || r.Error == "" {
+			t.Fatalf("bad selector result = %+v", r)
+		}
+		if r := resp.Results[4]; r.Error == "" || !strings.Contains(r.Error, "flush") {
+			t.Fatalf("unknown op result = %+v", r)
+		}
+	})
+
+	t.Run("batched select matches the single endpoint", func(t *testing.T) {
+		single, err := c.Select(ctx, m, "//cache[name=L2]", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := c.Batch(ctx, m, BatchRequest{Ops: []BatchOp{
+			{Op: "select", Selector: "//cache[name=L2]"},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batched.Results[0].Select
+		if got == nil || got.Count != single.Count || len(got.Elements) != len(single.Elements) {
+			t.Fatalf("batched %+v != single %+v", got, single)
+		}
+		for i := range got.Elements {
+			if got.Elements[i] != single.Elements[i] {
+				t.Fatalf("element %d: batched %+v != single %+v", i, got.Elements[i], single.Elements[i])
+			}
+		}
+	})
+
+	t.Run("envelope errors are request errors", func(t *testing.T) {
+		if _, err := c.Batch(ctx, m, BatchRequest{}); !isStatus(err, http.StatusBadRequest) {
+			t.Fatalf("empty ops: %v", err)
+		}
+		big := BatchRequest{Ops: make([]BatchOp, maxBatchOps+1)}
+		for i := range big.Ops {
+			big.Ops[i] = BatchOp{Op: "select", Selector: "//core"}
+		}
+		if _, err := c.Batch(ctx, m, big); !isStatus(err, http.StatusBadRequest) {
+			t.Fatalf("oversized batch: %v", err)
+		}
+		if _, err := c.Batch(ctx, "no_such_model", BatchRequest{Ops: []BatchOp{
+			{Op: "select", Selector: "//core"},
+		}}); !isStatus(err, http.StatusNotFound) {
+			t.Fatalf("unknown model: %v", err)
+		}
+	})
+}
+
+func isStatus(err error, status int) bool {
+	se, ok := err.(*apiStatusError)
+	return ok && se.Status == status
+}

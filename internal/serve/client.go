@@ -158,6 +158,15 @@ func (c *Client) Eval(ctx context.Context, ident, expression string, vars map[st
 	return out, err
 }
 
+// Batch executes many select/eval operations against one consistent
+// snapshot in a single round trip. Per-operation failures come back
+// in-band in the matching BatchResult.
+func (c *Client) Batch(ctx context.Context, ident string, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/batch", nil, req, &out, nil)
+	return out, err
+}
+
 // EnergyTable lists an instruction-energy table.
 func (c *Client) EnergyTable(ctx context.Context, ident, table string) (EnergyResponse, error) {
 	var out EnergyResponse

@@ -44,8 +44,11 @@ func FuzzRequestDecoder(f *testing.F) {
 	f.Add(`{"vars": {"x": {"deep": [1,2,3]}}}`)
 	f.Add(`{"variants": [{"name": "a", "cost": "1 +"}]}`)
 	f.Add(strings.Repeat(`{"expr":"`, 200))
+	f.Add(`{"ops": [{"op": "select", "selector": "//core"}, {"op": "eval", "expr": "1"}]}`)
+	f.Add(`{"ops": [{"op": "nope"}]}`)
+	f.Add(`{"ops": "not an array"}`)
 	f.Fuzz(func(t *testing.T, body string) {
-		for _, path := range []string{"/eval", "/select", "/dispatch"} {
+		for _, path := range []string{"/eval", "/select", "/dispatch", "/batch"} {
 			fuzzDo(t, srv, http.MethodPost, "/v1/models/m"+path, body)
 		}
 	})

@@ -75,6 +75,15 @@ func (l *stubLoader) Load(ctx context.Context, ident string) (*Snapshot, error) 
 	}
 	comp := &model.Component{Kind: "system", ID: ident}
 	comp.SetAttr("v", model.Attr{Raw: fmt.Sprintf("%d", v)})
+	// Version-tied children: every core is named "c<v>", so an indexed
+	// select against the current version detects stale per-snapshot
+	// indexes (an old index would miss the new name entirely).
+	for i := 0; i < 4; i++ {
+		core := model.New("core")
+		core.ID = fmt.Sprintf("%s-core%d-v%d", ident, i, v)
+		core.Name = fmt.Sprintf("c%d", v)
+		comp.Children = append(comp.Children, core)
+	}
 	return &Snapshot{
 		Ident:       ident,
 		Fingerprint: fmt.Sprintf("fp-%s-%d", ident, v),

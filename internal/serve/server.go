@@ -29,6 +29,7 @@ const (
 	maxVars         = 256
 	maxVariants     = 128
 	maxSelectLimit  = 100000
+	maxBatchOps     = 256 // select/eval operations per /batch request
 )
 
 // Config tunes the query service.
@@ -151,6 +152,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/models/{model}/select", "select", s.handleSelectGet)
 	s.handle("POST /v1/models/{model}/select", "select", s.handleSelectPost)
 	s.handle("POST /v1/models/{model}/eval", "eval", s.handleEval)
+	s.handle("POST /v1/models/{model}/batch", "batch", s.handleBatch)
 	s.handle("GET /v1/models/{model}/energy", "energy", s.handleEnergy)
 	s.handle("GET /v1/models/{model}/transfer", "transfer", s.handleTransfer)
 	s.handle("POST /v1/models/{model}/dispatch", "dispatch", s.handleDispatch)
@@ -504,16 +506,16 @@ func checkSelector(sel string) error {
 	return nil
 }
 
-func (s *Server) runSelect(snap *Snapshot, sel string, limit int) (any, error) {
+func (s *Server) runSelect(snap *Snapshot, sel string, limit int) (SelectResponse, error) {
 	if err := checkSelector(sel); err != nil {
-		return nil, err
+		return SelectResponse{}, err
 	}
 	if limit < 0 || limit > maxSelectLimit {
-		return nil, badRequest("limit must be in [0, %d]", maxSelectLimit)
+		return SelectResponse{}, badRequest("limit must be in [0, %d]", maxSelectLimit)
 	}
 	elems, err := snap.Session.Select(sel)
 	if err != nil {
-		return nil, badRequest("selector: %v", err)
+		return SelectResponse{}, badRequest("selector: %v", err)
 	}
 	resp := SelectResponse{Count: len(elems), Elements: []ElementRef{}}
 	if limit > 0 && len(elems) > limit {
@@ -537,7 +539,11 @@ func (s *Server) handleSelectGet(w http.ResponseWriter, r *http.Request) (any, e
 			return nil, badRequest("limit: %v", err)
 		}
 	}
-	return s.runSelect(snap, r.URL.Query().Get("q"), limit)
+	resp, err := s.runSelect(snap, r.URL.Query().Get("q"), limit)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 func (s *Server) handleSelectPost(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -549,7 +555,32 @@ func (s *Server) handleSelectPost(w http.ResponseWriter, r *http.Request) (any, 
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
 	}
-	return s.runSelect(snap, req.Selector, req.Limit)
+	resp, err := s.runSelect(snap, req.Selector, req.Limit)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Server) runEval(snap *Snapshot, req EvalRequest) (EvalResponse, error) {
+	if req.Expr == "" {
+		return EvalResponse{}, badRequest("missing expr")
+	}
+	if len(req.Expr) > maxExprBytes {
+		return EvalResponse{}, badRequest("expr longer than %d bytes", maxExprBytes)
+	}
+	if len(req.Vars) > maxVars {
+		return EvalResponse{}, badRequest("more than %d vars", maxVars)
+	}
+	vars, err := toExprVars(req.Vars)
+	if err != nil {
+		return EvalResponse{}, badRequest("%v", err)
+	}
+	v, err := expr.Eval(req.Expr, snap.Session.Env(vars))
+	if err != nil {
+		return EvalResponse{}, badRequest("eval: %v", err)
+	}
+	return evalResponseOf(v), nil
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -561,24 +592,57 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) (any, error)
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
 	}
-	if req.Expr == "" {
-		return nil, badRequest("missing expr")
-	}
-	if len(req.Expr) > maxExprBytes {
-		return nil, badRequest("expr longer than %d bytes", maxExprBytes)
-	}
-	if len(req.Vars) > maxVars {
-		return nil, badRequest("more than %d vars", maxVars)
-	}
-	vars, err := toExprVars(req.Vars)
+	resp, err := s.runEval(snap, req)
 	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, err
 	}
-	v, err := expr.Eval(req.Expr, snap.Session.Env(vars))
+	return resp, nil
+}
+
+// handleBatch executes many select/eval operations against one
+// consistent snapshot in a single round trip — the amortized client
+// path (cmd/xpdlload -batch). Per-operation failures are reported
+// in-band per result; the request itself fails only on malformed or
+// oversized envelopes, so one bad selector cannot void its siblings.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, error) {
+	snap, err := s.snapshot(w, r)
 	if err != nil {
-		return nil, badRequest("eval: %v", err)
+		return nil, err
 	}
-	return evalResponseOf(v), nil
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Ops) == 0 {
+		return nil, badRequest("missing ops")
+	}
+	if len(req.Ops) > maxBatchOps {
+		return nil, badRequest("more than %d ops", maxBatchOps)
+	}
+	resp := BatchResponse{Results: make([]BatchResult, len(req.Ops))}
+	for i := range req.Ops {
+		op := &req.Ops[i]
+		res := &resp.Results[i]
+		switch op.Op {
+		case "select":
+			sel, err := s.runSelect(snap, op.Selector, op.Limit)
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			res.Select = &sel
+		case "eval":
+			ev, err := s.runEval(snap, EvalRequest{Expr: op.Expr, Vars: op.Vars})
+			if err != nil {
+				res.Error = err.Error()
+				continue
+			}
+			res.Eval = &ev
+		default:
+			res.Error = fmt.Sprintf("unknown op %q (want \"select\" or \"eval\")", op.Op)
+		}
+	}
+	return resp, nil
 }
 
 func evalResponseOf(v expr.Value) EvalResponse {

@@ -198,6 +198,99 @@ func TestSwapStressHTTP(t *testing.T) {
 		requests.Load(), swaps, swapsSeen.Load())
 }
 
+// TestSwapStressIndexedSelect: the plan-cache + hot-swap interaction.
+// Plans are model-free and shared across swaps, but selector indexes
+// are per-snapshot — a swapped snapshot must never answer from indexes
+// built on the old tree. Each stub snapshot names its 4 cores "c<v>",
+// so an indexed (kind,name) lookup against the snapshot's own version
+// must return exactly those cores; stale indexes would return the old
+// generation's elements or nothing. 100 readers race 50 swaps; run
+// with -race.
+func TestSwapStressIndexedSelect(t *testing.T) {
+	const (
+		readers = 100
+		swaps   = 50
+	)
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := st.Get(ctx, "m")
+				if err != nil {
+					errs <- err
+					return
+				}
+				v, ok := snap.Session.Root().GetString("v")
+				if !ok {
+					errs <- fmt.Errorf("snapshot %s has no v attribute", snap.Ident)
+					return
+				}
+				// Indexed (kind,name) lookup keyed to this snapshot's own
+				// version: the cached plan must run against THIS session's
+				// indexes, not a previous generation's.
+				elems, err := snap.Session.Select("//core[name=c" + v + "]")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(elems) != 4 {
+					errs <- fmt.Errorf("v=%s: indexed select matched %d cores, want 4 (stale index?)", v, len(elems))
+					return
+				}
+				for _, e := range elems {
+					if e.Name() != "c"+v {
+						errs <- fmt.Errorf("v=%s: indexed select returned core named %q", v, e.Name())
+						return
+					}
+				}
+				// And the plain kind index agrees with the tree size.
+				all, err := snap.Session.Select("//core")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(all) != 4 {
+					errs <- fmt.Errorf("v=%s: //core matched %d, want 4", v, len(all))
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < swaps; i++ {
+		l.bumpVersion("m")
+		swapped, err := st.Refresh(ctx, "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !swapped {
+			t.Fatalf("swap %d: changed model was not swapped", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 // TestSwapKeepsInFlightSnapshot: a handler that resolved its snapshot
 // keeps answering from it even if a swap and an eviction land while
 // the request is in flight — the old snapshot is immutable and only
