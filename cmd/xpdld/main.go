@@ -34,6 +34,18 @@
 //	GET  /debug/traces               recent completed request traces
 //	GET  /debug/traces/{id}          one trace's full span tree as JSON
 //
+// Every /v1 endpoint speaks two wire protocols. The default is
+// pretty-printed JSON. A client that sends
+// `Accept: application/x-xpdl-bin` gets the same answer as a
+// length-prefixed binary frame with interned strings (the runtime
+// model format's envelope) — cheaper to produce and parse, served
+// from pre-serialized per-snapshot buffers on the hot endpoints
+// (summary, tree, json, element). Negotiation is opt-in only: absent,
+// */* or application/json Accept headers get byte-identical JSON, so
+// existing clients never see a change. serve.Client speaks either
+// protocol (Client.Proto), and `xpdlquery -remote` rides the binary
+// one by default.
+//
 // Every request is traced: an incoming W3C traceparent header joins
 // the caller's trace, otherwise -trace-sample decides whether the
 // fresh trace is retained. 5xx responses are always retained. The

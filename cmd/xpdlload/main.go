@@ -1,7 +1,7 @@
 // Command xpdlload drives synthetic query load against a running
 // xpdld and reports throughput and latency percentiles — the
-// measurement half of the serving experiments (EXPERIMENTS.md E15/E16)
-// and the smoke probe of the CI serve job.
+// measurement half of the serving experiments (EXPERIMENTS.md
+// E15/E16/E17/E18) and the smoke probe of the CI serve job.
 //
 // Usage:
 //
@@ -12,20 +12,28 @@
 // operations (default 8), so N queries cost one HTTP round trip — the
 // amortized mode of EXPERIMENTS.md E17.
 //
+// -proto selects the wire protocol: "json" (default), "bin" (negotiate
+// application/x-xpdl-bin answers), or "both" (alternate per request
+// and report a per-protocol breakdown — the comparison mode of
+// EXPERIMENTS.md E18). In binary mode every 2xx response's
+// Content-Type is verified; a mismatch counts as a protocol error and
+// fails the run.
+//
 // With -trace-sample > 0 the given fraction of requests carries a
 // sampled W3C traceparent header, forcing the daemon to retain those
 // traces in /debug/traces; the report then names the slowest request's
 // trace ID so the worst latency of a run can be explained span by span.
 //
 // The exit status is 0 only when the run saw at least one 2xx response
-// and no transport errors, so scripts can assert "the daemon actually
-// served load" with a plain `xpdlload && ...`.
+// and no transport or protocol errors, so scripts can assert "the
+// daemon actually served load" with a plain `xpdlload && ...`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"os"
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"xpdl/internal/obs"
+	"xpdl/internal/serve"
 )
 
 // probe is one endpoint of the load mix.
@@ -72,10 +81,21 @@ func batchBody(n int) string {
 	return `{"ops": [` + strings.Join(ops, ", ") + `]}`
 }
 
-type workerStats struct {
+// protoStats aggregates one wire protocol's share of a run.
+type protoStats struct {
 	latencies []time.Duration
 	byCode    map[int]int // exact status code -> count
 	transport int         // request errors (connect, timeout)
+	mismatch  int         // 2xx answers with the wrong Content-Type
+	bytes     int64       // response body bytes read
+}
+
+func newProtoStats() *protoStats {
+	return &protoStats{byCode: map[int]int{}}
+}
+
+type workerStats struct {
+	perProto map[string]*protoStats
 
 	slowest      time.Duration
 	slowestProbe string
@@ -90,6 +110,7 @@ func main() {
 		conc        = flag.Int("c", 4, "concurrent load workers")
 		mix         = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix (summary, element, select, eval, tree, batch)")
 		batchOps    = flag.Int("batch", 8, `select/eval operations per /batch request (the "batch" mix endpoint)`)
+		proto       = flag.String("proto", "json", `wire protocol: "json", "bin", or "both" (alternate and report per-protocol)`)
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests sent with a sampled traceparent (the daemon retains those traces)")
 	)
 	flag.Parse()
@@ -99,6 +120,16 @@ func main() {
 	}
 	if *batchOps < 1 {
 		fmt.Fprintln(os.Stderr, "xpdlload: -batch must be at least 1")
+		os.Exit(2)
+	}
+	var protos []string
+	switch *proto {
+	case "json", "bin":
+		protos = []string{*proto}
+	case "both":
+		protos = []string{"json", "bin"}
+	default:
+		fmt.Fprintf(os.Stderr, "xpdlload: -proto must be json, bin or both (got %q)\n", *proto)
 		os.Exit(2)
 	}
 	all := probes(*model, *batchOps)
@@ -132,20 +163,28 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			st := &stats[w]
-			st.byCode = map[int]int{}
+			st.perProto = map[string]*protoStats{}
+			for _, pr := range protos {
+				st.perProto[pr] = newProtoStats()
+			}
 			for i := 0; time.Now().Before(deadline); i++ {
 				p := mixProbes[(i+w)%len(mixProbes)]
+				pr := protos[i%len(protos)]
+				ps := st.perProto[pr]
 				var body io.Reader
 				if p.body != "" {
 					body = strings.NewReader(p.body)
 				}
 				req, err := http.NewRequest(p.method, base+p.path, body)
 				if err != nil {
-					st.transport++
+					ps.transport++
 					continue
 				}
 				if p.body != "" {
 					req.Header.Set("Content-Type", "application/json")
+				}
+				if pr == "bin" {
+					req.Header.Set("Accept", serve.ContentTypeBinary)
 				}
 				if sampler.Sample() {
 					tc := obs.TraceContext{
@@ -158,13 +197,19 @@ func main() {
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				if err != nil {
-					st.transport++
+					ps.transport++
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
+				n, _ := io.Copy(io.Discard, resp.Body)
 				lat := time.Since(t0)
-				st.latencies = append(st.latencies, lat)
-				st.byCode[resp.StatusCode]++
+				ps.latencies = append(ps.latencies, lat)
+				ps.byCode[resp.StatusCode]++
+				ps.bytes += n
+				if pr == "bin" && resp.StatusCode/100 == 2 {
+					if mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type")); mt != serve.ContentTypeBinary {
+						ps.mismatch++
+					}
+				}
 				if lat > st.slowest {
 					st.slowest = lat
 					st.slowestProbe = p.name
@@ -177,17 +222,31 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all2xx, transport int
+	// Merge per-worker stats, overall and per protocol.
+	merged := map[string]*protoStats{}
+	for _, pr := range protos {
+		merged[pr] = newProtoStats()
+	}
+	var all2xx, transport, mismatch int
 	var lats []time.Duration
 	byCode := map[int]int{}
 	var slowest workerStats
 	for _, st := range stats {
-		lats = append(lats, st.latencies...)
-		transport += st.transport
-		for code, n := range st.byCode {
-			byCode[code] += n
-			if code/100 == 2 {
-				all2xx += n
+		for pr, ps := range st.perProto {
+			m := merged[pr]
+			m.latencies = append(m.latencies, ps.latencies...)
+			m.transport += ps.transport
+			m.mismatch += ps.mismatch
+			m.bytes += ps.bytes
+			transport += ps.transport
+			mismatch += ps.mismatch
+			lats = append(lats, ps.latencies...)
+			for code, n := range ps.byCode {
+				m.byCode[code] += n
+				byCode[code] += n
+				if code/100 == 2 {
+					all2xx += n
+				}
 			}
 		}
 		if st.slowest > slowest.slowest {
@@ -202,8 +261,8 @@ func main() {
 	sort.Ints(codes)
 
 	total := len(lats)
-	fmt.Printf("xpdlload: %d requests in %s (%.0f req/s), %d workers, mix %s\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *conc, *mix)
+	fmt.Printf("xpdlload: %d requests in %s (%.0f req/s), %d workers, mix %s, proto %s\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *conc, *mix, *proto)
 	for _, code := range codes {
 		line := fmt.Sprintf("  %d %s: %d", code, http.StatusText(code), byCode[code])
 		fmt.Println(strings.TrimRight(line, " "))
@@ -211,9 +270,29 @@ func main() {
 	if transport > 0 {
 		fmt.Printf("  transport errors: %d\n", transport)
 	}
+	if mismatch > 0 {
+		fmt.Printf("  protocol errors (wrong Content-Type): %d\n", mismatch)
+	}
 	if total > 0 {
 		fmt.Printf("  latency: p50 %s  p90 %s  p99 %s  max %s\n",
 			pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[total-1])
+	}
+	// Per-protocol breakdown: the E18 comparison. Printed whenever the
+	// binary protocol is in play, even alone, so scripts can always
+	// scrape the "proto bin:" line in -proto bin runs.
+	if len(protos) > 1 || protos[0] == "bin" {
+		for _, pr := range protos {
+			m := merged[pr]
+			sort.Slice(m.latencies, func(i, j int) bool { return m.latencies[i] < m.latencies[j] })
+			n := len(m.latencies)
+			if n == 0 {
+				fmt.Printf("  proto %s: 0 requests\n", pr)
+				continue
+			}
+			avg := m.bytes / int64(n)
+			fmt.Printf("  proto %s: %d requests (%.0f req/s), p50 %s  p99 %s, avg %d B/resp\n",
+				pr, n, float64(n)/elapsed.Seconds(), pct(m.latencies, 50), pct(m.latencies, 99), avg)
+		}
 	}
 	if slowest.slowest > 0 {
 		line := fmt.Sprintf("  slowest: %s on %s", slowest.slowest, slowest.slowestProbe)
@@ -228,6 +307,10 @@ func main() {
 	}
 	if transport > 0 {
 		fmt.Fprintln(os.Stderr, "xpdlload: FAIL: transport errors")
+		os.Exit(1)
+	}
+	if mismatch > 0 {
+		fmt.Fprintln(os.Stderr, "xpdlload: FAIL: protocol errors")
 		os.Exit(1)
 	}
 }

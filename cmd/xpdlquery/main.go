@@ -16,6 +16,11 @@
 //
 //	xpdlquery -remote http://localhost:8360 -rt liu_gpu_server cores
 //
+// Remote queries ride the daemon's binary protocol
+// (application/x-xpdl-bin) by default — the answers are the same, the
+// wire is cheaper. -proto json falls back to the JSON API, e.g. when
+// talking to an older daemon.
+//
 // Usage:
 //
 //	xpdlquery -rt liu.xrt tree                # print the model tree
@@ -78,6 +83,7 @@ type backend interface {
 func main() {
 	rt := flag.String("rt", "", "runtime model file (.xrt), http(s) URL, or — with -remote — a system model identifier")
 	remote := flag.String("remote", "", "base URL of a running xpdld; queries are answered by the daemon")
+	proto := flag.String("proto", "bin", `with -remote: wire protocol, "bin" (default) or "json"`)
 	metrics := flag.Bool("metrics", false, "print the metrics registry (lookup/selector counters) after the command")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
 	trace := flag.Bool("trace", false, "with -remote: send a sampled traceparent so the daemon records the request; the trace ID is printed to stderr")
@@ -114,6 +120,15 @@ func main() {
 	}
 	var b backend
 	if *remote != "" {
+		var clientProto serve.Proto
+		switch *proto {
+		case "bin":
+			clientProto = serve.ProtoBinary
+		case "json":
+			clientProto = serve.ProtoJSON
+		default:
+			fail(fmt.Errorf("-proto must be bin or json (got %q)", *proto))
+		}
 		ctx := context.Background()
 		if *trace {
 			// A client-side trace forces the daemon to record the request
@@ -130,9 +145,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpdlquery: trace %s (fetch %s/debug/traces/%s)\n",
 				tr.Context().TraceID, *remote, tr.Context().TraceID)
 		}
+		client := serve.NewClient(*remote)
+		client.Proto = clientProto
 		b = &remoteBackend{
 			ctx:    ctx,
-			client: serve.NewClient(*remote),
+			client: client,
 			model:  *rt,
 		}
 	} else {

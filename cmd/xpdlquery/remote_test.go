@@ -45,11 +45,6 @@ func TestRemoteBackendParity(t *testing.T) {
 	srv := serve.NewServer(serve.Config{Store: serve.NewStore(loader, 0)})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
-	remote := &remoteBackend{
-		ctx:    context.Background(),
-		client: serve.NewClient(ts.URL),
-		model:  system,
-	}
 
 	commands := [][]string{
 		{"tree"},
@@ -70,21 +65,34 @@ func TestRemoteBackendParity(t *testing.T) {
 		{"eval", "num_cores() * 2"},
 		{"json"},
 	}
-	for _, args := range commands {
-		var lout, rout bytes.Buffer
-		if err := run(local, &lout, args); err != nil {
-			t.Fatalf("local %v: %v", args, err)
-		}
-		if err := run(remote, &rout, args); err != nil {
-			t.Fatalf("remote %v: %v", args, err)
-		}
-		if lout.String() != rout.String() {
-			t.Errorf("command %v: local and remote output differ\nlocal:\n%s\nremote:\n%s",
-				args, lout.String(), rout.String())
-		}
-		if lout.Len() == 0 {
-			t.Errorf("command %v produced no output", args)
-		}
+	// Both wire protocols must print exactly what the in-process
+	// session prints — the binary ride-along is invisible to scripts.
+	for name, proto := range map[string]serve.Proto{"json": serve.ProtoJSON, "bin": serve.ProtoBinary} {
+		t.Run(name, func(t *testing.T) {
+			client := serve.NewClient(ts.URL)
+			client.Proto = proto
+			remote := &remoteBackend{
+				ctx:    context.Background(),
+				client: client,
+				model:  system,
+			}
+			for _, args := range commands {
+				var lout, rout bytes.Buffer
+				if err := run(local, &lout, args); err != nil {
+					t.Fatalf("local %v: %v", args, err)
+				}
+				if err := run(remote, &rout, args); err != nil {
+					t.Fatalf("remote %v: %v", args, err)
+				}
+				if lout.String() != rout.String() {
+					t.Errorf("command %v: local and remote output differ\nlocal:\n%s\nremote:\n%s",
+						args, lout.String(), rout.String())
+				}
+				if lout.Len() == 0 {
+					t.Errorf("command %v produced no output", args)
+				}
+			}
+		})
 	}
 }
 

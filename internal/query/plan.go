@@ -235,6 +235,10 @@ type selIndex struct {
 	byKind     map[string][]int32
 	byKindName map[kindName][]int32
 	byID       map[string][]int32
+	// paths holds every node's slash-separated identifier path, built
+	// once per immutable model so Elem.Path on the serving hot path is
+	// a slice load instead of an ancestor walk with string joins.
+	paths []string
 }
 
 func buildSelIndex(s *Session) *selIndex {
@@ -242,6 +246,7 @@ func buildSelIndex(s *Session) *selIndex {
 		byKind:     map[string][]int32{},
 		byKindName: map[kindName][]int32{},
 		byID:       map[string][]int32{},
+		paths:      make([]string, len(s.m.Nodes)),
 	}
 	for i := range s.m.Nodes {
 		n := &s.m.Nodes[i]
@@ -253,6 +258,19 @@ func buildSelIndex(s *Session) *selIndex {
 		}
 		if n.ID != "" {
 			idx.byID[n.ID] = append(idx.byID[n.ID], pi)
+		}
+		// Nodes are stored in preorder (parents precede children, which
+		// the loader enforces), so the parent path is always computed.
+		ident := n.Ident()
+		switch {
+		case n.Parent < 0 || n.Parent >= pi:
+			idx.paths[i] = ident
+		case ident == "":
+			idx.paths[i] = idx.paths[n.Parent]
+		case idx.paths[n.Parent] == "":
+			idx.paths[i] = ident
+		default:
+			idx.paths[i] = idx.paths[n.Parent] + "/" + ident
 		}
 	}
 	return idx

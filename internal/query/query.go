@@ -100,11 +100,11 @@ func (s *Session) Root() Elem {
 // Find locates an element by identifier anywhere in the model.
 func (s *Session) Find(ident string) (Elem, bool) {
 	mLookups.Inc()
-	n, ok := s.m.Lookup(ident)
+	i, ok := s.m.LookupIndex(ident)
 	if !ok {
 		return Elem{}, false
 	}
-	return Elem{s: s, idx: s.m.IndexOf(n), ok: true}, true
+	return Elem{s: s, idx: i, ok: true}, true
 }
 
 // Valid reports whether the cursor points at an element.
@@ -189,24 +189,11 @@ func (e Elem) walk(fn func(Elem) bool) {
 	}
 }
 
-// Path returns the slash-separated identifier path from the root.
+// Path returns the slash-separated identifier path from the root. The
+// per-model path table is built with the selector indexes on first
+// use, so the serving hot path answers from it without allocating.
 func (e Elem) Path() string {
-	var parts []string
-	cur := e
-	for {
-		if id := cur.Ident(); id != "" {
-			parts = append(parts, id)
-		}
-		p, ok := cur.Parent()
-		if !ok {
-			break
-		}
-		cur = p
-	}
-	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
-		parts[i], parts[j] = parts[j], parts[i]
-	}
-	return strings.Join(parts, "/")
+	return e.s.indexes().paths[e.idx]
 }
 
 // ---- Attribute getters (category 3) ----

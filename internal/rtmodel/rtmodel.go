@@ -130,6 +130,17 @@ func (m *Model) Lookup(ident string) (*Node, bool) {
 	return &m.Nodes[i], true
 }
 
+// LookupIndex finds a node's preorder index by identifier — the same
+// map lookup as Lookup without the follow-up linear IndexOf scan that
+// a caller holding only the *Node would need.
+func (m *Model) LookupIndex(ident string) (int32, bool) {
+	if m.index == nil {
+		m.buildIndex()
+	}
+	i, ok := m.index[ident]
+	return i, ok
+}
+
 func (m *Model) buildIndex() {
 	m.index = make(map[string]int32, len(m.Nodes))
 	for i := range m.Nodes {
@@ -365,8 +376,11 @@ func Load(in io.Reader) (*Model, error) {
 	if nstr > maxStrings {
 		return nil, fmt.Errorf("rtmodel: implausible string table size %d", nstr)
 	}
-	table := make([]string, nstr)
-	for i := range table {
+	// Capacity is capped independently of the declared count so a forged
+	// header cannot make Load allocate ahead of the bytes it actually
+	// parses; the slice grows only as real entries arrive.
+	table := make([]string, 0, min(nstr, 4096))
+	for i := uint64(0); i < nstr; i++ {
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
@@ -378,7 +392,7 @@ func Load(in io.Reader) (*Model, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, err
 		}
-		table[i] = string(buf)
+		table = append(table, string(buf))
 	}
 	str := func(id uint64) (string, error) {
 		if id >= uint64(len(table)) {
@@ -393,9 +407,10 @@ func Load(in io.Reader) (*Model, error) {
 	if nnodes > 1<<26 {
 		return nil, fmt.Errorf("rtmodel: implausible node count %d", nnodes)
 	}
-	m := &Model{Nodes: make([]Node, nnodes)}
-	for i := range m.Nodes {
-		n := &m.Nodes[i]
+	m := &Model{Nodes: make([]Node, 0, min(nnodes, 4096))}
+	for i := uint64(0); i < nnodes; i++ {
+		m.Nodes = append(m.Nodes, Node{})
+		n := &m.Nodes[len(m.Nodes)-1]
 		ids := make([]uint64, 4)
 		for j := range ids {
 			if ids[j], err = binary.ReadUvarint(br); err != nil {
@@ -418,6 +433,13 @@ func Load(in io.Reader) (*Model, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Nodes are written in preorder: every parent precedes its
+		// children, the root (index 0) carrying -1. Consumers (path
+		// tables, ancestor walks) rely on that invariant, so a file
+		// violating it is malformed, not merely unusual.
+		if parent < -1 || parent >= int64(i) {
+			return nil, fmt.Errorf("rtmodel: node %d has out-of-preorder parent %d", i, parent)
+		}
 		n.Parent = int32(parent)
 		nattrs, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -426,15 +448,15 @@ func Load(in io.Reader) (*Model, error) {
 		if nattrs > 1<<20 {
 			return nil, fmt.Errorf("rtmodel: implausible attr count %d", nattrs)
 		}
-		n.Attrs = make([]Attr, nattrs)
-		for j := range n.Attrs {
+		n.Attrs = make([]Attr, 0, min(nattrs, 64))
+		for j := uint64(0); j < nattrs; j++ {
 			var refs [5]uint64
 			for k := range refs {
 				if refs[k], err = binary.ReadUvarint(br); err != nil {
 					return nil, err
 				}
 			}
-			a := &n.Attrs[j]
+			var a Attr
 			if a.Name, err = str(refs[0]); err != nil {
 				return nil, err
 			}
@@ -451,6 +473,7 @@ func Load(in io.Reader) (*Model, error) {
 				return nil, err
 			}
 			a.Value = math.Float64frombits(binary.LittleEndian.Uint64(fbuf[:]))
+			n.Attrs = append(n.Attrs, a)
 		}
 		nprops, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -459,13 +482,14 @@ func Load(in io.Reader) (*Model, error) {
 		if nprops > 1<<20 {
 			return nil, fmt.Errorf("rtmodel: implausible prop count %d", nprops)
 		}
-		n.Props = make([]Prop, nprops)
-		for j := range n.Props {
+		n.Props = make([]Prop, 0, min(nprops, 64))
+		for j := uint64(0); j < nprops; j++ {
+			var p Prop
 			nameID, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
 			}
-			if n.Props[j].Name, err = str(nameID); err != nil {
+			if p.Name, err = str(nameID); err != nil {
 				return nil, err
 			}
 			nkv, err := binary.ReadUvarint(br)
@@ -489,8 +513,9 @@ func Load(in io.Reader) (*Model, error) {
 				if err != nil {
 					return nil, err
 				}
-				n.Props[j].KVs = append(n.Props[j].KVs, [2]string{ks, vs})
+				p.KVs = append(p.KVs, [2]string{ks, vs})
 			}
+			n.Props = append(n.Props, p)
 		}
 		nchildren, err := binary.ReadUvarint(br)
 		if err != nil {

@@ -1,0 +1,216 @@
+package rtmodel
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWirePrimitivesRoundTrip(t *testing.T) {
+	var e Enc
+	e.Uvarint(0)
+	e.Uvarint(1<<63 + 17)
+	e.Varint(-12345)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Bool(true)
+	e.Bool(false)
+	e.String("core")
+	e.String("")      // empty string
+	e.String("core")  // back-reference
+	e.String("cache") // new entry
+	e.String("")      // empty back-reference
+
+	d := NewDec(e.Buf)
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != 1<<63+17 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := d.Varint(); got != -12345 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("f64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("f64 = %v, want -Inf", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("bool = true, want false")
+	}
+	for i, want := range []string{"core", "", "core", "cache", ""} {
+		if got := d.String(); got != want {
+			t.Errorf("string %d = %q, want %q", i, got, want)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestWireStringInterningSavesBytes(t *testing.T) {
+	var interned, raw Enc
+	for i := 0; i < 100; i++ {
+		interned.String("a-repeated-identifier")
+	}
+	raw.String("a-repeated-identifier")
+	if len(interned.Buf) >= 100+len(raw.Buf) {
+		t.Fatalf("interning saved nothing: %d bytes for 100 repeats (one costs %d)",
+			len(interned.Buf), len(raw.Buf))
+	}
+}
+
+func TestWireLongStringsNotInterned(t *testing.T) {
+	long := strings.Repeat("x", MaxInternLen+1)
+	var e Enc
+	e.String(long)
+	e.String(long)
+	e.String("short")
+	e.String("short")
+	d := NewDec(e.Buf)
+	if got := d.String(); got != long {
+		t.Fatal("first long string corrupted")
+	}
+	if got := d.String(); got != long {
+		t.Fatal("second long string corrupted")
+	}
+	if got := d.String(); got != "short" {
+		t.Fatalf("short = %q", got)
+	}
+	if got := d.String(); got != "short" {
+		t.Fatalf("short back-ref = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireEncReset(t *testing.T) {
+	var e Enc
+	e.String("alpha")
+	e.Reset()
+	e.String("beta")
+	d := NewDec(e.Buf)
+	if got := d.String(); got != "beta" || d.Err() != nil {
+		t.Fatalf("after reset: %q, %v", got, d.Err())
+	}
+}
+
+func TestWireDecoderRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(d *Dec)
+		in   []byte
+	}{
+		{"truncated uvarint", func(d *Dec) { d.Uvarint() }, []byte{0x80}},
+		{"truncated f64", func(d *Dec) { d.F64() }, []byte{1, 2, 3}},
+		{"bad bool", func(d *Dec) { d.Bool() }, []byte{7}},
+		{"string past end", func(d *Dec) { _ = d.String() }, []byte{0x81}}, // len 64, no bytes
+		{"backref into empty table", func(d *Dec) { _ = d.String() }, []byte{0x02}},
+		{"count past end", func(d *Dec) { d.Count(1000) }, []byte{0xC8, 0x01}}, // 100 > remaining
+	}
+	for _, tc := range cases {
+		d := NewDec(tc.in)
+		tc.run(d)
+		if !errors.Is(d.Err(), ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", tc.name, d.Err())
+		}
+	}
+}
+
+func TestWireDecoderErrorIsSticky(t *testing.T) {
+	d := NewDec([]byte{7}) // invalid bool
+	d.Bool()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.Uvarint()
+	_ = d.String()
+	if d.Err() != first {
+		t.Fatalf("error changed: %v -> %v", first, d.Err())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello payload")
+	b := AppendWireHeader(nil)
+	b = AppendFrame(b, 7, payload)
+	tt, got, rest, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt != 7 || !bytes.Equal(got, payload) || len(rest) != 0 {
+		t.Fatalf("decoded (%d, %q, %d trailing)", tt, got, len(rest))
+	}
+}
+
+func TestPutHeadersMatchAppend(t *testing.T) {
+	payload := []byte{9, 9, 9}
+	appended := AppendWireHeader(nil)
+	appended = AppendFrame(appended, 3, payload)
+
+	var hb [MaxFrameHeader]byte
+	n := PutWireHeader(hb[:])
+	n += PutFrameHeader(hb[n:], 3, len(payload))
+	split := append(append([]byte{}, hb[:n]...), payload...)
+	if !bytes.Equal(appended, split) {
+		t.Fatalf("split header encoding differs:\n%x\n%x", appended, split)
+	}
+}
+
+func TestDecodeEnvelopeErrors(t *testing.T) {
+	valid := AppendFrame(AppendWireHeader(nil), 1, []byte("ok"))
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     {WireMagic0},
+		"bad magic":        {'Z', 'B', WireVersion, 1, 0},
+		"bad version":      {WireMagic0, WireMagic1, 99, 1, 0},
+		"missing frame":    {WireMagic0, WireMagic1, WireVersion},
+		"truncated length": {WireMagic0, WireMagic1, WireVersion, 1, 0x80},
+		"length past end":  {WireMagic0, WireMagic1, WireVersion, 1, 0x7F},
+		"truncated body":   valid[:len(valid)-1],
+	}
+	for name, in := range cases {
+		if _, _, _, err := DecodeEnvelope(in); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: err = %v, want ErrWire", name, err)
+		}
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	b := AppendFrame(nil, 1, []byte("one"))
+	b = AppendFrame(b, 2, []byte("two"))
+	b = AppendFrame(b, 3, nil)
+	want := []struct {
+		t FrameType
+		p string
+	}{{1, "one"}, {2, "two"}, {3, ""}}
+	for i, w := range want {
+		var (
+			tt  FrameType
+			p   []byte
+			err error
+		)
+		tt, p, b, err = DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if tt != w.t || string(p) != w.p {
+			t.Fatalf("frame %d = (%d, %q), want (%d, %q)", i, tt, p, w.t, w.p)
+		}
+	}
+	if len(b) != 0 {
+		t.Fatalf("%d trailing bytes", len(b))
+	}
+}

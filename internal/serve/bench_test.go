@@ -60,3 +60,51 @@ func BenchmarkServeEval(b *testing.B) {
 		benchDo(b, srv, http.MethodPost, "/v1/models/myriad_standalone/eval", body)
 	}
 }
+
+// benchProtoDo drives one request with an optional binary-protocol
+// negotiation.
+func benchProtoDo(b *testing.B, srv *Server, method, target, body string, bin bool) {
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if bin {
+		req.Header.Set("Accept", ContentTypeBinary)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s %s: status %d", method, target, rec.Code)
+	}
+}
+
+// BenchmarkServeBinary measures the binary protocol's serving hot
+// paths against the classic JSON ones — the numbers behind the alloc
+// budget in testdata/alloc_budget.json and CI's BENCH_6.json gate.
+func BenchmarkServeBinary(b *testing.B) {
+	srv, _ := newModelServer(b, Config{})
+	cases := []struct {
+		name, method, target, body string
+		bin                        bool
+	}{
+		{"summary-json", http.MethodGet, "/v1/models/myriad_standalone/summary", "", false},
+		{"summary-bin", http.MethodGet, "/v1/models/myriad_standalone/summary", "", true},
+		{"select-json", http.MethodGet, "/v1/models/myriad_standalone/select?q=%2F%2Fcore", "", false},
+		{"select-bin", http.MethodGet, "/v1/models/myriad_standalone/select?q=%2F%2Fcore", "", true},
+		{"element-json", http.MethodGet, "/v1/models/myriad_standalone/element?ident=myriad_standalone", "", false},
+		{"element-bin", http.MethodGet, "/v1/models/myriad_standalone/element?ident=myriad_standalone", "", true},
+		{"batch-bin", http.MethodPost, "/v1/models/myriad_standalone/batch",
+			`{"ops": [{"op": "select", "selector": "//core"}, {"op": "eval", "expr": "num_cores()"}]}`, true},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			benchProtoDo(b, srv, c.method, c.target, c.body, c.bin)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchProtoDo(b, srv, c.method, c.target, c.body, c.bin)
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// Client-level parity: every typed Client method must return deeply
+// equal results over both protocols, and error answers must carry the
+// same status and message. This exercises the real negotiation path —
+// Accept header out, Content-Type verification back — end to end over
+// HTTP, complementing the handler-level byte parity suite.
+func TestClientProtocolParity(t *testing.T) {
+	srv, _ := newModelServer(t, Config{AllowRefresh: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	jc := NewClient(ts.URL)
+	bc := NewClient(ts.URL)
+	bc.Proto = ProtoBinary
+	ctx := context.Background()
+	const m = "myriad_standalone"
+
+	// both runs a call against each client and asserts agreement.
+	both := func(name string, call func(c *Client) (any, error)) {
+		t.Helper()
+		jv, jerr := call(jc)
+		bv, berr := call(bc)
+		if (jerr == nil) != (berr == nil) {
+			t.Fatalf("%s: JSON err %v, binary err %v", name, jerr, berr)
+		}
+		if jerr != nil {
+			var js, bs *apiStatusError
+			if !errors.As(jerr, &js) || !errors.As(berr, &bs) {
+				t.Fatalf("%s: unexpected error types: %T / %T", name, jerr, berr)
+			}
+			if *js != *bs {
+				t.Fatalf("%s: error mismatch: %v vs %v", name, js, bs)
+			}
+			return
+		}
+		if !reflect.DeepEqual(jv, bv) {
+			t.Fatalf("%s: results differ\nJSON:   %#v\nbinary: %#v", name, jv, bv)
+		}
+	}
+
+	both("Health", func(c *Client) (any, error) { return c.Health(ctx) })
+	both("Model", func(c *Client) (any, error) { return c.Model(ctx, m) })
+	both("Models", func(c *Client) (any, error) { return c.Models(ctx) })
+	both("Summary", func(c *Client) (any, error) { return c.Summary(ctx, m) })
+	both("Element", func(c *Client) (any, error) { return c.Element(ctx, m, m) })
+	both("Element miss", func(c *Client) (any, error) { return c.Element(ctx, m, "nope") })
+	both("Select", func(c *Client) (any, error) { return c.Select(ctx, m, "//core", 0) })
+	both("Select error", func(c *Client) (any, error) { return c.Select(ctx, m, "//core[", 0) })
+	both("Eval", func(c *Client) (any, error) { return c.Eval(ctx, m, "num_cores()", nil) })
+	both("Batch", func(c *Client) (any, error) {
+		return c.Batch(ctx, m, BatchRequest{Ops: []BatchOp{
+			{Op: "select", Selector: "//core", Limit: 2},
+			{Op: "eval", Expr: "num_cores() * 2"},
+			{Op: "eval", Expr: "broken("},
+		}})
+	})
+	both("EnergyTable miss", func(c *Client) (any, error) { return c.EnergyTable(ctx, m, "none") })
+	both("Transfer miss", func(c *Client) (any, error) { return c.Transfer(ctx, m, "none", 1, 1) })
+	both("Dispatch", func(c *Client) (any, error) {
+		return c.Dispatch(ctx, m, DispatchRequest{Variants: []VariantJSON{
+			{Name: "a", Selectable: "num_cores() > 0", Cost: "2"},
+			{Name: "b", Selectable: "true", Cost: "1"},
+		}})
+	})
+	both("Refresh", func(c *Client) (any, error) { return c.Refresh(ctx, m) })
+
+	// Raw endpoints: the streamed bytes must be identical.
+	var jt, bt bytes.Buffer
+	if err := jc.Tree(ctx, m, &jt); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Tree(ctx, m, &bt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jt.Bytes(), bt.Bytes()) {
+		t.Fatal("Tree: streamed bytes differ between protocols")
+	}
+	jt.Reset()
+	bt.Reset()
+	if err := jc.JSON(ctx, m, &jt); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.JSON(ctx, m, &bt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jt.Bytes(), bt.Bytes()) {
+		t.Fatal("JSON: streamed bytes differ between protocols")
+	}
+}
+
+// TestClientContentTypeMismatch is the regression test for the client
+// trusting whatever bytes came back: a response whose Content-Type
+// does not match the negotiated protocol must fail with a typed
+// ContentTypeError before any decoding happens.
+func TestClientContentTypeMismatch(t *testing.T) {
+	serveAs := func(ct, body string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", ct)
+			fmt.Fprint(w, body)
+		}))
+	}
+	wantMismatch := func(t *testing.T, err error, want string) {
+		t.Helper()
+		var cte *ContentTypeError
+		if !errors.As(err, &cte) {
+			t.Fatalf("got %v (%T), want *ContentTypeError", err, err)
+		}
+		if cte.Want != want {
+			t.Fatalf("ContentTypeError.Want = %q, want %q", cte.Want, want)
+		}
+	}
+	ctx := context.Background()
+
+	t.Run("json client, html answer", func(t *testing.T) {
+		ts := serveAs("text/html; charset=utf-8", "<html>captive portal</html>")
+		defer ts.Close()
+		_, err := NewClient(ts.URL).Summary(ctx, "m")
+		wantMismatch(t, err, "application/json")
+	})
+	t.Run("json client, binary answer", func(t *testing.T) {
+		ts := serveAs(ContentTypeBinary, "XB\x01...")
+		defer ts.Close()
+		_, err := NewClient(ts.URL).Summary(ctx, "m")
+		wantMismatch(t, err, "application/json")
+	})
+	t.Run("json client, binary answer on raw endpoint", func(t *testing.T) {
+		ts := serveAs(ContentTypeBinary, "XB\x01...")
+		defer ts.Close()
+		var buf bytes.Buffer
+		err := NewClient(ts.URL).Tree(ctx, "m", &buf)
+		wantMismatch(t, err, "application/json")
+		if buf.Len() != 0 {
+			t.Fatalf("sink received %d bytes from a mismatched response", buf.Len())
+		}
+	})
+	t.Run("binary client, json answer", func(t *testing.T) {
+		ts := serveAs("application/json; charset=utf-8", `{"cores": 4}`)
+		defer ts.Close()
+		c := NewClient(ts.URL)
+		c.Proto = ProtoBinary
+		_, err := c.Summary(ctx, "m")
+		wantMismatch(t, err, ContentTypeBinary)
+	})
+	t.Run("binary client, text answer on raw endpoint", func(t *testing.T) {
+		ts := serveAs("text/plain; charset=utf-8", "system m\n")
+		defer ts.Close()
+		c := NewClient(ts.URL)
+		c.Proto = ProtoBinary
+		var buf bytes.Buffer
+		err := c.Tree(ctx, "m", &buf)
+		wantMismatch(t, err, ContentTypeBinary)
+		if buf.Len() != 0 {
+			t.Fatalf("sink received %d bytes from a mismatched response", buf.Len())
+		}
+	})
+}

@@ -1,0 +1,535 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xpdl/internal/rtmodel"
+)
+
+// Binary protocol layer: frame-type assignments and hand-written
+// codecs for every wire struct in api.go. A binary response is one
+// rtmodel wire envelope (magic + version + frame) whose payload is the
+// frame-type-specific encoding below. The binary form is an exact
+// re-encoding of the JSON answer: the differential parity suite
+// asserts that decoding a binary response yields a struct deeply equal
+// to the JSON answer for the same request, field for field.
+//
+// Encoding conventions (mirrored by every codec so parity holds):
+//
+//   - Slices behind JSON fields WITHOUT omitempty (SelectResponse.
+//     Elements, SummaryResponse.Installed, ...) decode to non-nil
+//     empty slices, matching what encoding/json produces for "[]".
+//   - Slices and maps behind omitempty fields decode to nil when
+//     empty, matching a JSON answer that omitted the key.
+//   - time.Time travels as its RFC3339Nano rendering — the exact
+//     string encoding/json marshals.
+//   - Maps encode with sorted keys, so the encoding is deterministic
+//     and pre-serialized bytes are stable for a given answer.
+//   - Decoders ignore trailing payload bytes: a newer server may
+//     append fields, and an older client still reads its prefix.
+const (
+	frameError rtmodel.FrameType = iota
+	frameSummary
+	frameSelect
+	frameEval
+	frameElement
+	frameEnergy
+	frameTransfer
+	frameDispatch
+	frameBatch
+	frameModels
+	frameModelInfo
+	frameHealth
+	frameRefresh
+	// Raw frames wrap a byte-stream answer (text tree, JSON export)
+	// unchanged, so sink-style endpoints ride the same envelope.
+	frameRawTree
+	frameRawJSON
+)
+
+// ContentTypeBinary is the negotiated media type of the binary query
+// protocol. Clients opt in with "Accept: application/x-xpdl-bin";
+// responses carry it as Content-Type.
+const ContentTypeBinary = "application/x-xpdl-bin"
+
+// binaryMessage is implemented by every wire struct that travels as a
+// binary frame. decodeFrom must tolerate trailing bytes (forward
+// compatibility) and return the decoder's first error.
+type binaryMessage interface {
+	frame() rtmodel.FrameType
+	encodeTo(e *rtmodel.Enc)
+	decodeFrom(d *rtmodel.Dec) error
+}
+
+// binaryMessageOf maps a handler's payload value to its binary codec;
+// ok is false for payloads that have no binary form (none today).
+func binaryMessageOf(v any) (binaryMessage, bool) {
+	switch t := v.(type) {
+	case SummaryResponse:
+		return &t, true
+	case SelectResponse:
+		return &t, true
+	case EvalResponse:
+		return &t, true
+	case ElementJSON:
+		return &t, true
+	case EnergyResponse:
+		return &t, true
+	case TransferResponse:
+		return &t, true
+	case DispatchResponse:
+		return &t, true
+	case BatchResponse:
+		return &t, true
+	case ModelsResponse:
+		return &t, true
+	case ModelInfo:
+		return &t, true
+	case HealthResponse:
+		return &t, true
+	case RefreshResponse:
+		return &t, true
+	case ErrorResponse:
+		return &t, true
+	default:
+		return nil, false
+	}
+}
+
+// ---- shared helpers ----
+
+func encStrings(e *rtmodel.Enc, ss []string) {
+	e.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// decStrings decodes a string list for a non-omitempty field: empty
+// decodes as a non-nil empty slice (JSON "[]" parity).
+func decStrings(d *rtmodel.Dec) []string {
+	n := d.Count(rtmodel.MaxWireCount)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// decStringsOmit decodes a string list for an omitempty field: empty
+// decodes as nil (omitted-key parity).
+func decStringsOmit(d *rtmodel.Dec) []string {
+	n := d.Count(rtmodel.MaxWireCount)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func encTime(e *rtmodel.Enc, t time.Time) {
+	e.String(t.Format(time.RFC3339Nano))
+}
+
+func decTime(d *rtmodel.Dec) time.Time {
+	s := d.String()
+	if d.Err() != nil {
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// ---- per-message codecs ----
+
+func (m *ErrorResponse) frame() rtmodel.FrameType { return frameError }
+
+func (m *ErrorResponse) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Error)
+}
+
+func (m *ErrorResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Error = d.String()
+	return d.Err()
+}
+
+func (m *SummaryResponse) frame() rtmodel.FrameType { return frameSummary }
+
+func (m *SummaryResponse) encodeTo(e *rtmodel.Enc) {
+	e.Uvarint(uint64(m.Cores))
+	e.Uvarint(uint64(m.CUDADevices))
+	e.F64(m.StaticPowerW)
+	encStrings(e, m.Installed)
+}
+
+func (m *SummaryResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Cores = int(d.Uvarint())
+	m.CUDADevices = int(d.Uvarint())
+	m.StaticPowerW = d.F64()
+	m.Installed = decStrings(d)
+	return d.Err()
+}
+
+func encRef(e *rtmodel.Enc, r *ElementRef) {
+	e.String(r.Kind)
+	e.String(r.Ident)
+	e.String(r.Path)
+}
+
+func decRef(d *rtmodel.Dec, r *ElementRef) {
+	r.Kind = d.String()
+	r.Ident = d.String()
+	r.Path = d.String()
+}
+
+func (m *SelectResponse) frame() rtmodel.FrameType { return frameSelect }
+
+func (m *SelectResponse) encodeTo(e *rtmodel.Enc) {
+	e.Uvarint(uint64(m.Count))
+	e.Uvarint(uint64(len(m.Elements)))
+	for i := range m.Elements {
+		encRef(e, &m.Elements[i])
+	}
+}
+
+func (m *SelectResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Count = int(d.Uvarint())
+	n := d.Count(rtmodel.MaxWireCount)
+	m.Elements = make([]ElementRef, n)
+	for i := range m.Elements {
+		decRef(d, &m.Elements[i])
+	}
+	return d.Err()
+}
+
+func (m *EvalResponse) frame() rtmodel.FrameType { return frameEval }
+
+func (m *EvalResponse) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Kind)
+	e.F64(m.Num)
+	e.Bool(m.Bool)
+	e.String(m.Str)
+	e.String(m.Text)
+}
+
+func (m *EvalResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Kind = d.String()
+	m.Num = d.F64()
+	m.Bool = d.Bool()
+	m.Str = d.String()
+	m.Text = d.String()
+	return d.Err()
+}
+
+func encAttr(e *rtmodel.Enc, a *AttrJSON) {
+	e.String(a.Raw)
+	if a.Value != nil {
+		e.Bool(true)
+		e.F64(*a.Value)
+	} else {
+		e.Bool(false)
+	}
+	e.String(a.Unit)
+	e.String(a.Display)
+	e.Bool(a.Unknown)
+}
+
+func decAttr(d *rtmodel.Dec, a *AttrJSON) {
+	a.Raw = d.String()
+	if d.Bool() {
+		v := d.F64()
+		a.Value = &v
+	}
+	a.Unit = d.String()
+	a.Display = d.String()
+	a.Unknown = d.Bool()
+}
+
+func (m *ElementJSON) frame() rtmodel.FrameType { return frameElement }
+
+func (m *ElementJSON) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Kind)
+	e.String(m.ID)
+	e.String(m.Name)
+	e.String(m.Type)
+	e.String(m.Path)
+	keys := make([]string, 0, len(m.Attrs))
+	for k := range m.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.String(k)
+		a := m.Attrs[k]
+		encAttr(e, &a)
+	}
+	e.Uvarint(uint64(len(m.Children)))
+	for i := range m.Children {
+		encRef(e, &m.Children[i])
+	}
+}
+
+func (m *ElementJSON) decodeFrom(d *rtmodel.Dec) error {
+	m.Kind = d.String()
+	m.ID = d.String()
+	m.Name = d.String()
+	m.Type = d.String()
+	m.Path = d.String()
+	if n := d.Count(rtmodel.MaxWireCount); n > 0 {
+		m.Attrs = make(map[string]AttrJSON, n)
+		for i := 0; i < n; i++ {
+			k := d.String()
+			var a AttrJSON
+			decAttr(d, &a)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			m.Attrs[k] = a
+		}
+	}
+	if n := d.Count(rtmodel.MaxWireCount); n > 0 {
+		m.Children = make([]ElementRef, n)
+		for i := range m.Children {
+			decRef(d, &m.Children[i])
+		}
+	}
+	return d.Err()
+}
+
+func (m *EnergyResponse) frame() rtmodel.FrameType { return frameEnergy }
+
+func (m *EnergyResponse) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Table)
+	encStrings(e, m.Instructions)
+	encStrings(e, m.Unknowns)
+	e.String(m.Inst)
+	e.F64(m.GHz)
+	if m.EnergyJ != nil {
+		e.Bool(true)
+		e.F64(*m.EnergyJ)
+	} else {
+		e.Bool(false)
+	}
+}
+
+func (m *EnergyResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Table = d.String()
+	m.Instructions = decStringsOmit(d)
+	m.Unknowns = decStringsOmit(d)
+	m.Inst = d.String()
+	m.GHz = d.F64()
+	if d.Bool() {
+		v := d.F64()
+		m.EnergyJ = &v
+	}
+	return d.Err()
+}
+
+func (m *TransferResponse) frame() rtmodel.FrameType { return frameTransfer }
+
+func (m *TransferResponse) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Channel)
+	e.F64(m.BandwidthBps)
+	e.Varint(m.Bytes)
+	e.Varint(m.Messages)
+	e.F64(m.TimeS)
+	e.F64(m.EnergyJ)
+}
+
+func (m *TransferResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Channel = d.String()
+	m.BandwidthBps = d.F64()
+	m.Bytes = d.Varint()
+	m.Messages = d.Varint()
+	m.TimeS = d.F64()
+	m.EnergyJ = d.F64()
+	return d.Err()
+}
+
+func (m *DispatchResponse) frame() rtmodel.FrameType { return frameDispatch }
+
+func (m *DispatchResponse) encodeTo(e *rtmodel.Enc) {
+	encStrings(e, m.Selectable)
+	e.String(m.Chosen)
+	keys := make([]string, 0, len(m.Costs))
+	for k := range m.Costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.String(k)
+		e.F64(m.Costs[k])
+	}
+	e.String(m.Warning)
+}
+
+func (m *DispatchResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Selectable = decStrings(d)
+	m.Chosen = d.String()
+	if n := d.Count(rtmodel.MaxWireCount); n > 0 {
+		m.Costs = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			k := d.String()
+			v := d.F64()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			m.Costs[k] = v
+		}
+	}
+	m.Warning = d.String()
+	return d.Err()
+}
+
+func (m *BatchResponse) frame() rtmodel.FrameType { return frameBatch }
+
+// encodeTo frames each result as a nested sub-frame (type + length +
+// payload), so a batch decoder can skip result kinds it does not know.
+func (m *BatchResponse) encodeTo(e *rtmodel.Enc) {
+	e.Uvarint(uint64(len(m.Results)))
+	sub := getEnc()
+	defer putEnc(sub)
+	for i := range m.Results {
+		r := &m.Results[i]
+		sub.Reset()
+		var t rtmodel.FrameType
+		switch {
+		case r.Error != "":
+			t = frameError
+			(&ErrorResponse{Error: r.Error}).encodeTo(sub)
+		case r.Select != nil:
+			t = frameSelect
+			r.Select.encodeTo(sub)
+		case r.Eval != nil:
+			t = frameEval
+			r.Eval.encodeTo(sub)
+		default:
+			t = frameError
+			(&ErrorResponse{}).encodeTo(sub)
+		}
+		e.Buf = rtmodel.AppendFrame(e.Buf, t, sub.Buf)
+	}
+}
+
+func (m *BatchResponse) decodeFrom(d *rtmodel.Dec) error {
+	n := d.Count(rtmodel.MaxWireCount)
+	m.Results = make([]BatchResult, 0, n)
+	for i := 0; i < n; i++ {
+		t := rtmodel.FrameType(d.Byte())
+		l := d.Uvarint()
+		if l > rtmodel.MaxFramePayload {
+			return fmt.Errorf("%w: batch sub-frame length %d", rtmodel.ErrWire, l)
+		}
+		payload := d.Raw(int(l))
+		if err := d.Err(); err != nil {
+			return err
+		}
+		sd := rtmodel.NewDec(payload)
+		var res BatchResult
+		switch t {
+		case frameError:
+			var er ErrorResponse
+			if err := er.decodeFrom(sd); err != nil {
+				return err
+			}
+			res.Error = er.Error
+		case frameSelect:
+			res.Select = new(SelectResponse)
+			if err := res.Select.decodeFrom(sd); err != nil {
+				return err
+			}
+		case frameEval:
+			res.Eval = new(EvalResponse)
+			if err := res.Eval.decodeFrom(sd); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown batch sub-frame type %d", rtmodel.ErrWire, t)
+		}
+		m.Results = append(m.Results, res)
+	}
+	return d.Err()
+}
+
+func encInfo(e *rtmodel.Enc, m *ModelInfo) {
+	e.String(m.Ident)
+	e.Uvarint(m.Generation)
+	e.String(m.Fingerprint)
+	encTime(e, m.LoadedAt)
+	e.Uvarint(uint64(m.Nodes))
+}
+
+func decInfo(d *rtmodel.Dec, m *ModelInfo) {
+	m.Ident = d.String()
+	m.Generation = d.Uvarint()
+	m.Fingerprint = d.String()
+	m.LoadedAt = decTime(d)
+	m.Nodes = int(d.Uvarint())
+}
+
+func (m *ModelInfo) frame() rtmodel.FrameType { return frameModelInfo }
+
+func (m *ModelInfo) encodeTo(e *rtmodel.Enc) { encInfo(e, m) }
+
+func (m *ModelInfo) decodeFrom(d *rtmodel.Dec) error {
+	decInfo(d, m)
+	return d.Err()
+}
+
+func (m *ModelsResponse) frame() rtmodel.FrameType { return frameModels }
+
+func (m *ModelsResponse) encodeTo(e *rtmodel.Enc) {
+	e.Uvarint(uint64(len(m.Models)))
+	for i := range m.Models {
+		encInfo(e, &m.Models[i])
+	}
+}
+
+func (m *ModelsResponse) decodeFrom(d *rtmodel.Dec) error {
+	n := d.Count(rtmodel.MaxWireCount)
+	m.Models = make([]ModelInfo, n)
+	for i := range m.Models {
+		decInfo(d, &m.Models[i])
+	}
+	return d.Err()
+}
+
+func (m *HealthResponse) frame() rtmodel.FrameType { return frameHealth }
+
+func (m *HealthResponse) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Status)
+	encStrings(e, m.Resident)
+	e.Uvarint(m.Generation)
+}
+
+func (m *HealthResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Status = d.String()
+	m.Resident = decStrings(d)
+	m.Generation = d.Uvarint()
+	return d.Err()
+}
+
+func (m *RefreshResponse) frame() rtmodel.FrameType { return frameRefresh }
+
+func (m *RefreshResponse) encodeTo(e *rtmodel.Enc) {
+	e.String(m.Ident)
+	e.Bool(m.Swapped)
+	e.Uvarint(m.Generation)
+}
+
+func (m *RefreshResponse) decodeFrom(d *rtmodel.Dec) error {
+	m.Ident = d.String()
+	m.Swapped = d.Bool()
+	m.Generation = d.Uvarint()
+	return d.Err()
+}

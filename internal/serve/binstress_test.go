@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xpdl/internal/rtmodel"
+)
+
+// TestBinaryHotSwapStress runs 100 concurrent binary-protocol readers
+// against 50 hot swaps. Every response must be internally consistent:
+// the fingerprint header, the generation header and the decoded body
+// must all describe the same snapshot version — a torn read (bytes
+// from one generation under headers of another) or a pooled buffer
+// shared by two in-flight responses would break the version suffixes
+// the stub loader embeds in every element ident. Run with -race.
+func TestBinaryHotSwapStress(t *testing.T) {
+	const (
+		readers = 100
+		swaps   = 50
+		ident   = "stress"
+	)
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, MaxInFlight: readers + 8})
+	if _, err := st.Get(context.Background(), ident); err != nil {
+		t.Fatal(err)
+	}
+
+	// versionOfFingerprint extracts <v> from "fp-<ident>-<v>".
+	versionOfFingerprint := func(fp string) (string, bool) {
+		v, ok := strings.CutPrefix(fp, "fp-"+ident+"-")
+		return v, ok
+	}
+
+	var torn atomic.Int64
+	checkSelect := func(rec *httptest.ResponseRecorder) error {
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		ft, payload, _, err := rtmodel.DecodeEnvelope(rec.Body.Bytes())
+		if err != nil {
+			return err
+		}
+		if ft != frameSelect {
+			return fmt.Errorf("frame type %d", ft)
+		}
+		var resp SelectResponse
+		if err := resp.decodeFrom(rtmodel.NewDec(payload)); err != nil {
+			return err
+		}
+		if resp.Count != 4 || len(resp.Elements) != 4 {
+			return fmt.Errorf("select answered %d/%d elements", resp.Count, len(resp.Elements))
+		}
+		want, ok := versionOfFingerprint(rec.Header().Get("X-Xpdl-Fingerprint"))
+		if !ok {
+			return fmt.Errorf("malformed fingerprint header %q", rec.Header().Get("X-Xpdl-Fingerprint"))
+		}
+		for i, e := range resp.Elements {
+			wantID := fmt.Sprintf("%s-core%d-v%s", ident, i, want)
+			if e.Ident != wantID {
+				torn.Add(1)
+				return fmt.Errorf("element %d is %q, fingerprint promises %q", i, e.Ident, wantID)
+			}
+		}
+		return nil
+	}
+
+	checkSummary := func(rec *httptest.ResponseRecorder) error {
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		ft, payload, _, err := rtmodel.DecodeEnvelope(rec.Body.Bytes())
+		if err != nil {
+			return err
+		}
+		if ft != frameSummary {
+			return fmt.Errorf("frame type %d", ft)
+		}
+		var resp SummaryResponse
+		if err := resp.decodeFrom(rtmodel.NewDec(payload)); err != nil {
+			return err
+		}
+		if resp.Cores != 4 {
+			return fmt.Errorf("summary answered %d cores", resp.Cores)
+		}
+		return nil
+	}
+
+	done := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var target string
+				check := checkSelect
+				if j%3 == 0 {
+					target = "/v1/models/" + ident + "/summary"
+					check = checkSummary
+				} else {
+					target = "/v1/models/" + ident + "/select?q=//core"
+				}
+				req := httptest.NewRequest(http.MethodGet, target, nil)
+				req.Header.Set("Accept", ContentTypeBinary)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if err := check(rec); err != nil {
+					select {
+					case errCh <- fmt.Errorf("reader %d request %d (%s): %w", n, j, target, err):
+					default:
+					}
+					return
+				}
+			}
+		}(i)
+	}
+
+	for i := 0; i < swaps; i++ {
+		l.bumpVersion(ident)
+		if _, err := st.Refresh(context.Background(), ident); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if n := torn.Load(); n > 0 {
+		t.Fatalf("%d torn reads observed", n)
+	}
+
+	// The batch path shares the pooled sub-frame encoder; hammer it too,
+	// JSON-decoding nothing — the decoded structs must match the final
+	// version exactly.
+	body, _ := json.Marshal(BatchRequest{Ops: []BatchOp{
+		{Op: "select", Selector: "//core"},
+		{Op: "eval", Expr: "num_cores()"},
+	}})
+	errCh2 := make(chan error, readers)
+	var bwg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		bwg.Add(1)
+		go func() {
+			defer bwg.Done()
+			for j := 0; j < 20; j++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/models/"+ident+"/batch", strings.NewReader(string(body)))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("Accept", ContentTypeBinary)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				ft, payload, _, err := rtmodel.DecodeEnvelope(rec.Body.Bytes())
+				if err != nil || ft != frameBatch {
+					select {
+					case errCh2 <- fmt.Errorf("batch envelope: %v (frame %d)", err, ft):
+					default:
+					}
+					return
+				}
+				var resp BatchResponse
+				if err := resp.decodeFrom(rtmodel.NewDec(payload)); err != nil {
+					select {
+					case errCh2 <- err:
+					default:
+					}
+					return
+				}
+				if len(resp.Results) != 2 || resp.Results[0].Select == nil || resp.Results[1].Eval == nil {
+					select {
+					case errCh2 <- fmt.Errorf("batch results malformed: %+v", resp.Results):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	bwg.Wait()
+	close(errCh2)
+	for err := range errCh2 {
+		t.Error(err)
+	}
+}

@@ -6,21 +6,38 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 
 	"xpdl/internal/obs"
+	"xpdl/internal/rtmodel"
 )
 
-// Client is a typed client for the xpdld JSON API; xpdlquery's -remote
-// mode is built on it. The zero HTTP client means http.DefaultClient.
+// Proto selects the wire protocol a Client negotiates.
+type Proto string
+
+const (
+	// ProtoJSON is the classic JSON protocol (the zero value).
+	ProtoJSON Proto = "json"
+	// ProtoBinary negotiates application/x-xpdl-bin answers: the same
+	// data, decoded from the compact binary frames instead of JSON.
+	ProtoBinary Proto = "bin"
+)
+
+// Client is a typed client for the xpdld API; xpdlquery's -remote mode
+// is built on it. The zero HTTP client means http.DefaultClient.
 type Client struct {
 	// Base is the daemon address, e.g. "http://localhost:8346".
 	Base string
 	// HTTP overrides the transport (tests inject httptest clients).
 	HTTP *http.Client
+	// Proto selects the wire protocol ("" means ProtoJSON). Results
+	// are identical either way; binary trades human-readable payloads
+	// for less bandwidth and per-request allocation.
+	Proto Proto
 }
 
 // NewClient normalizes base into a client.
@@ -34,6 +51,8 @@ func (c *Client) httpClient() *http.Client {
 	}
 	return http.DefaultClient
 }
+
+func (c *Client) binary() bool { return c.Proto == ProtoBinary }
 
 // apiStatusError is a non-2xx answer from the daemon, carrying the
 // decoded error envelope when there is one.
@@ -49,8 +68,34 @@ func (e *apiStatusError) Error() string {
 	return fmt.Sprintf("xpdld: HTTP %d", e.Status)
 }
 
-// do runs one request and decodes the JSON answer into out (skipped
-// when out is nil). Raw-body endpoints pass a writer via sink.
+// ContentTypeError reports a response whose Content-Type does not
+// match what the client negotiated — a proxy rewriting bodies, a
+// server that ignored the Accept header, or a non-xpdld endpoint. The
+// body is not decoded: acting on bytes of the wrong type is how silent
+// corruption starts.
+type ContentTypeError struct {
+	Endpoint string // request path
+	Got      string // media type the response declared
+	Want     string // media type the client negotiated
+}
+
+func (e *ContentTypeError) Error() string {
+	return fmt.Sprintf("xpdld: %s answered Content-Type %q, want %q", e.Endpoint, e.Got, e.Want)
+}
+
+// mediaTypeOf extracts the bare media type from a Content-Type header.
+func mediaTypeOf(header string) string {
+	mt, _, err := mime.ParseMediaType(header)
+	if err != nil {
+		return strings.TrimSpace(strings.ToLower(header))
+	}
+	return mt
+}
+
+// do runs one request and decodes the answer into out (skipped when
+// out is nil). Raw-body endpoints pass a writer via sink. The response
+// Content-Type is verified against the negotiated protocol before any
+// byte is interpreted.
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, body, out any, sink io.Writer) error {
 	u := c.Base + path
 	if len(q) > 0 {
@@ -71,6 +116,12 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	bin := c.binary()
+	if bin {
+		req.Header.Set("Accept", ContentTypeBinary)
+	} else if out != nil {
+		req.Header.Set("Accept", "application/json")
+	}
 	// Join the caller's trace (if any) so the daemon-side span tree
 	// shows the remote client as the root.
 	obs.Propagate(ctx, req.Header.Set)
@@ -79,20 +130,89 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 		return err
 	}
 	defer resp.Body.Close()
+	ct := mediaTypeOf(resp.Header.Get("Content-Type"))
 	if resp.StatusCode/100 != 2 {
-		var envelope ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		_ = json.Unmarshal(data, &envelope)
-		return &apiStatusError{Status: resp.StatusCode, Msg: envelope.Error}
+		return c.statusError(resp, path, ct)
+	}
+	if out == nil && sink == nil {
+		return nil
+	}
+	if bin {
+		return c.decodeBinary(resp.Body, path, ct, out, sink)
+	}
+	if ct == ContentTypeBinary {
+		// The server must never answer binary to a client that did not
+		// ask for it.
+		return &ContentTypeError{Endpoint: path, Got: ct, Want: "application/json"}
 	}
 	if sink != nil {
 		_, err = io.Copy(sink, resp.Body)
 		return err
 	}
-	if out == nil {
-		return nil
+	if ct != "application/json" {
+		return &ContentTypeError{Endpoint: path, Got: ct, Want: "application/json"}
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	// Unmarshal copies everything it keeps, so the pooled buffer is
+	// free for the next response the moment this returns.
+	return json.Unmarshal(buf.Bytes(), out)
+}
+
+// decodeBinary reads and decodes one binary envelope. The response is
+// read into a pooled buffer; decoded strings are copies (rtmodel.Dec
+// contract), so recycling the buffer can never alias a result.
+func (c *Client) decodeBinary(body io.Reader, path, ct string, out any, sink io.Writer) error {
+	if ct != ContentTypeBinary {
+		return &ContentTypeError{Endpoint: path, Got: ct, Want: ContentTypeBinary}
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(body); err != nil {
+		return err
+	}
+	t, payload, _, err := rtmodel.DecodeEnvelope(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("xpdld: binary response: %w", err)
+	}
+	if sink != nil {
+		if t != frameRawTree && t != frameRawJSON {
+			return fmt.Errorf("xpdld: raw endpoint answered frame type %d", t)
+		}
+		_, err := sink.Write(payload)
+		return err
+	}
+	m, ok := out.(binaryMessage)
+	if !ok {
+		return fmt.Errorf("xpdld: no binary decoder for %T", out)
+	}
+	if t != m.frame() {
+		return fmt.Errorf("xpdld: binary response frame type %d, want %d", t, m.frame())
+	}
+	return m.decodeFrom(rtmodel.NewDec(payload))
+}
+
+// statusError decodes a non-2xx answer's error envelope in whichever
+// protocol the response declares.
+func (c *Client) statusError(resp *http.Response, path, ct string) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var msg string
+	if ct == ContentTypeBinary {
+		if t, payload, _, err := rtmodel.DecodeEnvelope(data); err == nil && t == frameError {
+			var envelope ErrorResponse
+			if envelope.decodeFrom(rtmodel.NewDec(payload)) == nil {
+				msg = envelope.Error
+			}
+		}
+	} else {
+		var envelope ErrorResponse
+		_ = json.Unmarshal(data, &envelope)
+		msg = envelope.Error
+	}
+	return &apiStatusError{Status: resp.StatusCode, Msg: msg}
 }
 
 // Health fetches /healthz.

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+
+	"xpdl/internal/obs"
+	"xpdl/internal/rtmodel"
+)
+
+// Per-snapshot pre-serialized responses: the answers that depend only
+// on the immutable snapshot (summary, tree, full JSON export, element
+// lookups) are rendered to their final wire bytes once — eagerly at
+// publish for the fixed trio, lazily-once per element — and every
+// later request writes those bytes straight to the socket, in either
+// protocol, with no per-request marshaling.
+
+// Binary-protocol metrics in the process-wide registry.
+var (
+	mProtoJSON = obs.Default().CounterWith("xpdl_serve_proto_total",
+		"API responses served, by wire protocol.", "proto", "json")
+	mProtoBin = obs.Default().CounterWith("xpdl_serve_proto_total",
+		"API responses served, by wire protocol.", "proto", "bin")
+	mPreserHits = obs.Default().Counter("xpdl_serve_preser_hits_total",
+		"API responses served from per-snapshot pre-serialized bytes.")
+)
+
+// preEncoded is one response rendered to final bytes in both
+// protocols: body is the classic answer (indented JSON or plain text),
+// bin is a complete binary envelope.
+type preEncoded struct {
+	body []byte
+	bin  []byte
+}
+
+// preResponses is the pre-serialized set of one snapshot. The fixed
+// members are built before the snapshot is published and read-only
+// afterwards; elems fills lazily (ident → *preEncoded) and is safe for
+// concurrent readers because the snapshot is immutable — an element's
+// bytes can never go stale within one generation.
+type preResponses struct {
+	summary preEncoded
+	tree    preEncoded
+	export  preEncoded
+	elems   sync.Map
+}
+
+// prepare readies a snapshot for publishing: selector indexes plus the
+// pre-serialized hot responses. The store calls it before the pointer
+// swap, so no request — not even the first after a hot swap — pays an
+// index build or a summary/tree/export render.
+func prepare(snap *Snapshot) {
+	if snap.Session == nil {
+		return
+	}
+	snap.Session.BuildIndexes()
+	if snap.pre != nil {
+		return
+	}
+	p := &preResponses{}
+	sum := summaryOf(snap)
+	p.summary = preEncoded{body: marshalIndented(sum), bin: encodeBin(&sum)}
+	var tb bytes.Buffer
+	_ = WriteTree(&tb, snap.Session.Root())
+	p.tree = preEncoded{body: tb.Bytes(), bin: rawEnvelope(frameRawTree, tb.Bytes())}
+	var jb bytes.Buffer
+	_ = snap.Session.Model().WriteJSON(&jb)
+	p.export = preEncoded{body: jb.Bytes(), bin: rawEnvelope(frameRawJSON, jb.Bytes())}
+	snap.pre = p
+}
+
+// summaryOf computes the derived-analysis roll-up of one snapshot.
+func summaryOf(snap *Snapshot) SummaryResponse {
+	root := snap.Session.Root()
+	installed := snap.Session.InstalledList()
+	if installed == nil {
+		installed = []string{}
+	}
+	return SummaryResponse{
+		Cores:        root.NumCores(),
+		CUDADevices:  root.NumCUDADevices(),
+		StaticPowerW: root.TotalStaticPower().Value,
+		Installed:    installed,
+	}
+}
+
+// preElement returns the pre-serialized lookup answer for one element,
+// rendering and caching it on first use. ok is false when the snapshot
+// was published without pre-serialization or the element does not
+// exist (the caller falls back to the live path, which produces the
+// 404).
+func (s *Snapshot) preElement(ident string) (*preEncoded, bool) {
+	p := s.pre
+	if p == nil {
+		return nil, false
+	}
+	if v, ok := p.elems.Load(ident); ok {
+		return v.(*preEncoded), true
+	}
+	e, ok := s.Session.Find(ident)
+	if !ok {
+		return nil, false
+	}
+	el := elementOf(e)
+	pe := &preEncoded{body: marshalIndented(el), bin: encodeBin(&el)}
+	actual, _ := p.elems.LoadOrStore(ident, pe)
+	return actual.(*preEncoded), true
+}
+
+// marshalIndented renders v exactly as Server.writeJSON does (two-space
+// indent, trailing newline), so pre-serialized JSON answers are
+// byte-identical to live ones.
+func marshalIndented(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
+// encodeBin renders a complete binary envelope for one message.
+func encodeBin(m binaryMessage) []byte {
+	e := getEnc()
+	defer putEnc(e)
+	m.encodeTo(e)
+	return rawEnvelope(m.frame(), e.Buf)
+}
+
+// rawEnvelope wraps payload in a complete binary envelope.
+func rawEnvelope(t rtmodel.FrameType, payload []byte) []byte {
+	out := make([]byte, 0, rtmodel.MaxFrameHeader+len(payload))
+	out = rtmodel.AppendWireHeader(out)
+	return rtmodel.AppendFrame(out, t, payload)
+}

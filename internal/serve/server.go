@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
 	"sort"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"xpdl/internal/expr"
 	"xpdl/internal/model"
 	"xpdl/internal/obs"
+	"xpdl/internal/rtmodel"
 )
 
 // Request-shape limits: anything beyond them is a client error (4xx),
@@ -339,7 +341,7 @@ func (s *Server) handle(pattern, name string, h handler) {
 			s.rejected.Inc()
 			shed.Inc()
 			sw.Header().Set("Retry-After", "1")
-			s.writeError(sw, &apiError{status: http.StatusServiceUnavailable,
+			s.writeErrorProto(sw, acceptsBinary(r), &apiError{status: http.StatusServiceUnavailable,
 				msg: "server saturated; retry later"})
 			s.finishRequest(ctx, tr, r, name, sw.status, "server saturated", start, lat)
 			return
@@ -355,30 +357,135 @@ func (s *Server) handle(pattern, name string, h handler) {
 				err = &apiError{status: http.StatusServiceUnavailable, msg: "request timed out"}
 			}
 			errMsg = err.Error()
-			s.writeError(sw, err)
+			s.writeErrorProto(sw, acceptsBinary(r), err)
 		} else if payload != nil {
-			s.writeJSON(sw, http.StatusOK, payload)
+			s.writeAPI(sw, acceptsBinary(r), http.StatusOK, payload)
 		}
 		s.finishRequest(ctx, tr, r, name, sw.status, errMsg, start, lat)
 	})
 }
 
+// acceptsBinary reports whether the request negotiated the binary
+// protocol. Only an explicit Accept of the binary media type opts in;
+// absent, */* and application/json all stay on the classic answers, so
+// existing clients keep byte-identical responses.
+func acceptsBinary(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	if !strings.Contains(accept, ContentTypeBinary) {
+		return false // fast path: no substring, no parse
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err == nil && mt == ContentTypeBinary {
+			return true
+		}
+	}
+	return false
+}
+
+// writeAPI writes a negotiated API answer: the binary envelope when
+// the client asked for one and the payload has a binary form, the
+// classic JSON rendering otherwise.
+func (s *Server) writeAPI(w http.ResponseWriter, bin bool, status int, v any) {
+	if bin {
+		if m, ok := binaryMessageOf(v); ok {
+			s.writeBinary(w, status, m)
+			return
+		}
+	}
+	mProtoJSON.Inc()
+	s.writeJSON(w, status, v)
+}
+
+// writeBinary writes one binary envelope from a pooled encoder. The
+// stack-array header and the pooled payload go out as two Writes, so
+// nothing is copied; ResponseWriter.Write never retains its argument,
+// which is what makes recycling the encoder safe.
+func (s *Server) writeBinary(w http.ResponseWriter, status int, m binaryMessage) {
+	e := getEnc()
+	m.encodeTo(e)
+	var hdr [rtmodel.MaxFrameHeader]byte
+	n := rtmodel.PutWireHeader(hdr[:])
+	n += rtmodel.PutFrameHeader(hdr[n:], m.frame(), len(e.Buf))
+	mProtoBin.Inc()
+	s.countStatus(status)
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(status)
+	_, _ = w.Write(hdr[:n])
+	_, _ = w.Write(e.Buf)
+	putEnc(e)
+}
+
+// writeRawBinary writes a byte-stream answer (tree, JSON export) as a
+// raw binary frame.
+func (s *Server) writeRawBinary(w http.ResponseWriter, t rtmodel.FrameType, payload []byte) {
+	var hdr [rtmodel.MaxFrameHeader]byte
+	n := rtmodel.PutWireHeader(hdr[:])
+	n += rtmodel.PutFrameHeader(hdr[n:], t, len(payload))
+	mProtoBin.Inc()
+	s.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(hdr[:n])
+	_, _ = w.Write(payload)
+}
+
+// writePre writes a response pre-serialized at snapshot-publish time:
+// one counter bump and one (or two) Writes, no marshaling at all.
+func (s *Server) writePre(w http.ResponseWriter, bin bool, p *preEncoded, classicType string) {
+	mPreserHits.Inc()
+	s.countStatus(http.StatusOK)
+	if bin {
+		mProtoBin.Inc()
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(p.bin)
+		return
+	}
+	mProtoJSON.Inc()
+	w.Header().Set("Content-Type", classicType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(p.body)
+}
+
+// writeJSON renders v into a pooled buffer and writes it in one call.
+// The rendering (two-space indent, trailing Encode newline) is the
+// byte-level contract existing clients depend on; marshalIndented and
+// the pre-serialized answers reproduce it exactly.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	s.countStatus(status)
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := getBuf()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	s.writeJSON(w, errStatus(err), ErrorResponse{Error: err.Error()})
+}
+
+// writeErrorProto writes the error envelope in the negotiated
+// protocol: binary clients get an error frame, everyone else the JSON
+// envelope.
+func (s *Server) writeErrorProto(w http.ResponseWriter, bin bool, err error) {
+	if bin {
+		s.writeBinary(w, errStatus(err), &ErrorResponse{Error: err.Error()})
+		return
+	}
+	mProtoJSON.Inc()
+	s.writeError(w, err)
+}
+
+func errStatus(err error) int {
 	var ae *apiError
 	if errors.As(err, &ae) {
-		status = ae.status
+		return ae.status
 	}
-	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	return http.StatusInternalServerError
 }
 
 func (s *Server) countStatus(status int) {
@@ -440,6 +547,19 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	bin := acceptsBinary(r)
+	if p := snap.pre; p != nil {
+		s.writePre(w, bin, &p.tree, "text/plain; charset=utf-8")
+		return nil, nil
+	}
+	if bin {
+		buf := getBuf()
+		_ = WriteTree(buf, snap.Session.Root())
+		s.writeRawBinary(w, frameRawTree, buf.Bytes())
+		putBuf(buf)
+		return nil, nil
+	}
+	mProtoJSON.Inc()
 	s.countStatus(http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = WriteTree(w, snap.Session.Root())
@@ -451,6 +571,19 @@ func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	bin := acceptsBinary(r)
+	if p := snap.pre; p != nil {
+		s.writePre(w, bin, &p.export, "application/json; charset=utf-8")
+		return nil, nil
+	}
+	if bin {
+		buf := getBuf()
+		_ = snap.Session.Model().WriteJSON(buf)
+		s.writeRawBinary(w, frameRawJSON, buf.Bytes())
+		putBuf(buf)
+		return nil, nil
+	}
+	mProtoJSON.Inc()
 	s.countStatus(http.StatusOK)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_ = snap.Session.Model().WriteJSON(w)
@@ -462,17 +595,11 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
-	root := snap.Session.Root()
-	installed := snap.Session.InstalledList()
-	if installed == nil {
-		installed = []string{}
+	if p := snap.pre; p != nil {
+		s.writePre(w, acceptsBinary(r), &p.summary, "application/json; charset=utf-8")
+		return nil, nil
 	}
-	return SummaryResponse{
-		Cores:        root.NumCores(),
-		CUDADevices:  root.NumCUDADevices(),
-		StaticPowerW: root.TotalStaticPower().Value,
-		Installed:    installed,
-	}, nil
+	return summaryOf(snap), nil
 }
 
 func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) (any, error) {
@@ -483,6 +610,10 @@ func (s *Server) handleElement(w http.ResponseWriter, r *http.Request) (any, err
 	ident := r.URL.Query().Get("ident")
 	if ident == "" {
 		return nil, badRequest("missing ?ident= query parameter")
+	}
+	if pe, ok := snap.preElement(ident); ok {
+		s.writePre(w, acceptsBinary(r), pe, "application/json; charset=utf-8")
+		return nil, nil
 	}
 	e, ok := snap.Session.Find(ident)
 	if !ok {

@@ -52,6 +52,12 @@ type Snapshot struct {
 	// System is the composed instance tree behind Session; energy-table
 	// and transfer-cost queries read it.
 	System *model.Component
+
+	// pre holds the snapshot's pre-serialized hot responses (see
+	// preser.go), built by prepare before the store publishes the
+	// snapshot and read-only afterwards. Nil for snapshots constructed
+	// directly (tests): handlers then fall back to live encoding.
+	pre *preResponses
 }
 
 // Nodes returns the runtime-model node count.

@@ -117,7 +117,7 @@ func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) 
 		return nil, err
 	}
 	snap.Gen = st.gen.Add(1)
-	buildIndexes(snap)
+	prepare(snap)
 	e.snap.Store(snap)
 	mStoreLoads.Inc()
 	st.touch(e)
@@ -156,20 +156,10 @@ func (st *Store) Refresh(ctx context.Context, ident string) (bool, error) {
 		return false, nil
 	}
 	snap.Gen = st.gen.Add(1)
-	buildIndexes(snap)
+	prepare(snap)
 	e.snap.Store(snap)
 	mStoreSwaps.Inc()
 	return true, nil
-}
-
-// buildIndexes eagerly constructs the snapshot's per-session selector
-// indexes before the pointer swap publishes it, so no request — not
-// even the first after a hot swap — pays the build. Each snapshot owns
-// a fresh session, so old indexes die with the snapshot they describe.
-func buildIndexes(snap *Snapshot) {
-	if snap.Session != nil {
-		snap.Session.BuildIndexes()
-	}
 }
 
 // touch moves the entry to the LRU front and refreshes the resident
