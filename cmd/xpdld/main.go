@@ -10,7 +10,14 @@
 // revalidate with conditional requests and usually cost one 304) and
 // re-resolves every resident model, atomically swapping in snapshots
 // whose content actually changed. In-flight requests keep the snapshot
-// they started with.
+// they started with. Bounded descriptor edits — a single attribute
+// value change that no parameter, override or synthesized attribute
+// touches — are applied as in-place delta patches that reuse the old
+// snapshot's indexes and pre-serialized answers instead of re-running
+// the resolver; everything else falls back to a full resolve
+// (xpdl_delta_fallback_total counts why). Either way, watchers on
+// GET /v1/models/{model}/watch receive one generation-change event per
+// swap.
 //
 // Usage:
 //
@@ -30,6 +37,7 @@
 //	GET  .../transfer?channel=up_link&bytes=1048576
 //	POST .../dispatch                composition variant selection
 //	POST .../refresh                 manual revalidation (unless -allow-refresh=false)
+//	GET  .../watch                   generation-change events (SSE; long poll via ?since=&wait=)
 //	GET  /metrics /debug/pprof/ /debug/vars
 //	GET  /debug/traces               recent completed request traces
 //	GET  /debug/traces/{id}          one trace's full span tree as JSON
@@ -84,6 +92,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 256, "maximum concurrently served requests")
 		cacheDir    = flag.String("cache-dir", "", "on-disk descriptor cache for remote libraries (enables offline fallback)")
 		allowRef    = flag.Bool("allow-refresh", true, "expose POST /v1/models/{model}/refresh")
+		watchBuffer = flag.Int("watch-buffer", 16, "per-subscriber watch event queue; slower consumers are evicted")
 		seed        = flag.Int64("seed", 1, "simulated-substrate seed for '?' calibration")
 		planCache   = flag.Int("plan-cache", 1024, "maximum cached compiled selector plans (0 disables plan caching)")
 		traceSample = flag.Float64("trace-sample", 0.1, "head-sampling probability for request traces (5xx always recorded; clients can force via traceparent)")
@@ -121,6 +130,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInflight,
 		AllowRefresh:   *allowRef,
+		WatchBuffer:    *watchBuffer,
 		TraceSample:    *traceSample,
 		MaxTraces:      *maxTraces,
 		SlowRequest:    time.Duration(*slowMS) * time.Millisecond,
@@ -174,6 +184,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Print("xpdld: shutting down (waiting for in-flight requests)")
+	// Watch streams are long-lived requests; end them first or Shutdown
+	// would wait for subscribers that never hang up.
+	store.CloseWatchers()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xpdl/internal/obs"
@@ -112,6 +114,7 @@ func main() {
 		batchOps    = flag.Int("batch", 8, `select/eval operations per /batch request (the "batch" mix endpoint)`)
 		proto       = flag.String("proto", "json", `wire protocol: "json", "bin", or "both" (alternate and report per-protocol)`)
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests sent with a sampled traceparent (the daemon retains those traces)")
+		watchers    = flag.Int("watchers", 0, "SSE watch subscribers held open for the duration (counts generation-change events)")
 	)
 	flag.Parse()
 	if *model == "" {
@@ -155,6 +158,28 @@ func main() {
 	client := &http.Client{Timeout: 30 * time.Second}
 	sampler := obs.NewSampler(*traceSample)
 	deadline := time.Now().Add(*duration)
+
+	// Watch subscribers ride alongside the query load: each holds one
+	// SSE stream open and counts the generation-change events it sees,
+	// so hot-swap behavior under load is visible in the report.
+	var watchEvents atomic.Int64
+	var watchWG sync.WaitGroup
+	if *watchers > 0 {
+		watchCtx, watchCancel := context.WithDeadline(context.Background(), deadline)
+		defer watchCancel()
+		wc := serve.NewClient(strings.TrimRight(*addr, "/"))
+		wc.HTTP = &http.Client{} // no overall timeout: the stream lives until the deadline
+		for i := 0; i < *watchers; i++ {
+			watchWG.Add(1)
+			go func() {
+				defer watchWG.Done()
+				_ = wc.Watch(watchCtx, *model, 0, func(serve.WatchEvent) error {
+					watchEvents.Add(1)
+					return nil
+				})
+			}()
+		}
+	}
 	stats := make([]workerStats, *conc)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -221,6 +246,7 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	watchWG.Wait()
 
 	// Merge per-worker stats, overall and per protocol.
 	merged := map[string]*protoStats{}
@@ -293,6 +319,9 @@ func main() {
 			fmt.Printf("  proto %s: %d requests (%.0f req/s), p50 %s  p99 %s, avg %d B/resp\n",
 				pr, n, float64(n)/elapsed.Seconds(), pct(m.latencies, 50), pct(m.latencies, 99), avg)
 		}
+	}
+	if *watchers > 0 {
+		fmt.Printf("  watchers: %d subscribers, %d events seen\n", *watchers, watchEvents.Load())
 	}
 	if slowest.slowest > 0 {
 		line := fmt.Sprintf("  slowest: %s on %s", slowest.slowest, slowest.slowestProbe)

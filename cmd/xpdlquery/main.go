@@ -21,6 +21,12 @@
 // wire is cheaper. -proto json falls back to the JSON API, e.g. when
 // talking to an older daemon.
 //
+// -watch streams the daemon's generation-change events for the model
+// (one line per hot swap, noting whether it was a delta patch or a
+// full resolve) until interrupted:
+//
+//	xpdlquery -remote http://localhost:8360 -rt liu_gpu_server -watch
+//
 // Usage:
 //
 //	xpdlquery -rt liu.xrt tree                # print the model tree
@@ -45,8 +51,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"xpdl/internal/expr"
 	"xpdl/internal/obs"
@@ -87,6 +95,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the metrics registry (lookup/selector counters) after the command")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/pprof and /debug/vars on this address while running")
 	trace := flag.Bool("trace", false, "with -remote: send a sampled traceparent so the daemon records the request; the trace ID is printed to stderr")
+	watch := flag.Bool("watch", false, "with -remote: stream generation-change events for the model (one line per event) until interrupted")
 	flag.Parse()
 	// explain is model-free: it only compiles the selector.
 	if flag.NArg() > 0 && flag.Arg(0) == "explain" {
@@ -100,8 +109,9 @@ func main() {
 		fmt.Print(p.Describe())
 		return
 	}
-	if *rt == "" || flag.NArg() == 0 {
+	if *rt == "" || (flag.NArg() == 0 && !*watch) {
 		fmt.Fprintln(os.Stderr, "xpdlquery: usage: xpdlquery [-remote http://host:port] -rt model.xrt <tree|cores|cuda-devices|static-power|installed|get id attr|eval expr|select sel|explain sel|json>")
+		fmt.Fprintln(os.Stderr, "xpdlquery:        xpdlquery -remote http://host:port -rt <model> -watch")
 		os.Exit(2)
 	}
 	if *obsAddr != "" {
@@ -147,12 +157,21 @@ func main() {
 		}
 		client := serve.NewClient(*remote)
 		client.Proto = clientProto
+		if *watch {
+			if err := watchRemote(ctx, client, *rt); err != nil {
+				fail(err)
+			}
+			return
+		}
 		b = &remoteBackend{
 			ctx:    ctx,
 			client: client,
 			model:  *rt,
 		}
 	} else {
+		if *watch {
+			fail(fmt.Errorf("-watch requires -remote (events come from a running xpdld)"))
+		}
 		path, err := localize(*rt)
 		if err != nil {
 			fail(err)
@@ -166,6 +185,31 @@ func main() {
 	if err := run(b, os.Stdout, flag.Args()); err != nil {
 		fail(err)
 	}
+}
+
+// watchRemote streams generation-change events for one model from a
+// running xpdld, one line per event, until the stream ends or the
+// process is interrupted.
+func watchRemote(ctx context.Context, client *serve.Client, model string) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := client.Watch(ctx, model, 0, func(ev serve.WatchEvent) error {
+		how := "full"
+		if ev.Delta {
+			how = "delta"
+		}
+		line := fmt.Sprintf("%s seq=%d gen=%d via=%s fingerprint=%s",
+			ev.Model, ev.Seq, ev.Generation, how, ev.Fingerprint)
+		if len(ev.Changed) > 0 {
+			line += " changed=" + strings.Join(ev.Changed, ",")
+		}
+		fmt.Println(line)
+		return nil
+	})
+	if ctx.Err() != nil {
+		return nil // interrupted: clean exit
+	}
+	return err
 }
 
 // run dispatches one command against a backend, writing to w.

@@ -66,6 +66,45 @@ func DefaultRules() []SynthRule {
 	}
 }
 
+// BandwidthSource and BandwidthTarget name the attributes the
+// bandwidth-downgrading analysis reads and writes: DowngradeBandwidth
+// clamps max_bandwidth against the endpoints' declared limits and
+// stores the result as effective_bandwidth.
+const (
+	BandwidthSource = "max_bandwidth"
+	BandwidthTarget = "effective_bandwidth"
+)
+
+// RollupSources returns the set of leaf attributes the rules
+// aggregate: editing one of them invalidates synthesized values on
+// every ancestor, so incremental re-resolution must re-run Annotate
+// when such an attribute changes. Count rules aggregate element kinds,
+// not attributes, and therefore contribute nothing here.
+func RollupSources(rules []SynthRule) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range rules {
+		if r.Agg != Count && r.Source != "" {
+			out[r.Source] = true
+		}
+	}
+	return out
+}
+
+// RollupTargets returns the set of synthesized attributes the rules
+// write. A descriptor edit naming one of them collides with the
+// analysis output — the attribute grammar owns that value, so a patch
+// of the declared value cannot be bounded and callers must fall back
+// to a full resolve.
+func RollupTargets(rules []SynthRule) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range rules {
+		if r.Target != "" {
+			out[r.Target] = true
+		}
+	}
+	return out
+}
+
 // Annotate applies the rules bottom-up over the tree, storing
 // synthesized attributes on every matching node. It returns the number
 // of attributes written.

@@ -1,0 +1,47 @@
+package analysis
+
+import "testing"
+
+// TestRollupSourcesAndTargets pins the dependency-direction sets the
+// delta analysis consumes: sources are the leaf attributes whose edits
+// force a re-Annotate, targets are the synthesized attributes a
+// descriptor must never patch in place. Count rules aggregate element
+// kinds, so their Source names contribute nothing to the source set.
+func TestRollupSourcesAndTargets(t *testing.T) {
+	rules := DefaultRules()
+	src := RollupSources(rules)
+	if !src["static_power"] || len(src) != 1 {
+		t.Fatalf("RollupSources = %v, want exactly {static_power}", src)
+	}
+	if src["core"] || src["device"] {
+		t.Fatal("Count rule sources leaked into RollupSources")
+	}
+	tgt := RollupTargets(rules)
+	for _, want := range []string{"static_power_total", "num_cores", "num_devices"} {
+		if !tgt[want] {
+			t.Fatalf("RollupTargets = %v, missing %s", tgt, want)
+		}
+	}
+	if len(tgt) != 3 {
+		t.Fatalf("RollupTargets = %v, want 3 entries", tgt)
+	}
+	// Sources and targets must stay disjoint — a rule whose target is
+	// another rule's source would make one patch round insufficient.
+	for a := range src {
+		if tgt[a] {
+			t.Fatalf("attribute %s is both a rollup source and target", a)
+		}
+	}
+
+	custom := []SynthRule{
+		{Target: "t1", Source: "s1", Agg: Sum},
+		{Target: "t2", Source: "kind", Agg: Count},
+		{Target: "", Source: "s2", Agg: Sum},
+	}
+	if src := RollupSources(custom); !src["s1"] || !src["s2"] || src["kind"] || len(src) != 2 {
+		t.Fatalf("custom RollupSources = %v", src)
+	}
+	if tgt := RollupTargets(custom); !tgt["t1"] || !tgt["t2"] || len(tgt) != 2 {
+		t.Fatalf("custom RollupTargets = %v", tgt)
+	}
+}

@@ -128,6 +128,16 @@ func renderAttr(a model.Attr, present bool) string {
 	return a.Raw
 }
 
+// RenderAttr is the comparison rendering Diff uses for attribute
+// values ("<absent>" when the attribute is missing, "?" for unknowns,
+// the normalized quantity when one was parsed, the raw text
+// otherwise). The incremental re-resolution layer matches resolved
+// attribute values against diff output with it, so both sides must
+// agree on the rendering byte for byte.
+func RenderAttr(a model.Attr, present bool) string {
+	return renderAttr(a, present)
+}
+
 // index flattens a tree into path → component.
 func index(root *model.Component) map[string]*model.Component {
 	out := map[string]*model.Component{}

@@ -1,0 +1,168 @@
+package diff
+
+import (
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/units"
+)
+
+// Edge cases the delta-refresh analysis leans on: what the attribute
+// diff can and cannot see decides when an in-place patch is sound, so
+// these behaviors are pinned here.
+
+// TestReorderIdentifiedChildrenInvisible: reordering children that
+// carry identifiers produces no changes — paths are identity-based,
+// not positional. This is exactly why incremental resolution must
+// hash canonical renderings too: a pure reorder changes positional
+// selector results (//cpu[1]) while the diff sees nothing.
+func TestReorderIdentifiedChildrenInvisible(t *testing.T) {
+	mk := func(order []string) *model.Component {
+		sys := model.New("system")
+		sys.ID = "srv"
+		for _, id := range order {
+			c := model.New("cpu")
+			c.ID = id
+			sys.Children = append(sys.Children, c)
+		}
+		return sys
+	}
+	changes := Diff(mk([]string{"a", "b", "c"}), mk([]string{"c", "a", "b"}))
+	if len(changes) != 0 {
+		t.Fatalf("identified reorder produced changes: %v", changes)
+	}
+}
+
+// TestReorderAnonymousSiblingsIsPositional: anonymous same-kind
+// siblings align by ordinal, so swapping two of them with different
+// attributes shows up as attribute changes on both positions — the
+// diff cannot distinguish a reorder from two edits.
+func TestReorderAnonymousSiblingsIsPositional(t *testing.T) {
+	mk := func(freqs []string) *model.Component {
+		sys := model.New("system")
+		sys.ID = "srv"
+		for _, f := range freqs {
+			c := model.New("core")
+			c.SetQuantity("frequency", units.MustParse(f, "GHz"))
+			sys.Children = append(sys.Children, c)
+		}
+		return sys
+	}
+	changes := Diff(mk([]string{"1", "2"}), mk([]string{"2", "1"}))
+	if len(changes) != 2 {
+		t.Fatalf("anonymous reorder: %d changes, want 2 positional attr edits: %v", len(changes), changes)
+	}
+	for _, ch := range changes {
+		if ch.Kind != AttrChanged || ch.Attr != "frequency" {
+			t.Fatalf("anonymous reorder produced %v", ch)
+		}
+	}
+}
+
+// TestDuplicateIDSiblings: two siblings sharing an identifier are
+// disambiguated with ordinals, so removing the second copy is reported
+// against the ordinal path — not silently merged into the first.
+func TestDuplicateIDSiblings(t *testing.T) {
+	mk := func(dups int) *model.Component {
+		sys := model.New("system")
+		sys.ID = "srv"
+		for i := 0; i < dups; i++ {
+			c := model.New("device")
+			c.ID = "gpu" // deliberately identical
+			c.SetQuantity("static_power", units.MustParse("25", "W"))
+			sys.Children = append(sys.Children, c)
+		}
+		return sys
+	}
+	changes := Diff(mk(2), mk(1))
+	if len(changes) != 1 || changes[0].Kind != Removed || changes[0].Path != "/srv/gpu#2" {
+		t.Fatalf("duplicate-id removal: %v", changes)
+	}
+	// And editing only the second copy lands on the ordinal path.
+	newM := mk(2)
+	newM.Children[1].SetQuantity("static_power", units.MustParse("30", "W"))
+	changes = Diff(mk(2), newM)
+	if len(changes) != 1 || changes[0].Kind != AttrChanged || changes[0].Path != "/srv/gpu#2" {
+		t.Fatalf("duplicate-id edit: %v", changes)
+	}
+}
+
+// TestAddRemoveSameSubtreeOneCycle: moving a subtree — removing it
+// from one parent and adding an identical copy under another in the
+// same cycle — must surface as one Removed plus one Added, never
+// cancel out to a no-op.
+func TestAddRemoveSameSubtreeOneCycle(t *testing.T) {
+	mk := func(under string) *model.Component {
+		sys := model.New("system")
+		sys.ID = "srv"
+		for _, nodeID := range []string{"n0", "n1"} {
+			n := model.New("node")
+			n.ID = nodeID
+			if nodeID == under {
+				gpu := model.New("device")
+				gpu.ID = "gpu1"
+				gpu.SetQuantity("static_power", units.MustParse("25", "W"))
+				cache := model.New("cache")
+				cache.Name = "L2"
+				gpu.Children = append(gpu.Children, cache)
+				n.Children = append(n.Children, gpu)
+			}
+			sys.Children = append(sys.Children, n)
+		}
+		return sys
+	}
+	changes := Diff(mk("n0"), mk("n1"))
+	var addedPaths, removedPaths []string
+	for _, ch := range changes {
+		switch ch.Kind {
+		case Added:
+			addedPaths = append(addedPaths, ch.Path)
+		case Removed:
+			removedPaths = append(removedPaths, ch.Path)
+		default:
+			t.Fatalf("unexpected change: %v", ch)
+		}
+	}
+	wantRemoved := map[string]bool{"/srv/n0/gpu1": true, "/srv/n0/gpu1/L2": true}
+	wantAdded := map[string]bool{"/srv/n1/gpu1": true, "/srv/n1/gpu1/L2": true}
+	if len(removedPaths) != 2 || len(addedPaths) != 2 {
+		t.Fatalf("moved subtree: %d removed, %d added: %v", len(removedPaths), len(addedPaths), changes)
+	}
+	for _, p := range removedPaths {
+		if !wantRemoved[p] {
+			t.Fatalf("unexpected removed path %s", p)
+		}
+	}
+	for _, p := range addedPaths {
+		if !wantAdded[p] {
+			t.Fatalf("unexpected added path %s", p)
+		}
+	}
+	// Same subtree removed and re-added at the SAME path in one cycle
+	// (delete + recreate) is invisible to the diff when content is
+	// identical — the canonical hash, not the diff, must catch any
+	// content drift.
+	if changes := Diff(mk("n0"), mk("n0")); len(changes) != 0 {
+		t.Fatalf("recreated identical subtree produced changes: %v", changes)
+	}
+}
+
+// TestRenderAttrForms pins the rendering contract the delta patch path
+// matches values against.
+func TestRenderAttrForms(t *testing.T) {
+	cases := []struct {
+		a       model.Attr
+		present bool
+		want    string
+	}{
+		{model.Attr{}, false, "<absent>"},
+		{model.Attr{Raw: "x", Unknown: true}, true, "?"},
+		{model.Attr{Raw: "2", Quantity: units.MustParse("2", "GHz"), HasQuantity: true}, true, "2 GHz"},
+		{model.Attr{Raw: "plain"}, true, "plain"},
+	}
+	for i, c := range cases {
+		if got := RenderAttr(c.a, c.present); got != c.want {
+			t.Errorf("case %d: RenderAttr = %q, want %q", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGaugeWithLabeledFamily locks in the labeled-gauge contract the
+// watch-subscriber metrics rely on: one HELP/TYPE header per family,
+// one independent series per label set, and idempotent registration.
+func TestGaugeWithLabeledFamily(t *testing.T) {
+	reg := NewRegistry()
+	sse := reg.GaugeWith("test_subs", "Subscribers.", "transport", "sse")
+	poll := reg.GaugeWith("test_subs", "Subscribers.", "transport", "poll")
+	if sse == poll {
+		t.Fatal("distinct label sets share a gauge")
+	}
+	if again := reg.GaugeWith("test_subs", "Subscribers.", "transport", "sse"); again != sse {
+		t.Fatal("re-registration returned a different gauge")
+	}
+	sse.Set(3)
+	poll.Set(1)
+	sse.Add(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# HELP test_subs"); n != 1 {
+		t.Fatalf("HELP header emitted %d times:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE test_subs gauge"); n != 1 {
+		t.Fatalf("TYPE header emitted %d times:\n%s", n, out)
+	}
+	for _, line := range []string{
+		`test_subs{transport="sse"} 5`,
+		`test_subs{transport="poll"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing series %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestGaugeWithKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterWith("test_mixed", "Help.", "k", "v")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaugeWith over a counter key did not panic")
+		}
+	}()
+	reg.GaugeWith("test_mixed", "Help.", "k", "v")
+}

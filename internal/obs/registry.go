@@ -299,6 +299,28 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// GaugeWith returns a gauge carrying constant labels under a shared
+// family name, mirroring CounterWith (e.g.
+// GaugeWith("xpdl_watch_subscribers", help, "transport", "sse")
+// exposes `xpdl_watch_subscribers{transport="sse"}`). labelPairs
+// alternate key, value; the HELP/TYPE header is emitted once per
+// family. A family must be consistently labeled or not.
+func (r *Registry) GaugeWith(name, help string, labelPairs ...string) *Gauge {
+	labels := renderLabels(labelPairs)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kindGauge {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", key, m.kind.promType()))
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[key] = &metric{name: key, family: name, labels: labels, help: help, kind: kindGauge, gauge: g}
+	return g
+}
+
 // Histogram returns the histogram registered under name, creating it
 // with the given bucket upper bounds (nil selects DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"xpdl/internal/model"
+	"xpdl/internal/rtmodel"
+	"xpdl/internal/units"
+)
+
+// adoptSession builds a small fixed-shape model whose attribute values
+// vary with power — the exact situation of a delta-patched snapshot:
+// same kinds/names/ids/parents, different values.
+func adoptSession(power string) *Session {
+	sys := model.New("system")
+	sys.ID = "s"
+	node := model.New("node")
+	node.ID = "n"
+	for i := 0; i < 3; i++ {
+		c := model.New("cpu")
+		c.ID = fmt.Sprintf("p%d", i)
+		c.SetQuantity("static_power", units.MustParse(power, "W"))
+		node.Children = append(node.Children, c)
+	}
+	sys.Children = append(sys.Children, node)
+	return NewSession(rtmodel.Build(sys))
+}
+
+func TestAdoptIndexesSameShape(t *testing.T) {
+	old := adoptSession("15")
+	if _, err := old.Select("//cpu"); err != nil { // force index build
+		t.Fatal(err)
+	}
+	adoptions := mIndexAdoptions.Value()
+	builds := mIndexBuilds.Value()
+
+	patched := adoptSession("20")
+	if !patched.AdoptIndexes(old) {
+		t.Fatal("same-shape adoption refused")
+	}
+	if got := mIndexAdoptions.Value(); got != adoptions+1 {
+		t.Fatalf("xpdl_query_index_adoptions_total %d, want %d", got, adoptions+1)
+	}
+	if got := mIndexBuilds.Value(); got != builds {
+		t.Fatalf("adoption also built indexes: builds %d -> %d", builds, got)
+	}
+	// Adopted indexes must answer selectors against the NEW values.
+	res, err := patched.Select("//cpu[static_power>17]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("adopted indexes: %d cpus over 17 W, want 3", len(res))
+	}
+	res, err = patched.Select("//cpu[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID() != "p1" {
+		t.Fatalf("positional select through adopted index: %v", res)
+	}
+	// A second adoption into the same session is refused: it already
+	// has indexes.
+	if patched.AdoptIndexes(old) {
+		t.Fatal("re-adoption into an indexed session succeeded")
+	}
+}
+
+func TestAdoptIndexesRefusesShapeDrift(t *testing.T) {
+	old := adoptSession("15")
+	old.BuildIndexes()
+
+	// Extra node.
+	sys := model.New("system")
+	sys.ID = "s"
+	grown := NewSession(rtmodel.Build(sys))
+	if grown.AdoptIndexes(old) {
+		t.Fatal("adoption across different node counts succeeded")
+	}
+
+	// Same length, renamed id.
+	renamed := adoptSession("15")
+	renamed.m.Nodes[2].ID = "px"
+	if renamed.AdoptIndexes(old) {
+		t.Fatal("adoption across an id rename succeeded")
+	}
+	// The refused session still builds correct indexes of its own.
+	res, err := renamed.Select("//cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("post-refusal select: %d cpus, want 3", len(res))
+	}
+
+	// Nil safety.
+	fresh := adoptSession("15")
+	if fresh.AdoptIndexes(nil) {
+		t.Fatal("adoption from nil session succeeded")
+	}
+}

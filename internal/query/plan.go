@@ -24,6 +24,8 @@ var (
 		"Selector segments resolved by index lookup instead of a tree walk.")
 	mWalkedSegments = obs.Default().Counter("xpdl_query_walked_segments_total",
 		"Selector segments resolved by the general tree walker.")
+	mIndexAdoptions = obs.Default().Counter("xpdl_query_index_adoptions_total",
+		"Selector indexes shared from a structurally identical predecessor snapshot.")
 )
 
 // Plan is a compiled selector: the parse and predicate analysis happen
@@ -291,6 +293,38 @@ func (s *Session) indexes() *selIndex {
 // Serving layers call it at snapshot-load time so the first request
 // after a hot swap never pays the build; calling it again is free.
 func (s *Session) BuildIndexes() { s.indexes() }
+
+// AdoptIndexes installs from's selector indexes into s instead of
+// building fresh ones — the incremental hot-swap path, where a patched
+// snapshot differs from its predecessor only in attribute values and
+// the kind/kind+name/id maps and precomputed paths are therefore
+// identical. Adoption is refused (returning false, with s untouched
+// and still able to build its own indexes) unless every node of the
+// two models agrees on kind, name, id and parent — the exact inputs of
+// buildSelIndex — so a misuse can never serve wrong selector answers.
+// It also returns false when s already has indexes.
+func (s *Session) AdoptIndexes(from *Session) bool {
+	if from == nil || from.m == nil || s.m == nil {
+		return false
+	}
+	if len(s.m.Nodes) != len(from.m.Nodes) {
+		return false
+	}
+	for i := range s.m.Nodes {
+		a, b := &s.m.Nodes[i], &from.m.Nodes[i]
+		if a.Kind != b.Kind || a.Name != b.Name || a.ID != b.ID || a.Parent != b.Parent {
+			return false
+		}
+	}
+	src := from.indexes()
+	adopted := false
+	s.idxOnce.Do(func() {
+		s.idx = src
+		adopted = true
+		mIndexAdoptions.Inc()
+	})
+	return adopted
+}
 
 // ---- plan cache ----
 

@@ -498,6 +498,15 @@ func (r *Resolver) substituteAttrs(c *model.Component, sc *scope) error {
 	return nil
 }
 
+// IdentLike reports whether s has the shape of a parameter or
+// constant reference (an identifier: letter or underscore first, then
+// letters, digits, underscores and dots) — the same test the resolver
+// applies before attempting scope substitution on an attribute value.
+// The incremental re-resolution layer uses it to recognize attribute
+// values that may be rewritten by parameter substitution, which a
+// descriptor-level patch cannot reproduce.
+func IdentLike(s string) bool { return isIdentLike(s) }
+
 func isIdentLike(s string) bool {
 	if s == "" {
 		return false

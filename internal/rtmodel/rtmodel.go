@@ -338,6 +338,82 @@ type encProp struct {
 	kvs  [][2]uint64
 }
 
+// canonWriter batches the canonical content stream into an append
+// buffer, flushing to the underlying writer in large chunks — hashing
+// 44k nodes one tiny Write at a time is what made fingerprinting cost
+// as much as a file save.
+type canonWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (c *canonWriter) flush(force bool) {
+	if c.err != nil || (!force && len(c.buf) < 32<<10) {
+		return
+	}
+	if len(c.buf) > 0 {
+		_, c.err = c.w.Write(c.buf)
+		c.buf = c.buf[:0]
+	}
+}
+
+func (c *canonWriter) uvarint(v uint64) {
+	c.buf = binary.AppendUvarint(c.buf, v)
+}
+
+func (c *canonWriter) str(s string) {
+	c.buf = binary.AppendUvarint(c.buf, uint64(len(s)))
+	c.buf = append(c.buf, s...)
+	c.flush(false)
+}
+
+// WriteCanonical writes a deterministic, injective rendering of the
+// model's full content — every field Save persists, in the same order,
+// but without the string-interning pass, so it streams in one cheap
+// walk. Content hashing (snapshot fingerprints) uses this: two models
+// write equal canonical streams exactly when Equal reports them equal.
+func (m *Model) WriteCanonical(out io.Writer) error {
+	c := &canonWriter{w: out, buf: make([]byte, 0, 64<<10)}
+	c.str(Magic)
+	c.uvarint(uint64(len(m.Nodes)))
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		c.str(n.Kind)
+		c.str(n.Name)
+		c.str(n.ID)
+		c.str(n.Type)
+		c.buf = binary.AppendVarint(c.buf, int64(n.Parent))
+		c.uvarint(uint64(len(n.Attrs)))
+		for j := range n.Attrs {
+			a := &n.Attrs[j]
+			c.str(a.Name)
+			c.str(a.Raw)
+			c.str(a.Unit)
+			c.uvarint(uint64(a.Dim))
+			c.uvarint(uint64(a.Flags))
+			c.buf = binary.LittleEndian.AppendUint64(c.buf, math.Float64bits(a.Value))
+		}
+		c.uvarint(uint64(len(n.Props)))
+		for j := range n.Props {
+			p := &n.Props[j]
+			c.str(p.Name)
+			c.uvarint(uint64(len(p.KVs)))
+			for _, kv := range p.KVs {
+				c.str(kv[0])
+				c.str(kv[1])
+			}
+		}
+		c.uvarint(uint64(len(n.Children)))
+		for _, ch := range n.Children {
+			c.uvarint(uint64(ch))
+		}
+		c.flush(false)
+	}
+	c.flush(true)
+	return c.err
+}
+
 // SaveFile writes the model to a file path.
 func (m *Model) SaveFile(path string) error {
 	f, err := os.Create(path)

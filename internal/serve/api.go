@@ -181,6 +181,32 @@ type RefreshResponse struct {
 	Ident      string `json:"ident"`
 	Swapped    bool   `json:"swapped"`
 	Generation uint64 `json:"generation"`
+	// Delta reports that the swap was applied as an in-place patch
+	// instead of a full resolve.
+	Delta bool `json:"delta,omitempty"`
+}
+
+// WatchEvent is one generation change streamed by
+// GET /v1/models/{model}/watch: a new snapshot generation became
+// current (via delta patch or full resolve). Seq is a per-model
+// sequence number — gap-free and strictly increasing — so consumers can
+// detect missed events and resume with ?since=.
+type WatchEvent struct {
+	Model       string   `json:"model"`
+	Seq         uint64   `json:"seq"`
+	Generation  uint64   `json:"generation"`
+	Fingerprint string   `json:"fingerprint"`
+	Delta       bool     `json:"delta,omitempty"`
+	Changed     []string `json:"changed,omitempty"`
+	UnixNano    int64    `json:"unixNano,omitempty"`
+}
+
+// WatchPollResponse is the long-poll fallback answer: the buffered
+// events after ?since=, and the sequence number to resume from.
+type WatchPollResponse struct {
+	Model  string       `json:"model"`
+	Events []WatchEvent `json:"events"`
+	Next   uint64       `json:"next"`
 }
 
 // ErrorResponse is the JSON error envelope (4xx/5xx).

@@ -525,11 +525,13 @@ func (m *RefreshResponse) encodeTo(e *rtmodel.Enc) {
 	e.String(m.Ident)
 	e.Bool(m.Swapped)
 	e.Uvarint(m.Generation)
+	e.Bool(m.Delta)
 }
 
 func (m *RefreshResponse) decodeFrom(d *rtmodel.Dec) error {
 	m.Ident = d.String()
 	m.Swapped = d.Bool()
 	m.Generation = d.Uvarint()
+	m.Delta = d.Bool()
 	return d.Err()
 }

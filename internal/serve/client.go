@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"xpdl/internal/obs"
 	"xpdl/internal/rtmodel"
@@ -330,5 +332,73 @@ func (c *Client) Dispatch(ctx context.Context, ident string, req DispatchRequest
 func (c *Client) Refresh(ctx context.Context, ident string) (RefreshResponse, error) {
 	var out RefreshResponse
 	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/refresh", nil, nil, &out, nil)
+	return out, err
+}
+
+// Watch subscribes to generation-change events of one model over SSE
+// and calls fn for each event (history after since is replayed first).
+// It returns when ctx is canceled, the stream ends (server drain or
+// slow-consumer eviction), or fn returns an error — fn's error is
+// returned as-is, so callers can stop after N events with a sentinel.
+func (c *Client) Watch(ctx context.Context, ident string, since uint64, fn func(WatchEvent) error) error {
+	u := c.Base + "/v1/models/" + url.PathEscape(ident) + "/watch"
+	if since > 0 {
+		u += "?since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	obs.Propagate(ctx, req.Header.Set)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	ct := mediaTypeOf(resp.Header.Get("Content-Type"))
+	if resp.StatusCode/100 != 2 {
+		return c.statusError(resp, "/watch", ct)
+	}
+	if ct != "text/event-stream" {
+		return &ContentTypeError{Endpoint: "/watch", Got: ct, Want: "text/event-stream"}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data:") {
+			continue // event:/id: framing lines, heartbeat comments, blanks
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal([]byte(strings.TrimSpace(line[len("data:"):])), &ev); err != nil {
+			return fmt.Errorf("xpdld: watch event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// WatchPoll is the long-poll fallback: it returns the buffered events
+// after since, waiting up to wait for the first new one. The watch
+// endpoint is JSON-only (events are control-plane, not query hot path),
+// so the negotiated binary protocol does not apply here.
+func (c *Client) WatchPoll(ctx context.Context, ident string, since uint64, wait time.Duration) (WatchPollResponse, error) {
+	var out WatchPollResponse
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	cj := *c
+	cj.Proto = ProtoJSON
+	err := cj.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/watch", q, nil, &out, nil)
 	return out, err
 }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpdl/internal/core"
+)
+
+// Refresh benchmarks for EXPERIMENTS.md E19: the cost of propagating a
+// single-attribute descriptor edit (Xeon static_power, which every
+// XScluster core group inherits) through a full re-resolve versus the
+// delta patch path. Both loops flip the value every iteration so each
+// refresh observes a real change; loader-level, so the comparison
+// isolates resolution cost from snapshot pre-serialization.
+
+// benchRefreshSetup boots a toolchain loader over a private corpus
+// copy, loads XScluster, and returns the two Xeon file variants the
+// loop alternates between.
+func benchRefreshSetup(b *testing.B) (loader *ToolchainLoader, snap *Snapshot, xeon string, variants [2][]byte) {
+	b.Helper()
+	dir := copyModels(b)
+	loader, err := NewToolchainLoader(core.Options{SearchPaths: []string{dir}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err = loader.Load(context.Background(), "XScluster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	xeon = filepath.Join(dir, "cpu", "Intel_Xeon_E5_2630L.xpdl")
+	orig, err := os.ReadFile(xeon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !strings.Contains(string(orig), `static_power="15"`) {
+		b.Fatalf("fixture drifted: no static_power=\"15\" in %s", xeon)
+	}
+	variants[0] = []byte(strings.Replace(string(orig), `static_power="15"`, `static_power="17"`, 1))
+	variants[1] = orig
+	return
+}
+
+func BenchmarkFullRefresh(b *testing.B) {
+	loader, _, xeon, variants := benchRefreshSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := os.WriteFile(xeon, variants[i%2], 0o644); err != nil {
+			b.Fatal(err)
+		}
+		loader.Invalidate()
+		if _, err := loader.Load(ctx, "XScluster"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeltaRefresh(b *testing.B) {
+	loader, snap, xeon, variants := benchRefreshSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := os.WriteFile(xeon, variants[i%2], 0o644); err != nil {
+			b.Fatal(err)
+		}
+		loader.Invalidate()
+		res, err := loader.LoadDelta(ctx, snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != DeltaPatched {
+			b.Fatalf("iteration %d: outcome %v (reason %q), want DeltaPatched", i, res.Outcome, res.Reason)
+		}
+		snap = res.Snap
+	}
+}

@@ -24,6 +24,8 @@ var (
 		"API responses served, by wire protocol.", "proto", "bin")
 	mPreserHits = obs.Default().Counter("xpdl_serve_preser_hits_total",
 		"API responses served from per-snapshot pre-serialized bytes.")
+	mPreserReused = obs.Default().Counter("xpdl_serve_preser_reused_total",
+		"Pre-serialized answers carried over unchanged across a delta patch.")
 )
 
 // preEncoded is one response rendered to final bytes in both
@@ -68,6 +70,100 @@ func prepare(snap *Snapshot) {
 	_ = snap.Session.Model().WriteJSON(&jb)
 	p.export = preEncoded{body: jb.Bytes(), bin: rawEnvelope(frameRawJSON, jb.Bytes())}
 	snap.pre = p
+}
+
+// preparePatched readies a delta-patched snapshot, reusing everything
+// from its predecessor that provably cannot have changed: the selector
+// indexes (the patch edits attribute values only, never structure), the
+// rendered tree (attribute-free by construction), and every lazily
+// rendered element answer whose node content is unchanged. Attribute-
+// bearing renders (summary, JSON export, touched elements) are rebuilt.
+// If the structural invariants do not hold it degrades to prepare().
+func preparePatched(snap, old *Snapshot) {
+	if snap.Session == nil {
+		return
+	}
+	if old == nil || old.Session == nil || !snap.Session.AdoptIndexes(old.Session) {
+		prepare(snap)
+		return
+	}
+	if snap.pre != nil {
+		return
+	}
+	p := &preResponses{}
+	sum := summaryOf(snap)
+	p.summary = preEncoded{body: marshalIndented(sum), bin: encodeBin(&sum)}
+	if old.pre != nil && sameTreeShape(snap, old) {
+		p.tree = old.pre.tree
+		mPreserReused.Inc()
+	} else {
+		var tb bytes.Buffer
+		_ = WriteTree(&tb, snap.Session.Root())
+		p.tree = preEncoded{body: tb.Bytes(), bin: rawEnvelope(frameRawTree, tb.Bytes())}
+	}
+	var jb bytes.Buffer
+	_ = snap.Session.Model().WriteJSON(&jb)
+	p.export = preEncoded{body: jb.Bytes(), bin: rawEnvelope(frameRawJSON, jb.Bytes())}
+	if old.pre != nil {
+		nm, om := snap.Session.Model(), old.Session.Model()
+		old.pre.elems.Range(func(k, v any) bool {
+			on, ok := om.Lookup(k.(string))
+			if !ok {
+				return true
+			}
+			nn, ok := nm.Lookup(k.(string))
+			if ok && nodeAnswerEqual(nn, on) {
+				p.elems.Store(k, v)
+				mPreserReused.Inc()
+			}
+			return true
+		})
+	}
+	snap.pre = p
+}
+
+// sameTreeShape reports whether the rendered tree (kind/ident/type per
+// node) is identical between two same-length snapshots. AdoptIndexes
+// already verified kind/name/id/parent; only type tags remain.
+func sameTreeShape(snap, old *Snapshot) bool {
+	a, b := snap.Session.Model(), old.Session.Model()
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Type != b.Nodes[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeAnswerEqual reports whether two runtime nodes render the same
+// element answer: identity, type, attributes and properties all equal
+// (children references are shape-level and were verified at adoption).
+func nodeAnswerEqual(a, b *rtmodel.Node) bool {
+	if a.Kind != b.Kind || a.Name != b.Name || a.ID != b.ID || a.Type != b.Type {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Props) != len(b.Props) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Props {
+		if a.Props[i].Name != b.Props[i].Name || len(a.Props[i].KVs) != len(b.Props[i].KVs) {
+			return false
+		}
+		for j := range a.Props[i].KVs {
+			if a.Props[i].KVs[j] != b.Props[i].KVs[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // summaryOf computes the derived-analysis roll-up of one snapshot.

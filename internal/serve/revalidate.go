@@ -76,7 +76,7 @@ func (rv *Revalidator) Cycle(ctx context.Context) {
 		if ctx.Err() != nil {
 			break
 		}
-		swapped, err := rv.Store.Refresh(ctx, ident)
+		res, err := rv.Store.RefreshDetail(ctx, ident)
 		switch {
 		case err != nil:
 			mRevalErrors.Inc()
@@ -86,10 +86,16 @@ func (rv *Revalidator) Cycle(ctx context.Context) {
 			if rv.Log != nil {
 				rv.Log.Printf("revalidate %s: %v (keeping resident snapshot)", ident, err)
 			}
-		case swapped:
+		case res.Swapped:
 			if snap, ok := rv.Store.Peek(ident); ok && rv.Log != nil {
-				rv.Log.Printf("revalidate %s: hot-swapped generation %d (fingerprint %s)",
-					ident, snap.Gen, snap.Fingerprint)
+				how := "full resolve"
+				if res.Delta {
+					how = "delta patch"
+				} else if res.Reason != "" {
+					how = "full resolve, delta fallback: " + res.Reason
+				}
+				rv.Log.Printf("revalidate %s: hot-swapped generation %d via %s (fingerprint %s)",
+					ident, snap.Gen, how, snap.Fingerprint)
 			}
 			if rv.OnSwap != nil {
 				rv.OnSwap(ident)

@@ -50,6 +50,13 @@ type Config struct {
 	// revalidation trigger (on by default in xpdld; off for untrusted
 	// deployments since a refresh costs a full toolchain run).
 	AllowRefresh bool
+	// WatchBuffer sizes each watch subscriber's event queue (default
+	// 16). A subscriber that falls this many events behind is evicted.
+	WatchBuffer int
+	// WatchHeartbeat is the SSE keep-alive comment interval (default
+	// 15s), so idle watch streams survive proxies and dead peers are
+	// noticed.
+	WatchHeartbeat time.Duration
 
 	// TraceSample is the head-sampling probability for traces started
 	// locally (no incoming traceparent). Error responses (5xx) are
@@ -78,6 +85,7 @@ type Server struct {
 	timeout      time.Duration
 	allowRefresh bool
 	slow         time.Duration
+	watchHB      time.Duration
 
 	sampler *obs.Sampler
 	traces  *obs.TraceBuffer
@@ -105,6 +113,10 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxTraces <= 0 {
 		cfg.MaxTraces = 256
 	}
+	if cfg.WatchHeartbeat <= 0 {
+		cfg.WatchHeartbeat = 15 * time.Second
+	}
+	cfg.Store.SetWatchBuffer(cfg.WatchBuffer)
 	s := &Server{
 		store:        cfg.Store,
 		mux:          http.NewServeMux(),
@@ -112,6 +124,7 @@ func NewServer(cfg Config) *Server {
 		timeout:      cfg.RequestTimeout,
 		allowRefresh: cfg.AllowRefresh,
 		slow:         cfg.SlowRequest,
+		watchHB:      cfg.WatchHeartbeat,
 		sampler:      obs.NewSampler(cfg.TraceSample),
 		traces:       obs.NewTraceBuffer(cfg.MaxTraces),
 		logger:       cfg.Logger,
@@ -161,6 +174,10 @@ func (s *Server) routes() {
 	if s.allowRefresh {
 		s.handle("POST /v1/models/{model}/refresh", "refresh", s.handleRefresh)
 	}
+	// The watch stream lives outside the handle wrapper: it is a
+	// long-lived connection, so the per-request timeout and the
+	// concurrency limiter (sized for millisecond queries) must not apply.
+	s.mux.HandleFunc("GET /v1/models/{model}/watch", s.handleWatch)
 	// Observability rides on the same listener: Prometheus text of the
 	// server registry plus the process-wide one, pprof, expvar, and the
 	// completed-trace ring buffer.
@@ -963,7 +980,11 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) (any, err
 	if ident == "" {
 		return nil, badRequest("missing model identifier")
 	}
-	swapped, err := s.store.Refresh(r.Context(), ident)
+	// Drop loader caches first so the refresh observes edited files and
+	// changed remote descriptors — the same sequence the background
+	// revalidator runs.
+	s.store.InvalidateLoader()
+	res, err := s.store.RefreshDetail(r.Context(), ident)
 	if err != nil {
 		return nil, fmt.Errorf("refresh %q: %w", ident, err)
 	}
@@ -971,7 +992,146 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) (any, err
 	if !ok {
 		return nil, notFound("model %q is not resident", ident)
 	}
-	return RefreshResponse{Ident: ident, Swapped: swapped, Generation: snap.Gen}, nil
+	return RefreshResponse{Ident: ident, Swapped: res.Swapped, Generation: snap.Gen, Delta: res.Delta}, nil
+}
+
+// handleWatch streams generation-change events for one model:
+// Server-Sent Events when the client accepts text/event-stream, a
+// bounded long poll (?since=&wait=) otherwise.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	ident := r.PathValue("model")
+	if ident == "" {
+		s.writeError(w, badRequest("missing model identifier"))
+		return
+	}
+	// Ensure the model is resident (404s early for bad identifiers);
+	// only the load is bounded by the request timeout, not the stream.
+	loadCtx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	snap, err := s.store.Get(loadCtx, ident)
+	cancel()
+	if err != nil {
+		s.writeError(w, notFound("model %q: %v", ident, err))
+		return
+	}
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, badRequest("since must be a non-negative integer"))
+			return
+		}
+		since = v
+	}
+	w.Header().Set("X-Xpdl-Generation", strconv.FormatUint(snap.Gen, 10))
+	w.Header().Set("X-Xpdl-Fingerprint", snap.Fingerprint)
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.watchSSE(w, r, ident, since)
+		return
+	}
+	s.watchPoll(w, r, ident, since)
+}
+
+// watchSSE is the streaming transport: one "change" event per publish,
+// heartbeat comments in between, eviction (queue overflow or graceful
+// drain) ends the stream.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, ident string, since uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, &apiError{status: http.StatusNotImplemented, msg: "streaming unsupported"})
+		return
+	}
+	ch, cancelSub := s.store.Watch(ident, since)
+	defer cancelSub()
+	gWatchSSE.Add(1)
+	defer gWatchSSE.Add(-1)
+	// The stream outlives the server's WriteTimeout by design; roll the
+	// write deadline forward while the peer keeps accepting writes.
+	rc := http.NewResponseController(w)
+	extend := func() { _ = rc.SetWriteDeadline(time.Now().Add(4 * s.watchHB)) }
+	extend()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	s.countStatus(http.StatusOK)
+	fmt.Fprintf(w, ": watching %s\n\n", ident)
+	fl.Flush()
+	hb := time.NewTicker(s.watchHB)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return // evicted as a slow consumer, or server draining
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			extend()
+			fmt.Fprintf(w, "event: change\nid: %d\ndata: %s\n\n", ev.Seq, data)
+			fl.Flush()
+		case <-hb.C:
+			extend()
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// maxWatchWait caps the long-poll hold so a forgotten wait= cannot pin
+// a connection forever.
+const maxWatchWait = time.Minute
+
+// watchPoll is the long-poll fallback: return buffered events after
+// ?since= immediately, or hold up to ?wait= for the first new one.
+func (s *Server) watchPoll(w http.ResponseWriter, r *http.Request, ident string, since uint64) {
+	wait := time.Duration(0)
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			s.writeError(w, badRequest("wait must be a duration like 30s"))
+			return
+		}
+		wait = min(d, maxWatchWait)
+	}
+	evs, next := s.store.WatchEvents(ident, since)
+	if len(evs) == 0 && wait > 0 {
+		ch, cancelSub := s.store.Watch(ident, since)
+		gWatchPoll.Add(1)
+		timer := time.NewTimer(wait)
+		select {
+		case <-r.Context().Done():
+		case <-timer.C:
+		case ev, open := <-ch:
+			if open {
+				evs = append(evs, ev)
+				next = ev.Seq
+			drain:
+				for {
+					select {
+					case ev, open := <-ch:
+						if !open {
+							break drain
+						}
+						evs = append(evs, ev)
+						next = ev.Seq
+					default:
+						break drain
+					}
+				}
+			}
+		}
+		timer.Stop()
+		gWatchPoll.Add(-1)
+		cancelSub()
+	}
+	if evs == nil {
+		evs = []WatchEvent{}
+	}
+	s.writeJSON(w, http.StatusOK, WatchPollResponse{Model: ident, Events: evs, Next: next})
 }
 
 // decodeJSON reads a bounded JSON body into dst, mapping every decode

@@ -411,9 +411,3 @@ func TestServerConcurrencyLimiter(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

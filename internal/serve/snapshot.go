@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"xpdl/internal/core"
+	"xpdl/internal/delta"
 	"xpdl/internal/model"
 	"xpdl/internal/obs"
 	"xpdl/internal/query"
@@ -58,15 +59,25 @@ type Snapshot struct {
 	// snapshot and read-only afterwards. Nil for snapshots constructed
 	// directly (tests): handlers then fall back to live encoding.
 	pre *preResponses
+
+	// descs is the descriptor closure captured when the snapshot was
+	// resolved; the incremental refresh path diffs a fresh capture
+	// against it to decide between patching and a full resolve. Nil when
+	// capture failed or the snapshot predates delta support — refreshes
+	// then fall back to the full pipeline.
+	descs *delta.Set
 }
 
 // Nodes returns the runtime-model node count.
 func (s *Snapshot) Nodes() int { return s.Session.Model().Len() }
 
-// fingerprintOf hashes the binary runtime-model serialization.
+// fingerprintOf hashes the runtime model's canonical content stream.
+// WriteCanonical skips the string-interning pass of the file format, so
+// fingerprinting costs one model walk — it runs on every load AND on
+// every delta patch, where it would otherwise dominate the patch path.
 func fingerprintOf(m *rtmodel.Model) (string, error) {
 	h := sha256.New()
-	if err := m.Save(h); err != nil {
+	if err := m.WriteCanonical(h); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil))[:32], nil
@@ -111,6 +122,11 @@ func NewToolchainLoader(opts core.Options) (*ToolchainLoader, error) {
 func (l *ToolchainLoader) Load(ctx context.Context, systemID string) (*Snapshot, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.loadLocked(ctx, systemID)
+}
+
+// loadLocked is the full-pipeline load; the caller holds l.mu.
+func (l *ToolchainLoader) loadLocked(ctx context.Context, systemID string) (*Snapshot, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -130,13 +146,25 @@ func (l *ToolchainLoader) Load(ctx context.Context, systemID string) (*Snapshot,
 	if err != nil {
 		return nil, fmt.Errorf("serve: fingerprint %s: %w", systemID, err)
 	}
-	return &Snapshot{
+	snap := &Snapshot{
 		Ident:       systemID,
 		Fingerprint: fp,
 		LoadedAt:    time.Now(),
 		Session:     query.NewSession(res.Runtime),
 		System:      res.System,
-	}, nil
+	}
+	// Capture the descriptor closure for incremental refreshes. The
+	// repository cache is warm from the load just done, so this re-walks
+	// parsed descriptors without I/O. A capture failure only costs the
+	// delta path: the next refresh falls back to a full resolve.
+	if set, err := delta.Capture(systemID, func(id string) (*model.Component, error) {
+		return l.tc.Repo.LoadContext(ctx, id)
+	}); err == nil {
+		snap.descs = set
+	} else {
+		sp.Event("descriptor capture failed: %v", err)
+	}
+	return snap, nil
 }
 
 // Invalidate drops the repository's in-memory descriptor cache; the

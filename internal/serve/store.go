@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xpdl/internal/diff"
 	"xpdl/internal/obs"
 )
 
@@ -54,6 +55,9 @@ type Store struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
+
+	// hub fans generation-change events out to watch subscribers.
+	hub *watchHub
 }
 
 // NewStore builds a store over the loader. maxResident bounds how many
@@ -65,7 +69,77 @@ func NewStore(loader Loader, maxResident int) *Store {
 		max:     maxResident,
 		entries: map[string]*entry{},
 		lru:     list.New(),
+		hub:     newWatchHub(0),
 	}
+}
+
+// SetWatchBuffer sizes each watch subscriber's event queue (default
+// 16). Call before serving; existing subscribers keep their queue.
+func (st *Store) SetWatchBuffer(n int) {
+	if n > 0 {
+		st.hub.buffer = n
+	}
+}
+
+// Watch subscribes to generation-change events of ident. History with
+// sequence numbers above since is replayed first. The channel closes
+// when the subscriber falls too far behind (queue full) or the store
+// shuts watchers down; cancel releases the subscription.
+func (st *Store) Watch(ident string, since uint64) (<-chan WatchEvent, func()) {
+	return st.hub.subscribe(ident, since)
+}
+
+// WatchEvents returns ident's buffered events after since plus the
+// latest sequence number — the long-poll fast path.
+func (st *Store) WatchEvents(ident string, since uint64) ([]WatchEvent, uint64) {
+	return st.hub.events(ident, since)
+}
+
+// CloseWatchers evicts all watch subscribers and refuses new ones. Run
+// it before http.Server.Shutdown: open SSE streams count as active
+// requests and would pin the drain forever.
+func (st *Store) CloseWatchers() { st.hub.close() }
+
+// InvalidateLoader drops the loader's caches so the next load or
+// refresh observes upstream descriptor changes.
+func (st *Store) InvalidateLoader() { st.loader.Invalidate() }
+
+// publish emits one generation-change event for a just-published
+// snapshot.
+func (st *Store) publish(snap *Snapshot, isDelta bool, changed []string) {
+	st.hub.publish(WatchEvent{
+		Model:       snap.Ident,
+		Generation:  snap.Gen,
+		Fingerprint: snap.Fingerprint,
+		Delta:       isDelta,
+		Changed:     changed,
+		UnixNano:    snap.LoadedAt.UnixNano(),
+	})
+}
+
+// changedSummary renders a bounded changed-element summary for watch
+// events on the full-resolve path (the delta path knows its changed
+// descriptors exactly; here we diff the composed trees and truncate).
+func changedSummary(old, cur *Snapshot) []string {
+	if old == nil || cur == nil || old.System == nil || cur.System == nil {
+		return nil
+	}
+	const maxEntries = 8
+	changes := diff.Diff(old.System, cur.System)
+	out := make([]string, 0, maxEntries+1)
+	seen := map[string]bool{}
+	for _, ch := range changes {
+		if seen[ch.Path] {
+			continue
+		}
+		seen[ch.Path] = true
+		if len(out) == maxEntries {
+			out = append(out, fmt.Sprintf("+%d more", len(changes)-maxEntries))
+			break
+		}
+		out = append(out, ch.Path)
+	}
+	return out
 }
 
 // Get returns the current snapshot of ident, loading it through the
@@ -120,9 +194,29 @@ func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) 
 	prepare(snap)
 	e.snap.Store(snap)
 	mStoreLoads.Inc()
+	st.publish(snap, false, nil)
 	st.touch(e)
 	st.evictOver(e)
 	return snap, nil
+}
+
+// RefreshResult describes one refresh outcome.
+type RefreshResult struct {
+	// Swapped reports whether a new snapshot was published.
+	Swapped bool
+	// Delta reports whether the publish rode the in-place patch path.
+	Delta bool
+	// Unchanged reports that a resident model was checked and kept.
+	Unchanged bool
+	// Reason is the delta fallback taxon when a delta-capable loader
+	// fell back to a full resolve; empty otherwise.
+	Reason string
+	// Gen is the generation now resident (0 if the model was not
+	// resident at all).
+	Gen uint64
+	// Changed summarizes what changed (descriptor idents on the delta
+	// path, truncated element paths on the full path).
+	Changed []string
 }
 
 // Refresh resolves ident again and publishes the result only when its
@@ -130,6 +224,18 @@ func (st *Store) loadSlow(ctx context.Context, ident string) (*Snapshot, error) 
 // the revalidator drives. It reports whether a swap happened. A model
 // that is not resident is left alone (nothing to refresh).
 func (st *Store) Refresh(ctx context.Context, ident string) (bool, error) {
+	res, err := st.RefreshDetail(ctx, ident)
+	return res.Swapped, err
+}
+
+// RefreshDetail is Refresh with the full outcome. When the loader
+// implements DeltaLoader the refresh runs incrementally: an unchanged
+// descriptor closure is a true no-op (no resolve, no re-preparation,
+// no event), a bounded attribute edit is patched in place reusing the
+// old snapshot's indexes and pre-serialized answers, and anything else
+// falls back to a full resolve with the reason counted in
+// xpdl_delta_fallback_total.
+func (st *Store) RefreshDetail(ctx context.Context, ident string) (RefreshResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "store.refresh")
 	sp.SetAttr("model", ident)
 	defer sp.Stop()
@@ -137,29 +243,78 @@ func (st *Store) Refresh(ctx context.Context, ident string) (bool, error) {
 	e := st.entries[ident]
 	st.mu.RUnlock()
 	if e == nil {
-		return false, nil
+		return RefreshResult{}, nil
 	}
 	e.loadMu.Lock()
 	defer e.loadMu.Unlock()
 	old := e.snap.Load()
 	if old == nil {
-		return false, nil // evicted or never published
+		return RefreshResult{}, nil // evicted or never published
+	}
+	if dl, ok := st.loader.(DeltaLoader); ok {
+		return st.refreshDelta(ctx, sp, dl, e, old)
 	}
 	snap, err := st.loader.Load(ctx, ident)
 	if err != nil {
 		mStoreErrors.Inc()
-		return false, err
+		return RefreshResult{}, err
 	}
 	if snap.Fingerprint == old.Fingerprint {
 		mStoreUnchanged.Inc()
 		sp.Event("fingerprint unchanged; keeping gen %d", old.Gen)
-		return false, nil
+		return RefreshResult{Unchanged: true, Gen: old.Gen}, nil
 	}
 	snap.Gen = st.gen.Add(1)
 	prepare(snap)
 	e.snap.Store(snap)
 	mStoreSwaps.Inc()
-	return true, nil
+	changed := changedSummary(old, snap)
+	st.publish(snap, false, changed)
+	return RefreshResult{Swapped: true, Gen: snap.Gen, Changed: changed}, nil
+}
+
+// refreshDelta handles the DeltaLoader refresh path; the caller holds
+// e.loadMu.
+func (st *Store) refreshDelta(ctx context.Context, sp *obs.Span, dl DeltaLoader, e *entry, old *Snapshot) (RefreshResult, error) {
+	res, err := dl.LoadDelta(ctx, old)
+	if err != nil {
+		mStoreErrors.Inc()
+		return RefreshResult{}, err
+	}
+	switch res.Outcome {
+	case DeltaUnchanged:
+		// True no-op: the resident snapshot, its indexes and its
+		// pre-serialized answers all stay; nothing is republished.
+		mStoreUnchanged.Inc()
+		mDeltaUnchanged.Inc()
+		sp.Event("delta: unchanged; keeping gen %d", old.Gen)
+		return RefreshResult{Unchanged: true, Gen: old.Gen}, nil
+	case DeltaPatched:
+		snap := res.Snap
+		snap.Gen = st.gen.Add(1)
+		preparePatched(snap, old)
+		e.snap.Store(snap)
+		mStoreSwaps.Inc()
+		mDeltaPatched.Inc()
+		sp.Event("delta: patched to gen %d (%d descriptors)", snap.Gen, len(res.Changed))
+		st.publish(snap, true, res.Changed)
+		return RefreshResult{Swapped: true, Delta: true, Gen: snap.Gen, Changed: res.Changed}, nil
+	default: // DeltaFull
+		deltaFallbacks(res.Reason).Inc()
+		snap := res.Snap
+		if snap.Fingerprint == old.Fingerprint {
+			mStoreUnchanged.Inc()
+			sp.Event("fingerprint unchanged; keeping gen %d", old.Gen)
+			return RefreshResult{Unchanged: true, Reason: res.Reason, Gen: old.Gen}, nil
+		}
+		snap.Gen = st.gen.Add(1)
+		prepare(snap)
+		e.snap.Store(snap)
+		mStoreSwaps.Inc()
+		changed := changedSummary(old, snap)
+		st.publish(snap, false, changed)
+		return RefreshResult{Swapped: true, Reason: res.Reason, Gen: snap.Gen, Changed: changed}, nil
+	}
 }
 
 // touch moves the entry to the LRU front and refreshes the resident

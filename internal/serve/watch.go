@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"sync"
+
+	"xpdl/internal/obs"
+)
+
+// Watch metrics.
+var (
+	mWatchEvents = obs.Default().Counter("xpdl_watch_events_total",
+		"Generation-change events published to watch subscribers.")
+	mWatchEvicted = obs.Default().Counter("xpdl_watch_evicted_total",
+		"Watch subscribers evicted because their event queue was full.")
+	gWatchSSE = obs.Default().GaugeWith("xpdl_watch_subscribers",
+		"Active watch subscribers, by transport.", "transport", "sse")
+	gWatchPoll = obs.Default().GaugeWith("xpdl_watch_subscribers",
+		"Active watch subscribers, by transport.", "transport", "poll")
+)
+
+// watchHistory bounds the per-model replay ring: a reconnecting
+// subscriber can resume via ?since= across that many generations.
+const watchHistory = 64
+
+// defaultWatchBuffer is the per-subscriber queue depth when the store
+// was not configured otherwise.
+const defaultWatchBuffer = 16
+
+// watchHub fans generation-change events out to subscribers. Publishes
+// never block on consumers: a subscriber whose queue is full is evicted
+// (its channel closed) so slow readers cannot stall snapshot swaps.
+type watchHub struct {
+	buffer int
+
+	mu     sync.Mutex
+	models map[string]*watchModel
+	closed bool
+}
+
+type watchModel struct {
+	seq  uint64
+	subs map[*watchSub]struct{}
+	hist []WatchEvent // last watchHistory events, oldest first
+}
+
+type watchSub struct {
+	ch chan WatchEvent
+}
+
+func newWatchHub(buffer int) *watchHub {
+	if buffer <= 0 {
+		buffer = defaultWatchBuffer
+	}
+	return &watchHub{buffer: buffer, models: map[string]*watchModel{}}
+}
+
+func (h *watchHub) model(ident string) *watchModel {
+	wm := h.models[ident]
+	if wm == nil {
+		wm = &watchModel{subs: map[*watchSub]struct{}{}}
+		h.models[ident] = wm
+	}
+	return wm
+}
+
+// publish assigns the event its per-model sequence number and delivers
+// it to every subscriber of the model, evicting any whose queue is
+// full. Safe to call after close (events still advance the sequence and
+// history, there is just no one left to deliver to).
+func (h *watchHub) publish(ev WatchEvent) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wm := h.model(ev.Model)
+	wm.seq++
+	ev.Seq = wm.seq
+	wm.hist = append(wm.hist, ev)
+	if len(wm.hist) > watchHistory {
+		wm.hist = wm.hist[len(wm.hist)-watchHistory:]
+	}
+	mWatchEvents.Inc()
+	for s := range wm.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			delete(wm.subs, s)
+			close(s.ch)
+			mWatchEvicted.Inc()
+		}
+	}
+	return ev.Seq
+}
+
+// subscribe registers a consumer for ident's events: buffered history
+// with Seq > since is replayed first, then live events follow. The
+// returned channel is closed on eviction or CloseWatchers; cancel
+// unregisters (idempotent, safe after eviction).
+func (h *watchHub) subscribe(ident string, since uint64) (<-chan WatchEvent, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wm := h.model(ident)
+	var replay []WatchEvent
+	for _, ev := range wm.hist {
+		if ev.Seq > since {
+			replay = append(replay, ev)
+		}
+	}
+	s := &watchSub{ch: make(chan WatchEvent, h.buffer+len(replay))}
+	for _, ev := range replay {
+		s.ch <- ev
+	}
+	if h.closed {
+		close(s.ch)
+		return s.ch, func() {}
+	}
+	wm.subs[s] = struct{}{}
+	cancel := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := wm.subs[s]; ok {
+			delete(wm.subs, s)
+			close(s.ch)
+		}
+	}
+	return s.ch, cancel
+}
+
+// events returns the buffered history of ident after since — the
+// long-poll fast path when something already happened.
+func (h *watchHub) events(ident string, since uint64) ([]WatchEvent, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wm := h.model(ident)
+	var out []WatchEvent
+	for _, ev := range wm.hist {
+		if ev.Seq > since {
+			out = append(out, ev)
+		}
+	}
+	return out, wm.seq
+}
+
+// close evicts every subscriber and refuses new ones — called during
+// graceful drain before the HTTP server shuts down, because an open SSE
+// stream would otherwise pin Shutdown forever.
+func (h *watchHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, wm := range h.models {
+		for s := range wm.subs {
+			delete(wm.subs, s)
+			close(s.ch)
+		}
+	}
+}

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Watch subsystem tests: hub semantics (gap-free sequences, bounded
+// replay, slow-consumer eviction, graceful drain), the SSE and
+// long-poll transports end to end, and the watch/swap race stress the
+// delta hot path must survive under -race.
+
+func TestWatchHubSeqAndReplay(t *testing.T) {
+	h := newWatchHub(8)
+	for i := 1; i <= 5; i++ {
+		seq := h.publish(WatchEvent{Model: "m", Generation: uint64(i)})
+		if seq != uint64(i) {
+			t.Fatalf("publish %d assigned seq %d", i, seq)
+		}
+	}
+	// Replay resumes after since.
+	ch, cancel := h.subscribe("m", 2)
+	defer cancel()
+	for want := uint64(3); want <= 5; want++ {
+		ev := <-ch
+		if ev.Seq != want {
+			t.Fatalf("replayed seq %d, want %d", ev.Seq, want)
+		}
+	}
+	// Live events continue the same gap-free sequence.
+	h.publish(WatchEvent{Model: "m", Generation: 6})
+	if ev := <-ch; ev.Seq != 6 {
+		t.Fatalf("live seq %d, want 6", ev.Seq)
+	}
+	// The fast path agrees.
+	evs, next := h.events("m", 4)
+	if len(evs) != 2 || evs[0].Seq != 5 || evs[1].Seq != 6 || next != 6 {
+		t.Fatalf("events(4) = %d events, next %d", len(evs), next)
+	}
+	// Models are independent sequences.
+	if seq := h.publish(WatchEvent{Model: "other"}); seq != 1 {
+		t.Fatalf("second model started at seq %d", seq)
+	}
+}
+
+func TestWatchHubHistoryBounded(t *testing.T) {
+	h := newWatchHub(4)
+	for i := 0; i < watchHistory+10; i++ {
+		h.publish(WatchEvent{Model: "m"})
+	}
+	evs, next := h.events("m", 0)
+	if len(evs) != watchHistory {
+		t.Fatalf("history holds %d events, want %d", len(evs), watchHistory)
+	}
+	if next != uint64(watchHistory+10) {
+		t.Fatalf("next = %d, want %d", next, watchHistory+10)
+	}
+	// The oldest retained event is the (10+1)th.
+	if evs[0].Seq != 11 {
+		t.Fatalf("oldest retained seq %d, want 11", evs[0].Seq)
+	}
+}
+
+func TestWatchHubSlowConsumerEvicted(t *testing.T) {
+	h := newWatchHub(2)
+	ch, cancel := h.subscribe("m", 0)
+	defer cancel()
+	evictedBefore := mWatchEvicted.Value()
+	// Fill the queue without draining, then overflow it.
+	for i := 0; i < 3; i++ {
+		h.publish(WatchEvent{Model: "m"})
+	}
+	// The channel must now be closed after its two buffered events.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d buffered events before close, want 2", n)
+	}
+	if got := mWatchEvicted.Value() - evictedBefore; got != 1 {
+		t.Fatalf("eviction counter moved by %d, want 1", got)
+	}
+	// cancel after eviction must not double-close.
+	cancel()
+}
+
+func TestWatchHubClose(t *testing.T) {
+	h := newWatchHub(4)
+	ch, cancel := h.subscribe("m", 0)
+	defer cancel()
+	h.close()
+	if _, open := <-ch; open {
+		t.Fatal("subscriber channel still open after close")
+	}
+	// New subscriptions are refused with an immediately closed channel.
+	ch2, cancel2 := h.subscribe("m", 0)
+	defer cancel2()
+	if _, open := <-ch2; open {
+		t.Fatal("post-close subscribe returned an open channel")
+	}
+	// Publishing after close still advances the sequence for pollers.
+	h.publish(WatchEvent{Model: "m"})
+	if _, next := h.events("m", 0); next != 1 {
+		t.Fatalf("post-close publish did not advance seq: %d", next)
+	}
+}
+
+// stubDeltaLoader upgrades the stub loader to the DeltaLoader
+// interface: every refresh with changed content reports the delta
+// patch path, exercising the store's refreshDelta publishing.
+type stubDeltaLoader struct {
+	*stubLoader
+}
+
+func (l *stubDeltaLoader) LoadDelta(ctx context.Context, old *Snapshot) (*DeltaResult, error) {
+	snap, err := l.Load(ctx, old.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Fingerprint == old.Fingerprint {
+		return &DeltaResult{Outcome: DeltaUnchanged, Snap: old}, nil
+	}
+	return &DeltaResult{Outcome: DeltaPatched, Snap: snap, Changed: []string{old.Ident}}, nil
+}
+
+func TestWatchSSEEndToEnd(t *testing.T) {
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, WatchHeartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewClient(ts.URL)
+	watchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events := make(chan WatchEvent, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- client.Watch(watchCtx, "m", 0, func(ev WatchEvent) error {
+			events <- ev
+			return nil
+		})
+	}()
+
+	// Give the stream a moment to subscribe, then swap twice.
+	time.Sleep(50 * time.Millisecond)
+	for i := 1; i <= 2; i++ {
+		l.bumpVersion("m")
+		res, err := st.RefreshDetail(ctx, "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Swapped || !res.Delta {
+			t.Fatalf("swap %d: swapped=%v delta=%v", i, res.Swapped, res.Delta)
+		}
+	}
+	// Three events: the replayed initial-load publish, then one per
+	// delta swap.
+	var got []WatchEvent
+	timeout := time.After(5 * time.Second)
+	for len(got) < 3 {
+		select {
+		case ev := <-events:
+			got = append(got, ev)
+		case <-timeout:
+			t.Fatalf("timed out with %d events", len(got))
+		}
+	}
+	if got[0].Delta || got[0].Seq != 1 || got[0].Fingerprint != "fp-m-0" {
+		t.Fatalf("first event should be the initial load: %+v", got[0])
+	}
+	for i, ev := range got[1:] {
+		if ev.Model != "m" || !ev.Delta {
+			t.Fatalf("swap event %d: %+v, want a delta event for m", i, ev)
+		}
+		if ev.Seq != uint64(i+2) {
+			t.Fatalf("swap event %d: seq %d, want %d (gap-free)", i, ev.Seq, i+2)
+		}
+		if want := fmt.Sprintf("fp-m-%d", i+1); ev.Fingerprint != want {
+			t.Fatalf("swap event %d: fingerprint %s, want %s", i, ev.Fingerprint, want)
+		}
+		if len(ev.Changed) == 0 {
+			t.Fatalf("swap event %d carries no changed summary", i)
+		}
+	}
+	if got[1].Generation >= got[2].Generation {
+		t.Fatalf("generations not increasing: %d, %d", got[1].Generation, got[2].Generation)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("watch ended with error: %v", err)
+	}
+}
+
+func TestWatchSSEDrainOnClose(t *testing.T) {
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, WatchHeartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if _, err := st.Get(context.Background(), "m"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ts.URL)
+	done := make(chan error, 1)
+	go func() {
+		done <- client.Watch(context.Background(), "m", 0, func(WatchEvent) error { return nil })
+	}()
+	time.Sleep(100 * time.Millisecond)
+	st.CloseWatchers() // graceful drain: stream must end cleanly
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained watch returned error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch stream did not end after CloseWatchers")
+	}
+}
+
+func TestWatchLongPoll(t *testing.T) {
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ts.URL)
+
+	// The initial load already published one event; an immediate poll
+	// returns it without waiting.
+	resp, err := client.WatchPoll(ctx, "m", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Next != 1 || resp.Events[0].Delta {
+		t.Fatalf("fresh poll: %d events, next %d: %+v", len(resp.Events), resp.Next, resp.Events)
+	}
+
+	// A poll with wait= blocks until the swap publishes.
+	pollDone := make(chan WatchPollResponse, 1)
+	go func() {
+		r, err := client.WatchPoll(ctx, "m", 1, 10*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		pollDone <- r
+	}()
+	time.Sleep(50 * time.Millisecond)
+	l.bumpVersion("m")
+	if _, err := st.RefreshDetail(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-pollDone:
+		if len(r.Events) == 0 {
+			t.Fatal("long poll returned no events after a swap")
+		}
+		if r.Events[0].Seq != 2 || !r.Events[0].Delta || r.Next != r.Events[len(r.Events)-1].Seq {
+			t.Fatalf("long poll: first seq %d delta=%v, next %d", r.Events[0].Seq, r.Events[0].Delta, r.Next)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll did not return after a swap")
+	}
+
+	// since= resumes: already-delivered events are not repeated.
+	resp, err = client.WatchPoll(ctx, "m", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 0 || resp.Next != 2 {
+		t.Fatalf("resumed poll: %d events, next %d", len(resp.Events), resp.Next)
+	}
+
+	// Bad parameters are rejected.
+	for _, target := range []string{
+		"/v1/models/m/watch?since=x",
+		"/v1/models/m/watch?wait=nope",
+	} {
+		rec := doProto(t, srv, http.MethodGet, target, nil, false)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", target, rec.Code)
+		}
+	}
+}
+
+// TestWatchSwapStress is the tentpole race test: 100 watch subscribers
+// and 100 binary-protocol readers run against 50 delta hot swaps, with
+// a handful of deliberately stalled subscribers mixed in. Invariants,
+// all checked under -race:
+//
+//   - no torn reads: every binary answer decodes and matches its
+//     generation header;
+//   - every live subscriber sees a gap-free, strictly monotonic
+//     sequence with strictly increasing generations;
+//   - slow consumers are evicted (channel closed) without ever
+//     stalling a swap;
+//   - the event and patch counters advance by exactly the swap count.
+func TestWatchSwapStress(t *testing.T) {
+	const (
+		subscribers = 100
+		readers     = 100
+		swaps       = 50
+		stalled     = 4
+	)
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	st.SetWatchBuffer(swaps + 8) // live subscribers must never overflow
+	srv := NewServer(Config{Store: st, MaxInFlight: readers * 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	eventsBefore := mWatchEvents.Value()
+	patchedBefore := mDeltaPatched.Value()
+	evictedBefore := mWatchEvicted.Value()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, subscribers+readers+stalled)
+	stop := make(chan struct{})
+
+	// Stalled subscribers: a queue of 1, never drained. The swapper
+	// must evict them rather than block.
+	type stalledSub struct {
+		ch     <-chan WatchEvent
+		cancel func()
+	}
+	stSubs := make([]stalledSub, 0, stalled)
+	st.hub.mu.Lock()
+	st.hub.buffer = 1
+	st.hub.mu.Unlock()
+	for i := 0; i < stalled; i++ {
+		ch, cancel := st.Watch("m", 0)
+		stSubs = append(stSubs, stalledSub{ch, cancel})
+	}
+	st.hub.mu.Lock()
+	st.hub.buffer = swaps + 8
+	st.hub.mu.Unlock()
+
+	// Live subscribers assert sequence integrity.
+	subReady := make(chan struct{}, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// since=1 skips the replayed initial-load event, so exactly
+			// the 50 swap events follow.
+			ch, cancel := st.Watch("m", 1)
+			defer cancel()
+			subReady <- struct{}{}
+			lastSeq, lastGen := uint64(1), uint64(1)
+			n := 0
+			for {
+				select {
+				case ev, open := <-ch:
+					if !open {
+						errs <- fmt.Errorf("live subscriber evicted after %d events", n)
+						return
+					}
+					if ev.Seq != lastSeq+1 {
+						errs <- fmt.Errorf("sequence gap: %d after %d", ev.Seq, lastSeq)
+						return
+					}
+					if ev.Generation <= lastGen {
+						errs <- fmt.Errorf("generation not increasing: %d after %d", ev.Generation, lastGen)
+						return
+					}
+					if !ev.Delta {
+						errs <- fmt.Errorf("seq %d: swap event not marked delta", ev.Seq)
+						return
+					}
+					lastSeq, lastGen = ev.Seq, ev.Generation
+					n++
+					if n == swaps {
+						return
+					}
+				case <-stop:
+					errs <- fmt.Errorf("subscriber stopped after %d/%d events", n, swaps)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < subscribers; i++ {
+		<-subReady
+	}
+
+	// Binary readers race the swaps on the hot pre-serialized path.
+	readerStop := make(chan struct{})
+	var reads atomic.Int64
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := NewClient(ts.URL)
+			client.Proto = ProtoBinary
+			for {
+				select {
+				case <-readerStop:
+					return
+				default:
+				}
+				el, err := client.Element(ctx, "m", "m")
+				if err != nil {
+					errs <- fmt.Errorf("binary read: %w", err)
+					return
+				}
+				if el.ID != "m" {
+					errs <- fmt.Errorf("torn binary read: id %q", el.ID)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	for i := 0; i < swaps; i++ {
+		// Let readers make progress between swaps so they truly race.
+		before := reads.Load()
+		for reads.Load() == before {
+			runtime.Gosched()
+		}
+		l.bumpVersion("m")
+		res, err := st.RefreshDetail(ctx, "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Swapped || !res.Delta {
+			t.Fatalf("swap %d: swapped=%v delta=%v", i, res.Swapped, res.Delta)
+		}
+	}
+	swapDuration := time.Since(start)
+	close(readerStop)
+
+	// All live subscribers must finish their 50 events promptly.
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		close(stop)
+		<-doneCh
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Stalled subscribers were evicted, not waited for.
+	for i, s := range stSubs {
+		drained := 0
+	drain:
+		for {
+			select {
+			case _, open := <-s.ch:
+				if !open {
+					break drain
+				}
+				drained++
+			default:
+				t.Fatalf("stalled subscriber %d was never evicted (drained %d)", i, drained)
+			}
+		}
+		s.cancel()
+	}
+	if got := mWatchEvicted.Value() - evictedBefore; got != stalled {
+		t.Errorf("evictions = %d, want %d", got, stalled)
+	}
+	if got := mWatchEvents.Value() - eventsBefore; got != swaps {
+		t.Errorf("xpdl_watch_events_total moved by %d, want %d", got, swaps)
+	}
+	if got := mDeltaPatched.Value() - patchedBefore; got != swaps {
+		t.Errorf("xpdl_delta_patched_total moved by %d, want %d", got, swaps)
+	}
+	t.Logf("%d swaps in %s with %d binary reads", swaps, swapDuration.Round(time.Millisecond), reads.Load())
+}
