@@ -38,6 +38,10 @@
 //	POST .../dispatch                composition variant selection
 //	POST .../refresh                 manual revalidation (unless -allow-refresh=false)
 //	GET  .../watch                   generation-change events (SSE; long poll via ?since=&wait=)
+//	POST .../sweep                   submit an async parameter sweep, returns a job handle
+//	GET  /v1/jobs  /v1/jobs/{id}     job inventory and status (?points=1 for full results)
+//	GET  /v1/jobs/{id}/stream        per-point sweep progress (SSE, resumable via ?since=)
+//	POST /v1/jobs/{id}/cancel        cancel a queued or running sweep
 //	GET  /metrics /debug/pprof/ /debug/vars
 //	GET  /debug/traces               recent completed request traces
 //	GET  /debug/traces/{id}          one trace's full span tree as JSON
@@ -100,6 +104,13 @@ func main() {
 		slowMS      = flag.Int("slow-ms", 500, "log a warn line for requests at least this slow, in milliseconds (0 disables)")
 		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+
+		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep resolution workers (0 = GOMAXPROCS)")
+		sweepPoints  = flag.Int("sweep-max-points", 0, "server-side cap on points per sweep (0 = default)")
+		jobQueue     = flag.Int("job-queue", 16, "queued (not yet running) sweep jobs before 429")
+		jobWorkers   = flag.Int("job-concurrency", 2, "sweep jobs running at once")
+		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay pollable")
+		maxJobs      = flag.Int("max-jobs", 64, "retained jobs (queued+running+finished) before 429")
 	)
 	flag.Parse()
 
@@ -135,6 +146,12 @@ func main() {
 		MaxTraces:      *maxTraces,
 		SlowRequest:    time.Duration(*slowMS) * time.Millisecond,
 		Logger:         logger,
+		SweepWorkers:   *sweepWorkers,
+		SweepMaxPoints: *sweepPoints,
+		JobQueue:       *jobQueue,
+		JobConcurrency: *jobWorkers,
+		JobTTL:         *jobTTL,
+		MaxJobs:        *maxJobs,
 	})
 	loader.Repo().PublishMetrics(obs.Default())
 
@@ -185,7 +202,10 @@ func main() {
 	}
 	log.Print("xpdld: shutting down (waiting for in-flight requests)")
 	// Watch streams are long-lived requests; end them first or Shutdown
-	// would wait for subscribers that never hang up.
+	// would wait for subscribers that never hang up. The same goes for
+	// sweep jobs and their event streams: Close cancels running jobs,
+	// marks queued ones canceled, and ends every job stream.
+	srv.Close()
 	store.CloseWatchers()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

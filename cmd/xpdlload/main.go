@@ -12,6 +12,11 @@
 // operations (default 8), so N queries cost one HTTP round trip — the
 // amortized mode of EXPERIMENTS.md E17.
 //
+// Including "sweep" in -mix submits one async sweep job per request
+// (body from -sweep-spec); the daemon's bounded job queue answers 429
+// once saturated, which the report counts as throttling rather than
+// failure — the submission-path probe of the scenario job API.
+//
 // -proto selects the wire protocol: "json" (default), "bin" (negotiate
 // application/x-xpdl-bin answers), or "both" (alternate per request
 // and report a per-protocol breakdown — the comparison mode of
@@ -56,7 +61,7 @@ type probe struct {
 	body   string
 }
 
-func probes(model string, batchOps int) map[string]probe {
+func probes(model string, batchOps int, sweepSpec string) map[string]probe {
 	return map[string]probe{
 		"summary": {"summary", http.MethodGet, "/summary", ""},
 		"element": {"element", http.MethodGet, "/element?ident=" + url.QueryEscape(model), ""},
@@ -64,6 +69,7 @@ func probes(model string, batchOps int) map[string]probe {
 		"eval":    {"eval", http.MethodPost, "/eval", `{"expr": "num_cores() >= 1"}`},
 		"tree":    {"tree", http.MethodGet, "/tree", ""},
 		"batch":   {"batch", http.MethodPost, "/batch", batchBody(batchOps)},
+		"sweep":   {"sweep", http.MethodPost, "/sweep", sweepSpec},
 	}
 }
 
@@ -112,6 +118,7 @@ func main() {
 		conc        = flag.Int("c", 4, "concurrent load workers")
 		mix         = flag.String("mix", "summary,element,select,eval", "comma-separated endpoint mix (summary, element, select, eval, tree, batch)")
 		batchOps    = flag.Int("batch", 8, `select/eval operations per /batch request (the "batch" mix endpoint)`)
+		sweepSpec   = flag.String("sweep-spec", "", `sweep spec JSON file for the "sweep" mix endpoint (each request submits one async job; 429s count as throttling, not failure)`)
 		proto       = flag.String("proto", "json", `wire protocol: "json", "bin", or "both" (alternate and report per-protocol)`)
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests sent with a sampled traceparent (the daemon retains those traces)")
 		watchers    = flag.Int("watchers", 0, "SSE watch subscribers held open for the duration (counts generation-change events)")
@@ -135,7 +142,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xpdlload: -proto must be json, bin or both (got %q)\n", *proto)
 		os.Exit(2)
 	}
-	all := probes(*model, *batchOps)
+	var sweepBody string
+	if *sweepSpec != "" {
+		b, err := os.ReadFile(*sweepSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpdlload: -sweep-spec: %v\n", err)
+			os.Exit(2)
+		}
+		sweepBody = string(b)
+	}
+	all := probes(*model, *batchOps, sweepBody)
 	var mixProbes []probe
 	for _, name := range strings.Split(*mix, ",") {
 		name = strings.TrimSpace(name)
@@ -145,6 +161,10 @@ func main() {
 		p, ok := all[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "xpdlload: unknown endpoint %q in -mix\n", name)
+			os.Exit(2)
+		}
+		if name == "sweep" && sweepBody == "" {
+			fmt.Fprintln(os.Stderr, `xpdlload: the "sweep" mix endpoint needs -sweep-spec`)
 			os.Exit(2)
 		}
 		mixProbes = append(mixProbes, p)

@@ -1,0 +1,132 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnergyAtEdgeCases pins the interpolation contract at its
+// boundaries: single-sample tables act as constant functions,
+// out-of-range frequencies clamp to the nearest endpoint, NaN is
+// rejected, and samples take precedence over a fixed value.
+func TestEnergyAtEdgeCases(t *testing.T) {
+	single := InstEnergy{Samples: []Sample{{GHz: 3.0, J: 2e-9}}}
+	two := InstEnergy{Samples: []Sample{{GHz: 2.0, J: 1e-9}, {GHz: 4.0, J: 3e-9}}}
+	fixed := InstEnergy{Fixed: 5e-10, HasFixed: true}
+	both := InstEnergy{Fixed: 9e-9, HasFixed: true, Samples: []Sample{{GHz: 2.0, J: 1e-9}, {GHz: 4.0, J: 3e-9}}}
+	empty := InstEnergy{}
+
+	cases := []struct {
+		name string
+		ie   InstEnergy
+		fGHz float64
+		want float64
+		ok   bool
+	}{
+		{"single at sample", single, 3.0, 2e-9, true},
+		{"single below", single, 0.5, 2e-9, true},
+		{"single above", single, 100, 2e-9, true},
+		{"single zero freq", single, 0, 2e-9, true},
+		{"clamp below min", two, 1.0, 1e-9, true},
+		{"clamp at min", two, 2.0, 1e-9, true},
+		{"interpolate mid", two, 3.0, 2e-9, true},
+		{"clamp at max", two, 4.0, 3e-9, true},
+		{"clamp above max", two, 7.5, 3e-9, true},
+		{"clamp +inf", two, math.Inf(1), 3e-9, true},
+		{"clamp -inf", two, math.Inf(-1), 1e-9, true},
+		{"nan rejected", two, math.NaN(), 0, false},
+		{"nan rejected single", single, math.NaN(), 0, false},
+		{"fixed ignores freq", fixed, 123.4, 5e-10, true},
+		{"fixed nan rejected", fixed, math.NaN(), 0, false},
+		{"samples beat fixed", both, 3.0, 2e-9, true},
+		{"samples beat fixed when clamping", both, 99, 3e-9, true},
+		{"no model", empty, 3.0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tc.ie.EnergyAt(tc.fGHz)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if tc.ok && math.Abs(got-tc.want) > 1e-18 {
+				t.Fatalf("EnergyAt(%g) = %g, want %g", tc.fGHz, got, tc.want)
+			}
+			if !tc.ok && got != 0 {
+				t.Fatalf("not-ok result leaked a value: %g", got)
+			}
+		})
+	}
+}
+
+// TestTaskEnergyMatchesEnergyAt pins that the task estimator prices
+// every instruction exactly as EnergyAt would at the same frequency —
+// including single-sample and clamped tables.
+func TestTaskEnergyMatchesEnergyAt(t *testing.T) {
+	tab, _ := parseTable(t)
+	// fmul: single sample far below the requested frequency → clamp.
+	if err := tab.SetSamples("fmul", []Sample{{GHz: 1.0, J: 7e-10}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, fGHz := range []float64{0.5, 2.8, 3.0, 5.0} {
+		spec := TaskSpec{
+			InstCounts: map[string]int64{"fmul": 100, "mov": 50, "divsd": 25},
+			FreqGHz:    fGHz,
+		}
+		e, _, err := tab.TaskEnergy(spec)
+		if err != nil {
+			t.Fatalf("freq %g: %v", fGHz, err)
+		}
+		want := 0.0
+		for name, n := range spec.InstCounts {
+			per, ok := tab.EnergyAt(name, fGHz)
+			if !ok {
+				t.Fatalf("freq %g: EnergyAt(%s) not ok", fGHz, name)
+			}
+			want += float64(n) * per
+		}
+		if math.Abs(e-want) > 1e-15*math.Abs(want) {
+			t.Fatalf("freq %g: TaskEnergy = %g, EnergyAt sum = %g", fGHz, e, want)
+		}
+	}
+}
+
+// TestTaskEnergyDeterministic pins reproducible accumulation order: a
+// many-instruction mix must price identically across repeated calls
+// (map iteration order must not leak into the float sum).
+func TestTaskEnergyDeterministic(t *testing.T) {
+	tab, _ := parseTable(t)
+	if err := tab.SetSamples("fmul", []Sample{{GHz: 2.8, J: 1.2e-9}, {GHz: 3.4, J: 1.6e-9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetSamples("fadd", []Sample{{GHz: 3.0, J: 0.9e-9}}); err != nil {
+		t.Fatal(err)
+	}
+	spec := TaskSpec{
+		InstCounts: map[string]int64{"fmul": 1e6, "fadd": 3e6, "mov": 7e6, "divsd": 11},
+		FreqGHz:    3.1,
+	}
+	e0, t0, err := tab.TaskEnergy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e, ts, err := tab.TaskEnergy(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != e0 || ts != t0 {
+			t.Fatalf("run %d diverged: %g/%g vs %g/%g", i, e, ts, e0, t0)
+		}
+	}
+}
+
+// TestTaskEnergyRejectsBadFreq pins that non-positive and non-finite
+// frequencies fail loudly rather than clamping silently.
+func TestTaskEnergyRejectsBadFreq(t *testing.T) {
+	tab, _ := parseTable(t)
+	for _, f := range []float64{0, -1, math.NaN()} {
+		if _, _, err := tab.TaskEnergy(TaskSpec{InstCounts: map[string]int64{"mov": 1}, FreqGHz: f}); err == nil {
+			t.Fatalf("freq %v accepted", f)
+		}
+	}
+}

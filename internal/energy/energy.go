@@ -8,6 +8,7 @@ package energy
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -36,7 +37,23 @@ type InstEnergy struct {
 
 // EnergyAt evaluates the model at frequency f (GHz) with piecewise
 // linear interpolation over the samples.
+//
+// The semantics at the edges are pinned (and shared with TaskEnergy,
+// which prices whole instruction mixes through this function):
+//
+//   - Samples take precedence over a Fixed value; Fixed answers only
+//     when no samples exist.
+//   - Frequencies outside the sampled range clamp to the nearest
+//     endpoint — extrapolation would invent data the measurements do
+//     not support.
+//   - A single-sample table is a constant function: every frequency
+//     returns that sample's energy (the clamp rule from both sides).
+//   - A NaN frequency has no defined evaluation point and returns
+//     (0, false), never a silent fall-through to the Fixed value.
 func (ie *InstEnergy) EnergyAt(fGHz float64) (float64, bool) {
+	if math.IsNaN(fGHz) {
+		return 0, false
+	}
 	if len(ie.Samples) > 0 {
 		s := ie.Samples
 		if fGHz <= s[0].GHz {
@@ -344,9 +361,21 @@ type TaskSpec struct {
 // TaskEnergy estimates the total energy of the task against the
 // instruction table: dynamic instruction energy + optional static
 // residency + optional transfer energy. It fails on instructions with
-// still-unknown energy.
+// still-unknown energy. Per-instruction evaluation goes through
+// EnergyAt, so the clamp-at-endpoints and NaN semantics documented
+// there apply to the whole mix; accumulation runs in sorted
+// instruction order so the floating-point total is reproducible.
 func (t *Table) TaskEnergy(spec TaskSpec) (energyJ float64, timeS float64, err error) {
-	for name, n := range spec.InstCounts {
+	if len(spec.InstCounts) > 0 && (spec.FreqGHz <= 0 || math.IsNaN(spec.FreqGHz) || math.IsInf(spec.FreqGHz, 0)) {
+		return 0, 0, fmt.Errorf("energy: task frequency must be a positive finite GHz value, got %v", spec.FreqGHz)
+	}
+	names := make([]string, 0, len(spec.InstCounts))
+	for name := range spec.InstCounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := spec.InstCounts[name]
 		e, ok := t.EnergyAt(name, spec.FreqGHz)
 		if !ok {
 			return 0, 0, fmt.Errorf("energy: instruction %q has no energy model (run microbenchmarks first)", name)

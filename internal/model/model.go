@@ -255,19 +255,31 @@ func (c *Component) Clone() *Component {
 		Kind: c.Kind, Name: c.Name, ID: c.ID, Type: c.Type,
 		Prefix: c.Prefix, Quantity: c.Quantity, Pos: c.Pos,
 	}
+	// Nil-ness of every slice and map is preserved exactly so a clone
+	// serializes identically to its original — sweep differential tests
+	// compare rebound clones against freshly resolved trees byte for
+	// byte.
 	cp.Extends = append([]string(nil), c.Extends...)
-	cp.Attrs = make(map[string]Attr, len(c.Attrs))
-	for k, v := range c.Attrs {
-		cp.Attrs[k] = v
+	if c.Attrs != nil {
+		cp.Attrs = make(map[string]Attr, len(c.Attrs))
+		for k, v := range c.Attrs {
+			cp.Attrs[k] = v
+		}
 	}
-	for _, p := range c.Params {
-		q := *p
-		q.Range = append([]string(nil), p.Range...)
-		cp.Params = append(cp.Params, &q)
+	if c.Params != nil {
+		cp.Params = make([]*Param, 0, len(c.Params))
+		for _, p := range c.Params {
+			q := *p
+			q.Range = append([]string(nil), p.Range...)
+			cp.Params = append(cp.Params, &q)
+		}
 	}
-	for _, k := range c.Consts {
-		q := *k
-		cp.Consts = append(cp.Consts, &q)
+	if c.Consts != nil {
+		cp.Consts = make([]*Const, 0, len(c.Consts))
+		for _, k := range c.Consts {
+			q := *k
+			cp.Consts = append(cp.Consts, &q)
+		}
 	}
 	cp.Constraints = append([]Constraint(nil), c.Constraints...)
 	for _, pr := range c.Properties {
@@ -277,9 +289,11 @@ func (c *Component) Clone() *Component {
 		}
 		cp.Properties = append(cp.Properties, Property{Name: pr.Name, Attrs: attrs, Pos: pr.Pos})
 	}
-	cp.Children = make([]*Component, len(c.Children))
-	for i, ch := range c.Children {
-		cp.Children[i] = ch.Clone()
+	if c.Children != nil {
+		cp.Children = make([]*Component, len(c.Children))
+		for i, ch := range c.Children {
+			cp.Children[i] = ch.Clone()
+		}
 	}
 	return cp
 }

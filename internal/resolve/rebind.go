@@ -1,0 +1,206 @@
+package resolve
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/expr"
+	"xpdl/internal/model"
+)
+
+// This file implements bounded re-binding: replaying parameter
+// substitution and constraint checking on an already-resolved tree for
+// a new set of parameter values, without re-running composition. It is
+// the sweep engine's fast path — a grid of attribute-only parameter
+// points pays for meta-model flattening, type instantiation and group
+// expansion once (the base resolve) and then patches each point onto a
+// clone, the same idea the delta layer applies to descriptor edits.
+//
+// Soundness requires that the overrides cannot change the tree's
+// shape: no swept name may appear in a group quantity expression (see
+// StructureSensitive) and every overridden binding must stay numeric
+// (string substitution replaces Attr.Raw with the value, losing the
+// parameter reference a later rebind would need). The engine checks
+// both before choosing this path.
+
+// Override binds one parameter for a sweep point.
+type Override struct {
+	// Target selects the components to bind on, by Ident(); "" targets
+	// the root. A group whose Ident is empty matches its Prefix instead
+	// (anonymous replica groups like <group prefix="n" quantity="4">).
+	Target string
+	// Name is the parameter to bind. The special name "quantity"
+	// replaces a group's replication count instead of a parameter —
+	// structural by definition, so it is rejected by Rebind and forces
+	// the full-resolve path.
+	Name string
+	// Value is the raw binding, normalized exactly like a descriptor
+	// binding (units.Parse with Unit when set, bare number, string).
+	Value string
+	// Unit qualifies Value ("" for bare numbers/strings).
+	Unit string
+}
+
+// targetMatches reports whether component c is addressed by target.
+func targetMatches(c *model.Component, target string, isRoot bool) bool {
+	if target == "" {
+		return isRoot
+	}
+	if c.Ident() == target {
+		return true
+	}
+	return c.Kind == "group" && c.Ident() == "" && c.Prefix == target
+}
+
+// ApplyOverrides binds each override onto the tree in place: every
+// component matching the override's Target gets the parameter bound
+// (added when not declared), mirroring how an instance binding merges
+// over a meta declaration. It works on concrete trees (before
+// Instantiate, the full path) and on resolved trees (Rebind's first
+// step). An override whose target matches no component is an error.
+func ApplyOverrides(root *model.Component, ovs []Override) error {
+	matched := make([]bool, len(ovs))
+	var walk func(c *model.Component, isRoot bool)
+	walk = func(c *model.Component, isRoot bool) {
+		for i := range ovs {
+			o := &ovs[i]
+			if !targetMatches(c, o.Target, isRoot) {
+				continue
+			}
+			if o.Name == "quantity" {
+				if c.Kind != "group" {
+					continue // quantity overrides address groups only
+				}
+				c.Quantity = o.Value
+				matched[i] = true
+				continue
+			}
+			bindParam(c, o.Name, o.Value, o.Unit)
+			matched[i] = true
+		}
+		for _, ch := range c.Children {
+			walk(ch, false)
+		}
+	}
+	walk(root, true)
+	for i, ok := range matched {
+		if !ok {
+			target := ovs[i].Target
+			if target == "" {
+				target = "<root>"
+			}
+			return fmt.Errorf("resolve: override %s: target %q matches no component", ovs[i].Name, target)
+		}
+	}
+	return nil
+}
+
+// bindParam sets (or adds) a parameter binding, with the same override
+// semantics as mergeOver: the new value and unit replace the old ones
+// unconditionally, declaration metadata (type, range) is kept.
+func bindParam(c *model.Component, name, value, unit string) {
+	if p := c.Param(name); p != nil {
+		p.Value, p.Unit = value, unit
+		return
+	}
+	c.Params = append(c.Params, &model.Param{Name: name, Value: value, Unit: unit})
+}
+
+// Rebind replays parameter substitution and constraint checking on an
+// already-resolved tree for the given overrides, in place. The tree
+// must come from a successful Instantiate of the same model; only
+// attributes already substituted from one of the overridden names are
+// recomputed, and only constraints/ranges that mention them re-checked.
+// On a violation the returned error has resolve.Error.Violation set,
+// exactly as a full resolve of the same point would.
+func Rebind(root *model.Component, ovs []Override) error {
+	names := map[string]bool{}
+	for i := range ovs {
+		if ovs[i].Name == "quantity" {
+			return fmt.Errorf("resolve: rebind: quantity override %q is structural; use a full resolve", ovs[i].Target)
+		}
+		names[ovs[i].Name] = true
+	}
+	if err := ApplyOverrides(root, ovs); err != nil {
+		return err
+	}
+	return rebindWalk(root, nil, names)
+}
+
+// rebindWalk mirrors instantiate's per-component order — substitute
+// attributes, recurse into children, then check constraints — so a
+// point with several violations reports the same first one on either
+// path.
+func rebindWalk(c *model.Component, parent *scope, names map[string]bool) error {
+	sc := &scope{parent: parent, comp: c}
+	for name, a := range c.Attrs {
+		// Only attributes that initial resolution already rewrote from a
+		// swept parameter: substituted numeric attributes keep the
+		// parameter reference in Raw alongside HasQuantity.
+		if !a.HasQuantity || !names[a.Raw] || !isIdentLike(a.Raw) {
+			continue
+		}
+		v, unit, ok := sc.lookup(a.Raw)
+		if !ok {
+			return errf(c, "attribute %s references unbound parameter %q", name, a.Raw)
+		}
+		applyBinding(c, name, a, v, unit)
+	}
+	// Power-domain children are verbatim references, never instantiated
+	// (and never substituted) — same early-out as instantiate.
+	if c.Kind != "power_domain" {
+		for _, ch := range c.Children {
+			if err := rebindWalk(ch, sc, names); err != nil {
+				return err
+			}
+		}
+	}
+	return checkConstraintsFiltered(c, sc, names)
+}
+
+// StructureSensitive reports whether binding any of the named
+// parameters differently could change the shape of the resolved tree:
+// a group quantity expression in any of the given trees (the concrete
+// root plus every flattened meta-model it pulled in) references one of
+// the names. Unparseable quantity expressions count as sensitive —
+// when in doubt, take the full-resolve path.
+func StructureSensitive(names map[string]bool, trees ...*model.Component) bool {
+	for _, t := range trees {
+		sensitive := false
+		t.Walk(func(c *model.Component) bool {
+			if c.Kind != "group" || c.Quantity == "" {
+				return !sensitive
+			}
+			q := strings.TrimSpace(c.Quantity)
+			if isIntLiteral(q) {
+				return !sensitive
+			}
+			node, err := expr.Compile(q)
+			if err != nil {
+				sensitive = true
+				return false
+			}
+			if intersects(expr.Idents(node), names) {
+				sensitive = true
+				return false
+			}
+			return !sensitive
+		})
+		if sensitive {
+			return true
+		}
+	}
+	return false
+}
+
+func isIntLiteral(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,246 @@
+package resolve
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"xpdl/internal/model"
+)
+
+// sweepFiles is a small composition with the same parameter name
+// declared at two depths: the system binds L1size=16 at the root, and
+// dev1 carries its own L1size=32 that shadows it inside the device.
+func sweepFiles() map[string]string {
+	return map[string]string{
+		"Nvidia_GPU":    nvidiaGPUMeta,
+		"Nvidia_Kepler": keplerMeta,
+		"sweep_sys": `
+<system id="sweep_sys">
+  <param name="L1size" value="16" unit="KB" />
+  <memory id="rootmem" size="L1size" unit="KB" />
+  <device id="dev1" type="Nvidia_Kepler">
+    <param name="L1size" size="32" unit="KB" />
+    <param name="shmsize" size="32" unit="KB" />
+    <param name="num_SM" value="2" />
+    <param name="coresperSM" value="4" />
+    <param name="cfrq" value="705" unit="MHz" />
+    <param name="gmsz" value="5" unit="GB" />
+  </device>
+</system>`,
+	}
+}
+
+func resolveSweepSys(t *testing.T) (*Resolver, *model.Component) {
+	t.Helper()
+	r := New(newRepo(t, sweepFiles()))
+	root, err := r.ResolveSystem("sweep_sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, root
+}
+
+func attrVal(t *testing.T, root *model.Component, ident, attr string) float64 {
+	t.Helper()
+	var out *model.Component
+	root.Walk(func(c *model.Component) bool {
+		if out == nil && c.Ident() == ident {
+			out = c
+			return false
+		}
+		return out == nil
+	})
+	if out == nil {
+		t.Fatalf("component %q not found", ident)
+	}
+	q, ok := out.QuantityAttr(attr)
+	if !ok {
+		t.Fatalf("%s has no quantity attr %q", ident, attr)
+	}
+	return q.Value
+}
+
+// TestRebindMatchesFullResolve pins byte-for-byte parity between the
+// rebind fast path and re-resolving from scratch with the same bound
+// values.
+func TestRebindMatchesFullResolve(t *testing.T) {
+	r, base := resolveSweepSys(t)
+
+	// Fast path: clone the resolved tree and rebind dev1's split.
+	fast := base.Clone()
+	ovs := []Override{
+		{Target: "dev1", Name: "L1size", Value: "48", Unit: "KB"},
+		{Target: "dev1", Name: "shmsize", Value: "16", Unit: "KB"},
+	}
+	if err := Rebind(fast, ovs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: bind the same values on the concrete tree and resolve.
+	concrete, err := r.Repo.Load("sweep_sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	concrete = concrete.Clone()
+	if err := ApplyOverrides(concrete, ovs); err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Instantiate(concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fb, _ := json.Marshal(fast)
+	ob, _ := json.Marshal(full)
+	if string(fb) != string(ob) {
+		t.Fatalf("rebind diverged from full resolve:\nfast: %s\nfull: %s", fb, ob)
+	}
+	if got := attrVal(t, fast, "L1", "size"); got != 48*1024 {
+		t.Fatalf("L1 size after rebind = %v, want 49152", got)
+	}
+}
+
+// TestRebindScopeShadowing pins that a root-level rebind of L1size
+// moves the root cache but not dev1's caches (dev1's own declaration
+// shadows it), at the exact same depths the resolver binds them.
+func TestRebindScopeShadowing(t *testing.T) {
+	_, base := resolveSweepSys(t)
+	if got := attrVal(t, base, "rootmem", "size"); got != 16*1024 {
+		t.Fatalf("rootmem size = %v, want 16384", got)
+	}
+	if got := attrVal(t, base, "L1", "size"); got != 32*1024 {
+		t.Fatalf("dev L1 size = %v, want 32768", got)
+	}
+
+	fast := base.Clone()
+	if err := Rebind(fast, []Override{{Target: "", Name: "L1size", Value: "48", Unit: "KB"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := attrVal(t, fast, "rootmem", "size"); got != 48*1024 {
+		t.Fatalf("root rebind did not move rootmem: %v", got)
+	}
+	if got := attrVal(t, fast, "L1", "size"); got != 32*1024 {
+		t.Fatalf("root rebind leaked into dev1's shadowed scope: %v", got)
+	}
+}
+
+// TestRebindViolationClassified pins that constraint and range
+// failures carry Violation=true (sweep engines classify those points
+// as skipped, not failed) while other errors do not.
+func TestRebindViolationClassified(t *testing.T) {
+	_, base := resolveSweepSys(t)
+
+	// Constraint violation: L1size + shmsize != 64KB.
+	fast := base.Clone()
+	err := Rebind(fast, []Override{{Target: "dev1", Name: "L1size", Value: "48", Unit: "KB"}})
+	if err == nil {
+		t.Fatal("want constraint violation")
+	}
+	var re *Error
+	if !errors.As(err, &re) || !re.Violation {
+		t.Fatalf("constraint failure not classified as violation: %#v", err)
+	}
+	if !strings.Contains(err.Error(), "constraint violated") {
+		t.Fatalf("unexpected message: %v", err)
+	}
+
+	// Range failure: 24 is not one of 16/32/48.
+	fast = base.Clone()
+	err = Rebind(fast, []Override{
+		{Target: "dev1", Name: "L1size", Value: "24", Unit: "KB"},
+		{Target: "dev1", Name: "shmsize", Value: "40", Unit: "KB"},
+	})
+	if err == nil {
+		t.Fatal("want range violation")
+	}
+	if !errors.As(err, &re) || !re.Violation {
+		t.Fatalf("range failure not classified as violation: %#v", err)
+	}
+
+	// Unmatched target: an input error, not a violation.
+	fast = base.Clone()
+	err = Rebind(fast, []Override{{Target: "nope", Name: "L1size", Value: "16", Unit: "KB"}})
+	if err == nil {
+		t.Fatal("want target error")
+	}
+	if errors.As(err, &re) && re.Violation {
+		t.Fatalf("target error misclassified as violation: %v", err)
+	}
+}
+
+// TestFullResolveViolationClassified pins the same classification on
+// the full resolver path, so per-point sweep errors sort identically
+// whichever path evaluated them.
+func TestFullResolveViolationClassified(t *testing.T) {
+	r := New(newRepo(t, sweepFiles()))
+	concrete, err := r.Repo.Load("sweep_sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	concrete = concrete.Clone()
+	if err := ApplyOverrides(concrete, []Override{{Target: "dev1", Name: "L1size", Value: "48", Unit: "KB"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Instantiate(concrete)
+	if err == nil {
+		t.Fatal("want constraint violation")
+	}
+	var re *Error
+	if !errors.As(err, &re) || !re.Violation {
+		t.Fatalf("full-resolve constraint failure not classified: %#v", err)
+	}
+}
+
+func TestRebindRejectsQuantity(t *testing.T) {
+	_, base := resolveSweepSys(t)
+	err := Rebind(base.Clone(), []Override{{Target: "dev1", Name: "quantity", Value: "3"}})
+	if err == nil || !strings.Contains(err.Error(), "quantity") {
+		t.Fatalf("want quantity rejection, got %v", err)
+	}
+}
+
+func TestStructureSensitive(t *testing.T) {
+	r := New(newRepo(t, sweepFiles()))
+	if _, err := r.ResolveSystem("sweep_sys"); err != nil {
+		t.Fatal(err)
+	}
+	trees := r.FlattenedMetas()
+	if len(trees) == 0 {
+		t.Fatal("no flattened metas cached")
+	}
+	if !StructureSensitive(map[string]bool{"num_SM": true}, trees...) {
+		t.Fatal("num_SM drives group replication, must be structure-sensitive")
+	}
+	if StructureSensitive(map[string]bool{"L1size": true}, trees...) {
+		t.Fatal("L1size is attribute-only, must not be structure-sensitive")
+	}
+}
+
+// TestForkIndependence pins that forked resolvers share the flattened
+// cache snapshot but fail/succeed independently.
+func TestForkIndependence(t *testing.T) {
+	r := New(newRepo(t, sweepFiles()))
+	if _, err := r.ResolveSystem("sweep_sys"); err != nil {
+		t.Fatal(err)
+	}
+	f := r.Fork()
+	concrete, err := r.Repo.Load("sweep_sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Instantiate(concrete.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.Instantiate(concrete.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatal("forked resolver produced a different tree")
+	}
+}

@@ -25,6 +25,7 @@ package resolve
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -103,6 +104,12 @@ type Error struct {
 	Component string
 	Pos       string
 	Msg       string
+	// Violation marks failures caused by the model's parameter values —
+	// a constraint evaluating to false or a binding outside its legal
+	// range — as opposed to structural/reference errors. Sweep drivers
+	// use it to classify a point as "skipped" (an illegal configuration,
+	// expected while exploring a grid) rather than "failed".
+	Violation bool
 }
 
 // Error implements the error interface.
@@ -123,6 +130,45 @@ func errf(c *model.Component, format string, args ...any) *Error {
 		ident = "<" + c.Kind + ">"
 	}
 	return &Error{Component: ident, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Fork returns an independent resolver over the same repository whose
+// flatten cache starts as a snapshot of r's. Forks let callers run many
+// resolutions concurrently — one fork per goroutine — without
+// re-flattening the meta-models those resolutions share (the cached
+// trees are immutable once published, so sharing them is safe). The
+// fork's Workers is zero: callers running forks in parallel already own
+// the fan-out.
+func (r *Resolver) Fork() *Resolver {
+	view := &Resolver{
+		Repo: r.Repo, MaxDepth: r.MaxDepth,
+		ParallelThreshold: r.ParallelThreshold,
+		MinParallelCost:   r.MinParallelCost,
+		flatCache:         make(map[string]*model.Component, len(r.flatCache)),
+		visiting:          map[string]bool{},
+	}
+	for k, v := range r.flatCache {
+		view.flatCache[k] = v
+	}
+	return view
+}
+
+// FlattenedMetas returns the meta-model trees flattened so far, sorted
+// by name. The trees are shared with the resolver's memo cache and must
+// be treated as read-only. Sweep drivers scan them (plus the concrete
+// root) for group quantity expressions referencing a swept parameter,
+// which would make the parameter structural.
+func (r *Resolver) FlattenedMetas() []*model.Component {
+	names := make([]string, 0, len(r.flatCache))
+	for k := range r.flatCache {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]*model.Component, len(names))
+	for i, k := range names {
+		out[i] = r.flatCache[k]
+	}
+	return out
 }
 
 // ResolveSystem loads the named concrete model from the repository and
@@ -471,31 +517,38 @@ func (r *Resolver) substituteAttrs(c *model.Component, sc *scope) error {
 			}
 			continue
 		}
-		if v.Kind == expr.KindNumber {
-			dim := units.DimensionForAttr(name)
-			if unit != "" {
-				if d, _, err := units.ParseUnit(unit); err == nil && d != units.Dimensionless {
-					dim = d
-				}
-			} else if a.Unit != "" {
-				// The attribute carries its own unit for a bare-number
-				// binding (Listing 8: frequency="cfrq" frequency_unit="MHz"
-				// with cfrq bound to 706 without a unit).
-				if q, err := units.Parse(strconv.FormatFloat(v.Num, 'g', -1, 64), a.Unit); err == nil {
-					c.SetAttr(name, model.Attr{Raw: a.Raw, Unit: a.Unit, Quantity: q, HasQuantity: true})
-					continue
-				}
-			}
-			c.SetAttr(name, model.Attr{
-				Raw: a.Raw, Unit: unit,
-				Quantity:    units.Quantity{Value: v.Num, Dim: dim},
-				HasQuantity: true,
-			})
-		} else {
-			c.SetAttr(name, model.Attr{Raw: v.Str})
-		}
+		applyBinding(c, name, a, v, unit)
 	}
 	return nil
+}
+
+// applyBinding rewrites one attribute from a resolved binding value —
+// the single substitution path shared by initial resolution and the
+// sweep fast path (Rebind), so both produce bit-identical attributes.
+func applyBinding(c *model.Component, name string, a model.Attr, v expr.Value, unit string) {
+	if v.Kind == expr.KindNumber {
+		dim := units.DimensionForAttr(name)
+		if unit != "" {
+			if d, _, err := units.ParseUnit(unit); err == nil && d != units.Dimensionless {
+				dim = d
+			}
+		} else if a.Unit != "" {
+			// The attribute carries its own unit for a bare-number
+			// binding (Listing 8: frequency="cfrq" frequency_unit="MHz"
+			// with cfrq bound to 706 without a unit).
+			if q, err := units.Parse(strconv.FormatFloat(v.Num, 'g', -1, 64), a.Unit); err == nil {
+				c.SetAttr(name, model.Attr{Raw: a.Raw, Unit: a.Unit, Quantity: q, HasQuantity: true})
+				return
+			}
+		}
+		c.SetAttr(name, model.Attr{
+			Raw: a.Raw, Unit: unit,
+			Quantity:    units.Quantity{Value: v.Num, Dim: dim},
+			HasQuantity: true,
+		})
+	} else {
+		c.SetAttr(name, model.Attr{Raw: v.Str})
+	}
 }
 
 // IdentLike reports whether s has the shape of a parameter or
@@ -522,13 +575,28 @@ func isIdentLike(s string) bool {
 }
 
 func (r *Resolver) checkConstraints(c *model.Component, sc *scope) error {
+	return checkConstraintsFiltered(c, sc, nil)
+}
+
+// checkConstraintsFiltered is the constraint/range pass. A nil filter
+// checks everything (initial resolution); a non-nil filter — the sweep
+// fast path — checks only constraints whose identifiers intersect the
+// filtered names and ranges of the filtered parameters, which is sound
+// when everything outside the filter already passed on the base tree.
+// Error messages and ordering match the unfiltered pass among the
+// checks both perform, so both report the same first violation.
+func checkConstraintsFiltered(c *model.Component, sc *scope, filter map[string]bool) error {
 	for _, cons := range c.Constraints {
 		node, err := expr.Compile(cons.Expr)
 		if err != nil {
 			return errf(c, "constraint %q: %v", cons.Expr, err)
 		}
+		ids := expr.Idents(node)
+		if filter != nil && !intersects(ids, filter) {
+			continue
+		}
 		allBound := true
-		for _, id := range expr.Idents(node) {
+		for _, id := range ids {
 			if _, _, ok := sc.lookup(id); !ok {
 				allBound = false
 				break
@@ -545,7 +613,9 @@ func (r *Resolver) checkConstraints(c *model.Component, sc *scope) error {
 			return errf(c, "constraint %q: %v", cons.Expr, err)
 		}
 		if !v.Truthy() {
-			return errf(c, "constraint violated: %s", cons.Expr)
+			e := errf(c, "constraint violated: %s", cons.Expr)
+			e.Violation = true
+			return e
 		}
 	}
 	// Range checks for bound params.
@@ -553,11 +623,25 @@ func (r *Resolver) checkConstraints(c *model.Component, sc *scope) error {
 		if !p.Bound() || len(p.Range) == 0 {
 			continue
 		}
+		if filter != nil && !filter[p.Name] {
+			continue
+		}
 		if !rangeContains(p.Range, p.Value) {
-			return errf(c, "parameter %s=%s outside legal range %v", p.Name, p.Value, p.Range)
+			e := errf(c, "parameter %s=%s outside legal range %v", p.Name, p.Value, p.Range)
+			e.Violation = true
+			return e
 		}
 	}
 	return nil
+}
+
+func intersects(ids []string, names map[string]bool) bool {
+	for _, id := range ids {
+		if names[id] {
+			return true
+		}
+	}
+	return false
 }
 
 func rangeContains(rng []string, val string) bool {

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchSpec is the E20 workload: a 3×3×24 = 216-point grid over the
+// GPU cache/shared-memory split and a frequency range feeding a
+// task-energy objective. The Kepler constraint admits 1/3 of the
+// cache-split combinations, so 72 points evaluate and 144 skip —
+// realistic grid exploration, where illegal configurations are part
+// of the work.
+func benchSpec() *Spec {
+	return &Spec{
+		Params: []ParamSpec{
+			{Name: "L1size", Target: "gpu1", Unit: "KB", Values: []string{"16", "32", "48"}},
+			{Name: "shmsize", Target: "gpu1", Unit: "KB", Values: []string{"16", "32", "48"}},
+			{Name: "freq_ghz", From: fp(1.0), To: fp(3.3), Step: fp(0.1)},
+		},
+		Objectives: []ObjectiveSpec{
+			{Name: "energy_j", Kind: KindTaskEnergy, Table: "e5_isa",
+				Counts: map[string]int64{"divsd": 1000000}, FreqGHz: "freq_ghz"},
+			{Name: "time_s", Kind: KindTaskTime, Table: "e5_isa",
+				Counts: map[string]int64{"divsd": 1000000}, FreqGHz: "freq_ghz"},
+			{Name: "shm", Expr: "shmsize", Sense: SenseMax},
+		},
+	}
+}
+
+func benchSweep(b *testing.B, workers int, full bool) {
+	r := newRepo(b)
+	spec := benchSpec()
+	spec.FullResolve = full
+	eng := &Engine{Repo: r, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(context.Background(), "liu_gpu_server", spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total != 216 || res.Evaluated != 72 {
+			b.Fatalf("totals = %d/%d", res.Total, res.Evaluated)
+		}
+	}
+	b.ReportMetric(float64(216*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepFastPath measures the re-bind path's scaling with the
+// worker count (E20). Results are identical for every variant — the
+// differential tests pin that — so the ratio is pure speedup.
+func BenchmarkSweepFastPath(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSweep(b, w, false)
+		})
+	}
+}
+
+// BenchmarkSweepFullResolve is the same sweep through the full
+// per-point composition pipeline — the fast path's baseline.
+func BenchmarkSweepFullResolve(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSweep(b, w, true)
+		})
+	}
+}

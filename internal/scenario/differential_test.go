@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// diffSpec mixes attribute rebinding with a root-level frequency axis
+// feeding a task-energy objective — exercising the environment, the
+// energy tables, and the constraint filter at once.
+func diffSpec() *Spec {
+	return &Spec{
+		Params: []ParamSpec{
+			{Name: "L1size", Target: "gpu1", Unit: "KB", Values: []string{"16", "32", "48"}},
+			{Name: "shmsize", Target: "gpu1", Unit: "KB", Values: []string{"16", "32", "48"}},
+			{Name: "freq_ghz", Values: []string{"2.8", "3.0", "3.4"}},
+		},
+		Derived: []DerivedSpec{{Name: "split", Expr: "L1size / shmsize"}},
+		Objectives: []ObjectiveSpec{
+			{Name: "energy_j", Kind: KindTaskEnergy, Table: "e5_isa",
+				Counts: map[string]int64{"divsd": 1000000}, FreqGHz: "freq_ghz"},
+			{Name: "time_s", Kind: KindTaskTime, Table: "e5_isa",
+				Counts: map[string]int64{"divsd": 1000000}, FreqGHz: "freq_ghz"},
+			{Name: "shm", Expr: "shmsize", Sense: SenseMax},
+		},
+	}
+}
+
+func runJSON(t *testing.T, eng *Engine, spec *Spec) []byte {
+	t.Helper()
+	res, err := eng.Run(context.Background(), "liu_gpu_server", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDifferentialWorkers pins that the result — point set, objective
+// values, Pareto front — is byte-identical regardless of parallelism.
+func TestDifferentialWorkers(t *testing.T) {
+	r := newRepo(t)
+	seq := runJSON(t, &Engine{Repo: r, Workers: 1}, diffSpec())
+	par := runJSON(t, &Engine{Repo: r, Workers: 4}, diffSpec())
+	if string(seq) != string(par) {
+		t.Fatalf("workers=1 and workers=4 diverged:\n%s\n---\n%s", seq, par)
+	}
+}
+
+// TestDifferentialFastVsFull pins the rebind fast path against the
+// per-point full-resolve oracle, byte for byte.
+func TestDifferentialFastVsFull(t *testing.T) {
+	r := newRepo(t)
+	fast, err := (&Engine{Repo: r, Workers: 2}).Run(context.Background(), "liu_gpu_server", diffSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.FastPath {
+		t.Fatal("expected the fast path for an attribute-only sweep")
+	}
+	spec := diffSpec()
+	spec.FullResolve = true
+	full, err := (&Engine{Repo: r, Workers: 2}).Run(context.Background(), "liu_gpu_server", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FastPath {
+		t.Fatal("FullResolve must disable the fast path")
+	}
+	full.FastPath = true // only allowed difference
+	fb, _ := json.Marshal(fast)
+	ob, _ := json.Marshal(full)
+	if string(fb) != string(ob) {
+		t.Fatalf("fast path diverged from full-resolve oracle:\n%s\n---\n%s", fb, ob)
+	}
+	if fast.Evaluated == 0 || len(fast.Front) == 0 {
+		t.Fatalf("degenerate differential run: %+v", fast)
+	}
+}
+
+// TestDifferentialRepeat pins run-to-run determinism on one engine.
+func TestDifferentialRepeat(t *testing.T) {
+	eng := &Engine{Repo: newRepo(t), Workers: 3}
+	a := runJSON(t, eng, diffSpec())
+	b := runJSON(t, eng, diffSpec())
+	if string(a) != string(b) {
+		t.Fatalf("repeat run diverged:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSweepSpec feeds arbitrary JSON through Unmarshal → Validate →
+// Enumerate and asserts the pipeline never panics and never admits an
+// unbounded point set.
+func FuzzSweepSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"params":[{"name":"a","values":["1","2"]}],"objectives":[{"name":"o","expr":"a"}]}`))
+	f.Add([]byte(`{"params":[{"name":"f","from":0.5,"to":3,"step":0.25}],"objectives":[{"name":"o","expr":"f*2"}]}`))
+	f.Add([]byte(`{"params":[{"name":"a","values":["1"]},{"name":"b","from":0,"to":99,"step":1}],"sample":10,"seed":42,"objectives":[{"name":"o","expr":"a+b"}]}`))
+	f.Add([]byte(`{"params":[{"name":"a","from":1,"to":1e18,"step":1e-9}],"objectives":[{"name":"o","expr":"a"}]}`))
+	f.Add([]byte(`{"params":[{"name":"q","target":"main_mem","values":["2"]}],"objectives":[{"name":"o","kind":"static_power"}],"maxPoints":9}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		total, err := s.Total()
+		if err != nil {
+			return
+		}
+		if total < 0 || total > HardMaxPoints {
+			t.Fatalf("Validate admitted total %d beyond hard cap", total)
+		}
+		idx, err := s.Enumerate()
+		if err != nil {
+			return
+		}
+		if len(idx) > s.PointBudget() {
+			t.Fatalf("Enumerate returned %d points beyond budget %d", len(idx), s.PointBudget())
+		}
+		for i, v := range idx {
+			if v < 0 || v >= total {
+				t.Fatalf("index %d out of range [0,%d)", v, total)
+			}
+			if i > 0 && idx[i-1] >= v {
+				t.Fatalf("indices not strictly ascending: %v", idx)
+			}
+		}
+	})
+}

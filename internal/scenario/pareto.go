@@ -1,0 +1,52 @@
+package scenario
+
+// Front returns the indices (into points) of the non-dominated points
+// under the given senses ("min"/"max" per objective), in ascending
+// input order. Points that were skipped or failed never participate.
+// Points with identical objective vectors do not dominate each other,
+// so duplicates all survive — dominance requires strict improvement in
+// at least one objective.
+func Front(points []PointResult, senses []string) []int {
+	var out []int
+	for i := range points {
+		if points[i].Skipped || points[i].Failed {
+			continue
+		}
+		dominated := false
+		for j := range points {
+			if i == j || points[j].Skipped || points[j].Failed {
+				continue
+			}
+			if dominates(points[j].Objectives, points[i].Objectives, senses) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dominates reports whether vector a dominates vector b: at least as
+// good in every objective and strictly better in one.
+func dominates(a, b []float64, senses []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	strict := false
+	for k := range a {
+		av, bv := a[k], b[k]
+		if k < len(senses) && senses[k] == SenseMax {
+			av, bv = -av, -bv
+		}
+		switch {
+		case av > bv:
+			return false
+		case av < bv:
+			strict = true
+		}
+	}
+	return strict
+}

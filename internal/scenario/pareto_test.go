@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func pts(vecs ...[]float64) []PointResult {
+	out := make([]PointResult, len(vecs))
+	for i, v := range vecs {
+		out[i] = PointResult{Index: i, Objectives: v}
+	}
+	return out
+}
+
+func TestFront(t *testing.T) {
+	minmin := []string{SenseMin, SenseMin}
+	cases := []struct {
+		name   string
+		points []PointResult
+		senses []string
+		want   []int
+	}{
+		{"empty", nil, minmin, nil},
+		{"single", pts([]float64{1, 2}), minmin, []int{0}},
+		{"classic tradeoff", pts(
+			[]float64{1, 4}, []float64{2, 2}, []float64{4, 1}, []float64{3, 3},
+		), minmin, []int{0, 1, 2}},
+		{"strictly dominated", pts(
+			[]float64{1, 1}, []float64{2, 2},
+		), minmin, []int{0}},
+		{"duplicates both survive", pts(
+			[]float64{1, 1}, []float64{1, 1}, []float64{2, 0.5},
+		), minmin, []int{0, 1, 2}},
+		{"max sense flips", pts(
+			[]float64{1, 1}, []float64{2, 2},
+		), []string{SenseMax, SenseMax}, []int{1}},
+		{"mixed senses", pts(
+			[]float64{1, 1}, []float64{1, 2}, []float64{2, 2},
+		), []string{SenseMin, SenseMax}, []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Front(tc.points, tc.senses)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Front = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFrontExcludesNonEvaluated(t *testing.T) {
+	points := pts([]float64{5, 5}, []float64{1, 1})
+	points[1].Skipped = true
+	got := Front(points, []string{SenseMin, SenseMin})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Front = %v, want [0] (skipped point must not participate)", got)
+	}
+	points[1].Skipped = false
+	points[1].Failed = true
+	got = Front(points, []string{SenseMin, SenseMin})
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Front = %v, want [0] (failed point must not participate)", got)
+	}
+}

@@ -1,0 +1,367 @@
+package scenario
+
+import (
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"xpdl/internal/repo"
+)
+
+func modelsDir(t testing.TB) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("caller unknown")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "models")
+}
+
+func newRepo(t testing.TB) *repo.Repository {
+	t.Helper()
+	r, err := repo.New(modelsDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func fp(v float64) *float64 { return &v }
+
+// liuSpec is the worked example from the README: the three-way Kepler
+// shared-memory split on the LiU GPU server, with a frequency axis
+// driving a divsd-mix energy estimate.
+func liuSpec() *Spec {
+	return &Spec{
+		Params: []ParamSpec{
+			{Name: "L1size", Target: "gpu1", Unit: "KB", Values: []string{"16", "32", "48"}},
+			{Name: "shmsize", Target: "gpu1", Unit: "KB", Values: []string{"16", "32", "48"}},
+		},
+		Objectives: []ObjectiveSpec{
+			{Name: "static_w", Kind: KindStaticPower},
+			{Name: "shm", Kind: KindExpr, Expr: "shmsize", Sense: SenseMax},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"empty", Spec{}, false},
+		{"no objectives", Spec{Params: []ParamSpec{{Name: "a", Values: []string{"1"}}}}, false},
+		{"minimal", Spec{
+			Params:     []ParamSpec{{Name: "a", Values: []string{"1"}}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, true},
+		{"range", Spec{
+			Params:     []ParamSpec{{Name: "a", From: fp(1), To: fp(3), Step: fp(1)}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, true},
+		{"range without step", Spec{
+			Params:     []ParamSpec{{Name: "a", From: fp(1), To: fp(3)}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, false},
+		{"negative step", Spec{
+			Params:     []ParamSpec{{Name: "a", From: fp(1), To: fp(3), Step: fp(-1)}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, false},
+		{"values and range", Spec{
+			Params:     []ParamSpec{{Name: "a", Values: []string{"1"}, From: fp(1), To: fp(2), Step: fp(1)}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, false},
+		{"duplicate alias", Spec{
+			Params: []ParamSpec{
+				{Name: "a", Target: "x", Values: []string{"1"}},
+				{Name: "a", Target: "y", Values: []string{"1"}},
+			},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, false},
+		{"alias disambiguates", Spec{
+			Params: []ParamSpec{
+				{Name: "a", Target: "x", Values: []string{"1"}},
+				{Name: "a", Target: "y", As: "a2", Values: []string{"1"}},
+			},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a + a2"}},
+		}, true},
+		{"bad objective kind", Spec{
+			Params:     []ParamSpec{{Name: "a", Values: []string{"1"}}},
+			Objectives: []ObjectiveSpec{{Name: "o", Kind: "bogus"}},
+		}, false},
+		{"bad sense", Spec{
+			Params:     []ParamSpec{{Name: "a", Values: []string{"1"}}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a", Sense: "sideways"}},
+		}, false},
+		{"derived shadows param", Spec{
+			Params:     []ParamSpec{{Name: "a", Values: []string{"1"}}},
+			Derived:    []DerivedSpec{{Name: "a", Expr: "a*2"}},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, false},
+		{"grid over budget", Spec{
+			Params: []ParamSpec{
+				{Name: "a", From: fp(0), To: fp(999), Step: fp(1)},
+				{Name: "b", From: fp(0), To: fp(999), Step: fp(1)},
+			},
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, false},
+		{"grid over budget but sampled", Spec{
+			Params: []ParamSpec{
+				{Name: "a", From: fp(0), To: fp(999), Step: fp(1)},
+				{Name: "b", From: fp(0), To: fp(999), Step: fp(1)},
+			},
+			Sample:     100,
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}, true},
+		{"task objective missing freq", Spec{
+			Params:     []ParamSpec{{Name: "a", Values: []string{"1"}}},
+			Objectives: []ObjectiveSpec{{Name: "o", Kind: KindTaskEnergy, Table: "t", Counts: map[string]int64{"add": 1}}},
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("want valid, got %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("want validation error, got none")
+			}
+		})
+	}
+}
+
+func TestRangeAxis(t *testing.T) {
+	p := ParamSpec{Name: "f", From: fp(0.5), To: fp(2.0), Step: fp(0.5)}
+	ax, err := p.axis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0.5", "1", "1.5", "2"}
+	if len(ax) != len(want) {
+		t.Fatalf("axis = %v, want %v", ax, want)
+	}
+	for i := range want {
+		if ax[i] != want[i] {
+			t.Fatalf("axis[%d] = %q, want %q", i, ax[i], want[i])
+		}
+	}
+}
+
+func TestEnumerationOrder(t *testing.T) {
+	s := &Spec{
+		Params: []ParamSpec{
+			{Name: "a", Values: []string{"1", "2"}},
+			{Name: "b", Values: []string{"x", "y", "z"}},
+		},
+		Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+	}
+	axes, err := s.axes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := s.Total()
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	// Odometer: last axis fastest.
+	want := [][]string{{"1", "x"}, {"1", "y"}, {"1", "z"}, {"2", "x"}, {"2", "y"}, {"2", "z"}}
+	for idx := 0; idx < total; idx++ {
+		got := pointValues(axes, idx)
+		if got[0] != want[idx][0] || got[1] != want[idx][1] {
+			t.Fatalf("point %d = %v, want %v", idx, got, want[idx])
+		}
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	mk := func(seed uint64) []int {
+		s := &Spec{
+			Params: []ParamSpec{
+				{Name: "a", From: fp(0), To: fp(99), Step: fp(1)},
+				{Name: "b", From: fp(0), To: fp(99), Step: fp(1)},
+			},
+			Sample:     50,
+			Seed:       seed,
+			Objectives: []ObjectiveSpec{{Name: "o", Expr: "a"}},
+		}
+		idx, err := s.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	if len(a) != 50 {
+		t.Fatalf("sample size = %d, want 50", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("sample indices not strictly ascending at %d: %v", i, a[:i+1])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds picked the identical subset (suspicious)")
+	}
+}
+
+func TestSweepLiuConstraintGrid(t *testing.T) {
+	eng := &Engine{Repo: newRepo(t), Workers: 2}
+	res, err := eng.Run(context.Background(), "liu_gpu_server", liuSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 9 || res.Evaluated != 3 || res.Skipped != 6 || res.Failed != 0 {
+		t.Fatalf("totals = %d/%d eval/%d skip/%d fail, want 9/3/6/0",
+			res.Total, res.Evaluated, res.Skipped, res.Failed)
+	}
+	if !res.FastPath {
+		t.Fatal("attribute-only sweep should use the fast path")
+	}
+	// Legal combos: L1+shm == 64KB → indices 2 (16,48), 4 (32,32), 6 (48,16).
+	for _, idx := range []int{2, 4, 6} {
+		p := res.Points[idx]
+		if p.Skipped || p.Failed {
+			t.Fatalf("point %d should be evaluated: %+v", idx, p)
+		}
+	}
+	for _, idx := range []int{0, 1, 3, 5, 7, 8} {
+		p := res.Points[idx]
+		if !p.Skipped {
+			t.Fatalf("point %d should be skipped (constraint), got %+v", idx, p)
+		}
+		if p.Reason == "" {
+			t.Fatalf("skipped point %d has no reason", idx)
+		}
+	}
+	// Equal static power everywhere, shm maximized → the (16,48) point
+	// dominates the other two.
+	if len(res.Front) != 1 || res.Front[0] != 2 {
+		t.Fatalf("front = %v, want [2]", res.Front)
+	}
+	front := res.FrontPoints()
+	if len(front) != 1 || front[0].Params["shmsize"] != "48" {
+		t.Fatalf("front points = %+v", front)
+	}
+}
+
+func TestSweepScopeShadowing(t *testing.T) {
+	// The same parameter name at two composition depths: a root-level
+	// binding is shadowed by gpu1's own, so sweeping the root leaves
+	// gpu1's scratchpads untouched, while sweeping gpu1 changes them.
+	// (The GPU's "shm" memory is addressed rather than its "L1" cache —
+	// the host CPU also has an L1, which wins the preorder lookup.)
+	eng := &Engine{Repo: newRepo(t)}
+	attrObj := []ObjectiveSpec{{Name: "shm_b", Kind: KindExpr, Expr: "attr('shm', 'size')"}}
+
+	atRoot := &Spec{
+		Params:     []ParamSpec{{Name: "shmsize", Target: "", Unit: "KB", Values: []string{"16", "48"}}},
+		Objectives: attrObj,
+	}
+	res, err := eng.Run(context.Background(), "liu_gpu_server", atRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 2 {
+		t.Fatalf("root sweep evaluated %d/%d: %+v", res.Evaluated, res.Total, res.Points)
+	}
+	if res.Points[0].Objectives[0] != res.Points[1].Objectives[0] {
+		t.Fatalf("root-level binding leaked past gpu1's shadowing binding: %v vs %v",
+			res.Points[0].Objectives[0], res.Points[1].Objectives[0])
+	}
+
+	// Sweeping gpu1 itself must move the scratchpad size — but alone it
+	// violates L1size + shmsize == 64KB except at 32, so pair it.
+	atGPU := &Spec{
+		Params: []ParamSpec{
+			{Name: "L1size", Target: "gpu1", Unit: "KB", Values: []string{"16", "48"}},
+			{Name: "shmsize", Target: "gpu1", Unit: "KB", Values: []string{"16", "48"}},
+		},
+		Objectives: attrObj,
+	}
+	res2, err := eng.Run(context.Background(), "liu_gpu_server", atGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Evaluated != 2 { // (16,48) and (48,16)
+		t.Fatalf("gpu sweep evaluated %d: %+v", res2.Evaluated, res2.Points)
+	}
+	a, b := res2.Points[1], res2.Points[2]
+	if a.Objectives[0] == b.Objectives[0] {
+		t.Fatalf("gpu1-level sweep did not change the scratchpad size: %v", a.Objectives[0])
+	}
+}
+
+func TestSweepQuantityIsStructural(t *testing.T) {
+	// Replication-count sweeps change the tree's shape and must take
+	// the full-resolve path.
+	eng := &Engine{Repo: newRepo(t), Workers: 2}
+	spec := &Spec{
+		Params:     []ParamSpec{{Name: "quantity", Target: "main_mem", Values: []string{"2", "6"}}},
+		Objectives: []ObjectiveSpec{{Name: "mems", Kind: KindExpr, Expr: "count('memory')"}},
+	}
+	res, err := eng.Run(context.Background(), "XScluster", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastPath {
+		t.Fatal("quantity sweep must not use the fast path")
+	}
+	if res.Evaluated != 2 {
+		t.Fatalf("evaluated %d: %+v", res.Evaluated, res.Points)
+	}
+	d := res.Points[1].Objectives[0] - res.Points[0].Objectives[0]
+	if d != 16 { // 4 nodes × (6-2) memory modules
+		t.Fatalf("memory count delta = %v, want 16 (points %+v)", d, res.Points)
+	}
+}
+
+func TestSweepBadTarget(t *testing.T) {
+	eng := &Engine{Repo: newRepo(t)}
+	spec := &Spec{
+		Params:     []ParamSpec{{Name: "x", Target: "no_such_component", Values: []string{"1"}}},
+		Objectives: []ObjectiveSpec{{Name: "o", Expr: "x"}},
+	}
+	if _, err := eng.Run(context.Background(), "liu_gpu_server", spec); err == nil {
+		t.Fatal("want target-not-found error")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{Repo: newRepo(t)}
+	if _, err := eng.Run(ctx, "liu_gpu_server", liuSpec()); err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestDerivedValues(t *testing.T) {
+	eng := &Engine{Repo: newRepo(t)}
+	spec := liuSpec()
+	spec.Derived = []DerivedSpec{{Name: "split", Expr: "L1size / shmsize"}}
+	spec.Objectives = append(spec.Objectives, ObjectiveSpec{Name: "sp", Expr: "split"})
+	res, err := eng.Run(context.Background(), "liu_gpu_server", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[4] // (32,32)
+	if p.Derived["split"] != 1 {
+		t.Fatalf("derived split = %v, want 1 (point %+v)", p.Derived["split"], p)
+	}
+	if p.Objectives[2] != 1 {
+		t.Fatalf("objective over derived = %v, want 1", p.Objectives[2])
+	}
+}

@@ -1,0 +1,387 @@
+// Package scenario implements the XPDL scenario engine: parameter
+// sweeps over a platform model's configuration space with
+// multi-objective evaluation and Pareto-front extraction.
+//
+// The paper frames platform descriptions as the substrate for energy
+// *optimization* — "upper optimization layers" consume the model to
+// choose configurations. This package is that consumer: a sweep
+// specification names configurable parameters (L1/scratchpad split,
+// DVFS frequency, replication counts) with list or range generators,
+// the engine enumerates the cross product deterministically, resolves
+// every point through the composition engine (re-binding onto a
+// resolved clone when the swept parameters are attribute-only, a full
+// resolve otherwise), evaluates user-selected objectives (static
+// power, per-task energy/time from the instruction tables, transfer
+// costs, arbitrary expressions) and reports the non-dominated front.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"xpdl/internal/expr"
+)
+
+// Shape limits: a malformed or hostile spec is a validation error,
+// never an unbounded amount of work.
+const (
+	// MaxParams bounds the sweep dimensions.
+	MaxParams = 8
+	// MaxAxisValues bounds one parameter's value list (or generated
+	// range).
+	MaxAxisValues = 1024
+	// MaxDerived bounds derived expressions.
+	MaxDerived = 32
+	// MaxObjectives bounds the objective vector.
+	MaxObjectives = 16
+	// DefaultMaxPoints is the per-sweep point budget when the spec does
+	// not set one.
+	DefaultMaxPoints = 4096
+	// HardMaxPoints is the absolute per-sweep point ceiling.
+	HardMaxPoints = 1 << 20
+	// maxExprLen bounds every expression in a spec.
+	maxExprLen = 16 << 10
+)
+
+// Spec describes one parameter sweep.
+type Spec struct {
+	// Params are the sweep dimensions; the point set is their cross
+	// product in spec order (the last parameter varies fastest).
+	Params []ParamSpec `json:"params"`
+	// Derived are named expressions evaluated per point over the
+	// parameter values (and earlier derived values), usable in
+	// objective expressions and reported per point. Must evaluate to
+	// numbers.
+	Derived []DerivedSpec `json:"derived,omitempty"`
+	// Objectives are the per-point metrics; the Pareto front is taken
+	// over this vector. At least one is required.
+	Objectives []ObjectiveSpec `json:"objectives"`
+	// Sample, when > 0, evaluates a deterministic pseudo-random subset
+	// of that many points instead of the full grid (seeded by Seed).
+	Sample int `json:"sample,omitempty"`
+	// Seed drives Sample's point selection; the same seed always picks
+	// the same subset.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxPoints caps the evaluated points (default DefaultMaxPoints,
+	// ceiling HardMaxPoints). A grid larger than the cap is a
+	// validation error unless Sample brings it under.
+	MaxPoints int `json:"maxPoints,omitempty"`
+	// FullResolve forces every point through the full composition
+	// pipeline even when the swept parameters are attribute-only. The
+	// differential tests use it as the oracle; results are identical
+	// either way.
+	FullResolve bool `json:"fullResolve,omitempty"`
+}
+
+// ParamSpec is one sweep dimension: a model parameter and the values
+// it takes. Exactly one of Values or From/To/Step must be given.
+type ParamSpec struct {
+	// Name is the model parameter to bind. The special name "quantity"
+	// replaces the target group's replication count (structural: such
+	// sweeps always take the full-resolve path).
+	Name string `json:"name"`
+	// Target selects the components to bind on, by resolved identifier
+	// ("" = the system root). Groups without an identifier match their
+	// member prefix. Binding a parameter at an outer component follows
+	// XPDL scoping: an inner binding of the same name shadows it.
+	Target string `json:"target,omitempty"`
+	// As renames the parameter in expressions and reports (default:
+	// Name). Aliases must be unique across the spec — use them to sweep
+	// the same parameter name at two different targets.
+	As string `json:"as,omitempty"`
+	// Unit qualifies every value of this axis ("KB", "MHz", ...).
+	Unit string `json:"unit,omitempty"`
+	// Values is the explicit value list.
+	Values []string `json:"values,omitempty"`
+	// From/To/Step generate From, From+Step, ... ≤ To (Step > 0).
+	From *float64 `json:"from,omitempty"`
+	To   *float64 `json:"to,omitempty"`
+	Step *float64 `json:"step,omitempty"`
+}
+
+// DerivedSpec is a named per-point expression.
+type DerivedSpec struct {
+	Name string `json:"name"`
+	Expr string `json:"expr"`
+}
+
+// Key returns the axis's reporting/environment name.
+func (p *ParamSpec) Key() string {
+	if p.As != "" {
+		return p.As
+	}
+	return p.Name
+}
+
+// axis materializes the dimension's value list.
+func (p *ParamSpec) axis() ([]string, error) {
+	if len(p.Values) > 0 {
+		return p.Values, nil
+	}
+	from, to, step := *p.From, *p.To, *p.Step
+	span := (to - from) / step
+	// Bound BEFORE the int conversion: a huge or non-finite span would
+	// otherwise overflow the slice length.
+	if math.IsNaN(span) || span < 0 || span > float64(MaxAxisValues) {
+		return nil, fmt.Errorf("scenario: parameter %s: range generates more than %d values", p.Key(), MaxAxisValues)
+	}
+	n := int(span) + 1
+	// Floating accumulation may leave the last grid line a hair above
+	// To; admit it within half a step.
+	if from+float64(n)*step <= to+step/2 {
+		n++
+	}
+	if n > MaxAxisValues {
+		return nil, fmt.Errorf("scenario: parameter %s: range generates %d values (max %d)", p.Key(), n, MaxAxisValues)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		// Render at 12 significant digits so grid lines read as the
+		// user wrote them ("2.9", not the accumulated
+		// "2.9000000000000004") while staying deterministic.
+		out[i] = strconv.FormatFloat(from+float64(i)*step, 'g', 12, 64)
+	}
+	return out, nil
+}
+
+// Validate checks the spec's shape and materializes nothing heavier
+// than the per-axis value lists. It is the only gate between a decoded
+// request body and the engine.
+func (s *Spec) Validate() error {
+	if len(s.Params) == 0 {
+		return fmt.Errorf("scenario: spec has no parameters")
+	}
+	if len(s.Params) > MaxParams {
+		return fmt.Errorf("scenario: more than %d parameters", MaxParams)
+	}
+	if len(s.Derived) > MaxDerived {
+		return fmt.Errorf("scenario: more than %d derived expressions", MaxDerived)
+	}
+	if len(s.Objectives) == 0 {
+		return fmt.Errorf("scenario: spec has no objectives")
+	}
+	if len(s.Objectives) > MaxObjectives {
+		return fmt.Errorf("scenario: more than %d objectives", MaxObjectives)
+	}
+	seen := map[string]bool{}
+	for i := range s.Params {
+		p := &s.Params[i]
+		if p.Name == "" {
+			return fmt.Errorf("scenario: parameter %d has no name", i)
+		}
+		key := p.Key()
+		if !identLike(key) {
+			return fmt.Errorf("scenario: parameter alias %q is not an identifier", key)
+		}
+		if seen[key] {
+			return fmt.Errorf("scenario: duplicate parameter alias %q (use \"as\" to disambiguate)", key)
+		}
+		seen[key] = true
+		hasRange := p.From != nil || p.To != nil || p.Step != nil
+		switch {
+		case len(p.Values) > 0 && hasRange:
+			return fmt.Errorf("scenario: parameter %s: give values or from/to/step, not both", key)
+		case len(p.Values) > MaxAxisValues:
+			return fmt.Errorf("scenario: parameter %s: more than %d values", key, MaxAxisValues)
+		case len(p.Values) > 0:
+			for _, v := range p.Values {
+				if strings.TrimSpace(v) == "" {
+					return fmt.Errorf("scenario: parameter %s: empty value", key)
+				}
+			}
+		case hasRange:
+			if p.From == nil || p.To == nil || p.Step == nil {
+				return fmt.Errorf("scenario: parameter %s: from, to and step are all required", key)
+			}
+			if *p.Step <= 0 || *p.To < *p.From {
+				return fmt.Errorf("scenario: parameter %s: need step > 0 and to >= from", key)
+			}
+			if _, err := p.axis(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("scenario: parameter %s: no values and no range", key)
+		}
+	}
+	for i := range s.Derived {
+		d := &s.Derived[i]
+		if d.Name == "" || !identLike(d.Name) {
+			return fmt.Errorf("scenario: derived %d: name %q is not an identifier", i, d.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("scenario: derived %q shadows a parameter or earlier derived value", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Expr == "" {
+			return fmt.Errorf("scenario: derived %s has no expression", d.Name)
+		}
+		if len(d.Expr) > maxExprLen {
+			return fmt.Errorf("scenario: derived %s: expression longer than %d bytes", d.Name, maxExprLen)
+		}
+		if _, err := expr.Compile(d.Expr); err != nil {
+			return fmt.Errorf("scenario: derived %s: %v", d.Name, err)
+		}
+	}
+	objNames := map[string]bool{}
+	for i := range s.Objectives {
+		if err := s.Objectives[i].validate(i); err != nil {
+			return err
+		}
+		if objNames[s.Objectives[i].Name] {
+			return fmt.Errorf("scenario: duplicate objective %q", s.Objectives[i].Name)
+		}
+		objNames[s.Objectives[i].Name] = true
+	}
+	if s.Sample < 0 {
+		return fmt.Errorf("scenario: sample must be non-negative")
+	}
+	if s.MaxPoints < 0 {
+		return fmt.Errorf("scenario: maxPoints must be non-negative")
+	}
+	if s.MaxPoints > HardMaxPoints {
+		return fmt.Errorf("scenario: maxPoints exceeds the ceiling of %d", HardMaxPoints)
+	}
+	total, err := s.Total()
+	if err != nil {
+		return err
+	}
+	budget := s.PointBudget()
+	if s.Sample > 0 && s.Sample > budget {
+		return fmt.Errorf("scenario: sample %d exceeds the point budget %d", s.Sample, budget)
+	}
+	if s.Sample == 0 && total > budget {
+		return fmt.Errorf("scenario: grid enumerates %d points, budget is %d (raise maxPoints or set sample)", total, budget)
+	}
+	return nil
+}
+
+// PointBudget returns the effective point cap.
+func (s *Spec) PointBudget() int {
+	if s.MaxPoints > 0 {
+		return s.MaxPoints
+	}
+	return DefaultMaxPoints
+}
+
+// Total returns the full grid size (before sampling), guarding against
+// overflow.
+func (s *Spec) Total() (int, error) {
+	total := 1
+	for i := range s.Params {
+		ax, err := s.Params[i].axis()
+		if err != nil {
+			return 0, err
+		}
+		if len(ax) == 0 {
+			return 0, nil
+		}
+		if total > HardMaxPoints/len(ax) {
+			return 0, fmt.Errorf("scenario: grid exceeds %d points", HardMaxPoints)
+		}
+		total *= len(ax)
+	}
+	return total, nil
+}
+
+// axes materializes every dimension once.
+func (s *Spec) axes() ([][]string, error) {
+	out := make([][]string, len(s.Params))
+	for i := range s.Params {
+		ax, err := s.Params[i].axis()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ax
+	}
+	return out, nil
+}
+
+// pointValues decodes a grid index into the per-axis values, odometer
+// order: the last parameter varies fastest.
+func pointValues(axes [][]string, idx int) []string {
+	out := make([]string, len(axes))
+	for i := len(axes) - 1; i >= 0; i-- {
+		n := len(axes[i])
+		out[i] = axes[i][idx%n]
+		idx /= n
+	}
+	return out
+}
+
+// Enumerate returns the sorted grid indices the sweep will evaluate:
+// the whole grid, or the Sample-sized seeded subset. Selection is a
+// sparse Fisher–Yates over the index space, so the same (grid, sample,
+// seed) triple always yields the same point set without materializing
+// the grid.
+func (s *Spec) Enumerate() ([]int, error) {
+	total, err := s.Total()
+	if err != nil {
+		return nil, err
+	}
+	if s.Sample <= 0 || s.Sample >= total {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	rng := splitmix64(s.Seed)
+	swapped := map[int]int{} // sparse Fisher–Yates state
+	at := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]int, s.Sample)
+	for i := 0; i < s.Sample; i++ {
+		j := i + int(rng()%uint64(total-i))
+		out[i] = at(j)
+		swapped[j] = at(i)
+	}
+	sortInts(out)
+	return out, nil
+}
+
+// splitmix64 is the deterministic sample PRNG (same generator the obs
+// sampler uses); seed 0 is nudged so it still produces a sequence.
+func splitmix64(seed uint64) func() uint64 {
+	x := seed
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+func sortInts(a []int) {
+	// Insertion sort is fine: Sample is bounded by the point budget.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// identLike mirrors the resolver's identifier test (letters, digits,
+// underscores, dots; no leading digit).
+func identLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		ok := ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || (i > 0 && (ch >= '0' && ch <= '9' || ch == '.'))
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

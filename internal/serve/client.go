@@ -16,6 +16,7 @@ import (
 
 	"xpdl/internal/obs"
 	"xpdl/internal/rtmodel"
+	"xpdl/internal/scenario"
 )
 
 // Proto selects the wire protocol a Client negotiates.
@@ -340,10 +341,31 @@ func (c *Client) Refresh(ctx context.Context, ident string) (RefreshResponse, er
 // It returns when ctx is canceled, the stream ends (server drain or
 // slow-consumer eviction), or fn returns an error — fn's error is
 // returned as-is, so callers can stop after N events with a sentinel.
+// Cancellation mid-stream returns ctx.Err(), so callers can tell a
+// deliberate stop from a server-side end of stream.
 func (c *Client) Watch(ctx context.Context, ident string, since uint64, fn func(WatchEvent) error) error {
-	u := c.Base + "/v1/models/" + url.PathEscape(ident) + "/watch"
+	q := url.Values{}
 	if since > 0 {
-		u += "?since=" + strconv.FormatUint(since, 10)
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	return c.streamSSE(ctx, "/v1/models/"+url.PathEscape(ident)+"/watch", q, func(data []byte) error {
+		var ev WatchEvent
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return fmt.Errorf("xpdld: watch event: %w", err)
+		}
+		return fn(ev)
+	})
+}
+
+// streamSSE runs one server-sent-events request, calling fn with each
+// event's data payload. It returns ctx.Err() promptly when the context
+// is canceled mid-stream (the transport closes the body, unblocking
+// the scanner), fn's error as-is, and nil on a server-side end of
+// stream.
+func (c *Client) streamSSE(ctx context.Context, path string, q url.Values, fn func(data []byte) error) error {
+	u := c.Base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -358,30 +380,29 @@ func (c *Client) Watch(ctx context.Context, ident string, since uint64, fn func(
 	defer resp.Body.Close()
 	ct := mediaTypeOf(resp.Header.Get("Content-Type"))
 	if resp.StatusCode/100 != 2 {
-		return c.statusError(resp, "/watch", ct)
+		return c.statusError(resp, path, ct)
 	}
 	if ct != "text/event-stream" {
-		return &ContentTypeError{Endpoint: "/watch", Got: ct, Want: "text/event-stream"}
+		return &ContentTypeError{Endpoint: path, Got: ct, Want: "text/event-stream"}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		line := sc.Text()
 		if !strings.HasPrefix(line, "data:") {
 			continue // event:/id: framing lines, heartbeat comments, blanks
 		}
-		var ev WatchEvent
-		if err := json.Unmarshal([]byte(strings.TrimSpace(line[len("data:"):])), &ev); err != nil {
-			return fmt.Errorf("xpdld: watch event: %w", err)
-		}
-		if err := fn(ev); err != nil {
+		if err := fn([]byte(strings.TrimSpace(line[len("data:"):]))); err != nil {
 			return err
 		}
 	}
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return nil
+	return sc.Err()
 }
 
 // WatchPoll is the long-poll fallback: it returns the buffered events
@@ -390,6 +411,11 @@ func (c *Client) Watch(ctx context.Context, ident string, since uint64, fn func(
 // so the negotiated binary protocol does not apply here.
 func (c *Client) WatchPoll(ctx context.Context, ident string, since uint64, wait time.Duration) (WatchPollResponse, error) {
 	var out WatchPollResponse
+	// Refuse to start a long-poll hold on a context that is already
+	// done; mid-hold cancellation aborts the request at the transport.
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	q := url.Values{}
 	if since > 0 {
 		q.Set("since", strconv.FormatUint(since, 10))
@@ -401,4 +427,65 @@ func (c *Client) WatchPoll(ctx context.Context, ident string, since uint64, wait
 	cj.Proto = ProtoJSON
 	err := cj.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(ident)+"/watch", q, nil, &out, nil)
 	return out, err
+}
+
+// Sweep submits an asynchronous parameter sweep over one model and
+// returns the accepted job handle. The job endpoints are JSON-only
+// (control plane, not the query hot path).
+func (c *Client) Sweep(ctx context.Context, ident string, spec scenario.Spec) (SweepAccepted, error) {
+	var out SweepAccepted
+	cj := *c
+	cj.Proto = ProtoJSON
+	err := cj.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(ident)+"/sweep", nil, spec, &out, nil)
+	return out, err
+}
+
+// Jobs lists the daemon's retained sweep jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) (JobsResponse, error) {
+	var out JobsResponse
+	cj := *c
+	cj.Proto = ProtoJSON
+	err := cj.do(ctx, http.MethodGet, "/v1/jobs", nil, nil, &out, nil)
+	return out, err
+}
+
+// JobStatus polls one job. withPoints includes the full per-point
+// result list (potentially large) once the job is done.
+func (c *Client) JobStatus(ctx context.Context, id string, withPoints bool) (JobInfo, error) {
+	var out JobInfo
+	q := url.Values{}
+	if withPoints {
+		q.Set("points", "1")
+	}
+	cj := *c
+	cj.Proto = ProtoJSON
+	err := cj.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), q, nil, &out, nil)
+	return out, err
+}
+
+// JobCancel cancels a queued or running job.
+func (c *Client) JobCancel(ctx context.Context, id string) (JobInfo, error) {
+	var out JobInfo
+	cj := *c
+	cj.Proto = ProtoJSON
+	err := cj.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, nil, &out, nil)
+	return out, err
+}
+
+// JobStream follows one job's progress over SSE, calling fn for every
+// event (history after since replays first). It returns nil once the
+// terminal event has been delivered, ctx.Err() on cancellation, and
+// fn's error as-is.
+func (c *Client) JobStream(ctx context.Context, id string, since uint64, fn func(JobEvent) error) error {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	return c.streamSSE(ctx, "/v1/jobs/"+url.PathEscape(id)+"/stream", q, func(data []byte) error {
+		var ev JobEvent
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return fmt.Errorf("xpdld: job event: %w", err)
+		}
+		return fn(ev)
+	})
 }

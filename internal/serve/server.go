@@ -19,6 +19,7 @@ import (
 	"xpdl/internal/model"
 	"xpdl/internal/obs"
 	"xpdl/internal/rtmodel"
+	"xpdl/internal/scenario"
 )
 
 // Request-shape limits: anything beyond them is a client error (4xx),
@@ -58,6 +59,25 @@ type Config struct {
 	// noticed.
 	WatchHeartbeat time.Duration
 
+	// SweepWorkers is the per-job parallelism of the scenario engine
+	// (default: engine default, sequential point evaluation).
+	SweepWorkers int
+	// SweepMaxPoints caps the points any one sweep may enumerate;
+	// request specs asking for more are clamped (default 4096).
+	SweepMaxPoints int
+	// JobQueue bounds sweeps waiting for a worker (default 16); a full
+	// queue answers 429.
+	JobQueue int
+	// JobConcurrency is the number of sweeps executing at once
+	// (default 2).
+	JobConcurrency int
+	// JobTTL is how long a finished job's result stays fetchable
+	// (default 15m).
+	JobTTL time.Duration
+	// MaxJobs bounds the retention table, queued and running included
+	// (default 64).
+	MaxJobs int
+
 	// TraceSample is the head-sampling probability for traces started
 	// locally (no incoming traceparent). Error responses (5xx) are
 	// always retained regardless. An incoming sampled traceparent is
@@ -86,6 +106,7 @@ type Server struct {
 	allowRefresh bool
 	slow         time.Duration
 	watchHB      time.Duration
+	jobs         *jobManager // nil when the loader has no repository
 
 	sampler *obs.Sampler
 	traces  *obs.TraceBuffer
@@ -139,8 +160,24 @@ func NewServer(cfg Config) *Server {
 		4: s.reg.Counter("xpdld_responses_4xx_total", "API responses with a 4xx status."),
 		5: s.reg.Counter("xpdld_responses_5xx_total", "API responses with a 5xx status."),
 	}
+	// The sweep subsystem needs the descriptor repository behind the
+	// store; loaders without one (test stubs) leave it disabled and the
+	// sweep endpoints answer 501.
+	if rp, ok := cfg.Store.Loader().(repoProvider); ok {
+		s.jobs = newJobManager(rp, cfg)
+	}
 	s.routes()
 	return s
+}
+
+// Close drains the async job subsystem: running sweeps are canceled,
+// their workers joined, and every pending job transitions to a
+// terminal state so pollers and streams end cleanly. Idempotent; the
+// server keeps answering queries afterwards (new sweeps are refused).
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.close()
+	}
 }
 
 // Registry returns the per-server metrics registry (latency
@@ -174,10 +211,17 @@ func (s *Server) routes() {
 	if s.allowRefresh {
 		s.handle("POST /v1/models/{model}/refresh", "refresh", s.handleRefresh)
 	}
+	s.handle("POST /v1/models/{model}/sweep", "sweep", s.handleSweep)
+	s.handle("GET /v1/jobs", "jobs", s.handleJobs)
+	s.handle("GET /v1/jobs/{id}", "job", s.handleJob)
+	s.handle("POST /v1/jobs/{id}/cancel", "jobcancel", s.handleJobCancel)
 	// The watch stream lives outside the handle wrapper: it is a
 	// long-lived connection, so the per-request timeout and the
 	// concurrency limiter (sized for millisecond queries) must not apply.
+	// The job stream follows a sweep for its whole lifetime, so it lives
+	// out here too.
 	s.mux.HandleFunc("GET /v1/models/{model}/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	// Observability rides on the same listener: Prometheus text of the
 	// server registry plus the process-wide one, pprof, expvar, and the
 	// completed-trace ring buffer.
@@ -998,6 +1042,157 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) (any, err
 // handleWatch streams generation-change events for one model:
 // Server-Sent Events when the client accepts text/event-stream, a
 // bounded long poll (?since=&wait=) otherwise.
+// ---- sweep jobs ----
+
+// jobsOr501 gates the sweep endpoints on the subsystem being wired.
+func (s *Server) jobsOr501() (*jobManager, error) {
+	if s.jobs == nil {
+		return nil, &apiError{status: http.StatusNotImplemented,
+			msg: "sweep jobs unavailable: the configured loader exposes no descriptor repository"}
+	}
+	return s.jobs, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error) {
+	m, err := s.jobsOr501()
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the model first so bad identifiers 404 before queueing
+	// (and the generation headers stamp which snapshot gated the check;
+	// the sweep itself resolves fresh trees from the repository).
+	snap, err := s.snapshot(w, r)
+	if err != nil {
+		return nil, err
+	}
+	var spec scenario.Spec
+	if err := decodeJSON(r, &spec); err != nil {
+		return nil, err
+	}
+	j, err := m.submit(snap.Ident, &spec)
+	if err != nil {
+		return nil, err
+	}
+	info := j.info(false)
+	return SweepAccepted{Job: info.ID, Model: info.Model, State: info.State, Total: info.Total}, nil
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) (any, error) {
+	m, err := s.jobsOr501()
+	if err != nil {
+		return nil, err
+	}
+	return JobsResponse{Jobs: m.list()}, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) (any, error) {
+	m, err := s.jobsOr501()
+	if err != nil {
+		return nil, err
+	}
+	j, ok := m.get(r.PathValue("id"))
+	if !ok {
+		return nil, notFound("job %q not found", r.PathValue("id"))
+	}
+	withPoints := r.URL.Query().Get("points") == "1"
+	return j.info(withPoints), nil
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) (any, error) {
+	m, err := s.jobsOr501()
+	if err != nil {
+		return nil, err
+	}
+	info, err := m.cancelJob(r.PathValue("id"))
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// handleJobStream follows one job's progress over SSE: history after
+// ?since= (or Last-Event-ID) replays first, live per-point events
+// follow, and the stream ends right after the terminal event.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	m, err := s.jobsOr501()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, ok := m.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, notFound("job %q not found", r.PathValue("id")))
+		return
+	}
+	since := uint64(0)
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, badRequest("since must be a non-negative integer"))
+			return
+		}
+		since = v
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, &apiError{status: http.StatusNotImplemented, msg: "streaming unsupported"})
+		return
+	}
+	replay, ch, cancelSub := j.subscribe(since)
+	defer cancelSub()
+	rc := http.NewResponseController(w)
+	extend := func() { _ = rc.SetWriteDeadline(time.Now().Add(4 * s.watchHB)) }
+	extend()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	s.countStatus(http.StatusOK)
+	fmt.Fprintf(w, ": streaming %s\n\n", j.id)
+	fl.Flush()
+	writeEvent := func(ev JobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		extend()
+		fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+		fl.Flush()
+		return ev.Type == "point"
+	}
+	for _, ev := range replay {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		return // job already terminal; the replay was the whole story
+	}
+	hb := time.NewTicker(s.watchHB)
+	defer hb.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return // terminal event delivered, or evicted as a slow consumer
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-hb.C:
+			extend()
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}
+
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	ident := r.PathValue("model")
 	if ident == "" {

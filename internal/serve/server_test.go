@@ -410,4 +410,3 @@ func TestServerConcurrencyLimiter(t *testing.T) {
 		t.Fatalf("no request was shed: %d, %d", a, b)
 	}
 }
-

@@ -418,6 +418,11 @@ func (st *Store) Peek(ident string) (*Snapshot, bool) {
 // Generation returns the latest generation the store has published.
 func (st *Store) Generation() uint64 { return st.gen.Load() }
 
+// Loader exposes the store's loader so subsystems that need more than
+// snapshots (the sweep engine wants the descriptor repository) can
+// type-assert for the extra capability.
+func (st *Store) Loader() Loader { return st.loader }
+
 // String summarizes the store for logs.
 func (st *Store) String() string {
 	return fmt.Sprintf("serve.Store{resident: %d, gen: %d}", len(st.Resident()), st.Generation())

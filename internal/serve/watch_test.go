@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -199,8 +200,10 @@ func TestWatchSSEEndToEnd(t *testing.T) {
 		t.Fatalf("generations not increasing: %d, %d", got[1].Generation, got[2].Generation)
 	}
 	cancel()
-	if err := <-done; err != nil {
-		t.Fatalf("watch ended with error: %v", err)
+	// Deliberate cancellation surfaces as ctx.Err(), so callers can
+	// tell their own stop from a server-side end of stream.
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("watch should end with context.Canceled, got %v", err)
 	}
 }
 
@@ -492,4 +495,77 @@ func TestWatchSwapStress(t *testing.T) {
 		t.Errorf("xpdl_delta_patched_total moved by %d, want %d", got, swaps)
 	}
 	t.Logf("%d swaps in %s with %d binary reads", swaps, swapDuration.Round(time.Millisecond), reads.Load())
+}
+
+// TestWatchCancellationPrompt pins the client-side contract for both
+// watch transports: canceling the context ends the call promptly (well
+// inside the server's hold/heartbeat window) and surfaces ctx.Err()
+// rather than a silent nil.
+func TestWatchCancellationPrompt(t *testing.T) {
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, WatchHeartbeat: 10 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(ts.URL)
+
+	// SSE: the stream is idle (no swaps, heartbeat far away) when the
+	// context is canceled; Watch must still return quickly.
+	sseCtx, sseCancel := context.WithCancel(ctx)
+	sseDone := make(chan error, 1)
+	go func() {
+		// since=1 so the replayed initial-load event is skipped and the
+		// stream is truly quiet.
+		sseDone <- client.Watch(sseCtx, "m", 1, func(WatchEvent) error { return nil })
+	}()
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	sseCancel()
+	select {
+	case err := <-sseDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Watch after cancel: %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("Watch took %v to notice cancellation", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch did not return after cancellation")
+	}
+
+	// Long poll: cancel mid-hold.
+	pollCtx, pollCancel := context.WithCancel(ctx)
+	pollDone := make(chan error, 1)
+	go func() {
+		_, err := client.WatchPoll(pollCtx, "m", 1, 30*time.Second)
+		pollDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	start = time.Now()
+	pollCancel()
+	select {
+	case err := <-pollDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("WatchPoll after cancel: %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("WatchPoll took %v to notice cancellation", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchPoll did not return after cancellation")
+	}
+
+	// An already-canceled context is refused before any request is made.
+	deadCtx, deadCancel := context.WithCancel(ctx)
+	deadCancel()
+	if _, err := client.WatchPoll(deadCtx, "m", 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WatchPoll on dead context: %v, want context.Canceled", err)
+	}
+	if err := client.Watch(deadCtx, "m", 0, func(WatchEvent) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Watch on dead context: %v, want context.Canceled", err)
+	}
 }
