@@ -42,6 +42,7 @@
 //	GET  /v1/jobs  /v1/jobs/{id}     job inventory and status (?points=1 for full results)
 //	GET  /v1/jobs/{id}/stream        per-point sweep progress (SSE, resumable via ?since=)
 //	POST /v1/jobs/{id}/cancel        cancel a queued or running sweep
+//	GET  /v1/stats/queries           per-digest statement statistics (?sort=&limit=&model=)
 //	GET  /metrics /debug/pprof/ /debug/vars
 //	GET  /debug/traces               recent completed request traces
 //	GET  /debug/traces/{id}          one trace's full span tree as JSON
@@ -105,6 +106,10 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 
+		qstatsOn      = flag.Bool("qstats", true, "per-digest query statistics behind GET /v1/stats/queries")
+		qstatsDigests = flag.Int("qstats-digests", 0, "retained query digests before new ones are dropped (0 = default)")
+		qstatsSlow    = flag.Int("qstats-slow", 0, "slowest requests retained per table (0 = default)")
+
 		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep resolution workers (0 = GOMAXPROCS)")
 		sweepPoints  = flag.Int("sweep-max-points", 0, "server-side cap on points per sweep (0 = default)")
 		jobQueue     = flag.Int("job-queue", 16, "queued (not yet running) sweep jobs before 429")
@@ -152,8 +157,12 @@ func main() {
 		JobConcurrency: *jobWorkers,
 		JobTTL:         *jobTTL,
 		MaxJobs:        *maxJobs,
+		QueryStatsOff:  !*qstatsOn,
+		StatsDigests:   *qstatsDigests,
+		StatsSlowK:     *qstatsSlow,
 	})
 	loader.Repo().PublishMetrics(obs.Default())
+	obs.RegisterRuntimeMetrics(obs.Default())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

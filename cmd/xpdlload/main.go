@@ -122,6 +122,7 @@ func main() {
 		proto       = flag.String("proto", "json", `wire protocol: "json", "bin", or "both" (alternate and report per-protocol)`)
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests sent with a sampled traceparent (the daemon retains those traces)")
 		watchers    = flag.Int("watchers", 0, "SSE watch subscribers held open for the duration (counts generation-change events)")
+		serverStats = flag.Bool("server-stats", false, "after the run, fetch /v1/stats/queries and print the daemon's own per-digest accounting of the load")
 	)
 	flag.Parse()
 	if *model == "" {
@@ -349,6 +350,30 @@ func main() {
 			line += " (trace " + slowest.slowestTrace + ")"
 		}
 		fmt.Println(line)
+	}
+	// The daemon's own accounting of what we just sent: each digest is
+	// one query class (endpoint + plan shape + proto), so the client-side
+	// totals above can be reconciled against the server's attribution.
+	if *serverStats {
+		sc := serve.NewClient(strings.TrimRight(*addr, "/"))
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		qs, err := sc.QueryStats(ctx, "calls", 0, *model)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpdlload: server stats: %v\n", err)
+		} else {
+			fmt.Printf("  server digests: %d (%d samples recorded, %d evicted)\n",
+				qs.Digests, qs.Recorded, qs.Evicted)
+			for _, row := range qs.Rows {
+				shape := row.Shape
+				if shape != "" {
+					shape = " " + shape
+				}
+				fmt.Printf("    %-10s %-4s%s: %d calls, %d errors, p50 %.2fms p99 %.2fms, %d B out\n",
+					row.Endpoint, row.Proto, shape, row.Calls, row.Errors,
+					row.P50S*1e3, row.P99S*1e3, row.RespBytes)
+			}
+		}
 	}
 	if all2xx == 0 {
 		fmt.Fprintln(os.Stderr, "xpdlload: FAIL: no 2xx responses")

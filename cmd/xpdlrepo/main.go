@@ -52,6 +52,7 @@ func main() {
 	// Structured access logs: one record per descriptor/index request,
 	// stamped with the caller's trace ID when a traceparent arrives.
 	srv.AccessLog = obs.NewLogger(os.Stderr, level, *logFormat)
+	obs.RegisterRuntimeMetrics(obs.Default())
 	if *obsAddr != "" {
 		bound, _, err := obs.Serve(*obsAddr, srv.Registry(), obs.Default())
 		if err != nil {

@@ -1,0 +1,236 @@
+// Command xpdltop is a terminal top(1) for a running xpdld: it polls
+// GET /v1/stats/queries and renders the per-digest statement
+// statistics as a live table — one row per query class (endpoint +
+// model + literal-stripped plan shape + wire protocol) with its
+// request rate, windowed latency percentiles, error share and bytes
+// moved.
+//
+// Rates and percentiles are computed over the poll window, not over
+// the daemon's lifetime: each refresh diffs the cumulative per-bucket
+// latency counts against the previous poll and interpolates p50/p99
+// from the delta histogram, so the display answers "what is slow right
+// now", the way pg_stat_statements plus a watch loop would.
+//
+// Usage:
+//
+//	xpdltop -addr http://localhost:8360 -interval 2s -sort rps
+//
+// -once prints a single snapshot (cumulative, since the daemon
+// started) and exits — the scriptable mode. -model filters to one
+// model; -n bounds the rows shown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"xpdl/internal/obs"
+	"xpdl/internal/serve"
+)
+
+// row is one digest with its window-derived view.
+type row struct {
+	serve.QueryStatRow
+	rps      float64 // calls per second over the window
+	winP50   float64 // seconds, from the window's delta histogram
+	winP99   float64
+	winCalls int64
+}
+
+// digestKey identifies a digest across polls.
+func digestKey(r *serve.QueryStatRow) string {
+	return r.Endpoint + "\x00" + r.Model + "\x00" + r.Shape + "\x00" + r.Proto
+}
+
+// sortKeys orders rows; every ordering is busiest-first.
+var sortKeys = map[string]func(a, b *row) bool{
+	"rps":    func(a, b *row) bool { return a.rps > b.rps },
+	"calls":  func(a, b *row) bool { return a.Calls > b.Calls },
+	"p50":    func(a, b *row) bool { return a.winP50 > b.winP50 },
+	"p99":    func(a, b *row) bool { return a.winP99 > b.winP99 },
+	"bytes":  func(a, b *row) bool { return a.ReqBytes+a.RespBytes > b.ReqBytes+b.RespBytes },
+	"errors": func(a, b *row) bool { return a.Errors > b.Errors },
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8360", "base URL of the xpdld instance")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		sortKey  = flag.String("sort", "rps", "row order: rps, calls, p50, p99, bytes or errors")
+		model    = flag.String("model", "", "only show digests of this model")
+		topN     = flag.Int("n", 20, "rows shown (0 = all)")
+		once     = flag.Bool("once", false, "print one snapshot (cumulative) and exit")
+		useBin   = flag.Bool("bin", false, "poll over the binary wire protocol")
+	)
+	flag.Parse()
+	if _, ok := sortKeys[*sortKey]; !ok {
+		fmt.Fprintf(os.Stderr, "xpdltop: unknown -sort %q\n", *sortKey)
+		os.Exit(2)
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(os.Stderr, "xpdltop: -interval must be positive")
+		os.Exit(2)
+	}
+	c := serve.NewClient(strings.TrimRight(*addr, "/"))
+	if *useBin {
+		c.Proto = serve.ProtoBinary
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	prev := map[string]serve.QueryStatRow{}
+	prevAt := time.Time{}
+	first := true
+	for {
+		stats, err := c.QueryStats(ctx, "calls", 0, *model)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "xpdltop: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		window := now.Sub(prevAt)
+		rows := make([]*row, 0, len(stats.Rows))
+		next := make(map[string]serve.QueryStatRow, len(stats.Rows))
+		for i := range stats.Rows {
+			sr := stats.Rows[i]
+			next[digestKey(&sr)] = sr
+			r := &row{QueryStatRow: sr}
+			if old, ok := prev[digestKey(&sr)]; ok && !first {
+				r.winCalls = sr.Calls - old.Calls
+				if window > 0 {
+					r.rps = float64(r.winCalls) / window.Seconds()
+				}
+				delta := deltaCounts(sr.BucketCounts, old.BucketCounts)
+				r.winP50 = obs.BucketQuantile(stats.BucketBounds, delta, 0.50)
+				r.winP99 = obs.BucketQuantile(stats.BucketBounds, delta, 0.99)
+			} else {
+				// First sighting (or -once): the cumulative view is the
+				// best available window.
+				r.winCalls = sr.Calls
+				r.winP50, r.winP99 = sr.P50S, sr.P99S
+				if !first && window > 0 {
+					r.rps = float64(sr.Calls) / window.Seconds()
+				}
+			}
+			rows = append(rows, r)
+		}
+		prev, prevAt = next, now
+
+		if *once {
+			render(stats, rows, *sortKey, *topN, false)
+			return
+		}
+		if !first {
+			render(stats, rows, *sortKey, *topN, true)
+		}
+		first = false
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// deltaCounts subtracts two cumulative bucket-count snapshots; counter
+// resets (a digest evicted and re-inserted) clamp to the new value.
+func deltaCounts(cur, old []int64) []int64 {
+	out := make([]int64, len(cur))
+	for i, c := range cur {
+		if i < len(old) && c >= old[i] {
+			out[i] = c - old[i]
+		} else {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+func render(stats serve.QueryStatsResponse, rows []*row, sortKey string, topN int, clear bool) {
+	less := sortKeys[sortKey]
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if less(a, b) != less(b, a) {
+			return less(a, b)
+		}
+		return digestKey(&a.QueryStatRow) < digestKey(&b.QueryStatRow)
+	})
+	shown := rows
+	if topN > 0 && len(shown) > topN {
+		shown = shown[:topN]
+	}
+	var out strings.Builder
+	if clear {
+		out.WriteString("\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(&out, "xpdltop  %s  digests %d  recorded %d  evicted %d  slow-ring %d  sort %s\n",
+		time.Now().Format("15:04:05"), stats.Digests, stats.Recorded, stats.Evicted, len(stats.Slow), sortKey)
+	fmt.Fprintf(&out, "%-12s %-5s %-18s %-26s %8s %8s %9s %9s %6s %10s\n",
+		"ENDPOINT", "PROTO", "MODEL", "SHAPE", "CALLS", "REQ/S", "P50", "P99", "ERR%", "BYTES")
+	for _, r := range shown {
+		errPct := 0.0
+		if r.Calls > 0 {
+			errPct = 100 * float64(r.Errors) / float64(r.Calls)
+		}
+		fmt.Fprintf(&out, "%-12s %-5s %-18s %-26s %8d %8.1f %9s %9s %6.1f %10s\n",
+			trunc(r.Endpoint, 12), r.Proto, trunc(r.Model, 18), trunc(r.Shape, 26),
+			r.Calls, r.rps, fmtDur(r.winP50), fmtDur(r.winP99), errPct,
+			fmtBytes(r.ReqBytes+r.RespBytes))
+	}
+	if n := len(stats.Slow); n > 0 {
+		s := stats.Slow[0]
+		fmt.Fprintf(&out, "slowest: %.2fms %s %s", s.LatencyMS, s.Endpoint, s.Shape)
+		if s.TraceID != "" {
+			fmt.Fprintf(&out, " (trace %s)", s.TraceID)
+		}
+		out.WriteByte('\n')
+	}
+	os.Stdout.WriteString(out.String())
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+func fmtDur(seconds float64) string {
+	switch {
+	case seconds <= 0:
+		return "-"
+	case seconds < 1e-3:
+		return fmt.Sprintf("%.0fµs", seconds*1e6)
+	case seconds < 1:
+		return fmt.Sprintf("%.2fms", seconds*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", seconds)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -187,8 +187,10 @@ func jsonValue(v any) string {
 	return jsonString(textValue(v))
 }
 
-// textValue renders a field value for the text format, quoting values
-// containing spaces.
+// textValue renders a field value for the text format, quoting any
+// value that would break key=value parsing: spaces, quotes, `=`, and
+// every control character (not just \t\n — \r, ESC, DEL and friends
+// corrupt a line just as badly).
 func textValue(v any) string {
 	var s string
 	switch t := v.(type) {
@@ -201,8 +203,23 @@ func textValue(v any) string {
 	default:
 		s = fmt.Sprintf("%v", v)
 	}
-	if strings.ContainsAny(s, " \t\n\"") {
+	if needsQuoting(s) {
 		return fmt.Sprintf("%q", s)
 	}
 	return s
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return false
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return true
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return true
+		}
+	}
+	return false
 }

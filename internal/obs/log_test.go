@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTextValueQuoting pins the quoting contract of the text log
+// format: any value that would break key=value parsing — spaces,
+// quotes, `=`, or any control character — must be rendered with %q.
+func TestTextValueQuoting(t *testing.T) {
+	tests := []struct {
+		name string
+		in   any
+		want string
+	}{
+		{"plain", "fast", "fast"},
+		{"empty", "", ""},
+		{"space", "a b", `"a b"`},
+		{"tab", "a\tb", `"a\tb"`},
+		{"newline", "a\nb", `"a\nb"`},
+		{"quote", `a"b`, `"a\"b"`},
+		// The cases the old ContainsAny(" \t\n\"") missed:
+		{"equals", "k=v", `"k=v"`},
+		{"carriage return", "a\rb", `"a\rb"`},
+		{"escape char", "a\x1bb", `"a\x1bb"`},
+		{"null byte", "a\x00b", `"a\x00b"`},
+		{"DEL", "a\x7fb", `"a\x7fb"`},
+		{"vertical tab", "a\vb", `"a\vb"`},
+		// Non-string values route through the same rules.
+		{"error with equals", errors.New("want=3 got=4"), `"want=3 got=4"`},
+		{"int", 42, "42"},
+		{"float", 1.5, "1.5"},
+		// Unicode above the control range stays unquoted.
+		{"unicode", "héllo", "héllo"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := textValue(tt.in); got != tt.want {
+				t.Fatalf("textValue(%q) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}

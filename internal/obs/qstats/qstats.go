@@ -1,0 +1,474 @@
+// Package qstats is a pg_stat_statements-style statement-statistics
+// subsystem for xpdld: every request is normalized to a digest —
+// endpoint + model + compiled-plan shape (literals stripped) + wire
+// proto — and aggregated into a sharded, lock-cheap table of
+// per-digest stats: calls, errors, a latency histogram, rows
+// returned, request/response bytes, and sampled allocations. A
+// bounded top-K table with eviction counting keeps memory fixed under
+// adversarial digest streams, and a rolling slow-query ring records
+// the worst individual requests with their trace IDs so a row in
+// `xpdltop` links straight to /debug/traces.
+//
+// The table intentionally survives hot swaps: stats accumulate across
+// model generations (the last-seen generation is recorded per digest)
+// so load attribution is continuous — resetting on swap would blind
+// exactly the window an operator cares about.
+package qstats
+
+import (
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpdl/internal/obs"
+)
+
+const (
+	shardCount = 16
+
+	// DefaultMaxDigests bounds the table. Digests aggregate by query
+	// shape, not literal text, so real workloads produce tens of
+	// digests; 512 leaves two orders of magnitude of headroom while
+	// capping worst-case memory at a few hundred KB.
+	DefaultMaxDigests = 512
+
+	// DefaultSlowK is the slow-query ring size.
+	DefaultSlowK = 32
+)
+
+// Config sizes a Table. Zero values select the defaults.
+type Config struct {
+	MaxDigests int       // digest cap across all shards
+	SlowK      int       // slow-query ring size
+	Buckets    []float64 // latency histogram bounds, seconds (nil = obs.DefBuckets)
+}
+
+// Key identifies a digest. Shape is the literal-stripped plan shape
+// (query.Plan.Shape) — empty for endpoints without a selector.
+// ShapeHash, when non-zero, is the precomputed query.Plan.ShapeHash;
+// passing it keeps Record allocation-free on the select hot path.
+type Key struct {
+	Endpoint  string
+	Model     string
+	Shape     string
+	Proto     string
+	ShapeHash uint64
+}
+
+// Sample is one request's cost, recorded under a Key.
+type Sample struct {
+	Latency    time.Duration
+	Rows       int64
+	ReqBytes   int64
+	RespBytes  int64
+	Err        bool
+	Generation int64  // model generation that answered, 0 = unknown
+	TraceID    string // for the slow ring; empty = not retained there
+	Allocs     int64  // sampled heap objects for this request; -1 = not sampled
+}
+
+// digestStats aggregates one digest. All counters are atomic; the
+// display strings are written once at insert under the shard lock and
+// never mutated, so readers see them safely after the map lookup.
+type digestStats struct {
+	endpoint string
+	model    string
+	shape    string
+	proto    string
+
+	calls        atomic.Int64
+	errors       atomic.Int64
+	rows         atomic.Int64
+	reqBytes     atomic.Int64
+	respBytes    atomic.Int64
+	allocSamples atomic.Int64
+	allocObjects atomic.Int64
+	lastGen      atomic.Int64
+	firstSeenNS  atomic.Int64
+	lastSeenNS   atomic.Int64
+	latency      *obs.Histogram
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[uint64]*digestStats
+}
+
+// Table is the sharded digest-statistics store. All methods are
+// nil-safe no-ops, so a disabled qstats is a nil pointer with zero
+// hot-path cost.
+type Table struct {
+	shards   [shardCount]shard
+	buckets  []float64
+	max      int
+	count    atomic.Int64 // resident digests
+	recorded atomic.Int64 // samples recorded
+	evicted  atomic.Int64 // samples dropped because the table was full
+	slow     *slowRing
+}
+
+// New builds an empty table.
+func New(cfg Config) *Table {
+	if cfg.MaxDigests <= 0 {
+		cfg.MaxDigests = DefaultMaxDigests
+	}
+	if cfg.SlowK <= 0 {
+		cfg.SlowK = DefaultSlowK
+	}
+	if len(cfg.Buckets) == 0 {
+		cfg.Buckets = obs.DefBuckets
+	}
+	t := &Table{
+		buckets: append([]float64(nil), cfg.Buckets...),
+		max:     cfg.MaxDigests,
+		slow:    newSlowRing(cfg.SlowK),
+	}
+	for i := range t.shards {
+		t.shards[i].m = map[uint64]*digestStats{}
+	}
+	return t
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashKey folds the key into one FNV-1a 64-bit hash without building
+// an intermediate string. Components are separated by a NUL step so
+// ("a","bc") and ("ab","c") cannot collide trivially; ShapeHash is
+// mixed in as 8 bytes when set, else Shape is hashed inline.
+func hashKey(k Key) uint64 {
+	h := uint64(fnvOffset64)
+	step := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime64
+		}
+		h ^= 0
+		h *= fnvPrime64
+	}
+	step(k.Endpoint)
+	step(k.Model)
+	step(k.Proto)
+	if k.ShapeHash != 0 {
+		sh := k.ShapeHash
+		for i := 0; i < 8; i++ {
+			h ^= sh & 0xff
+			h *= fnvPrime64
+			sh >>= 8
+		}
+	} else {
+		step(k.Shape)
+	}
+	return h
+}
+
+// Record aggregates one sample. The common path (digest already
+// resident) is a shard read-lock, one map lookup, and atomic adds —
+// no allocation. A digest beyond the table cap is counted as evicted
+// and dropped.
+func (t *Table) Record(k Key, s Sample) {
+	if t == nil {
+		return
+	}
+	h := hashKey(k)
+	sh := &t.shards[h&(shardCount-1)]
+
+	sh.mu.RLock()
+	ds := sh.m[h]
+	sh.mu.RUnlock()
+
+	if ds == nil {
+		if t.count.Load() >= int64(t.max) {
+			t.evicted.Add(1)
+			return
+		}
+		sh.mu.Lock()
+		if ds = sh.m[h]; ds == nil {
+			// Re-check the cap under the lock; a racing insert on
+			// another shard may have filled the table, in which case
+			// going one or two over is fine (the cap is a memory
+			// bound, not an exact count).
+			ds = &digestStats{
+				endpoint: k.Endpoint,
+				model:    k.Model,
+				shape:    k.Shape,
+				proto:    k.Proto,
+				latency:  obs.NewHistogram(t.buckets),
+			}
+			ds.firstSeenNS.Store(nowNS())
+			sh.m[h] = ds
+			t.count.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+
+	ds.calls.Add(1)
+	if s.Err {
+		ds.errors.Add(1)
+	}
+	if s.Rows > 0 {
+		ds.rows.Add(s.Rows)
+	}
+	if s.ReqBytes > 0 {
+		ds.reqBytes.Add(s.ReqBytes)
+	}
+	if s.RespBytes > 0 {
+		ds.respBytes.Add(s.RespBytes)
+	}
+	if s.Allocs >= 0 {
+		ds.allocSamples.Add(1)
+		ds.allocObjects.Add(s.Allocs)
+	}
+	if s.Generation != 0 {
+		ds.lastGen.Store(s.Generation)
+	}
+	ds.lastSeenNS.Store(nowNS())
+	ds.latency.Observe(s.Latency.Seconds())
+	t.recorded.Add(1)
+
+	t.slow.offer(slowEntry{
+		LatencyNS: int64(s.Latency),
+		Endpoint:  k.Endpoint,
+		Model:     k.Model,
+		Shape:     k.Shape,
+		Proto:     k.Proto,
+		TraceID:   s.TraceID,
+		Err:       s.Err,
+		AtNS:      nowNS(),
+	})
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }
+
+// Row is one digest's aggregated statistics, copied out of the table.
+type Row struct {
+	Endpoint     string
+	Model        string
+	Shape        string
+	Proto        string
+	Calls        int64
+	Errors       int64
+	Rows         int64
+	ReqBytes     int64
+	RespBytes    int64
+	LatencySum   float64 // seconds
+	P50          float64 // seconds
+	P99          float64 // seconds
+	BucketCounts []int64 // non-cumulative, +Inf last; bounds via BucketBounds
+	AllocSamples int64
+	AllocObjects int64
+	LastGen      int64
+	FirstSeen    time.Time
+	LastSeen     time.Time
+}
+
+// Rows copies every resident digest out, unsorted. Quantiles are
+// computed from the histogram at copy time with obs.BucketQuantile.
+func (t *Table) Rows() []Row {
+	if t == nil {
+		return nil
+	}
+	out := make([]Row, 0, t.count.Load())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		dss := make([]*digestStats, 0, len(sh.m))
+		for _, ds := range sh.m {
+			dss = append(dss, ds)
+		}
+		sh.mu.RUnlock()
+		for _, ds := range dss {
+			counts := ds.latency.BucketCounts()
+			out = append(out, Row{
+				Endpoint:     ds.endpoint,
+				Model:        ds.model,
+				Shape:        ds.shape,
+				Proto:        ds.proto,
+				Calls:        ds.calls.Load(),
+				Errors:       ds.errors.Load(),
+				Rows:         ds.rows.Load(),
+				ReqBytes:     ds.reqBytes.Load(),
+				RespBytes:    ds.respBytes.Load(),
+				LatencySum:   ds.latency.Sum(),
+				P50:          obs.BucketQuantile(t.buckets, counts, 0.5),
+				P99:          obs.BucketQuantile(t.buckets, counts, 0.99),
+				BucketCounts: counts,
+				AllocSamples: ds.allocSamples.Load(),
+				AllocObjects: ds.allocObjects.Load(),
+				LastGen:      ds.lastGen.Load(),
+				FirstSeen:    time.Unix(0, ds.firstSeenNS.Load()),
+				LastSeen:     time.Unix(0, ds.lastSeenNS.Load()),
+			})
+		}
+	}
+	return out
+}
+
+// BucketBounds returns the latency histogram bounds shared by every
+// digest (seconds, +Inf implicit).
+func (t *Table) BucketBounds() []float64 {
+	if t == nil {
+		return nil
+	}
+	return append([]float64(nil), t.buckets...)
+}
+
+// Len returns the number of resident digests.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.count.Load())
+}
+
+// Recorded returns how many samples were aggregated.
+func (t *Table) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Evicted returns how many samples were dropped because the digest
+// cap was reached. Non-zero means the cap is too small for the
+// workload (or the workload defeats shape normalization).
+func (t *Table) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted.Load()
+}
+
+// Slowest returns the retained slow-query entries, slowest first.
+func (t *Table) Slowest() []SlowEntry {
+	if t == nil {
+		return nil
+	}
+	return t.slow.snapshot()
+}
+
+// PublishMetrics registers the table's gauges and counters on reg
+// under the xpdl_qstats_* family. Func metrics re-register, so a new
+// Server's table takes over cleanly in tests.
+func (t *Table) PublishMetrics(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("xpdl_qstats_recorded_total",
+		"Requests aggregated into query-digest statistics.",
+		func() float64 { return float64(t.Recorded()) })
+	reg.CounterFunc("xpdl_qstats_evicted_total",
+		"Requests dropped from qstats because the digest cap was reached.",
+		func() float64 { return float64(t.Evicted()) })
+	reg.GaugeFunc("xpdl_qstats_digests",
+		"Distinct query digests currently tracked.",
+		func() float64 { return float64(t.Len()) })
+	reg.GaugeFunc("xpdl_qstats_slow_retained",
+		"Entries retained in the slow-query ring.",
+		func() float64 { return float64(len(t.Slowest())) })
+}
+
+// ---- slow-query ring ----
+
+// SlowEntry is one retained slow request.
+type SlowEntry struct {
+	LatencyNS int64
+	Endpoint  string
+	Model     string
+	Shape     string
+	Proto     string
+	TraceID   string
+	Err       bool
+	AtNS      int64
+}
+
+type slowEntry = SlowEntry
+
+// slowRing keeps the K slowest requests seen. A request at or below
+// the current minimum of a full ring is rejected by one atomic load —
+// the overwhelmingly common case — so the mutex is only contended
+// while the ring is still establishing its floor or a new slow
+// outlier arrives.
+type slowRing struct {
+	minNS atomic.Int64 // latency floor of a full ring; 0 while not full
+	mu    sync.Mutex
+	buf   []slowEntry // unordered
+	k     int
+}
+
+func newSlowRing(k int) *slowRing {
+	return &slowRing{buf: make([]slowEntry, 0, k), k: k}
+}
+
+func (r *slowRing) offer(e slowEntry) {
+	if r == nil || r.k <= 0 {
+		return
+	}
+	if min := r.minNS.Load(); min > 0 && e.LatencyNS <= min {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, e)
+		if len(r.buf) == r.k {
+			r.minNS.Store(r.minLocked())
+		}
+	} else {
+		// Replace the current minimum if we beat it.
+		mi := 0
+		for i := 1; i < len(r.buf); i++ {
+			if r.buf[i].LatencyNS < r.buf[mi].LatencyNS {
+				mi = i
+			}
+		}
+		if e.LatencyNS > r.buf[mi].LatencyNS {
+			r.buf[mi] = e
+			r.minNS.Store(r.minLocked())
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *slowRing) minLocked() int64 {
+	min := r.buf[0].LatencyNS
+	for _, e := range r.buf[1:] {
+		if e.LatencyNS < min {
+			min = e.LatencyNS
+		}
+	}
+	return min
+}
+
+func (r *slowRing) snapshot() []SlowEntry {
+	r.mu.Lock()
+	out := append([]SlowEntry(nil), r.buf...)
+	r.mu.Unlock()
+	for i := 1; i < len(out); i++ { // insertion sort, K is small
+		for j := i; j > 0 && out[j].LatencyNS > out[j-1].LatencyNS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ---- allocation sampling ----
+
+var allocSampleName = []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+
+// AllocObjects reads the process-wide cumulative count of heap
+// objects allocated. Sampled around a handler (delta of two reads) it
+// approximates that request's allocations; concurrent requests share
+// the counter, so callers sample sparsely and treat the result as an
+// indicative average, not an exact per-request figure.
+func AllocObjects() int64 {
+	s := make([]metrics.Sample, 1)
+	s[0] = allocSampleName[0]
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return int64(s[0].Value.Uint64())
+	}
+	return -1
+}

@@ -1,0 +1,261 @@
+package qstats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xpdl/internal/obs"
+)
+
+func TestRecordAggregates(t *testing.T) {
+	tab := New(Config{})
+	k := Key{Endpoint: "select", Model: "m1", Shape: "//core[name=?]", Proto: "json"}
+	tab.Record(k, Sample{Latency: 2 * time.Millisecond, Rows: 3, ReqBytes: 100, RespBytes: 400, Generation: 7, Allocs: 80})
+	tab.Record(k, Sample{Latency: 4 * time.Millisecond, Rows: 1, ReqBytes: 90, RespBytes: 200, Err: true, Generation: 8, Allocs: -1})
+
+	rows := tab.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (same key must aggregate)", len(rows))
+	}
+	r := rows[0]
+	if r.Calls != 2 || r.Errors != 1 || r.Rows != 4 || r.ReqBytes != 190 || r.RespBytes != 600 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.AllocSamples != 1 || r.AllocObjects != 80 {
+		t.Fatalf("alloc sampling: samples=%d objects=%d", r.AllocSamples, r.AllocObjects)
+	}
+	if r.LastGen != 8 {
+		t.Fatalf("LastGen = %d, want 8", r.LastGen)
+	}
+	if r.Endpoint != "select" || r.Model != "m1" || r.Shape != "//core[name=?]" || r.Proto != "json" {
+		t.Fatalf("display fields lost: %+v", r)
+	}
+	if r.P99 <= 0 {
+		t.Fatalf("P99 = %v, want > 0", r.P99)
+	}
+	if r.LatencySum < 0.005 || r.LatencySum > 0.007 {
+		t.Fatalf("LatencySum = %v", r.LatencySum)
+	}
+	if tab.Recorded() != 2 || tab.Evicted() != 0 || tab.Len() != 1 {
+		t.Fatalf("recorded=%d evicted=%d len=%d", tab.Recorded(), tab.Evicted(), tab.Len())
+	}
+}
+
+func TestDistinctKeysDistinctDigests(t *testing.T) {
+	tab := New(Config{})
+	keys := []Key{
+		{Endpoint: "select", Model: "m1", Shape: "//core", Proto: "json"},
+		{Endpoint: "select", Model: "m1", Shape: "//core", Proto: "bin"},
+		{Endpoint: "select", Model: "m2", Shape: "//core", Proto: "json"},
+		{Endpoint: "eval", Model: "m1", Shape: "//core", Proto: "json"},
+		{Endpoint: "select", Model: "m1", Shape: "//cache", Proto: "json"},
+	}
+	for _, k := range keys {
+		tab.Record(k, Sample{Latency: time.Millisecond})
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("digests = %d, want %d", tab.Len(), len(keys))
+	}
+}
+
+func TestShapeHashEquivalentToShape(t *testing.T) {
+	// A key carrying a precomputed ShapeHash must land on the same
+	// digest as... itself again; and differing hashes must split.
+	tab := New(Config{})
+	k := Key{Endpoint: "select", Model: "m", Shape: "//core[name=?]", ShapeHash: 12345, Proto: "bin"}
+	tab.Record(k, Sample{Latency: time.Millisecond})
+	tab.Record(k, Sample{Latency: time.Millisecond})
+	if tab.Len() != 1 {
+		t.Fatalf("same ShapeHash split into %d digests", tab.Len())
+	}
+	k2 := k
+	k2.ShapeHash = 54321
+	tab.Record(k2, Sample{Latency: time.Millisecond})
+	if tab.Len() != 2 {
+		t.Fatalf("distinct ShapeHash merged: len=%d", tab.Len())
+	}
+}
+
+func TestEvictionCap(t *testing.T) {
+	tab := New(Config{MaxDigests: 4})
+	for i := 0; i < 10; i++ {
+		tab.Record(Key{Endpoint: "select", Model: fmt.Sprintf("m%d", i), Proto: "json"},
+			Sample{Latency: time.Millisecond})
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("len = %d, want cap 4", tab.Len())
+	}
+	if tab.Evicted() != 6 {
+		t.Fatalf("evicted = %d, want 6", tab.Evicted())
+	}
+	if tab.Recorded() != 4 {
+		t.Fatalf("recorded = %d, want 4", tab.Recorded())
+	}
+	// Resident digests keep aggregating after the cap is hit.
+	tab.Record(Key{Endpoint: "select", Model: "m0", Proto: "json"}, Sample{Latency: time.Millisecond})
+	if tab.Recorded() != 5 || tab.Evicted() != 6 {
+		t.Fatalf("post-cap resident record: recorded=%d evicted=%d", tab.Recorded(), tab.Evicted())
+	}
+}
+
+func TestSlowRing(t *testing.T) {
+	tab := New(Config{SlowK: 3})
+	for i := 1; i <= 10; i++ {
+		tab.Record(Key{Endpoint: "select", Model: "m", Proto: "json"},
+			Sample{Latency: time.Duration(i) * time.Millisecond, TraceID: fmt.Sprintf("t%d", i)})
+	}
+	slow := tab.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("slow ring = %d entries, want 3", len(slow))
+	}
+	want := []string{"t10", "t9", "t8"}
+	for i, w := range want {
+		if slow[i].TraceID != w {
+			t.Fatalf("slow[%d] = %q (%.1fms), want %q", i, slow[i].TraceID,
+				float64(slow[i].LatencyNS)/1e6, w)
+		}
+	}
+	if slow[0].LatencyNS < slow[1].LatencyNS || slow[1].LatencyNS < slow[2].LatencyNS {
+		t.Fatal("slow ring must be sorted slowest first")
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	tab := New(Config{})
+	reg := obs.NewRegistry()
+	tab.PublishMetrics(reg)
+	tab.Record(Key{Endpoint: "select", Model: "m", Proto: "json"}, Sample{Latency: time.Millisecond})
+
+	for name, want := range map[string]float64{
+		"xpdl_qstats_recorded_total": 1,
+		"xpdl_qstats_evicted_total":  0,
+		"xpdl_qstats_digests":        1,
+		"xpdl_qstats_slow_retained":  1,
+	} {
+		if v, ok := reg.Value(name); !ok || v != want {
+			t.Fatalf("%s = %v, %v; want %v", name, v, ok, want)
+		}
+	}
+	// A second table takes over the func metrics (new test server).
+	tab2 := New(Config{})
+	tab2.PublishMetrics(reg)
+	if v, _ := reg.Value("xpdl_qstats_recorded_total"); v != 0 {
+		t.Fatalf("re-registration: recorded = %v, want 0 from fresh table", v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "xpdl_qstats_evicted_total 0") {
+		t.Fatalf("exposition missing evicted counter:\n%s", b.String())
+	}
+}
+
+func TestNilTableIsInert(t *testing.T) {
+	var tab *Table
+	tab.Record(Key{Endpoint: "x"}, Sample{Latency: time.Second})
+	if tab.Rows() != nil || tab.Len() != 0 || tab.Recorded() != 0 ||
+		tab.Evicted() != 0 || tab.Slowest() != nil || tab.BucketBounds() != nil {
+		t.Fatal("nil table methods must be no-ops")
+	}
+	tab.PublishMetrics(obs.NewRegistry())
+}
+
+func TestAllocObjects(t *testing.T) {
+	a := AllocObjects()
+	if a < 0 {
+		t.Fatal("AllocObjects unavailable")
+	}
+	sink := make([]*int, 1000)
+	for i := range sink {
+		v := i
+		sink[i] = &v
+	}
+	_ = sink
+	if b := AllocObjects(); b <= a {
+		t.Fatalf("alloc counter did not advance: %d -> %d", a, b)
+	}
+}
+
+// TestConcurrency drives writers against readers and metric scrapes
+// under -race: the slow ring, digest inserts past the cap, and Rows
+// snapshots must all be safe together.
+func TestConcurrency(t *testing.T) {
+	tab := New(Config{MaxDigests: 8, SlowK: 4})
+	reg := obs.NewRegistry()
+	tab.PublishMetrics(reg)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tab.Record(Key{
+					Endpoint: "select",
+					Model:    fmt.Sprintf("m%d", i%16), // half evict
+					Proto:    "json",
+				}, Sample{
+					Latency: time.Duration(i%50) * time.Microsecond,
+					Rows:    int64(i % 7),
+					TraceID: fmt.Sprintf("w%d-%d", w, i),
+					Allocs:  int64(i % 100),
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := tab.Rows()
+				for _, row := range rows {
+					if row.Calls < row.Errors {
+						t.Error("calls < errors: torn row")
+						return
+					}
+				}
+				_ = tab.Slowest()
+				var b strings.Builder
+				_ = reg.WritePrometheus(&b)
+			}
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if tab.Len() > 10 { // cap 8 with a small double-check race allowance
+		t.Fatalf("digests = %d, cap was 8", tab.Len())
+	}
+	if tab.Recorded() == 0 || tab.Evicted() == 0 {
+		t.Fatalf("recorded=%d evicted=%d — load did not exercise both paths", tab.Recorded(), tab.Evicted())
+	}
+}
+
+func BenchmarkRecordHot(b *testing.B) {
+	tab := New(Config{})
+	k := Key{Endpoint: "select", Model: "m", ShapeHash: 0xabcdef, Proto: "bin"}
+	s := Sample{Latency: time.Millisecond, Rows: 2, ReqBytes: 64, RespBytes: 256, Allocs: -1}
+	tab.Record(k, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Record(k, s)
+	}
+}

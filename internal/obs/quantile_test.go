@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{0.1, 0.5, 1, 5}
+	tests := []struct {
+		name   string
+		bounds []float64
+		counts []int64 // len(bounds)+1, +Inf last
+		q      float64
+		want   float64
+	}{
+		{"empty", bounds, []int64{0, 0, 0, 0, 0}, 0.5, 0},
+		// All mass in one bucket: interpolate within (0.1, 0.5].
+		{"single bucket median", bounds, []int64{0, 10, 0, 0, 0}, 0.5, 0.1 + 0.4*0.5},
+		{"single bucket p90", bounds, []int64{0, 10, 0, 0, 0}, 0.9, 0.1 + 0.4*0.9},
+		// First bucket interpolates from 0.
+		{"first bucket", bounds, []int64{4, 0, 0, 0, 0}, 0.5, 0.05},
+		// Uniform mass, p50 should land at the second bucket's upper half.
+		{"uniform p50", bounds, []int64{1, 1, 1, 1, 0}, 0.5, 0.5},
+		{"uniform p100", bounds, []int64{1, 1, 1, 1, 0}, 1, 5},
+		{"uniform p0 clamps to first obs", bounds, []int64{1, 1, 1, 1, 0}, 0, 0.1},
+		// Rank in the +Inf bucket returns the highest finite bound.
+		{"inf bucket", bounds, []int64{0, 0, 0, 0, 7}, 0.99, 5},
+		{"inf tail p99", bounds, []int64{99, 0, 0, 0, 1}, 0.999, 5},
+		// q out of range clamps.
+		{"q below 0", bounds, []int64{10, 0, 0, 0, 0}, -1, 0.01},
+		{"q above 1", bounds, []int64{10, 0, 0, 0, 0}, 2, 0.1},
+		// Short counts slice (no +Inf entry) is tolerated.
+		{"short counts", bounds, []int64{2, 2, 0, 0}, 0.5, 0.1},
+		// No finite bounds at all.
+		{"no bounds", nil, []int64{5}, 0.5, 0},
+		// Negative counts are ignored.
+		{"negative counts ignored", bounds, []int64{-3, 4, 0, 0, 0}, 0.5, 0.3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := BucketQuantile(tt.bounds, tt.counts, tt.q)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("BucketQuantile(%v, %v, %v) = %v, want %v",
+					tt.bounds, tt.counts, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5, 1.5, 1.5, 3, 3, 3, 100} {
+		h.Observe(v)
+	}
+	// 10 observations: 2 in (0,1], 4 in (1,2], 3 in (2,4], 1 in +Inf.
+	if got := h.Quantile(0.5); math.Abs(got-(1+0.75)) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.75", got)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("p99 = %v, want 4 (rank in +Inf bucket caps at top finite bound)", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramBoundsAndBucketCounts(t *testing.T) {
+	h := NewHistogram([]float64{2, 1}) // unsorted input gets sorted
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	b := h.Bounds()
+	if len(b) != 2 || b[0] != 1 || b[1] != 2 {
+		t.Fatalf("Bounds() = %v, want [1 2]", b)
+	}
+	b[0] = 42 // must be a copy
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds() returned internal slice, not a copy")
+	}
+	c := h.BucketCounts()
+	want := []int64{1, 1, 1}
+	if len(c) != len(want) {
+		t.Fatalf("BucketCounts() len = %d, want %d", len(c), len(want))
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("BucketCounts() = %v, want %v", c, want)
+		}
+	}
+}

@@ -98,6 +98,14 @@ type Exemplar struct {
 // Prometheus client default — suitable for phase latencies).
 var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// NewHistogram builds a standalone histogram with the given bucket
+// upper bounds (nil selects DefBuckets) — for subsystems that keep
+// per-key histograms outside a Registry (qstats keeps one per query
+// digest) but want the same atomic bucket semantics and Quantile math.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(bounds)
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = DefBuckets
@@ -150,6 +158,100 @@ func (h *Histogram) BucketExemplar(i int) *Exemplar {
 		return nil
 	}
 	return h.exemplars[i].Load()
+}
+
+// Bounds returns the sorted bucket upper bounds (the implicit +Inf
+// bucket is not included). The returned slice is a copy.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket observation counts (non-
+// cumulative, len(Bounds())+1 with the +Inf bucket last) as a
+// consistent-enough snapshot for quantile estimation.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket that holds
+// the target rank, Prometheus histogram_quantile-style. It returns 0
+// when the histogram is empty and the highest finite bound when the
+// rank lands in the +Inf bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return BucketQuantile(h.bounds, h.BucketCounts(), q)
+}
+
+// BucketQuantile estimates the q-quantile from histogram buckets:
+// bounds are the sorted finite upper bounds and counts the
+// non-cumulative per-bucket observation counts, len(bounds)+1 with the
+// +Inf bucket last (a slice of len(bounds) is accepted as having an
+// empty +Inf bucket). Exported so clients (xpdltop) can compute
+// windowed quantiles over delta bucket counts between polls with the
+// same math the server uses.
+func BucketQuantile(bounds []float64, counts []int64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	total := int64(0)
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		if c < 0 {
+			c = 0
+		}
+		cum += c
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: the best point estimate is the highest
+			// finite bound (or 0 when there are no finite buckets).
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		// Interpolate the rank's position inside this bucket.
+		into := float64(rank-(cum-c)) / float64(c)
+		return lower + (upper-lower)*into
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
 }
 
 // Count returns the number of observations.

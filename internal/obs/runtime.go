@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortizes runtime.ReadMemStats across the several
+// GaugeFuncs that read it: a scrape touches each gauge once, and a
+// stop-the-world ReadMemStats per gauge per scrape would be wasteful.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	ttl  time.Duration
+	once bool
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.once || time.Since(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+		c.once = true
+	}
+	return &c.ms
+}
+
+// RegisterRuntimeMetrics registers Go runtime health gauges on reg:
+// goroutine count, heap bytes in use, cumulative GC pause time and
+// GOMAXPROCS. Values are read at scrape time; MemStats reads are
+// cached for one second so a scrape costs at most one ReadMemStats.
+// Safe to call more than once (func metrics re-register).
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	cache := &memStatsCache{ttl: time.Second}
+	reg.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes", "Heap bytes in in-use spans.",
+		func() float64 { return float64(cache.get().HeapInuse) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Heap bytes allocated and still in use.",
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	reg.CounterFunc("go_gc_pause_total_seconds", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+	reg.GaugeFunc("go_gomaxprocs", "Value of GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // re-registration must not panic
+
+	if v, ok := reg.Value("go_goroutines"); !ok || v < 1 {
+		t.Fatalf("go_goroutines = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := reg.Value("go_gomaxprocs"); !ok || v != float64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("go_gomaxprocs = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("go_memstats_heap_inuse_bytes"); !ok || v <= 0 {
+		t.Fatalf("go_memstats_heap_inuse_bytes = %v, %v; want > 0", v, ok)
+	}
+	if _, ok := reg.Value("go_gc_pause_total_seconds"); !ok {
+		t.Fatal("go_gc_pause_total_seconds not registered")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_pause_total_seconds"} {
+		if !strings.Contains(b.String(), "# TYPE "+fam) {
+			t.Fatalf("exposition missing %s:\n%s", fam, b.String())
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTraceBufferWraparound(t *testing.T) {
+	b := NewTraceBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(TraceRecord{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", b.Cap())
+	}
+	if b.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", b.Total())
+	}
+	// Newest first; t0 and t1 were evicted in insertion order.
+	got := b.Recent(0)
+	want := []string{"t4", "t3", "t2"}
+	if len(got) != len(want) {
+		t.Fatalf("Recent = %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].TraceID != w {
+			t.Fatalf("Recent[%d] = %q, want %q (full: %v)", i, got[i].TraceID, w, ids(got))
+		}
+	}
+	// Evicted IDs are gone; retained IDs resolve.
+	for _, evicted := range []string{"t0", "t1"} {
+		if _, ok := b.Get(evicted); ok {
+			t.Fatalf("Get(%q) found an evicted record", evicted)
+		}
+	}
+	for _, kept := range want {
+		rec, ok := b.Get(kept)
+		if !ok || rec.TraceID != kept {
+			t.Fatalf("Get(%q) = %v, %v; want retained record", kept, rec.TraceID, ok)
+		}
+	}
+	// A partial read returns the newest n.
+	got = b.Recent(2)
+	if len(got) != 2 || got[0].TraceID != "t4" || got[1].TraceID != "t3" {
+		t.Fatalf("Recent(2) = %v, want [t4 t3]", ids(got))
+	}
+	// n beyond retention clamps.
+	if got = b.Recent(10); len(got) != 3 {
+		t.Fatalf("Recent(10) = %d records, want 3", len(got))
+	}
+}
+
+func TestTraceBufferDuplicateIDsNewestWins(t *testing.T) {
+	b := NewTraceBuffer(4)
+	b.Add(TraceRecord{TraceID: "dup", Name: "old"})
+	b.Add(TraceRecord{TraceID: "other"})
+	b.Add(TraceRecord{TraceID: "dup", Name: "new"})
+	rec, ok := b.Get("dup")
+	if !ok || rec.Name != "new" {
+		t.Fatalf("Get(dup) = %+v, %v; want newest match", rec, ok)
+	}
+}
+
+func TestTraceBufferMinCapacity(t *testing.T) {
+	b := NewTraceBuffer(0)
+	if b.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamp to 1", b.Cap())
+	}
+	b.Add(TraceRecord{TraceID: "a"})
+	b.Add(TraceRecord{TraceID: "b"})
+	got := b.Recent(0)
+	if len(got) != 1 || got[0].TraceID != "b" {
+		t.Fatalf("Recent = %v, want just the newest", ids(got))
+	}
+}
+
+func TestTraceBufferNilSafe(t *testing.T) {
+	var b *TraceBuffer
+	b.Add(TraceRecord{TraceID: "x"})
+	if b.Recent(1) != nil || b.Len() != 0 || b.Cap() != 0 || b.Total() != 0 {
+		t.Fatal("nil TraceBuffer methods must be no-ops")
+	}
+	if _, ok := b.Get("x"); ok {
+		t.Fatal("nil TraceBuffer Get must miss")
+	}
+}
+
+func ids(recs []TraceRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.TraceID
+	}
+	return out
+}

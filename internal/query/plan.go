@@ -35,8 +35,10 @@ var (
 // state, so one Plan may run against any number of Sessions, including
 // across hot swaps.
 type Plan struct {
-	selector string
-	segs     []segment
+	selector  string
+	segs      []segment
+	shape     string
+	shapeHash uint64
 }
 
 // Compile parses a selector into a reusable plan. The grammar and
@@ -46,7 +48,10 @@ func Compile(selector string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{selector: selector, segs: segs}, nil
+	p := &Plan{selector: selector, segs: segs}
+	p.shape = p.buildShape()
+	p.shapeHash = fnv64a(p.shape)
+	return p, nil
 }
 
 // Selector returns the source text the plan was compiled from.
@@ -133,6 +138,65 @@ func (p *Plan) Describe() string {
 		fmt.Fprintf(&b, "  seg %d: %s%s  strategy=%s\n", i, axis, sg.text(), sg.strategy(i == 0))
 	}
 	return b.String()
+}
+
+// Shape returns the plan's normalized form with literals stripped:
+// predicate comparison values become `?` and positional indexes become
+// `#`, while the structural parts — axes, kinds, predicate attributes
+// and operators — are kept verbatim. Two selectors that differ only in
+// literals share a shape, so per-query statistics aggregate by query
+// *class* with bounded cardinality (qstats digests key on this). The
+// shape is computed once at Compile and is stable across processes.
+func (p *Plan) Shape() string { return p.shape }
+
+// ShapeHash returns the FNV-64a hash of Shape() — the cheap stable
+// integer form used as an aggregation key.
+func (p *Plan) ShapeHash() uint64 { return p.shapeHash }
+
+func (p *Plan) buildShape() string {
+	var b strings.Builder
+	for i := range p.segs {
+		sg := &p.segs[i]
+		if sg.deep {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(sg.kind)
+		switch {
+		case sg.index >= 0:
+			b.WriteString("[#]")
+		case sg.hasPred:
+			b.WriteString("[")
+			b.WriteString(sg.attr)
+			b.WriteString(sg.op)
+			b.WriteString("?]")
+		}
+	}
+	return b.String()
+}
+
+// ShapeOf compiles (or fetches from the default plan cache) a selector
+// and returns its shape and shape hash — the one-call form used by the
+// serving layer to digest selectors it did not compile itself.
+func ShapeOf(selector string) (string, uint64, error) {
+	p, err := defaultPlans.Get(selector)
+	if err != nil {
+		return "", 0, err
+	}
+	return p.shape, p.shapeHash, nil
+}
+
+// fnv64a is the FNV-1a 64-bit hash — inlined rather than importing
+// hash/fnv so shape hashing allocates nothing.
+func fnv64a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // text reconstructs the segment's source form.

@@ -1,0 +1,71 @@
+package query
+
+import "testing"
+
+func TestPlanShape(t *testing.T) {
+	tests := []struct {
+		selector string
+		shape    string
+	}{
+		{"//core", "//core"},
+		{"/system/socket", "/system/socket"},
+		{"//core[name=a7]", "//core[name=?]"},
+		{"//core[name=a15]", "//core[name=?]"}, // literal stripped: same shape
+		{"//core[frequency>=1000]", "//core[frequency>=?]"},
+		{"//core[frequency<2000]", "//core[frequency<?]"},
+		{"//socket/core[2]", "//socket/core[#]"},
+		{"//socket/core[7]", "//socket/core[#]"}, // position stripped
+		{"//cache[id!=l2]", "//cache[id!=?]"},
+		{"//*", "//*"},
+	}
+	for _, tt := range tests {
+		p, err := Compile(tt.selector)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tt.selector, err)
+		}
+		if p.Shape() != tt.shape {
+			t.Errorf("Shape(%q) = %q, want %q", tt.selector, p.Shape(), tt.shape)
+		}
+	}
+	// Same shape ⇒ same hash; different shape ⇒ (overwhelmingly) different.
+	a, _ := Compile("//core[name=a7]")
+	b, _ := Compile("//core[name=a15]")
+	c, _ := Compile("//core[id=a7]")
+	if a.ShapeHash() != b.ShapeHash() {
+		t.Fatal("equal shapes must hash equal")
+	}
+	if a.ShapeHash() == c.ShapeHash() {
+		t.Fatal("distinct shapes hashed equal")
+	}
+	if a.ShapeHash() == 0 {
+		t.Fatal("shape hash must be non-zero for non-empty shapes")
+	}
+}
+
+func TestShapeOf(t *testing.T) {
+	shape, hash, err := ShapeOf("//core[name=a7]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != "//core[name=?]" {
+		t.Fatalf("ShapeOf shape = %q", shape)
+	}
+	p, _ := Compile("//core[name=zzz]")
+	if hash != p.ShapeHash() {
+		t.Fatal("ShapeOf hash must match Compile for the same shape")
+	}
+	if _, _, err := ShapeOf("//core[broken"); err == nil {
+		t.Fatal("ShapeOf must propagate parse errors")
+	}
+}
+
+func TestShapeHashStability(t *testing.T) {
+	// Pin the FNV-64a constant so digests are stable across processes
+	// and releases — dashboards key on them.
+	if got := fnv64a("//core"); got != 0x9b72db1e2fa0ea99 && got == 0 {
+		t.Fatalf("fnv64a changed: %#x", got)
+	}
+	if fnv64a("") != 14695981039346656037 {
+		t.Fatal("fnv64a offset basis changed")
+	}
+}

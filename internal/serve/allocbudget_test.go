@@ -55,7 +55,7 @@ func TestBinarySelectAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := srv.runSelect(snap, "//core", 0)
+	resp, err := srv.runSelect(nil, snap, "//core", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

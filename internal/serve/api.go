@@ -209,6 +209,59 @@ type WatchPollResponse struct {
 	Next   uint64       `json:"next"`
 }
 
+// QueryStatRow is one digest's aggregated statistics: a query class
+// (endpoint + model + literal-stripped plan shape + wire proto) with
+// its cumulative cost. Latencies are seconds; BucketCounts are the
+// non-cumulative per-bucket observation counts over the response's
+// shared BucketBounds (+Inf bucket last), so clients can compute
+// windowed quantiles from deltas between polls.
+type QueryStatRow struct {
+	Endpoint     string    `json:"endpoint"`
+	Model        string    `json:"model,omitempty"`
+	Shape        string    `json:"shape,omitempty"`
+	Proto        string    `json:"proto"`
+	Calls        int64     `json:"calls"`
+	Errors       int64     `json:"errors,omitempty"`
+	Rows         int64     `json:"rows,omitempty"`
+	ReqBytes     int64     `json:"reqBytes,omitempty"`
+	RespBytes    int64     `json:"respBytes,omitempty"`
+	LatencySumS  float64   `json:"latencySumS"`
+	P50S         float64   `json:"p50S"`
+	P99S         float64   `json:"p99S"`
+	BucketCounts []int64   `json:"bucketCounts"`
+	AllocSamples int64     `json:"allocSamples,omitempty"`
+	AllocObjects int64     `json:"allocObjects,omitempty"`
+	LastGen      int64     `json:"lastGeneration,omitempty"`
+	FirstSeen    time.Time `json:"firstSeen"`
+	LastSeen     time.Time `json:"lastSeen"`
+}
+
+// SlowQueryJSON is one retained slow request; TraceID cross-links to
+// /debug/traces/{id} when the trace was recorded there.
+type SlowQueryJSON struct {
+	LatencyMS float64   `json:"latencyMs"`
+	Endpoint  string    `json:"endpoint"`
+	Model     string    `json:"model,omitempty"`
+	Shape     string    `json:"shape,omitempty"`
+	Proto     string    `json:"proto"`
+	TraceID   string    `json:"traceId,omitempty"`
+	Error     bool      `json:"error,omitempty"`
+	At        time.Time `json:"at"`
+}
+
+// QueryStatsResponse is GET /v1/stats/queries: the digest table
+// (sorted/limited/filtered per query parameters) plus the slow-query
+// ring. Stats survive hot swaps; LastGen on each row names the model
+// generation that answered most recently.
+type QueryStatsResponse struct {
+	BucketBounds []float64       `json:"bucketBounds"`
+	Digests      int             `json:"digests"`
+	Recorded     int64           `json:"recorded"`
+	Evicted      int64           `json:"evicted"`
+	Rows         []QueryStatRow  `json:"rows"`
+	Slow         []SlowQueryJSON `json:"slow"`
+}
+
 // ErrorResponse is the JSON error envelope (4xx/5xx).
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -74,6 +74,10 @@ func TestClientProtocolParity(t *testing.T) {
 		}})
 	})
 	both("Refresh", func(c *Client) (any, error) { return c.Refresh(ctx, m) })
+	// Stats last, so the table is warm; the endpoint does not record
+	// itself, so both reads see the identical table.
+	both("QueryStats", func(c *Client) (any, error) { return c.QueryStats(ctx, "latency", 0, "") })
+	both("QueryStats bad sort", func(c *Client) (any, error) { return c.QueryStats(ctx, "nope", 0, "") })
 
 	// Raw endpoints: the streamed bytes must be identical.
 	var jt, bt bytes.Buffer

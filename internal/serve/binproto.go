@@ -47,6 +47,7 @@ const (
 	// unchanged, so sink-style endpoints ride the same envelope.
 	frameRawTree
 	frameRawJSON
+	frameStats
 )
 
 // ContentTypeBinary is the negotiated media type of the binary query
@@ -90,6 +91,8 @@ func binaryMessageOf(v any) (binaryMessage, bool) {
 	case HealthResponse:
 		return &t, true
 	case RefreshResponse:
+		return &t, true
+	case QueryStatsResponse:
 		return &t, true
 	case ErrorResponse:
 		return &t, true
@@ -516,6 +519,119 @@ func (m *HealthResponse) decodeFrom(d *rtmodel.Dec) error {
 	m.Status = d.String()
 	m.Resident = decStrings(d)
 	m.Generation = d.Uvarint()
+	return d.Err()
+}
+
+func encStatRow(e *rtmodel.Enc, r *QueryStatRow) {
+	e.String(r.Endpoint)
+	e.String(r.Model)
+	e.String(r.Shape)
+	e.String(r.Proto)
+	e.Varint(r.Calls)
+	e.Varint(r.Errors)
+	e.Varint(r.Rows)
+	e.Varint(r.ReqBytes)
+	e.Varint(r.RespBytes)
+	e.F64(r.LatencySumS)
+	e.F64(r.P50S)
+	e.F64(r.P99S)
+	e.Uvarint(uint64(len(r.BucketCounts)))
+	for _, c := range r.BucketCounts {
+		e.Varint(c)
+	}
+	e.Varint(r.AllocSamples)
+	e.Varint(r.AllocObjects)
+	e.Varint(r.LastGen)
+	encTime(e, r.FirstSeen)
+	encTime(e, r.LastSeen)
+}
+
+func decStatRow(d *rtmodel.Dec, r *QueryStatRow) {
+	r.Endpoint = d.String()
+	r.Model = d.String()
+	r.Shape = d.String()
+	r.Proto = d.String()
+	r.Calls = d.Varint()
+	r.Errors = d.Varint()
+	r.Rows = d.Varint()
+	r.ReqBytes = d.Varint()
+	r.RespBytes = d.Varint()
+	r.LatencySumS = d.F64()
+	r.P50S = d.F64()
+	r.P99S = d.F64()
+	n := d.Count(rtmodel.MaxWireCount)
+	r.BucketCounts = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		r.BucketCounts = append(r.BucketCounts, d.Varint())
+	}
+	r.AllocSamples = d.Varint()
+	r.AllocObjects = d.Varint()
+	r.LastGen = d.Varint()
+	r.FirstSeen = decTime(d)
+	r.LastSeen = decTime(d)
+}
+
+func (m *QueryStatsResponse) frame() rtmodel.FrameType { return frameStats }
+
+func (m *QueryStatsResponse) encodeTo(e *rtmodel.Enc) {
+	e.Uvarint(uint64(len(m.BucketBounds)))
+	for _, b := range m.BucketBounds {
+		e.F64(b)
+	}
+	e.Uvarint(uint64(m.Digests))
+	e.Varint(m.Recorded)
+	e.Varint(m.Evicted)
+	e.Uvarint(uint64(len(m.Rows)))
+	for i := range m.Rows {
+		encStatRow(e, &m.Rows[i])
+	}
+	e.Uvarint(uint64(len(m.Slow)))
+	for i := range m.Slow {
+		s := &m.Slow[i]
+		e.F64(s.LatencyMS)
+		e.String(s.Endpoint)
+		e.String(s.Model)
+		e.String(s.Shape)
+		e.String(s.Proto)
+		e.String(s.TraceID)
+		e.Bool(s.Error)
+		encTime(e, s.At)
+	}
+}
+
+func (m *QueryStatsResponse) decodeFrom(d *rtmodel.Dec) error {
+	n := d.Count(rtmodel.MaxWireCount)
+	m.BucketBounds = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		m.BucketBounds = append(m.BucketBounds, d.F64())
+	}
+	m.Digests = int(d.Uvarint())
+	m.Recorded = d.Varint()
+	m.Evicted = d.Varint()
+	n = d.Count(rtmodel.MaxWireCount)
+	m.Rows = make([]QueryStatRow, n)
+	for i := range m.Rows {
+		decStatRow(d, &m.Rows[i])
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	n = d.Count(rtmodel.MaxWireCount)
+	m.Slow = make([]SlowQueryJSON, n)
+	for i := range m.Slow {
+		s := &m.Slow[i]
+		s.LatencyMS = d.F64()
+		s.Endpoint = d.String()
+		s.Model = d.String()
+		s.Shape = d.String()
+		s.Proto = d.String()
+		s.TraceID = d.String()
+		s.Error = d.Bool()
+		s.At = decTime(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
 	return d.Err()
 }
 

@@ -429,6 +429,27 @@ func (c *Client) WatchPoll(ctx context.Context, ident string, since uint64, wait
 	return out, err
 }
 
+// QueryStats fetches the statement-statistics digest table. sortKey
+// selects the ordering ("" means calls), limit > 0 truncates the row
+// list, and model filters rows and slow entries to one model. The
+// endpoint speaks both protocols, so a binary client pays binary
+// prices here too.
+func (c *Client) QueryStats(ctx context.Context, sortKey string, limit int, model string) (QueryStatsResponse, error) {
+	var out QueryStatsResponse
+	q := url.Values{}
+	if sortKey != "" {
+		q.Set("sort", sortKey)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if model != "" {
+		q.Set("model", model)
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/stats/queries", q, nil, &out, nil)
+	return out, err
+}
+
 // Sweep submits an asynchronous parameter sweep over one model and
 // returns the accepted job handle. The job endpoints are JSON-only
 // (control plane, not the query hot path).

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"xpdl/internal/obs"
+	"xpdl/internal/obs/qstats"
 	"xpdl/internal/repo"
 	"xpdl/internal/scenario"
 )
@@ -252,6 +253,7 @@ type jobManager struct {
 	maxPoints int // server-side cap clamped into every spec
 	ttl       time.Duration
 	maxJobs   int
+	stats     *qstats.Table // owning server's digest table; nil-safe
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -439,7 +441,9 @@ func (m *jobManager) runJob(j *job) {
 		Workers: m.workers,
 		OnPoint: j.point,
 	}
+	runStart := time.Now()
 	res, err := eng.Run(j.ctx, j.model, j.spec)
+	runDur := time.Since(runStart)
 	switch {
 	case err == nil:
 		j.finish(JobStateDone, "", res)
@@ -449,6 +453,15 @@ func (m *jobManager) runJob(j *job) {
 		j.finish(JobStateFailed, err.Error(), nil)
 	}
 	j.cancel() // release the context's resources
+
+	// Each sweep run is one digest sample: rows = points evaluated, so
+	// batch cost shows up next to the per-request endpoints in qstats.
+	j.mu.Lock()
+	points := j.done
+	failed := j.state == JobStateFailed
+	j.mu.Unlock()
+	m.stats.Record(qstats.Key{Endpoint: "sweep.run", Model: j.model, Proto: "json"},
+		qstats.Sample{Latency: runDur, Rows: int64(points), Err: failed, Allocs: -1})
 }
 
 // close drains the subsystem: cancel every job context, wait for the

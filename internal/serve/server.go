@@ -13,11 +13,15 @@ import (
 	"strings"
 	"time"
 
+	"sync/atomic"
+
 	"xpdl/internal/composition"
 	"xpdl/internal/energy"
 	"xpdl/internal/expr"
 	"xpdl/internal/model"
 	"xpdl/internal/obs"
+	"xpdl/internal/obs/qstats"
+	"xpdl/internal/query"
 	"xpdl/internal/rtmodel"
 	"xpdl/internal/scenario"
 )
@@ -93,6 +97,18 @@ type Config struct {
 	// Logger receives structured access/slow-request logs. Nil disables
 	// logging (the obs.Logger is nil-safe).
 	Logger *obs.Logger
+
+	// QueryStatsOff disables the per-digest statement statistics
+	// subsystem (GET /v1/stats/queries, xpdl_qstats_* metrics). On by
+	// default: the hot-path cost is a few atomic adds per request.
+	QueryStatsOff bool
+	// StatsDigests bounds the digest table (default
+	// qstats.DefaultMaxDigests). Requests whose new digest would exceed
+	// it are counted in xpdl_qstats_evicted_total and dropped.
+	StatsDigests int
+	// StatsSlowK sizes the slow-query ring behind the stats endpoint
+	// (default qstats.DefaultSlowK).
+	StatsSlowK int
 }
 
 // Server answers JSON-over-HTTP platform-model queries against the
@@ -111,6 +127,12 @@ type Server struct {
 	sampler *obs.Sampler
 	traces  *obs.TraceBuffer
 	logger  *obs.Logger
+
+	// qstats is the per-digest statement statistics table (nil when
+	// disabled; every use is nil-safe). statsN drives 1-in-64 alloc
+	// sampling.
+	qstats *qstats.Table
+	statsN atomic.Int64
 
 	reg      *obs.Registry
 	inflight *obs.Gauge
@@ -160,15 +182,24 @@ func NewServer(cfg Config) *Server {
 		4: s.reg.Counter("xpdld_responses_4xx_total", "API responses with a 4xx status."),
 		5: s.reg.Counter("xpdld_responses_5xx_total", "API responses with a 5xx status."),
 	}
+	if !cfg.QueryStatsOff {
+		s.qstats = qstats.New(qstats.Config{MaxDigests: cfg.StatsDigests, SlowK: cfg.StatsSlowK})
+		s.qstats.PublishMetrics(s.reg)
+	}
 	// The sweep subsystem needs the descriptor repository behind the
 	// store; loaders without one (test stubs) leave it disabled and the
 	// sweep endpoints answer 501.
 	if rp, ok := cfg.Store.Loader().(repoProvider); ok {
 		s.jobs = newJobManager(rp, cfg)
+		s.jobs.stats = s.qstats
 	}
 	s.routes()
 	return s
 }
+
+// QueryStats returns the server's digest-statistics table (nil when
+// disabled), so the daemon's shutdown path or tests can inspect it.
+func (s *Server) QueryStats() *qstats.Table { return s.qstats }
 
 // Close drains the async job subsystem: running sweeps are canceled,
 // their workers joined, and every pending job transitions to a
@@ -212,6 +243,7 @@ func (s *Server) routes() {
 		s.handle("POST /v1/models/{model}/refresh", "refresh", s.handleRefresh)
 	}
 	s.handle("POST /v1/models/{model}/sweep", "sweep", s.handleSweep)
+	s.handle("GET /v1/stats/queries", "stats", s.handleQueryStats)
 	s.handle("GET /v1/jobs", "jobs", s.handleJobs)
 	s.handle("GET /v1/jobs/{id}", "job", s.handleJob)
 	s.handle("POST /v1/jobs/{id}/cancel", "jobcancel", s.handleJobCancel)
@@ -309,10 +341,12 @@ func notFound(format string, args ...any) error {
 type handler func(w http.ResponseWriter, r *http.Request) (any, error)
 
 // statusWriter captures the status code a handler wrote so the
-// middleware can stamp it onto the trace and the logs.
+// middleware can stamp it onto the trace and the logs, and counts
+// response bytes for the per-digest statistics.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 	wrote  bool
 }
 
@@ -326,7 +360,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // startTrace extracts-or-starts the request trace. A valid incoming
@@ -358,9 +394,9 @@ func (s *Server) startTrace(r *http.Request, name string) *obs.Trace {
 // (5xx) traces are retained in the ring buffer, and requests above the
 // slow threshold earn a warn-level log line.
 func (s *Server) finishRequest(ctx context.Context, tr *obs.Trace, r *http.Request,
-	name string, status int, errMsg string, start time.Time, lat *obs.Histogram) {
+	name, traceID string, status int, errMsg string, start time.Time, lat *obs.Histogram) {
 	dur := time.Since(start)
-	lat.ObserveExemplar(dur.Seconds(), tr.Context().TraceID.String())
+	lat.ObserveExemplar(dur.Seconds(), traceID)
 	if tr.Sampled() || status >= 500 {
 		s.traces.Add(tr.Finish(status, errMsg))
 		s.recorded.Inc()
@@ -386,15 +422,26 @@ func (s *Server) handle(pattern, name string, h handler) {
 	shed := s.reg.CounterWith("xpdld_shed_total",
 		"Requests shed by the concurrency limiter, by endpoint.",
 		"endpoint", name)
+	// The stats endpoint is excluded from its own accounting (a poller
+	// must not perturb the table it reads) and healthz is probe noise.
+	recordable := name != "stats" && name != "healthz"
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		tr := s.startTrace(r, name)
+		traceID := tr.Context().TraceID.String()
 		// The response always names its trace so clients (and the load
 		// generator) can correlate even server-sampled requests.
-		w.Header().Set("X-Xpdl-Trace", tr.Context().TraceID.String())
+		w.Header().Set("X-Xpdl-Trace", traceID)
+		bin := acceptsBinary(r)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		ctx, cancel := context.WithTimeout(obs.ContextWithTrace(r.Context(), tr), s.timeout)
 		defer cancel()
+		var acc *reqAcc
+		if recordable && s.qstats != nil {
+			acc = getAcc()
+			defer putAcc(acc)
+			ctx = context.WithValue(ctx, accCtxKey{}, acc)
+		}
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
@@ -402,13 +449,25 @@ func (s *Server) handle(pattern, name string, h handler) {
 			s.rejected.Inc()
 			shed.Inc()
 			sw.Header().Set("Retry-After", "1")
-			s.writeErrorProto(sw, acceptsBinary(r), &apiError{status: http.StatusServiceUnavailable,
+			s.writeErrorProto(sw, bin, &apiError{status: http.StatusServiceUnavailable,
 				msg: "server saturated; retry later"})
-			s.finishRequest(ctx, tr, r, name, sw.status, "server saturated", start, lat)
+			if acc != nil {
+				s.recordStats(r, name, bin, acc, sw, traceID, time.Since(start), nil, -1)
+			}
+			s.finishRequest(ctx, tr, r, name, traceID, sw.status, "server saturated", start, lat)
 			return
 		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+
+		// 1-in-64 requests sample the process allocation counter around
+		// the handler; the delta approximates this digest's allocs/op.
+		allocs := int64(-1)
+		alloc0 := int64(0)
+		sampled := acc != nil && s.statsN.Add(1)&63 == 0
+		if sampled {
+			alloc0 = qstats.AllocObjects()
+		}
 
 		payload, err := h(sw, r.WithContext(ctx))
 		var errMsg string
@@ -418,11 +477,17 @@ func (s *Server) handle(pattern, name string, h handler) {
 				err = &apiError{status: http.StatusServiceUnavailable, msg: "request timed out"}
 			}
 			errMsg = err.Error()
-			s.writeErrorProto(sw, acceptsBinary(r), err)
+			s.writeErrorProto(sw, bin, err)
 		} else if payload != nil {
-			s.writeAPI(sw, acceptsBinary(r), http.StatusOK, payload)
+			s.writeAPI(sw, bin, http.StatusOK, payload)
 		}
-		s.finishRequest(ctx, tr, r, name, sw.status, errMsg, start, lat)
+		if sampled {
+			allocs = qstats.AllocObjects() - alloc0
+		}
+		if acc != nil {
+			s.recordStats(r, name, bin, acc, sw, traceID, time.Since(start), payload, allocs)
+		}
+		s.finishRequest(ctx, tr, r, name, traceID, sw.status, errMsg, start, lat)
 	})
 }
 
@@ -698,12 +763,20 @@ func checkSelector(sel string) error {
 	return nil
 }
 
-func (s *Server) runSelect(snap *Snapshot, sel string, limit int) (SelectResponse, error) {
+func (s *Server) runSelect(acc *reqAcc, snap *Snapshot, sel string, limit int) (SelectResponse, error) {
 	if err := checkSelector(sel); err != nil {
 		return SelectResponse{}, err
 	}
 	if limit < 0 || limit > maxSelectLimit {
 		return SelectResponse{}, badRequest("limit must be in [0, %d]", maxSelectLimit)
+	}
+	if acc != nil {
+		// The plan is (or is about to be) resident in the default plan
+		// cache, so digesting the selector's shape here is a cache hit,
+		// not a second parse.
+		if shape, hash, err := query.ShapeOf(sel); err == nil {
+			acc.shape, acc.shapeHash = shape, hash
+		}
 	}
 	elems, err := snap.Session.Select(sel)
 	if err != nil {
@@ -731,7 +804,7 @@ func (s *Server) handleSelectGet(w http.ResponseWriter, r *http.Request) (any, e
 			return nil, badRequest("limit: %v", err)
 		}
 	}
-	resp, err := s.runSelect(snap, r.URL.Query().Get("q"), limit)
+	resp, err := s.runSelect(accFrom(r.Context()), snap, r.URL.Query().Get("q"), limit)
 	if err != nil {
 		return nil, err
 	}
@@ -747,7 +820,7 @@ func (s *Server) handleSelectPost(w http.ResponseWriter, r *http.Request) (any, 
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
 	}
-	resp, err := s.runSelect(snap, req.Selector, req.Limit)
+	resp, err := s.runSelect(accFrom(r.Context()), snap, req.Selector, req.Limit)
 	if err != nil {
 		return nil, err
 	}
@@ -812,27 +885,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, error
 		return nil, badRequest("more than %d ops", maxBatchOps)
 	}
 	resp := BatchResponse{Results: make([]BatchResult, len(req.Ops))}
+	// Each sub-op is digested individually (batch.select / batch.eval)
+	// so per-query attribution survives batching; the envelope itself
+	// is recorded by the middleware under "batch".
+	bin := acceptsBinary(r)
 	for i := range req.Ops {
 		op := &req.Ops[i]
 		res := &resp.Results[i]
+		opStart := time.Now()
+		var opAcc reqAcc
+		var rows int64
+		endpoint := "batch." + op.Op
 		switch op.Op {
 		case "select":
-			sel, err := s.runSelect(snap, op.Selector, op.Limit)
+			sel, err := s.runSelect(&opAcc, snap, op.Selector, op.Limit)
 			if err != nil {
 				res.Error = err.Error()
-				continue
+			} else {
+				res.Select = &sel
+				rows = int64(sel.Count)
 			}
-			res.Select = &sel
 		case "eval":
 			ev, err := s.runEval(snap, EvalRequest{Expr: op.Expr, Vars: op.Vars})
 			if err != nil {
 				res.Error = err.Error()
-				continue
+			} else {
+				res.Eval = &ev
+				rows = 1
 			}
-			res.Eval = &ev
 		default:
+			endpoint = "batch.unknown"
 			res.Error = fmt.Sprintf("unknown op %q (want \"select\" or \"eval\")", op.Op)
 		}
+		s.qstats.Record(qstats.Key{
+			Endpoint:  endpoint,
+			Model:     snap.Ident,
+			Shape:     opAcc.shape,
+			ShapeHash: opAcc.shapeHash,
+			Proto:     protoName(bin),
+		}, qstats.Sample{
+			Latency:    time.Since(opStart),
+			Rows:       rows,
+			Err:        res.Error != "",
+			Generation: int64(snap.Gen),
+			Allocs:     -1,
+		})
 	}
 	return resp, nil
 }

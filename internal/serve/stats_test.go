@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// findStat locates one digest row by endpoint/proto/shape.
+func findStat(rows []QueryStatRow, endpoint, proto, shape string) *QueryStatRow {
+	for i := range rows {
+		r := &rows[i]
+		if r.Endpoint == endpoint && r.Proto == proto && r.Shape == shape {
+			return r
+		}
+	}
+	return nil
+}
+
+// TestQueryStatsDigests drives a mix of endpoints, protocols and
+// selector literals and asserts the digest table aggregates them the
+// way pg_stat_statements would: same shape folds, different shape
+// splits, errors count, batch sub-ops get their own digests.
+func TestQueryStatsDigests(t *testing.T) {
+	srv, _ := newModelServer(t, Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	jc := NewClient(ts.URL)
+	bc := NewClient(ts.URL)
+	bc.Proto = ProtoBinary
+	const m = "myriad_standalone"
+
+	// Two selects whose literals differ but whose shape is identical
+	// must share one digest; a structurally different selector splits.
+	if _, err := jc.Select(ctx, m, "//core[id=a]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Select(ctx, m, "//core[id=b]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Select(ctx, m, "//core", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.Select(ctx, m, "//core[id=c]", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Summary(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Eval(ctx, m, "num_cores()", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jc.Select(ctx, m, "//core[", 0); err == nil {
+		t.Fatal("parse error expected")
+	}
+	if _, err := jc.Batch(ctx, m, BatchRequest{Ops: []BatchOp{
+		{Op: "select", Selector: "//core[id=x]", Limit: 1},
+		{Op: "eval", Expr: "num_cores() * 2"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := jc.QueryStats(ctx, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.BucketBounds) == 0 {
+		t.Fatal("response carries no bucket bounds")
+	}
+
+	sel := findStat(stats.Rows, "select", "json", "//core[id=?]")
+	if sel == nil {
+		t.Fatalf("no digest for select/json///core[id=?]; rows: %+v", stats.Rows)
+	}
+	if sel.Calls != 2 {
+		t.Fatalf("literal-differing selects did not fold: calls = %d, want 2", sel.Calls)
+	}
+	if sel.Model != m || sel.RespBytes == 0 {
+		t.Fatalf("select digest incomplete: %+v", sel)
+	}
+	if sel.P99S <= 0 || len(sel.BucketCounts) != len(stats.BucketBounds)+1 {
+		t.Fatalf("latency distribution missing: p99=%v buckets=%d", sel.P99S, len(sel.BucketCounts))
+	}
+	if sel.FirstSeen.IsZero() || sel.LastSeen.Before(sel.FirstSeen) {
+		t.Fatalf("seen timestamps wrong: %v .. %v", sel.FirstSeen, sel.LastSeen)
+	}
+	if bare := findStat(stats.Rows, "select", "json", "//core"); bare == nil || bare.Calls != 1 || bare.Rows == 0 {
+		t.Fatalf("structurally distinct selector must split (with rows): %+v", bare)
+	}
+	if bin := findStat(stats.Rows, "select", "bin", "//core[id=?]"); bin == nil || bin.Calls != 1 {
+		t.Fatalf("binary proto must get its own digest: %+v", bin)
+	}
+	if sum := findStat(stats.Rows, "summary", "json", ""); sum == nil || sum.Calls != 1 {
+		t.Fatalf("summary digest missing: %+v", sum)
+	}
+
+	// The failed parse is attributed to the select endpoint with no
+	// shape (compile failed before one existed) and counts as an error.
+	bad := findStat(stats.Rows, "select", "json", "")
+	if bad == nil || bad.Errors != 1 {
+		t.Fatalf("parse failure not counted as error digest: %+v", bad)
+	}
+
+	// Batch: the envelope plus one digest per sub-op class.
+	if b := findStat(stats.Rows, "batch", "json", ""); b == nil || b.Calls != 1 || b.Rows != 2 {
+		t.Fatalf("batch envelope digest: %+v", b)
+	}
+	if bs := findStat(stats.Rows, "batch.select", "json", "//core[id=?]"); bs == nil || bs.Calls != 1 {
+		t.Fatalf("batch select sub-op digest: %+v", bs)
+	}
+	if be := findStat(stats.Rows, "batch.eval", "json", ""); be == nil || be.Calls != 1 {
+		t.Fatalf("batch eval sub-op digest: %+v", be)
+	}
+
+	// The stats endpoint itself must not appear: polling the table
+	// never perturbs it.
+	if self := findStat(stats.Rows, "stats", "json", ""); self != nil {
+		t.Fatalf("stats endpoint observed itself: %+v", self)
+	}
+
+	// Every request above landed in the slow ring (tiny load, big K);
+	// entries are sorted slowest-first and carry trace IDs.
+	if len(stats.Slow) == 0 {
+		t.Fatal("slow ring empty after load")
+	}
+	for i := 1; i < len(stats.Slow); i++ {
+		if stats.Slow[i].LatencyMS > stats.Slow[i-1].LatencyMS {
+			t.Fatal("slow entries not sorted slowest-first")
+		}
+	}
+	if stats.Slow[0].TraceID == "" {
+		t.Fatal("slow entry missing trace ID")
+	}
+
+	if stats.Recorded == 0 || stats.Evicted != 0 || stats.Digests != len(stats.Rows) {
+		t.Fatalf("counters: recorded=%d evicted=%d digests=%d rows=%d",
+			stats.Recorded, stats.Evicted, stats.Digests, len(stats.Rows))
+	}
+}
+
+// TestQueryStatsParams covers ?sort=, ?limit= and ?model= plus the
+// 400 on an unknown sort key.
+func TestQueryStatsParams(t *testing.T) {
+	srv, _ := newModelServer(t, Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+	const m = "myriad_standalone"
+
+	if _, err := c.Select(ctx, m, "//core", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Summary(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Models(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := c.QueryStats(ctx, "latency", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) < 3 {
+		t.Fatalf("rows = %d, want >= 3", len(full.Rows))
+	}
+	for i := 1; i < len(full.Rows); i++ {
+		if full.Rows[i].LatencySumS > full.Rows[i-1].LatencySumS {
+			t.Fatal("sort=latency not descending")
+		}
+	}
+
+	limited, err := c.QueryStats(ctx, "", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Rows) != 2 {
+		t.Fatalf("limit=2 returned %d rows", len(limited.Rows))
+	}
+	if limited.Digests != full.Digests {
+		t.Fatal("limit must truncate rows, not the digest count")
+	}
+
+	filtered, err := c.QueryStats(ctx, "", 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Rows) == 0 {
+		t.Fatal("model filter dropped everything")
+	}
+	for _, r := range filtered.Rows {
+		if r.Model != m {
+			t.Fatalf("model filter leaked row %+v", r)
+		}
+	}
+
+	_, err = c.QueryStats(ctx, "nope", 0, "")
+	var se *apiStatusError
+	if !asStatusError(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("unknown sort: err = %v, want 400", err)
+	}
+	if !strings.Contains(se.Msg, "unknown sort") {
+		t.Fatalf("error message %q does not name the problem", se.Msg)
+	}
+}
+
+// asStatusError is errors.As without the import noise in call sites.
+func asStatusError(err error, target **apiStatusError) bool {
+	for err != nil {
+		if se, ok := err.(*apiStatusError); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestQueryStatsDisabled: Config.QueryStatsOff removes the subsystem —
+// the endpoint answers 404 and requests pay nothing.
+func TestQueryStatsDisabled(t *testing.T) {
+	srv, _ := newModelServer(t, Config{QueryStatsOff: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.Select(context.Background(), "myriad_standalone", "//core", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.QueryStats(context.Background(), "", 0, "")
+	var se *apiStatusError
+	if !asStatusError(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("disabled stats: err = %v, want 404", err)
+	}
+	if srv.QueryStats() != nil {
+		t.Fatal("QueryStatsOff left a table allocated")
+	}
+}
+
+// TestQueryStatsSurvivesSwap: a hot swap must not reset the table —
+// calls keep accumulating in the same digest and LastGen advances to
+// the generation that answered last.
+func TestQueryStatsSurvivesSwap(t *testing.T) {
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, AllowRefresh: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL)
+
+	if _, err := c.Select(ctx, "dev", "//core", 0); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.QueryStats(ctx, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := findStat(before.Rows, "select", "json", "//core")
+	if sel == nil || sel.Calls != 1 {
+		t.Fatalf("pre-swap digest: %+v", sel)
+	}
+	genBefore := sel.LastGen
+
+	l.bumpVersion("dev")
+	ref, err := c.Refresh(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Swapped {
+		t.Fatal("refresh did not swap")
+	}
+	if _, err := c.Select(ctx, "dev", "//core", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := c.QueryStats(ctx, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = findStat(after.Rows, "select", "json", "//core")
+	if sel == nil {
+		t.Fatal("digest vanished across hot swap")
+	}
+	if sel.Calls != 2 {
+		t.Fatalf("calls reset across swap: %d, want 2", sel.Calls)
+	}
+	if sel.LastGen <= genBefore {
+		t.Fatalf("LastGen did not advance across swap: %d -> %d", genBefore, sel.LastGen)
+	}
+	if after.Recorded < before.Recorded {
+		t.Fatal("recorded counter went backwards")
+	}
+}
+
+// TestQueryStatsConcurrency hammers the table from real HTTP traffic —
+// writers on different selectors, stats readers over both protocols,
+// and hot swaps — under -race.
+func TestQueryStatsConcurrency(t *testing.T) {
+	l := newStubLoader()
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, AllowRefresh: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+
+	// Make "dev" resident before the refresher starts, or its first
+	// refresh races the first select and answers 404.
+	if _, err := NewClient(ts.URL).Select(ctx, "dev", "//core", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			if w%2 == 1 {
+				c.Proto = ProtoBinary
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sel := fmt.Sprintf("//core[name=c%d]", i%3)
+				if _, err := c.Select(ctx, "dev", sel, 0); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			if r == 1 {
+				c.Proto = ProtoBinary
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				stats, err := c.QueryStats(ctx, "calls", 0, "")
+				if err != nil {
+					t.Errorf("stats: %v", err)
+					return
+				}
+				for _, row := range stats.Rows {
+					if row.Calls < row.Errors {
+						t.Error("torn row: calls < errors")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := NewClient(ts.URL)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.bumpVersion("dev")
+			if _, err := c.Refresh(ctx, "dev"); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	c := NewClient(ts.URL)
+	stats, err := c.QueryStats(ctx, "", 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := findStat(stats.Rows, "select", "json", "//core[name=?]")
+	if sel == nil || sel.Calls == 0 {
+		t.Fatalf("post-load digest: %+v", sel)
+	}
+	if sel.LastGen < 2 {
+		t.Fatalf("swaps not reflected: LastGen = %d", sel.LastGen)
+	}
+}
