@@ -7,6 +7,16 @@
 //
 //	xpdlload -addr http://localhost:8360 -model liu_gpu_server -c 8 -duration 10s
 //
+// -addr accepts a comma-separated list of xpdld base URLs; more than
+// one switches on cluster mode: every request routes over a rendezvous
+// ring (replication factor -replicas) to the model's replica set,
+// spreads across healthy replicas, and fails over on transport errors
+// — a request only counts as failed when EVERY member refused it. The
+// report gains a "route:" line (members up, picks, failovers) and the
+// run exports the same xpdl_route_* metrics the serving tier uses, so
+// a kill-a-member experiment can assert zero failed requests while the
+// failover counter climbs.
+//
 // Including "batch" in -mix drives the /batch endpoint instead of one
 // request per query: each batch request packs -batch N select/eval
 // operations (default 8), so N queries cost one HTTP round trip — the
@@ -51,6 +61,7 @@ import (
 
 	"xpdl/internal/obs"
 	"xpdl/internal/serve"
+	"xpdl/internal/shard"
 )
 
 // probe is one endpoint of the load mix.
@@ -112,7 +123,8 @@ type workerStats struct {
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://localhost:8360", "base URL of the xpdld instance")
+		addr        = flag.String("addr", "http://localhost:8360", "base URL(s) of the xpdld instance(s), comma-separated (more than one switches on cluster routing)")
+		replicas    = flag.Int("replicas", 2, "per-model replica placement factor in cluster mode")
 		model       = flag.String("model", "", "system model identifier to query (required)")
 		duration    = flag.Duration("duration", 5*time.Second, "how long to generate load")
 		conc        = flag.Int("c", 4, "concurrent load workers")
@@ -175,8 +187,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	base := strings.TrimRight(*addr, "/") + "/v1/models/" + url.PathEscape(*model)
-	client := &http.Client{Timeout: 30 * time.Second}
+	var endpoints []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+			endpoints = append(endpoints, a)
+		}
+	}
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "xpdlload: -addr is empty")
+		os.Exit(2)
+	}
+	cluster := len(endpoints) > 1
+	ring, err := shard.New(shard.Config{Members: endpoints, Replicas: *replicas})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpdlload: %v\n", err)
+		os.Exit(2)
+	}
+	modelPath := "/v1/models/" + url.PathEscape(*model)
+	// http.DefaultTransport keeps only 2 idle conns per host, which
+	// collapses a -c 64 run onto 2 reused connections plus constant
+	// dial churn; keep at least one warm connection per worker.
+	maxIdle := *conc
+	if maxIdle < 64 {
+		maxIdle = 64
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			ForceAttemptHTTP2:   true,
+			MaxIdleConns:        4 * maxIdle,
+			MaxIdleConnsPerHost: maxIdle,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 	sampler := obs.NewSampler(*traceSample)
 	deadline := time.Now().Add(*duration)
 
@@ -188,7 +232,7 @@ func main() {
 	if *watchers > 0 {
 		watchCtx, watchCancel := context.WithDeadline(context.Background(), deadline)
 		defer watchCancel()
-		wc := serve.NewClient(strings.TrimRight(*addr, "/"))
+		wc := serve.NewClient(endpoints[0])
 		wc.HTTP = &http.Client{} // no overall timeout: the stream lives until the deadline
 		for i := 0; i < *watchers; i++ {
 			watchWG.Add(1)
@@ -217,32 +261,46 @@ func main() {
 				p := mixProbes[(i+w)%len(mixProbes)]
 				pr := protos[i%len(protos)]
 				ps := st.perProto[pr]
-				var body io.Reader
-				if p.body != "" {
-					body = strings.NewReader(p.body)
-				}
-				req, err := http.NewRequest(p.method, base+p.path, body)
-				if err != nil {
-					ps.transport++
-					continue
-				}
-				if p.body != "" {
-					req.Header.Set("Content-Type", "application/json")
-				}
-				if pr == "bin" {
-					req.Header.Set("Accept", serve.ContentTypeBinary)
-				}
-				if sampler.Sample() {
-					tc := obs.TraceContext{
-						TraceID: obs.NewTraceID(),
-						SpanID:  obs.NewSpanID(),
-						Sampled: true,
-					}
-					req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
-				}
+				sampled := sampler.Sample()
+				// Walk the ring's failover order for this request; the
+				// single-endpoint order is just that endpoint. A transport
+				// error marks the member down and moves on — only a request
+				// that every member refused counts as failed.
+				var resp *http.Response
+				var reqErr error
 				t0 := time.Now()
-				resp, err := client.Do(req)
-				if err != nil {
+				for _, member := range ring.Order(*model) {
+					var body io.Reader
+					if p.body != "" {
+						body = strings.NewReader(p.body)
+					}
+					req, err := http.NewRequest(p.method, member+modelPath+p.path, body)
+					if err != nil {
+						reqErr = err
+						break
+					}
+					if p.body != "" {
+						req.Header.Set("Content-Type", "application/json")
+					}
+					if pr == "bin" {
+						req.Header.Set("Accept", serve.ContentTypeBinary)
+					}
+					if sampled {
+						tc := obs.TraceContext{
+							TraceID: obs.NewTraceID(),
+							SpanID:  obs.NewSpanID(),
+							Sampled: true,
+						}
+						req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+					}
+					resp, reqErr = client.Do(req)
+					if reqErr == nil {
+						ring.ReportSuccess(member)
+						break
+					}
+					ring.ReportFailure(member)
+				}
+				if reqErr != nil || resp == nil {
 					ps.transport++
 					continue
 				}
@@ -310,6 +368,11 @@ func main() {
 	total := len(lats)
 	fmt.Printf("xpdlload: %d requests in %s (%.0f req/s), %d workers, mix %s, proto %s\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), *conc, *mix, *proto)
+	if cluster {
+		rst := ring.Stats()
+		fmt.Printf("  route: %d members (%d up), %d picks, %d failovers, transitions down %d up %d\n",
+			len(endpoints), rst.MembersUp, rst.Picks, rst.Failovers, rst.TransDown, rst.TransUp)
+	}
 	for _, code := range codes {
 		line := fmt.Sprintf("  %d %s: %d", code, http.StatusText(code), byCode[code])
 		fmt.Println(strings.TrimRight(line, " "))

@@ -319,18 +319,27 @@ func (r *Repository) fetchOnce(ctx context.Context, base, ident string) (*model.
 	return c, nil
 }
 
-// retryAfterOf parses a Retry-After header given in seconds (the
-// HTTP-date form is ignored; the backoff schedule covers it).
+// retryAfterOf parses a Retry-After header in both RFC 9110 forms:
+// delta-seconds and HTTP-date (a date in the past means no delay).
+// Unparseable values fall back to zero — the backoff schedule covers
+// them; backoffFor clamps whatever this returns to MaxBackoff.
 func retryAfterOf(resp *http.Response) time.Duration {
 	v := resp.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // FetchURL downloads an arbitrary URL with the same retry/backoff and

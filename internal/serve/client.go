@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -31,7 +33,9 @@ const (
 )
 
 // Client is a typed client for the xpdld API; xpdlquery's -remote mode
-// is built on it. The zero HTTP client means http.DefaultClient.
+// is built on it. The zero HTTP client means a process-wide client on
+// SharedTransport (not http.DefaultClient, whose 2 idle conns per host
+// collapse under concurrency).
 type Client struct {
 	// Base is the daemon address, e.g. "http://localhost:8346".
 	Base string
@@ -41,6 +45,11 @@ type Client struct {
 	// are identical either way; binary trades human-readable payloads
 	// for less bandwidth and per-request allocation.
 	Proto Proto
+	// WatchRetries bounds consecutive failed reconnect attempts in
+	// Watch before it gives up: 0 means the default (5), negative
+	// disables reconnecting entirely. The counter resets every time a
+	// reconnected stream delivers an event.
+	WatchRetries int
 }
 
 // NewClient normalizes base into a client.
@@ -48,20 +57,46 @@ func NewClient(base string) *Client {
 	return &Client{Base: strings.TrimRight(base, "/")}
 }
 
+// SharedTransport is the tuned transport behind every Client whose
+// HTTP field is nil. http.DefaultTransport keeps only 2 idle conns per
+// host, so a 64-worker load collapses onto 2 reused connections plus
+// constant dial churn; this one keeps enough idle conns for any
+// realistic worker count against a handful of daemons.
+var SharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	ForceAttemptHTTP2:     true,
+	MaxIdleConns:          1024,
+	MaxIdleConnsPerHost:   256,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
+// sharedHTTPClient carries SharedTransport and no global timeout:
+// watch/job streams are long-lived by design, and request-scoped
+// deadlines belong to the caller's context.
+var sharedHTTPClient = &http.Client{Transport: SharedTransport}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 func (c *Client) binary() bool { return c.Proto == ProtoBinary }
 
 // apiStatusError is a non-2xx answer from the daemon, carrying the
-// decoded error envelope when there is one.
+// decoded error envelope when there is one and the Retry-After hint on
+// 503s (zero when absent) so routing layers can honor the cooldown.
 type apiStatusError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *apiStatusError) Error() string {
@@ -215,7 +250,28 @@ func (c *Client) statusError(resp *http.Response, path, ct string) error {
 		_ = json.Unmarshal(data, &envelope)
 		msg = envelope.Error
 	}
-	return &apiStatusError{Status: resp.StatusCode, Msg: msg}
+	return &apiStatusError{Status: resp.StatusCode, Msg: msg, RetryAfter: retryAfterHeader(resp)}
+}
+
+// retryAfterHeader parses Retry-After in both RFC 9110 forms:
+// delta-seconds and HTTP-date. Zero means absent or unparseable.
+func retryAfterHeader(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Health fetches /healthz.
@@ -338,71 +394,164 @@ func (c *Client) Refresh(ctx context.Context, ident string) (RefreshResponse, er
 
 // Watch subscribes to generation-change events of one model over SSE
 // and calls fn for each event (history after since is replayed first).
-// It returns when ctx is canceled, the stream ends (server drain or
-// slow-consumer eviction), or fn returns an error — fn's error is
-// returned as-is, so callers can stop after N events with a sentinel.
-// Cancellation mid-stream returns ctx.Err(), so callers can tell a
-// deliberate stop from a server-side end of stream.
+// It returns when ctx is canceled, the server ends the stream (drain
+// or slow-consumer eviction — announced by a terminal "eof" event), or
+// fn returns an error — fn's error is returned as-is, so callers can
+// stop after N events with a sentinel. Cancellation mid-stream returns
+// ctx.Err(), so callers can tell a deliberate stop from a server-side
+// end of stream.
+//
+// A stream that ends WITHOUT the server's eof marker — the connection
+// dropped — is reconnected automatically with Last-Event-ID set to the
+// last seen sequence number, so no event is lost across the gap
+// (WatchRetries bounds consecutive failed attempts). 4xx answers never
+// retry: the request itself is wrong.
 func (c *Client) Watch(ctx context.Context, ident string, since uint64, fn func(WatchEvent) error) error {
-	q := url.Values{}
-	if since > 0 {
-		q.Set("since", strconv.FormatUint(since, 10))
+	const baseBackoff = 50 * time.Millisecond
+	retries := c.WatchRetries
+	if retries == 0 {
+		retries = 5
 	}
-	return c.streamSSE(ctx, "/v1/models/"+url.PathEscape(ident)+"/watch", q, func(data []byte) error {
-		var ev WatchEvent
-		if err := json.Unmarshal(data, &ev); err != nil {
-			return fmt.Errorf("xpdld: watch event: %w", err)
+	path := "/v1/models/" + url.PathEscape(ident) + "/watch"
+	last := since
+	attempts := 0
+	first := true
+	for {
+		var cbErr error
+		q := url.Values{}
+		lastID := ""
+		if first && last > 0 {
+			q.Set("since", strconv.FormatUint(last, 10))
+		} else if !first {
+			// Reconnects resume the SSE way: Last-Event-ID carries the
+			// last seen sequence number (0 replays the whole buffer).
+			lastID = strconv.FormatUint(last, 10)
 		}
-		return fn(ev)
-	})
+		first = false
+		clean, err := c.streamSSE(ctx, path, q, lastID, func(ev sseEvent) error {
+			var we WatchEvent
+			if jerr := json.Unmarshal(ev.Data, &we); jerr != nil {
+				cbErr = fmt.Errorf("xpdld: watch event: %w", jerr)
+				return cbErr
+			}
+			last = we.Seq
+			attempts = 0 // a live stream resets the retry budget
+			if ferr := fn(we); ferr != nil {
+				cbErr = ferr
+				return ferr
+			}
+			return nil
+		})
+		switch {
+		case cbErr != nil:
+			return cbErr
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err == nil && clean:
+			return nil // server said eof: drain or eviction, not a drop
+		}
+		// The stream dropped (EOF without the marker, a read error, or a
+		// transport/5xx failure). Reconnect with the last seen id unless
+		// the budget is spent or the failure is non-retryable.
+		var se *apiStatusError
+		if errors.As(err, &se) && se.Status < 500 {
+			return err
+		}
+		attempts++
+		if retries < 0 || attempts > retries {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("xpdld: watch %s: stream dropped and reconnect budget spent", ident)
+		}
+		backoff := baseBackoff << (attempts - 1)
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// sseEvent is one parsed server-sent event: the event type ("" when
+// the server sent none), the id line verbatim, and the data payload.
+type sseEvent struct {
+	Type string
+	ID   string
+	Data []byte
 }
 
 // streamSSE runs one server-sent-events request, calling fn with each
-// event's data payload. It returns ctx.Err() promptly when the context
-// is canceled mid-stream (the transport closes the body, unblocking
-// the scanner), fn's error as-is, and nil on a server-side end of
-// stream.
-func (c *Client) streamSSE(ctx context.Context, path string, q url.Values, fn func(data []byte) error) error {
+// parsed event (heartbeat comments and the terminal eof marker are
+// filtered out). It returns clean=true when the server announced the
+// end of the stream with an "eof" event — anything else that stops the
+// scan is a dropped connection from the caller's point of view. The
+// error is ctx.Err() promptly when the context is canceled mid-stream
+// (the transport closes the body, unblocking the scanner), fn's error
+// as-is, and nil on end of stream.
+func (c *Client) streamSSE(ctx context.Context, path string, q url.Values, lastID string, fn func(ev sseEvent) error) (clean bool, err error) {
 	u := c.Base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
 	obs.Propagate(ctx, req.Header.Set)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	ct := mediaTypeOf(resp.Header.Get("Content-Type"))
 	if resp.StatusCode/100 != 2 {
-		return c.statusError(resp, path, ct)
+		return false, c.statusError(resp, path, ct)
 	}
 	if ct != "text/event-stream" {
-		return &ContentTypeError{Endpoint: path, Got: ct, Want: "text/event-stream"}
+		return false, &ContentTypeError{Endpoint: path, Got: ct, Want: "text/event-stream"}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var ev sseEvent
+	sawEOF := false
 	for sc.Scan() {
 		if err := ctx.Err(); err != nil {
-			return err
+			return sawEOF, err
 		}
 		line := sc.Text()
-		if !strings.HasPrefix(line, "data:") {
-			continue // event:/id: framing lines, heartbeat comments, blanks
-		}
-		if err := fn([]byte(strings.TrimSpace(line[len("data:"):]))); err != nil {
-			return err
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			if ev.Type == "eof" {
+				sawEOF = true
+			} else if len(ev.Data) > 0 {
+				if err := fn(ev); err != nil {
+					return sawEOF, err
+				}
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, ":"):
+			// Comment (heartbeats).
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "id:"):
+			ev.ID = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "data:"):
+			ev.Data = append(ev.Data, []byte(strings.TrimSpace(line[len("data:"):]))...)
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return sawEOF, err
 	}
-	return sc.Err()
+	return sawEOF, sc.Err()
 }
 
 // WatchPoll is the long-poll fallback: it returns the buffered events
@@ -502,11 +651,12 @@ func (c *Client) JobStream(ctx context.Context, id string, since uint64, fn func
 	if since > 0 {
 		q.Set("since", strconv.FormatUint(since, 10))
 	}
-	return c.streamSSE(ctx, "/v1/jobs/"+url.PathEscape(id)+"/stream", q, func(data []byte) error {
+	_, err := c.streamSSE(ctx, "/v1/jobs/"+url.PathEscape(id)+"/stream", q, "", func(sev sseEvent) error {
 		var ev JobEvent
-		if err := json.Unmarshal(data, &ev); err != nil {
+		if err := json.Unmarshal(sev.Data, &ev); err != nil {
 			return fmt.Errorf("xpdld: job event: %w", err)
 		}
 		return fn(ev)
 	})
+	return err
 }

@@ -1305,8 +1305,15 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, notFound("model %q: %v", ident, err))
 		return
 	}
+	// ?since= wins, the SSE-standard Last-Event-ID header is the
+	// fallback — same contract as the jobs stream, so a spec-compliant
+	// SSE client reconnecting after a drop resumes losslessly.
 	since := uint64(0)
-	if raw := r.URL.Query().Get("since"); raw != "" {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
 			s.writeError(w, badRequest("since must be a non-negative integer"))
@@ -1356,7 +1363,14 @@ func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, ident string, 
 			return
 		case ev, open := <-ch:
 			if !open {
-				return // evicted as a slow consumer, or server draining
+				// Evicted as a slow consumer, or server draining. Say so
+				// explicitly: a bare TCP close is indistinguishable from a
+				// crashed connection, and reconnecting clients need to tell
+				// "server ended the stream" from "stream dropped".
+				extend()
+				fmt.Fprint(w, "event: eof\ndata: {}\n\n")
+				fl.Flush()
+				return
 			}
 			data, err := json.Marshal(ev)
 			if err != nil {

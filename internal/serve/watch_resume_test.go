@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Watch-SSE reconnect/resume coverage: the connection drops mid-stream
+// (the server aborts it without the terminal eof marker), the client
+// reconnects with Last-Event-ID, and the merged stream must be
+// indistinguishable from one that was never interrupted.
+
+// abortWriter wraps an SSE response and kills the connection — panic
+// with http.ErrAbortHandler, the stdlib's sanctioned abrupt abort —
+// right before writing the (allow+1)th change event. The client sees a
+// dropped connection, not a clean end of stream.
+type abortWriter struct {
+	http.ResponseWriter
+	allow *atomic.Int64
+}
+
+func (w *abortWriter) Write(p []byte) (int, error) {
+	if bytes.Contains(p, []byte("event: change")) && w.allow.Add(-1) < 0 {
+		panic(http.ErrAbortHandler)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *abortWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the real writer's
+// deadline controls through the wrapper.
+func (w *abortWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func TestWatchSSEReconnectResume(t *testing.T) {
+	const (
+		allowFirst = 2 // events delivered before the first connection dies
+		totalSwaps = 5 // swap events on top of the initial-load publish
+	)
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, WatchHeartbeat: 25 * time.Millisecond})
+
+	var watchConns atomic.Int64
+	var resumeID atomic.Value // Last-Event-ID of the reconnect
+	allow := &atomic.Int64{}
+	allow.Store(allowFirst)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/watch") {
+			switch watchConns.Add(1) {
+			case 1:
+				srv.ServeHTTP(&abortWriter{w, allow}, r)
+				return
+			case 2:
+				resumeID.Store(r.Header.Get("Last-Event-ID"))
+			}
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference stream: an in-process subscriber that no drop can
+	// touch. Whatever it sees is the uninterrupted truth.
+	refCh, cancelRef := st.Watch("m", 0)
+	defer cancelRef()
+
+	client := NewClient(ts.URL)
+	watchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events := make(chan WatchEvent, 32)
+	done := make(chan error, 1)
+	go func() {
+		done <- client.Watch(watchCtx, "m", 0, func(ev WatchEvent) error {
+			events <- ev
+			return nil
+		})
+	}()
+
+	// Generate the swap events; the first connection dies while they
+	// flow and the client must resume without losing any.
+	for i := 0; i < totalSwaps; i++ {
+		time.Sleep(20 * time.Millisecond)
+		l.bumpVersion("m")
+		if _, err := st.RefreshDetail(ctx, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantTotal := totalSwaps + 1 // initial-load publish + swaps
+	var got []WatchEvent
+	timeout := time.After(10 * time.Second)
+	for len(got) < wantTotal {
+		select {
+		case ev := <-events:
+			got = append(got, ev)
+		case <-timeout:
+			t.Fatalf("timed out with %d/%d events (conns %d)", len(got), wantTotal, watchConns.Load())
+		}
+	}
+	var ref []WatchEvent
+	for len(ref) < wantTotal {
+		select {
+		case ev := <-refCh:
+			ref = append(ref, ev)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("reference subscriber timed out with %d events", len(ref))
+		}
+	}
+
+	// The connection really dropped and really resumed with the SSE
+	// header carrying the last delivered sequence number.
+	if n := watchConns.Load(); n < 2 {
+		t.Fatalf("watch stream was never interrupted (%d connections)", n)
+	}
+	if id, _ := resumeID.Load().(string); id != fmt.Sprint(allowFirst) {
+		t.Fatalf("reconnect sent Last-Event-ID %q, want %q", id, fmt.Sprint(allowFirst))
+	}
+
+	// Lossless replay: the resumed stream equals the uninterrupted one,
+	// event for event.
+	for i, ev := range got {
+		want := ref[i]
+		if ev.Seq != want.Seq || ev.Generation != want.Generation ||
+			ev.Fingerprint != want.Fingerprint || ev.Delta != want.Delta ||
+			ev.Model != want.Model ||
+			strings.Join(ev.Changed, ",") != strings.Join(want.Changed, ",") {
+			t.Fatalf("event %d diverged from the uninterrupted stream:\n got %+v\nwant %+v", i, ev, want)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d (gap-free)", i, ev.Seq, i+1)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("watch ended with %v, want context.Canceled", err)
+	}
+}
+
+// TestWatchReconnectBudget pins the give-up contract: when every
+// reconnect keeps dying, Watch returns an error instead of looping
+// forever — and WatchRetries<0 disables reconnecting outright.
+func TestWatchReconnectBudget(t *testing.T) {
+	l := &stubDeltaLoader{newStubLoader()}
+	st := NewStore(l, 0)
+	srv := NewServer(Config{Store: st, WatchHeartbeat: 25 * time.Millisecond})
+
+	var conns atomic.Int64
+	allow := &atomic.Int64{} // zero: every connection dies on its first event
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/watch") {
+			conns.Add(1)
+			srv.ServeHTTP(&abortWriter{w, allow}, r)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	ctx := context.Background()
+	if _, err := st.Get(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewClient(ts.URL)
+	client.WatchRetries = 2
+	err := client.Watch(ctx, "m", 0, func(WatchEvent) error { return nil })
+	if err == nil {
+		t.Fatal("watch with a dead stream returned nil")
+	}
+	// Initial attempt + 2 retries.
+	if got := conns.Load(); got != 3 {
+		t.Fatalf("dialed %d times, want 3 (1 attempt + 2 retries)", got)
+	}
+
+	conns.Store(0)
+	client.WatchRetries = -1
+	if err := client.Watch(ctx, "m", 0, func(WatchEvent) error { return nil }); err == nil {
+		t.Fatal("watch with reconnects disabled returned nil")
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("dialed %d times with reconnects disabled, want 1", got)
+	}
+}
